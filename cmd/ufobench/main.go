@@ -1,0 +1,70 @@
+// Command ufobench regenerates the tables and figures of the paper's
+// experimental evaluation.
+//
+// Usage:
+//
+//	ufobench -experiment fig5 -n 100000
+//	ufobench -experiment all -n 20000 -k 2000
+//
+// Experiments: table1, table2, fig5, fig6, fig7, fig8, fig9, fig16, all.
+// Sizes default to laptop scale; raise -n / -k to approach the paper's
+// configuration (n=10^7, k=10^6 on a 96-core machine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|all")
+		n      = flag.Int("n", 50000, "input tree size")
+		k      = flag.Int("k", 5000, "batch size for parallel experiments")
+		q      = flag.Int("q", 20000, "query count for the diameter sweep")
+		seed   = flag.Uint64("seed", 42, "deterministic workload seed")
+		graphs = flag.Bool("graphs", true, "include BFS/RIS forests of the graph stand-ins")
+	)
+	flag.Parse()
+	w := os.Stdout
+
+	run := func(name string, fn func()) {
+		if *exp == "all" || *exp == name {
+			fn()
+			fmt.Fprintln(w)
+		}
+	}
+
+	run("table1", func() { bench.Table1(w, *n, *seed) })
+	run("table2", func() { bench.Table2(w, *n, *seed) })
+	run("fig5", func() { bench.Fig5(w, *n, *seed, *graphs) })
+	run("fig6", func() {
+		bench.Fig6(w, *n, *q, []float64{0, 0.5, 1.0, 1.5, 2.0}, *seed)
+	})
+	run("fig7", func() { bench.Fig7(w, *n, *seed) })
+	run("fig8", func() { bench.Fig8(w, *n, *k, *seed, *graphs) })
+	run("fig9", func() {
+		ns := []int{*n / 8, *n / 4, *n / 2, *n, *n * 2}
+		bench.Fig9(w, ns, *k, *seed)
+	})
+	run("fig16", func() {
+		bench.Fig16(w, *n, *k, []float64{0, 0.5, 1.0, 1.5, 2.0}, *seed)
+	})
+	run("ablation", func() {
+		bench.Ablation(w, *n, *seed)
+		fmt.Fprintln(w)
+		bench.AblationBatchAmortization(w, *n, *seed)
+	})
+
+	valid := map[string]bool{"all": true, "table1": true, "table2": true, "fig5": true,
+		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig16": true, "ablation": true}
+	if !valid[*exp] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n", *exp,
+			strings.Join([]string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig16", "all"}, "|"))
+		os.Exit(2)
+	}
+}

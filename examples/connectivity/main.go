@@ -1,0 +1,62 @@
+// Incremental spanning forest: stream the edges of a graph through a UFO
+// tree, keeping exactly the edges that connect new components (the paper's
+// "random incremental spanning forest" workload), and answer connectivity
+// queries on the fly.
+//
+// This is the building block the paper's introduction motivates: dynamic
+// connectivity, minimum spanning forests, and clustering algorithms all
+// maintain spanning forests under edge updates.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	const n = 100000
+	// A power-law "web" graph stand-in; edges arrive in generation order.
+	g := gen.WebGraph(n, 4, 1)
+	f := ufotree.NewUFO(n)
+
+	kept, skipped := 0, 0
+	for _, e := range g.Edges {
+		u, v := e[0], e[1]
+		if u == v || f.Connected(u, v) {
+			skipped++ // would close a cycle: not part of the forest
+			continue
+		}
+		f.Link(u, v, 1)
+		kept++
+	}
+	fmt.Printf("streamed %d edges: kept %d, skipped %d\n", len(g.Edges), kept, skipped)
+
+	// Connectivity queries are O(min{log n, D}) walks to the component root.
+	pairs := [][2]int{{0, n - 1}, {1, n / 2}, {2, 3}}
+	for _, p := range pairs {
+		fmt.Printf("connected(%d,%d) = %v\n", p[0], p[1], f.Connected(p[0], p[1]))
+	}
+
+	// Churn: delete a spanning edge and verify the forest splits, then
+	// repair connectivity with a replacement edge.
+	var cutU, cutV int
+	for _, e := range g.Edges {
+		if f.HasEdge(e[0], e[1]) {
+			cutU, cutV = e[0], e[1]
+			break
+		}
+	}
+	f.Cut(cutU, cutV)
+	fmt.Printf("after cutting (%d,%d): connected = %v\n", cutU, cutV, f.Connected(cutU, cutV))
+	// Scan for a replacement among the skipped edges.
+	for _, e := range g.Edges {
+		if e[0] != e[1] && !f.HasEdge(e[0], e[1]) && !f.Connected(e[0], e[1]) {
+			f.Link(e[0], e[1], 1)
+			fmt.Printf("replacement edge (%d,%d) restores connectivity: %v\n",
+				e[0], e[1], f.Connected(cutU, cutV))
+			break
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Network monitoring: maintain a routing tree whose edge weights are link
+// latencies, and answer bottleneck (maximum-latency) and total-latency
+// queries between hosts while links are rerouted — the path-query workload
+// that separates UFO trees from Euler tour trees (Table 1 of the paper).
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func main() {
+	const n = 50000
+	r := rng.New(7)
+
+	// Start from a low-diameter hub-and-spoke topology (preferential
+	// attachment), the regime where UFO trees answer queries in O(D) time.
+	topo := gen.WithRandomWeights(gen.PrefAttach(n, 3), 50, 4)
+	f := ufotree.NewUFO(n)
+	for _, e := range topo.Edges {
+		f.Link(e.U, e.V, e.W)
+	}
+	pq := f.(ufotree.PathQuerier)
+
+	report := func(a, b int) {
+		sum, _ := pq.PathSum(a, b)
+		max, _ := pq.PathMax(a, b)
+		fmt.Printf("route %5d -> %-5d  total latency %4d  bottleneck %3d\n", a, b, sum, max)
+	}
+	fmt.Println("initial routes:")
+	report(1, n-1)
+	report(100, 4242)
+
+	// Simulate reroutes: take a congested link down, attach the orphaned
+	// side through a faster path, and re-check bottlenecks.
+	fmt.Println("rerouting under churn:")
+	for i := 0; i < 5; i++ {
+		e := topo.Edges[r.Intn(len(topo.Edges))]
+		if !f.HasEdge(e.U, e.V) {
+			continue
+		}
+		f.Cut(e.U, e.V)
+		// New link with lower latency to a random gateway on the other side.
+		gw := r.Intn(n)
+		for f.Connected(e.V, gw) {
+			gw = r.Intn(n)
+		}
+		f.Link(e.V, gw, 1+r.Int63()%5)
+		fmt.Printf("  replaced (%d,%d) with (%d,%d)\n", e.U, e.V, e.V, gw)
+	}
+	fmt.Println("routes after churn:")
+	report(1, n-1)
+	report(100, 4242)
+}

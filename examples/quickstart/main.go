@@ -1,0 +1,54 @@
+// Quickstart: build a small dynamic forest with a UFO tree, run every query
+// type, and react to edge updates.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A forest over 8 vertices. UFO trees support arbitrary degrees, batch
+	// updates, and the full query set.
+	f := ufotree.NewUFO(8)
+
+	// Build two trees:      0 -- 1 -- 2        5 -- 6
+	//                            |
+	//                       3 -- 4 (weights on edges)
+	f.Link(0, 1, 4)
+	f.Link(1, 2, 7)
+	f.Link(1, 4, 2)
+	f.Link(3, 4, 9)
+	f.Link(5, 6, 1)
+
+	fmt.Println("connected(0,3):", f.Connected(0, 3)) // true
+	fmt.Println("connected(0,5):", f.Connected(0, 5)) // false
+
+	// Path queries aggregate edge weights along the unique path.
+	pq := f.(ufotree.PathQuerier)
+	sum, _ := pq.PathSum(0, 3) // 4 + 2 + 9
+	max, _ := pq.PathMax(0, 3) // 9
+	fmt.Println("pathSum(0,3):", sum, " pathMax(0,3):", max)
+
+	// Subtree queries aggregate vertex values; root the tree by naming the
+	// parent side of an edge.
+	sq := f.(ufotree.SubtreeQuerier)
+	for v := 0; v < 8; v++ {
+		sq.SetVertexValue(v, int64(v))
+	}
+	fmt.Println("subtreeSum(4 with parent 1):", sq.SubtreeSum(4, 1)) // 3 + 4
+
+	// Updates are just links and cuts; everything stays consistent.
+	f.Cut(1, 4)
+	fmt.Println("connected(0,3) after cut:", f.Connected(0, 3)) // false
+	f.Link(2, 5, 3)
+	sum, _ = pq.PathSum(0, 6) // 4 + 7 + 3 + 1
+	fmt.Println("pathSum(0,6) after relink:", sum)
+
+	// Batches apply many updates at once (in parallel on larger inputs).
+	bf := f.(ufotree.BatchForest)
+	bf.BatchCut([]ufotree.Edge{{U: 0, V: 1}, {U: 2, V: 5}})
+	bf.BatchLink([]ufotree.Edge{{U: 0, V: 7, W: 5}, {U: 7, V: 5, W: 5}})
+	fmt.Println("connected(0,6) after batch:", f.Connected(0, 6)) // true
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out:
+//
+//  1. The unbounded-fanout merge rule. UFO trees handle a degree-d vertex
+//     in one contraction round; pair-merging structures (topology trees)
+//     must first ternarize it into a d-slot path and then contract it over
+//     Θ(log d) rounds. Sweeping k-ary trees over k makes the separation
+//     visible as a growing gap.
+//  2. Diameter-adaptive height. The same sweep reports the UFO tree height
+//     against the ceil(D/2) bound of Theorem 4.2 and the log_{6/5} n bound
+//     of Theorem 4.1.
+func Ablation(w io.Writer, n int, seed uint64) {
+	fmt.Fprintf(w, "# Ablation: unbounded fan-out vs pair merges (k-ary sweep, n=%d)\n", n)
+	fmt.Fprintf(w, "%-8s %12s %12s %10s %12s %12s\n",
+		"k", "ufo (ms)", "topo (ms)", "topo/ufo", "ufo height", "ceil(D/2)")
+	for _, k := range []int{2, 4, 16, 64, 256, 1024} {
+		t := gen.KAry(n, k)
+		fu := ufotree.NewUFO(n)
+		du := buildDestroy(fu, t, seed)
+		ft := ufotree.NewTopology(n)
+		dt := buildDestroy(ft, t, seed)
+
+		// Height after a rebuild (the destroy left it empty).
+		fu2 := ufotree.NewUFO(n)
+		for _, e := range t.Edges {
+			fu2.Link(e.U, e.V, e.W)
+		}
+		h := 0
+		if uf, ok := ufotree.UnderlyingUFO(fu2); ok {
+			h = uf.Height(0)
+		}
+		d := gen.Diameter(t)
+		fmt.Fprintf(w, "%-8d %12.1f %12.1f %9.1fx %12d %12d\n",
+			k,
+			float64(du.Microseconds())/1000,
+			float64(dt.Microseconds())/1000,
+			float64(dt.Nanoseconds())/float64(du.Nanoseconds()),
+			h, (d+1)/2)
+	}
+	fmt.Fprintln(w, "# (topology = pair merges behind dynamic ternarization; the ratio grows")
+	fmt.Fprintln(w, "#  with k because ternarization turns one high-degree vertex into a path)")
+}
+
+// AblationBatchAmortization reports how batching amortizes the
+// level-synchronous passes of the UFO engine: the same edge set applied
+// with batch sizes 1..n.
+func AblationBatchAmortization(w io.Writer, n int, seed uint64) {
+	fmt.Fprintf(w, "# Ablation: batch-size amortization (UFO, preferential attachment, n=%d)\n", n)
+	t := gen.Shuffled(gen.PrefAttach(n, seed), seed+1)
+	links := make([]ufotree.Edge, len(t.Edges))
+	for i, e := range t.Edges {
+		links[i] = ufotree.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	fmt.Fprintf(w, "%-10s %12s\n", "batch k", "build (ms)")
+	for _, k := range []int{1, 16, 256, 4096, n} {
+		f := ufotree.NewUFO(n)
+		start := time.Now()
+		for lo := 0; lo < len(links); lo += k {
+			hi := min(lo+k, len(links))
+			f.BatchLink(links[lo:hi])
+		}
+		d := time.Since(start)
+		fmt.Fprintf(w, "%-10d %12.1f\n", k, float64(d.Microseconds())/1000)
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment harness is exercised end-to-end at tiny sizes so that the
+// report generators stay wired to the structures (a broken experiment
+// should fail tests, not just produce an empty figure).
+
+func TestTable1Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf, 300, 1)
+	out := buf.String()
+	for _, want := range []string{"link-cut", "ufo", "topology", "rc", "ett-treap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing row %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf, 400, 1)
+	for _, want := range []string{"usa-road", "enwiki-web", "so-temporal", "twit-social"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table2 missing dataset %q", want)
+		}
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Fig5(&buf, 300, 1, false)
+	if lines := strings.Count(buf.String(), "\n"); lines < 9 {
+		t.Fatalf("fig5 produced %d lines, want >= 9", lines)
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Fig6(&buf, 300, 100, []float64{0, 2}, 1)
+	out := buf.String()
+	if !strings.Contains(out, "alpha=0.00") || !strings.Contains(out, "alpha=2.00") {
+		t.Fatalf("fig6 missing sweep points:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatal("fig6 should mark path queries n/a for ETTs")
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Fig7(&buf, 300, 1)
+	if !strings.Contains(buf.String(), "memory usage") {
+		t.Fatal("fig7 header missing")
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Fig8(&buf, 300, 50, 1, false)
+	out := buf.String()
+	if !strings.Contains(out, "ufo") || !strings.Contains(out, "ett-treap") {
+		t.Fatalf("fig8 missing structures:\n%s", out)
+	}
+	if strings.Contains(out, "link-cut") {
+		t.Fatal("fig8 must not include non-batch structures")
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Fig9(&buf, []int{100, 200}, 50, 1)
+	if lines := strings.Count(buf.String(), "\n"); lines < 4 {
+		t.Fatal("fig9 too short")
+	}
+}
+
+func TestFig16Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	Fig16(&buf, 300, 50, []float64{0, 1}, 1)
+	if !strings.Contains(buf.String(), "a=0.0") {
+		t.Fatal("fig16 missing alpha columns")
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	Ablation(&buf, 2100, 1)
+	out := buf.String()
+	if !strings.Contains(out, "1024") {
+		t.Fatalf("ablation missing k sweep:\n%s", out)
+	}
+	AblationBatchAmortization(&buf, 500, 1)
+	if !strings.Contains(buf.String(), "batch k") {
+		t.Fatal("batch amortization ablation missing")
+	}
+}
+
+func TestBuildersCoverPaper(t *testing.T) {
+	seq := Sequential()
+	if len(seq) != 7 {
+		t.Fatalf("expected 7 sequential structures, got %d", len(seq))
+	}
+	par := Parallel()
+	if len(par) != 6 {
+		t.Fatalf("expected 6 batch structures, got %d", len(par))
+	}
+	for _, b := range par {
+		if !b.Batch {
+			t.Fatalf("%s in parallel set without batch support", b.Name)
+		}
+	}
+}

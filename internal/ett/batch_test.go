@@ -1,0 +1,134 @@
+package ett
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+type batchForest interface {
+	forest
+	BatchLink([][2]int)
+	BatchCut([][2]int)
+	SetParallel(bool)
+}
+
+func batchBackends(n int) []batchForest {
+	a := NewTreap(n, 7)
+	b := NewSplay(n)
+	c := NewSkipList(n, 8)
+	a.SetParallel(true)
+	b.SetParallel(true)
+	c.SetParallel(true)
+	return []batchForest{a, b, c}
+}
+
+func TestBatchBuildDestroy(t *testing.T) {
+	n := 600
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Star(n), gen.Binary(n), gen.PrefAttach(n, 301),
+	}
+	for _, tr := range shapes {
+		for _, f := range batchBackends(n) {
+			sh := gen.Shuffled(tr, 303)
+			for lo := 0; lo < len(sh.Edges); lo += 97 {
+				hi := lo + 97
+				if hi > len(sh.Edges) {
+					hi = len(sh.Edges)
+				}
+				var batch [][2]int
+				for _, e := range sh.Edges[lo:hi] {
+					batch = append(batch, [2]int{e.U, e.V})
+				}
+				f.BatchLink(batch)
+			}
+			if f.ComponentSize(0) != n {
+				t.Fatalf("%s/%s: batch build incomplete", f.BackendName(), tr.Name)
+			}
+			sh2 := gen.Shuffled(tr, 304)
+			for lo := 0; lo < len(sh2.Edges); lo += 131 {
+				hi := lo + 131
+				if hi > len(sh2.Edges) {
+					hi = len(sh2.Edges)
+				}
+				var batch [][2]int
+				for _, e := range sh2.Edges[lo:hi] {
+					batch = append(batch, [2]int{e.U, e.V})
+				}
+				f.BatchCut(batch)
+			}
+			if f.EdgeCount() != 0 || f.ComponentSize(0) != 1 {
+				t.Fatalf("%s/%s: batch destroy incomplete", f.BackendName(), tr.Name)
+			}
+		}
+	}
+}
+
+func TestBatchMatchesOracle(t *testing.T) {
+	n := 150
+	for _, f := range batchBackends(n) {
+		ref := refforest.New(n)
+		r := rng.New(311)
+		var live [][2]int
+		for round := 0; round < 80; round++ {
+			var cuts [][2]int
+			for i := 0; i < r.Intn(6) && len(live) > 0; i++ {
+				j := r.Intn(len(live))
+				cuts = append(cuts, live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			for _, c := range cuts {
+				ref.Cut(c[0], c[1])
+			}
+			if len(cuts) > 0 {
+				f.BatchCut(cuts)
+			}
+			var links [][2]int
+			for i := 0; i < r.Intn(10); i++ {
+				u, v := r.Intn(n), r.Intn(n)
+				if u != v && !ref.Connected(u, v) {
+					ref.Link(u, v, 1)
+					links = append(links, [2]int{u, v})
+					live = append(live, [2]int{u, v})
+				}
+			}
+			if len(links) > 0 {
+				f.BatchLink(links)
+			}
+			for q := 0; q < 25; q++ {
+				u, v := r.Intn(n), r.Intn(n)
+				if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+					t.Fatalf("%s round %d: Connected(%d,%d) = %v, want %v",
+						f.BackendName(), round, u, v, got, want)
+				}
+			}
+			u := r.Intn(n)
+			if got, want := f.ComponentSize(u), ref.ComponentSize(u); got != want {
+				t.Fatalf("%s round %d: ComponentSize(%d) = %d, want %d",
+					f.BackendName(), round, u, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchPanicsOnBadInput(t *testing.T) {
+	f := NewTreap(5, 9)
+	f.BatchLink([][2]int{{0, 1}})
+	for name, fn := range map[string]func(){
+		"duplicate": func() { f.BatchLink([][2]int{{1, 0}}) },
+		"self":      func() { f.BatchLink([][2]int{{2, 2}}) },
+		"absent":    func() { f.BatchCut([][2]int{{2, 3}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,201 @@
+package ett
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+// forest abstracts the three ETT instantiations for shared test drivers.
+type forest interface {
+	Link(u, v int)
+	Cut(u, v int)
+	Connected(u, v int) bool
+	HasEdge(u, v int) bool
+	ComponentSize(u int) int
+	SetVertexValue(v int, val int64)
+	SubtreeSum(v, p int) int64
+	SubtreeSize(v, p int) int
+	EdgeCount() int
+	BackendName() string
+}
+
+func backends(n int) []forest {
+	return []forest{
+		NewTreap(n, 1),
+		NewSplay(n),
+		NewSkipList(n, 2),
+	}
+}
+
+func TestBasic(t *testing.T) {
+	for _, f := range backends(6) {
+		f.Link(0, 1)
+		f.Link(1, 2)
+		f.Link(3, 4)
+		if !f.Connected(0, 2) || f.Connected(0, 3) {
+			t.Fatalf("%s: bad connectivity", f.BackendName())
+		}
+		if f.ComponentSize(0) != 3 || f.ComponentSize(3) != 2 || f.ComponentSize(5) != 1 {
+			t.Fatalf("%s: bad component sizes", f.BackendName())
+		}
+		f.Cut(1, 2)
+		if f.Connected(0, 2) || !f.Connected(0, 1) {
+			t.Fatalf("%s: bad connectivity after cut", f.BackendName())
+		}
+		f.Link(2, 3)
+		if !f.Connected(2, 4) {
+			t.Fatalf("%s: bad connectivity after relink", f.BackendName())
+		}
+	}
+}
+
+func TestSubtreeSum(t *testing.T) {
+	for _, f := range backends(6) {
+		// 0-1, 1-2, 1-3: values v+1.
+		f.Link(0, 1)
+		f.Link(1, 2)
+		f.Link(1, 3)
+		for v := 0; v < 6; v++ {
+			f.SetVertexValue(v, int64(v+1))
+		}
+		if s := f.SubtreeSum(1, 0); s != 9 {
+			t.Fatalf("%s: SubtreeSum(1,0) = %d, want 9", f.BackendName(), s)
+		}
+		if s := f.SubtreeSum(0, 1); s != 1 {
+			t.Fatalf("%s: SubtreeSum(0,1) = %d, want 1", f.BackendName(), s)
+		}
+		if n := f.SubtreeSize(1, 0); n != 3 {
+			t.Fatalf("%s: SubtreeSize(1,0) = %d, want 3", f.BackendName(), n)
+		}
+		// Queries must not corrupt the structure.
+		if !f.Connected(0, 3) || f.ComponentSize(0) != 4 {
+			t.Fatalf("%s: structure damaged by subtree query", f.BackendName())
+		}
+		if s := f.SubtreeSum(1, 0); s != 9 {
+			t.Fatalf("%s: repeated SubtreeSum = %d, want 9", f.BackendName(), s)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range backends(4) {
+		f.Link(0, 1)
+		for name, fn := range map[string]func(){
+			"self loop":    func() { f.Link(2, 2) },
+			"duplicate":    func() { f.Link(1, 0) },
+			"absent cut":   func() { f.Cut(1, 2) },
+			"non-adjacent": func() { f.SubtreeSum(0, 3) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s/%s: expected panic", f.BackendName(), name)
+					}
+				}()
+				fn()
+			}()
+		}
+	}
+}
+
+func runDifferential(t *testing.T, f forest, n, steps int, seed uint64) {
+	t.Helper()
+	ref := refforest.New(n)
+	r := rng.New(seed)
+	var live [][2]int
+	for step := 0; step < steps; step++ {
+		op := r.Intn(10)
+		switch {
+		case op < 4:
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				f.Link(u, v)
+				ref.Link(u, v, 1)
+				live = append(live, [2]int{u, v})
+			}
+		case op < 6 && len(live) > 0:
+			i := r.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Cut(e[0], e[1])
+			ref.Cut(e[0], e[1])
+		case op < 7:
+			v := r.Intn(n)
+			val := int64(r.Intn(100))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		case op < 9:
+			u, v := r.Intn(n), r.Intn(n)
+			if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+				t.Fatalf("%s step %d: Connected(%d,%d) = %v, want %v",
+					f.BackendName(), step, u, v, got, want)
+			}
+			if got, want := f.ComponentSize(u), ref.ComponentSize(u); got != want {
+				t.Fatalf("%s step %d: ComponentSize(%d) = %d, want %d",
+					f.BackendName(), step, u, got, want)
+			}
+		default:
+			if len(live) == 0 {
+				continue
+			}
+			e := live[r.Intn(len(live))]
+			v, p := e[0], e[1]
+			if r.Bool() {
+				v, p = p, v
+			}
+			if got, want := f.SubtreeSum(v, p), ref.SubtreeSum(v, p); got != want {
+				t.Fatalf("%s step %d: SubtreeSum(%d,%d) = %d, want %d",
+					f.BackendName(), step, v, p, got, want)
+			}
+			if got, want := f.SubtreeSize(v, p), ref.SubtreeSize(v, p); got != want {
+				t.Fatalf("%s step %d: SubtreeSize(%d,%d) = %d, want %d",
+					f.BackendName(), step, v, p, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialTreap(t *testing.T) {
+	runDifferential(t, NewTreap(10, 3), 10, 3000, 11)
+	runDifferential(t, NewTreap(60, 4), 60, 3000, 12)
+}
+
+func TestDifferentialSplay(t *testing.T) {
+	runDifferential(t, NewSplay(10), 10, 3000, 13)
+	runDifferential(t, NewSplay(60), 60, 3000, 14)
+}
+
+func TestDifferentialSkipList(t *testing.T) {
+	runDifferential(t, NewSkipList(10, 5), 10, 3000, 15)
+	runDifferential(t, NewSkipList(60, 6), 60, 3000, 16)
+}
+
+func TestBuildDestroyShapes(t *testing.T) {
+	n := 500
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Binary(n), gen.KAry(n, 64), gen.Star(n),
+		gen.Dandelion(n), gen.PrefAttach(n, 2),
+	}
+	for _, tr := range shapes {
+		for _, f := range backends(n) {
+			sh := gen.Shuffled(tr, 7)
+			for _, e := range sh.Edges {
+				f.Link(e.U, e.V)
+			}
+			if !f.Connected(0, n-1) || f.ComponentSize(0) != n {
+				t.Fatalf("%s/%s: bad state after build", f.BackendName(), tr.Name)
+			}
+			sh2 := gen.Shuffled(tr, 8)
+			for _, e := range sh2.Edges {
+				f.Cut(e.U, e.V)
+			}
+			if f.ComponentSize(0) != 1 || f.EdgeCount() != 0 {
+				t.Fatalf("%s/%s: bad state after destroy", f.BackendName(), tr.Name)
+			}
+		}
+	}
+}

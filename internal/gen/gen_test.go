@@ -1,0 +1,215 @@
+package gen
+
+import (
+	"testing"
+)
+
+// isSpanningTree checks that t has exactly n-1 edges forming one connected
+// acyclic component (or a forest if allowForest).
+func checkForest(t *testing.T, tr Tree, wantSpanning bool) {
+	t.Helper()
+	uf := newUnionFind(tr.N)
+	for _, e := range tr.Edges {
+		if e.U < 0 || e.U >= tr.N || e.V < 0 || e.V >= tr.N {
+			t.Fatalf("%s: edge (%d,%d) out of range n=%d", tr.Name, e.U, e.V, tr.N)
+		}
+		if e.U == e.V {
+			t.Fatalf("%s: self loop at %d", tr.Name, e.U)
+		}
+		if !uf.union(e.U, e.V) {
+			t.Fatalf("%s: edge (%d,%d) creates a cycle", tr.Name, e.U, e.V)
+		}
+	}
+	if wantSpanning && len(tr.Edges) != tr.N-1 {
+		t.Fatalf("%s: %d edges, want %d", tr.Name, len(tr.Edges), tr.N-1)
+	}
+}
+
+func TestSyntheticTreesAreTrees(t *testing.T) {
+	n := 2000
+	trees := []Tree{
+		Path(n), Binary(n), KAry(n, 64), Star(n), Dandelion(n),
+		RandomDegree3(n, 1), RandomAttach(n, 2), PrefAttach(n, 3),
+		Zipf(n, 0.0, 4), Zipf(n, 1.0, 5), Zipf(n, 2.0, 6),
+	}
+	for _, tr := range trees {
+		checkForest(t, tr, true)
+	}
+}
+
+func TestDiameters(t *testing.T) {
+	n := 1024
+	if d := Diameter(Path(n)); d != n-1 {
+		t.Fatalf("path diameter = %d, want %d", d, n-1)
+	}
+	if d := Diameter(Star(n)); d != 2 {
+		t.Fatalf("star diameter = %d, want 2", d)
+	}
+	// Binary tree of 1024 nodes: depths 0..10 (node 1023 alone at depth
+	// 10, deepest full level at 9), so the diameter is 10 + 9 = 19.
+	if d := Diameter(Binary(n)); d != 19 {
+		t.Fatalf("binary diameter = %d, want 19", d)
+	}
+	if d := Diameter(KAry(n, 64)); d > 6 {
+		t.Fatalf("64-ary diameter = %d, want <= 6", d)
+	}
+}
+
+func TestZipfDiameterDecreasesWithAlpha(t *testing.T) {
+	n := 5000
+	dLow := Diameter(Zipf(n, 0.0, 9))
+	dHigh := Diameter(Zipf(n, 2.0, 9))
+	if dHigh >= dLow {
+		t.Fatalf("zipf diameter did not fall: alpha=0 -> %d, alpha=2 -> %d", dLow, dHigh)
+	}
+}
+
+func TestRandomDegree3RespectsBound(t *testing.T) {
+	tr := RandomDegree3(5000, 7)
+	deg := make([]int, tr.N)
+	for _, e := range tr.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v, d := range deg {
+		if d > 3 {
+			t.Fatalf("vertex %d has degree %d > 3", v, d)
+		}
+	}
+}
+
+func TestPrefAttachIsHeavyTailed(t *testing.T) {
+	tr := PrefAttach(20000, 11)
+	deg := make([]int, tr.N)
+	for _, e := range tr.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 50 {
+		t.Fatalf("preferential attachment max degree only %d", maxDeg)
+	}
+}
+
+func TestDandelionShape(t *testing.T) {
+	tr := Dandelion(10000)
+	checkForest(t, tr, true)
+	deg := make([]int, tr.N)
+	for _, e := range tr.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	high := 0
+	for _, d := range deg {
+		if d > 50 {
+			high++
+		}
+	}
+	if high < 50 {
+		t.Fatalf("dandelion should have many high-degree vertices, got %d", high)
+	}
+}
+
+func TestShuffledPreservesEdgeSet(t *testing.T) {
+	tr := Path(100)
+	sh := Shuffled(tr, 3)
+	if len(sh.Edges) != len(tr.Edges) {
+		t.Fatal("shuffle changed edge count")
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range tr.Edges {
+		seen[[2]int{e.U, e.V}] = true
+	}
+	for _, e := range sh.Edges {
+		if !seen[[2]int{e.U, e.V}] {
+			t.Fatalf("edge (%d,%d) not in original", e.U, e.V)
+		}
+	}
+}
+
+func TestPermuteLabelsPreservesShape(t *testing.T) {
+	tr := Star(500)
+	p := PermuteLabels(tr, 8)
+	checkForest(t, p, true)
+	if d := Diameter(p); d != 2 {
+		t.Fatalf("permuted star diameter = %d", d)
+	}
+}
+
+func TestWithRandomWeights(t *testing.T) {
+	tr := WithRandomWeights(Path(1000), 100, 5)
+	for _, e := range tr.Edges {
+		if e.W < 1 || e.W > 100 {
+			t.Fatalf("weight %d out of [1,100]", e.W)
+		}
+	}
+}
+
+func TestGraphForests(t *testing.T) {
+	for _, g := range StandardGraphs(900, 17) {
+		if len(g.Edges) < g.N/2 {
+			t.Fatalf("%s: too few edges (%d for n=%d)", g.Name, len(g.Edges), g.N)
+		}
+		bfs := BFSForest(g, 1)
+		checkForest(t, bfs, false)
+		ris := RISForest(g, 2)
+		checkForest(t, ris, false)
+		if len(bfs.Edges) != len(ris.Edges) {
+			t.Fatalf("%s: BFS and RIS forests span different component structures (%d vs %d edges)",
+				g.Name, len(bfs.Edges), len(ris.Edges))
+		}
+	}
+}
+
+func TestRoadGraphHighDiameter(t *testing.T) {
+	g := RoadGraph(900, 3)
+	bfs := BFSForest(g, 1)
+	if d := Diameter(bfs); d < 20 {
+		t.Fatalf("road BFS forest diameter = %d, want high", d)
+	}
+}
+
+func TestSocialGraphLowDiameterForest(t *testing.T) {
+	g := SocialGraph(2048, 8, 3)
+	bfs := BFSForest(g, 1)
+	road := BFSForest(RoadGraph(2048, 3), 1)
+	if Diameter(bfs) >= Diameter(road) {
+		t.Fatalf("social BFS diameter (%d) should be below road BFS diameter (%d)",
+			Diameter(bfs), Diameter(road))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := RandomAttach(1000, 42)
+	b := RandomAttach(1000, 42)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed produced different trees")
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	if !uf.union(0, 1) || !uf.union(2, 3) {
+		t.Fatal("fresh unions failed")
+	}
+	if uf.union(1, 0) {
+		t.Fatal("repeated union should fail")
+	}
+	if uf.find(0) != uf.find(1) || uf.find(2) != uf.find(3) {
+		t.Fatal("find inconsistent")
+	}
+	if uf.find(0) == uf.find(2) {
+		t.Fatal("separate components merged")
+	}
+	uf.union(1, 3)
+	if uf.find(0) != uf.find(2) {
+		t.Fatal("union(1,3) should connect all")
+	}
+}

@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Graph is a (possibly multi-)graph edge list used to derive spanning
+// forests. The paper uses four real-world graphs (Table 2: USA roads,
+// ENWiki, StackOverflow, Twitter); those datasets are unavailable offline,
+// so these generators produce synthetic graphs with the same structural
+// signature (see DESIGN.md S5): diameter regime, degree distribution, and
+// edge/vertex ratio.
+type Graph struct {
+	Name  string
+	N     int
+	Edges [][2]int
+}
+
+// RoadGraph builds a 2-D lattice with random diagonal shortcuts: a sparse,
+// high-diameter, low-degree graph in the spirit of the USA road network.
+func RoadGraph(n int, seed uint64) Graph {
+	r := rng.New(seed)
+	side := 1
+	for side*side < n {
+		side++
+	}
+	n = side * side
+	var edges [][2]int
+	id := func(x, y int) int { return x*side + y }
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			if x+1 < side {
+				edges = append(edges, [2]int{id(x, y), id(x+1, y)})
+			}
+			if y+1 < side {
+				edges = append(edges, [2]int{id(x, y), id(x, y+1)})
+			}
+			// Sparse diagonal shortcuts (~10% of cells) mimic highways.
+			if x+1 < side && y+1 < side && r.Intn(10) == 0 {
+				edges = append(edges, [2]int{id(x, y), id(x+1, y+1)})
+			}
+		}
+	}
+	return Graph{Name: "usa-road", N: n, Edges: edges}
+}
+
+// WebGraph builds a preferential-attachment multigraph with m links per new
+// vertex: a heavy-tailed, low-diameter graph in the spirit of a web crawl.
+func WebGraph(n, m int, seed uint64) Graph {
+	r := rng.New(seed)
+	var edges [][2]int
+	endpoints := []int{0}
+	for i := 1; i < n; i++ {
+		for j := 0; j < m; j++ {
+			p := endpoints[r.Intn(len(endpoints))]
+			if p == i {
+				p = r.Intn(i)
+			}
+			edges = append(edges, [2]int{p, i})
+			endpoints = append(endpoints, p)
+		}
+		endpoints = append(endpoints, i)
+	}
+	return Graph{Name: "enwiki-web", N: n, Edges: edges}
+}
+
+// TemporalGraph builds a time-ordered interaction graph: each new event
+// connects a random recent vertex to a degree-biased older vertex, in the
+// spirit of the StackOverflow temporal network.
+func TemporalGraph(n, m int, seed uint64) Graph {
+	r := rng.New(seed)
+	var edges [][2]int
+	endpoints := []int{0}
+	for i := 1; i < n; i++ {
+		events := 1 + r.Intn(2*m-1)
+		for j := 0; j < events; j++ {
+			// Recency-biased source: one of the last ~sqrt window.
+			w := i / 4
+			if w < 1 {
+				w = 1
+			}
+			src := i - 1 - r.Intn(w)
+			if src < 0 {
+				src = 0
+			}
+			dst := endpoints[r.Intn(len(endpoints))]
+			if src == dst {
+				continue
+			}
+			edges = append(edges, [2]int{src, dst})
+			endpoints = append(endpoints, dst)
+		}
+		endpoints = append(endpoints, i)
+	}
+	return Graph{Name: "so-temporal", N: n, Edges: edges}
+}
+
+// SocialGraph builds an RMAT-style power-law graph in the spirit of the
+// Twitter follower network: very heavy tail, very low diameter.
+func SocialGraph(n, avgDeg int, seed uint64) Graph {
+	r := rng.New(seed)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	size := 1 << bits
+	target := n * avgDeg / 2
+	var edges [][2]int
+	for len(edges) < target {
+		u, v := 0, 0
+		for b := 0; b < bits; b++ {
+			// RMAT quadrant probabilities (a,b,c,d) = (.57,.19,.19,.05).
+			x := r.Float64()
+			var qu, qv int
+			switch {
+			case x < 0.57:
+				qu, qv = 0, 0
+			case x < 0.76:
+				qu, qv = 0, 1
+			case x < 0.95:
+				qu, qv = 1, 0
+			default:
+				qu, qv = 1, 1
+			}
+			u = u<<1 | qu
+			v = v<<1 | qv
+		}
+		if u != v && u < n && v < n {
+			edges = append(edges, [2]int{u, v})
+		}
+		_ = size
+	}
+	return Graph{Name: "twit-social", N: n, Edges: edges}
+}
+
+// BFSForest returns the breadth-first spanning forest of g, starting each
+// component's search from the lowest-id unvisited vertex after a random
+// root, matching the paper's "BFS" inputs.
+func BFSForest(g Graph, seed uint64) Tree {
+	r := rng.New(seed)
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	visited := make([]bool, g.N)
+	var edges []Edge
+	bfs := func(root int) {
+		if visited[root] {
+			return
+		}
+		visited[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range adj[x] {
+				if !visited[y] {
+					visited[y] = true
+					edges = append(edges, Edge{x, y, 1})
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	bfs(r.Intn(max(1, g.N)))
+	for v := 0; v < g.N; v++ {
+		bfs(v)
+	}
+	return Tree{Name: g.Name + "-bfs", N: g.N, Edges: edges}
+}
+
+// RISForest returns the random incremental spanning forest of g: edges are
+// inserted in a random order and kept only when they connect two distinct
+// components, matching the paper's "RIS" inputs.
+func RISForest(g Graph, seed uint64) Tree {
+	r := rng.New(seed)
+	order := r.Perm(len(g.Edges))
+	uf := newUnionFind(g.N)
+	var edges []Edge
+	for _, i := range order {
+		u, v := g.Edges[i][0], g.Edges[i][1]
+		if uf.union(u, v) {
+			edges = append(edges, Edge{u, v, 1})
+		}
+	}
+	return Tree{Name: g.Name + "-ris", N: g.N, Edges: edges}
+}
+
+type unionFind struct{ parent, rank []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p, rank: make([]int, n)}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StandardGraphs returns the four Table-2 stand-in graphs at the given
+// scale. The relative |E|/|V| ratios follow Table 2 of the paper.
+func StandardGraphs(n int, seed uint64) []Graph {
+	return []Graph{
+		RoadGraph(n, seed),          // |E| ≈ 1.2 |V|
+		WebGraph(n, 4, seed+1),      // |E| ≈ 22 |V| in the paper; scaled
+		TemporalGraph(n, 2, seed+2), // |E| ≈ 4.7 |V|
+		SocialGraph(n, 8, seed+3),   // |E| ≈ 29 |V| in the paper; scaled
+	}
+}
+
+// Describe returns a Table-2 style summary row for g.
+func Describe(g Graph) string {
+	return fmt.Sprintf("%-12s |V|=%-9d |E|=%-9d", g.Name, g.N, len(g.Edges))
+}

@@ -1,0 +1,281 @@
+// Package gen generates the benchmark inputs used in the paper's
+// experimental evaluation (§6): synthetic trees of controlled shape and
+// diameter, spanning forests of graph-like inputs, and update batches.
+//
+// Trees are returned as edge lists over vertices 0..n-1. Every generator is
+// deterministic given its seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Edge is an undirected tree edge with an integer weight.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Tree is a generated input: an edge list plus metadata used for reporting.
+type Tree struct {
+	Name  string
+	N     int
+	Edges []Edge
+}
+
+// Path returns the path graph 0-1-2-...-(n-1): the maximum-diameter input.
+func Path(n int) Tree {
+	e := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		e = append(e, Edge{i - 1, i, 1})
+	}
+	return Tree{Name: "path", N: n, Edges: e}
+}
+
+// KAry returns a complete k-ary tree on n vertices (vertex i's parent is
+// (i-1)/k). k=2 is the paper's "binary" input; k=64 its "64-ary" input.
+func KAry(n, k int) Tree {
+	if k < 1 {
+		panic("gen: KAry with k < 1")
+	}
+	e := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		e = append(e, Edge{(i - 1) / k, i, 1})
+	}
+	return Tree{Name: fmt.Sprintf("%d-ary", k), N: n, Edges: e}
+}
+
+// Binary returns a complete binary tree on n vertices.
+func Binary(n int) Tree {
+	t := KAry(n, 2)
+	t.Name = "binary"
+	return t
+}
+
+// Star returns a star with center 0 and n-1 leaves: the minimum-diameter
+// input and the canonical stress test for unbounded-fanout merges.
+func Star(n int) Tree {
+	e := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		e = append(e, Edge{0, i, 1})
+	}
+	return Tree{Name: "star", N: n, Edges: e}
+}
+
+// Dandelion returns a star whose center hangs off the end of a short path:
+// sqrt(n) path vertices, each path vertex owning ~sqrt(n) leaves. This is
+// the paper's "Dand" input: many high-degree vertices, moderate diameter.
+func Dandelion(n int) Tree {
+	if n < 2 {
+		return Tree{Name: "dandelion", N: n}
+	}
+	spine := int(math.Sqrt(float64(n)))
+	if spine < 1 {
+		spine = 1
+	}
+	if spine > n {
+		spine = n
+	}
+	e := make([]Edge, 0, n-1)
+	for i := 1; i < spine; i++ {
+		e = append(e, Edge{i - 1, i, 1})
+	}
+	for i := spine; i < n; i++ {
+		e = append(e, Edge{(i - spine) % spine, i, 1})
+	}
+	return Tree{Name: "dandelion", N: n, Edges: e}
+}
+
+// RandomDegree3 returns a random tree with maximum degree 3: vertex i
+// attaches to a uniformly random earlier vertex that still has spare
+// capacity. This is the paper's "Random3" input.
+func RandomDegree3(n int, seed uint64) Tree {
+	r := rng.New(seed)
+	e := make([]Edge, 0, n-1)
+	deg := make([]int, n)
+	// Candidates: vertices with degree < 3. Maintain as a compacting list.
+	cand := make([]int, 0, n)
+	if n > 0 {
+		cand = append(cand, 0)
+	}
+	for i := 1; i < n; i++ {
+		// Pick a random candidate with capacity; evict full ones lazily.
+		for {
+			j := r.Intn(len(cand))
+			p := cand[j]
+			if deg[p] >= 3 {
+				cand[j] = cand[len(cand)-1]
+				cand = cand[:len(cand)-1]
+				continue
+			}
+			e = append(e, Edge{p, i, 1})
+			deg[p]++
+			deg[i]++
+			if deg[i] < 3 {
+				cand = append(cand, i)
+			}
+			break
+		}
+	}
+	return Tree{Name: "random3", N: n, Edges: e}
+}
+
+// RandomAttach returns a uniform random recursive tree (vertex i attaches to
+// a uniformly random earlier vertex): unbounded degree, Θ(log n) diameter.
+// This is the paper's "Random" input.
+func RandomAttach(n int, seed uint64) Tree {
+	r := rng.New(seed)
+	e := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		e = append(e, Edge{r.Intn(i), i, 1})
+	}
+	return Tree{Name: "random", N: n, Edges: e}
+}
+
+// PrefAttach returns a preferential-attachment tree: vertex i attaches to an
+// earlier vertex chosen proportionally to degree (realized by picking a
+// random endpoint of a random earlier edge). This is the paper's "P-Attach"
+// input: heavy-tailed degrees, low diameter.
+func PrefAttach(n int, seed uint64) Tree {
+	r := rng.New(seed)
+	e := make([]Edge, 0, n-1)
+	// endpoints records each edge endpoint once; sampling uniformly from it
+	// is degree-proportional sampling.
+	endpoints := make([]int, 0, 2*n)
+	for i := 1; i < n; i++ {
+		var p int
+		if i == 1 {
+			p = 0
+		} else {
+			p = endpoints[r.Intn(len(endpoints))]
+		}
+		e = append(e, Edge{p, i, 1})
+		endpoints = append(endpoints, p, i)
+	}
+	return Tree{Name: "p-attach", N: n, Edges: e}
+}
+
+// Zipf returns the paper's diameter-sweep input (§6.1): node i picks a
+// target in [0, i) from a Zipf distribution with parameter alpha over the
+// *recency rank* (rank r = distance back from i), and node ids are then
+// randomly permuted. Larger alpha concentrates attachment on recent nodes,
+// producing longer, path-like trees; in the paper's convention alpha
+// controls attachment to *low-index* (old) nodes so that larger alpha gives
+// lower diameter. We follow the paper: target j ∈ [0,i) is chosen with
+// probability proportional to (j+1)^(-alpha), so large alpha concentrates
+// on vertex 0 (star-like, low diameter) and alpha=0 is uniform.
+func Zipf(n int, alpha float64, seed uint64) Tree {
+	r := rng.New(seed)
+	e := make([]Edge, 0, n-1)
+	// Precompute cumulative weights lazily per i would be O(n^2); instead
+	// sample by inversion over a precomputed prefix table of (j+1)^-alpha.
+	w := make([]float64, n)
+	cum := make([]float64, n+1)
+	for j := 0; j < n; j++ {
+		w[j] = math.Pow(float64(j+1), -alpha)
+		cum[j+1] = cum[j] + w[j]
+	}
+	for i := 1; i < n; i++ {
+		x := r.Float64() * cum[i]
+		// Binary search for the smallest j with cum[j+1] > x.
+		lo, hi := 0, i-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] > x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		e = append(e, Edge{lo, i, 1})
+	}
+	t := Tree{Name: fmt.Sprintf("zipf-%.2f", alpha), N: n, Edges: e}
+	return PermuteLabels(t, seed^0x5bd1e995)
+}
+
+// PermuteLabels renames the vertices of t by a random permutation, as the
+// paper does for the Zipf inputs so that vertex ids carry no structure.
+func PermuteLabels(t Tree, seed uint64) Tree {
+	r := rng.New(seed)
+	p := r.Perm(t.N)
+	out := make([]Edge, len(t.Edges))
+	for i, e := range t.Edges {
+		out[i] = Edge{p[e.U], p[e.V], e.W}
+	}
+	return Tree{Name: t.Name, N: t.N, Edges: out}
+}
+
+// WithRandomWeights assigns uniform random weights in [1, maxW] to all
+// edges, used by path-query benchmarks.
+func WithRandomWeights(t Tree, maxW int64, seed uint64) Tree {
+	r := rng.New(seed)
+	out := make([]Edge, len(t.Edges))
+	for i, e := range t.Edges {
+		out[i] = Edge{e.U, e.V, 1 + r.Int63()%maxW}
+	}
+	return Tree{Name: t.Name, N: t.N, Edges: out}
+}
+
+// Shuffled returns a copy of t with its edge list randomly permuted: the
+// paper inserts and deletes all edges in random order.
+func Shuffled(t Tree, seed uint64) Tree {
+	r := rng.New(seed)
+	out := append([]Edge(nil), t.Edges...)
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return Tree{Name: t.Name, N: t.N, Edges: out}
+}
+
+// Diameter computes the unweighted diameter of the tree (two BFS passes per
+// component; returns the max across components).
+func Diameter(t Tree) int {
+	adj := BuildAdj(t)
+	seen := make([]bool, t.N)
+	best := 0
+	for s := 0; s < t.N; s++ {
+		if seen[s] {
+			continue
+		}
+		u, _ := bfsFarthest(adj, s, seen)
+		unseen := make([]bool, t.N)
+		v, d := bfsFarthest(adj, u, unseen)
+		_ = v
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// BuildAdj returns adjacency lists for t.
+func BuildAdj(t Tree) [][]int {
+	adj := make([][]int, t.N)
+	for _, e := range t.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	return adj
+}
+
+func bfsFarthest(adj [][]int, s int, seen []bool) (far, dist int) {
+	type qe struct{ v, d int }
+	queue := []qe{{s, 0}}
+	seen[s] = true
+	far, dist = s, 0
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x.d > dist {
+			far, dist = x.v, x.d
+		}
+		for _, y := range adj[x.v] {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, qe{y, x.d + 1})
+			}
+		}
+	}
+	return far, dist
+}

@@ -1,0 +1,170 @@
+package linkcut
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+func TestBasicLinkCutConnected(t *testing.T) {
+	f := New(5)
+	f.Link(0, 1, 1)
+	f.Link(1, 2, 2)
+	f.Link(3, 4, 3)
+	if !f.Connected(0, 2) || f.Connected(0, 3) || !f.Connected(3, 4) {
+		t.Fatal("connectivity wrong after links")
+	}
+	f.Cut(1, 2)
+	if f.Connected(0, 2) || !f.Connected(0, 1) {
+		t.Fatal("connectivity wrong after cut")
+	}
+	f.Link(2, 3, 1)
+	if !f.Connected(2, 4) {
+		t.Fatal("connectivity wrong after relink")
+	}
+}
+
+func TestPathSumSimple(t *testing.T) {
+	f := New(4)
+	f.Link(0, 1, 5)
+	f.Link(1, 2, 7)
+	f.Link(2, 3, 11)
+	if s, ok := f.PathSum(0, 3); !ok || s != 23 {
+		t.Fatalf("PathSum(0,3) = %d,%v want 23", s, ok)
+	}
+	if s, ok := f.PathSum(1, 2); !ok || s != 7 {
+		t.Fatalf("PathSum(1,2) = %d,%v want 7", s, ok)
+	}
+	if s, ok := f.PathSum(2, 2); !ok || s != 0 {
+		t.Fatalf("PathSum(2,2) = %d,%v want 0", s, ok)
+	}
+	if m, ok := f.PathMax(0, 3); !ok || m != 11 {
+		t.Fatalf("PathMax(0,3) = %d,%v want 11", m, ok)
+	}
+	f.UpdateWeight(1, 2, 100)
+	if m, ok := f.PathMax(0, 3); !ok || m != 100 {
+		t.Fatalf("PathMax after update = %d,%v want 100", m, ok)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	f := New(3)
+	f.Link(0, 1, 1)
+	for name, fn := range map[string]func(){
+		"self loop":  func() { f.Link(2, 2, 1) },
+		"duplicate":  func() { f.Link(1, 0, 1) },
+		"absent cut": func() { f.Cut(1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// runDifferential drives both the link-cut forest and the reference oracle
+// with the same random operation mix and compares all query results.
+func runDifferential(t *testing.T, n, steps int, seed uint64) {
+	t.Helper()
+	f := New(n)
+	ref := refforest.New(n)
+	r := rng.New(seed)
+	var live [][2]int
+	for step := 0; step < steps; step++ {
+		op := r.Intn(10)
+		switch {
+		case op < 4: // link
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(100))
+				f.Link(u, v, w)
+				ref.Link(u, v, w)
+				live = append(live, [2]int{u, v})
+			}
+		case op < 6 && len(live) > 0: // cut
+			i := r.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Cut(e[0], e[1])
+			ref.Cut(e[0], e[1])
+		default: // queries
+			u, v := r.Intn(n), r.Intn(n)
+			if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+				t.Fatalf("step %d: Connected(%d,%d) = %v, want %v", step, u, v, got, want)
+			}
+			gs, gok := f.PathSum(u, v)
+			ws, wok := ref.PathSum(u, v)
+			if gok != wok || (gok && gs != ws) {
+				t.Fatalf("step %d: PathSum(%d,%d) = %d,%v want %d,%v", step, u, v, gs, gok, ws, wok)
+			}
+			gm, gok := f.PathMax(u, v)
+			wm, wok := ref.PathMax(u, v)
+			if gok != wok || (gok && gm != wm) {
+				t.Fatalf("step %d: PathMax(%d,%d) = %d,%v want %d,%v", step, u, v, gm, gok, wm, wok)
+			}
+		}
+	}
+}
+
+func TestDifferentialSmall(t *testing.T)  { runDifferential(t, 8, 3000, 1) }
+func TestDifferentialMedium(t *testing.T) { runDifferential(t, 40, 4000, 2) }
+func TestDifferentialLarge(t *testing.T)  { runDifferential(t, 200, 5000, 3) }
+
+// TestBuildDestroyShapes inserts and deletes every edge of each synthetic
+// shape in random order, checking connectivity along the way.
+func TestBuildDestroyShapes(t *testing.T) {
+	n := 600
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Binary(n), gen.KAry(n, 64), gen.Star(n),
+		gen.Dandelion(n), gen.RandomDegree3(n, 1), gen.PrefAttach(n, 2),
+	}
+	for _, tr := range shapes {
+		f := New(n)
+		sh := gen.Shuffled(tr, 99)
+		for _, e := range sh.Edges {
+			f.Link(e.U, e.V, e.W)
+		}
+		if !f.Connected(0, n-1) {
+			t.Fatalf("%s: tree not connected after full build", tr.Name)
+		}
+		if f.EdgeCount() != n-1 {
+			t.Fatalf("%s: edge count %d", tr.Name, f.EdgeCount())
+		}
+		sh2 := gen.Shuffled(tr, 100)
+		for _, e := range sh2.Edges {
+			f.Cut(e.U, e.V)
+		}
+		for v := 1; v < 20; v++ {
+			if f.Connected(0, v) {
+				t.Fatalf("%s: still connected after full destroy", tr.Name)
+			}
+		}
+	}
+}
+
+func TestPathSumOnWeightedTree(t *testing.T) {
+	n := 300
+	tr := gen.WithRandomWeights(gen.RandomAttach(n, 5), 1000, 6)
+	f := New(n)
+	ref := refforest.New(n)
+	for _, e := range tr.Edges {
+		f.Link(e.U, e.V, e.W)
+		ref.Link(e.U, e.V, e.W)
+	}
+	r := rng.New(7)
+	for q := 0; q < 500; q++ {
+		u, v := r.Intn(n), r.Intn(n)
+		gs, gok := f.PathSum(u, v)
+		ws, wok := ref.PathSum(u, v)
+		if gok != wok || gs != ws {
+			t.Fatalf("PathSum(%d,%d) = %d,%v want %d,%v", u, v, gs, gok, ws, wok)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000, 10007} {
+		hit := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hit[i], 1) })
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForGrainSmallGrain(t *testing.T) {
+	n := 5000
+	var sum atomic.Int64
+	ForGrain(n, 3, func(i int) { sum.Add(int64(i)) })
+	want := int64(n) * int64(n-1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForRangeCoversDisjointRanges(t *testing.T) {
+	n := 12345
+	hit := make([]int32, n)
+	ForRange(n, 100, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hit[i], 1)
+		}
+	})
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("Do did not run all functions")
+	}
+	Do() // zero functions must not deadlock
+	ran := false
+	Do(func() { ran = true })
+	if !ran {
+		t.Fatal("Do with one function did not run it")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 100000} {
+		got := Reduce(n, 0, func(i int) int { return i }, func(a, b int) int { return a + b })
+		want := n * (n - 1) / 2
+		if got != want {
+			t.Fatalf("Reduce sum n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	n := 50000
+	vals := make([]int, n)
+	r := rand.New(rand.NewSource(1))
+	want := -1
+	for i := range vals {
+		vals[i] = r.Intn(1 << 30)
+		if vals[i] > want {
+			want = vals[i]
+		}
+	}
+	got := Reduce(n, -1, func(i int) int { return vals[i] },
+		func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	if got != want {
+		t.Fatalf("Reduce max: got %d want %d", got, want)
+	}
+}
+
+func TestCount(t *testing.T) {
+	n := 99991
+	got := Count(n, func(i int) bool { return i%3 == 0 })
+	want := (n + 2) / 3
+	if got != want {
+		t.Fatalf("Count: got %d want %d", got, want)
+	}
+}
+
+func TestPackMatchesSerialFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 10, 4096, 50000} {
+		in := make([]int, n)
+		for i := range in {
+			in[i] = r.Intn(100)
+		}
+		pred := func(i int) bool { return in[i]%2 == 0 }
+		got := Pack(in, pred)
+		var want []int
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				want = append(want, in[i])
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: len %d want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: idx %d got %d want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScanExclusive(t *testing.T) {
+	a := []int{3, 1, 4, 1, 5}
+	total := ScanExclusive(a)
+	want := []int{0, 3, 4, 8, 9}
+	if total != 14 {
+		t.Fatalf("total = %d, want 14", total)
+	}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, a[i], want[i])
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 17, 5000, 60000} {
+		a := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(1000)
+		}
+		b := append([]int(nil), a...)
+		Sort(a, func(x, y int) bool { return x < y })
+		sort.Ints(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSortUint64Property(t *testing.T) {
+	f := func(a []uint64) bool {
+		b := append([]uint64(nil), a...)
+		SortUint64(a)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortUint64Large(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := 1 << 16
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = r.Uint64()
+	}
+	SortUint64(a)
+	for i := 1; i < n; i++ {
+		if a[i-1] > a[i] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	keys := []uint64{5, 3, 5, 5, 3, 9}
+	order, groups := GroupByKey(len(keys), func(i int) uint64 { return keys[i] })
+	if len(order) != len(keys) {
+		t.Fatalf("order length %d", len(order))
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += g.Hi - g.Lo
+		for i := g.Lo; i < g.Hi; i++ {
+			if keys[order[i]] != g.Key {
+				t.Fatalf("group key mismatch: got %d want %d", keys[order[i]], g.Key)
+			}
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("groups cover %d entries, want %d", total, len(keys))
+	}
+	// Group sizes: key 5 -> 3, key 3 -> 2, key 9 -> 1.
+	sizes := map[uint64]int{}
+	for _, g := range groups {
+		sizes[g.Key] = g.Hi - g.Lo
+	}
+	if sizes[5] != 3 || sizes[3] != 2 || sizes[9] != 1 {
+		t.Fatalf("wrong group sizes: %v", sizes)
+	}
+}
+
+func TestGroupByKeyEmpty(t *testing.T) {
+	order, groups := GroupByKey(0, func(i int) uint64 { return 0 })
+	if order != nil || groups != nil {
+		t.Fatal("expected nil results for empty input")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	a := []uint64{4, 2, 4, 4, 1, 2}
+	got := Dedup(a)
+	want := []uint64{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("dedup[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDedupProperty(t *testing.T) {
+	f := func(a []uint64) bool {
+		seen := map[uint64]bool{}
+		for _, v := range a {
+			seen[v] = true
+		}
+		got := Dedup(append([]uint64(nil), a...))
+		if len(got) != len(seen) {
+			return false
+		}
+		for i, v := range got {
+			if !seen[v] {
+				return false
+			}
+			if i > 0 && got[i-1] >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

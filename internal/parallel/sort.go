@@ -1,0 +1,142 @@
+package parallel
+
+import "sort"
+
+// Sort sorts data in place using a parallel merge sort with a serial base
+// case. less must define a strict weak ordering. The sort is not stable.
+func Sort[T any](data []T, less func(a, b T) bool) {
+	n := len(data)
+	if n < 2 {
+		return
+	}
+	if Procs() == 1 || n <= 4*DefaultGrain {
+		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		return
+	}
+	buf := make([]T, n)
+	mergeSort(data, buf, less, parDepth())
+}
+
+// parDepth picks a fork depth giving ~4 tasks per processor.
+func parDepth() int {
+	d := 0
+	for t := 1; t < 4*Procs(); t *= 2 {
+		d++
+	}
+	return d
+}
+
+func mergeSort[T any](data, buf []T, less func(a, b T) bool, depth int) {
+	n := len(data)
+	if depth == 0 || n <= 4*DefaultGrain {
+		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		return
+	}
+	mid := n / 2
+	Do(
+		func() { mergeSort(data[:mid], buf[:mid], less, depth-1) },
+		func() { mergeSort(data[mid:], buf[mid:], less, depth-1) },
+	)
+	// Merge halves into buf then copy back.
+	i, j, w := 0, mid, 0
+	for i < mid && j < n {
+		if less(data[j], data[i]) {
+			buf[w] = data[j]
+			j++
+		} else {
+			buf[w] = data[i]
+			i++
+		}
+		w++
+	}
+	copy(buf[w:], data[i:mid])
+	copy(buf[w+mid-i:], data[j:])
+	copy(data, buf)
+}
+
+// SortUint64 sorts a slice of uint64 keys in place using a parallel LSD
+// radix sort (8 passes of 8 bits) above a size threshold, falling back to
+// the comparison sort below it. It is used by semisort/group-by-key.
+func SortUint64(a []uint64) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	if n <= 1<<14 {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return
+	}
+	buf := make([]uint64, n)
+	src, dst := a, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var counts [257]int
+		for _, v := range src {
+			counts[(v>>shift)&0xff+1]++
+		}
+		for i := 1; i < 257; i++ {
+			counts[i] += counts[i-1]
+		}
+		for _, v := range src {
+			b := (v >> shift) & 0xff
+			dst[counts[b]] = v
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// Group is a contiguous run of entries sharing one key after a semisort.
+type Group struct {
+	Key    uint64
+	Lo, Hi int // half-open index range into the sorted slice
+}
+
+// GroupByKey semisorts entries by key(i) and returns (order, groups):
+// order is a permutation of [0,n) such that equal keys are adjacent, and
+// groups lists the runs. This is the stand-in for the paper's parallel
+// semisort primitive [Gu et al. 2015]: the contract (equal keys contiguous,
+// O(n log n) work here vs O(n) expected in the paper) is identical for the
+// callers, which only need grouping.
+func GroupByKey(n int, key func(i int) uint64) (order []int, groups []Group) {
+	if n == 0 {
+		return nil, nil
+	}
+	type kv struct {
+		k uint64
+		i int
+	}
+	pairs := make([]kv, n)
+	For(n, func(i int) { pairs[i] = kv{key(i), i} })
+	Sort(pairs, func(a, b kv) bool { return a.k < b.k })
+	order = make([]int, n)
+	For(n, func(i int) { order[i] = pairs[i].i })
+	groups = make([]Group, 0, 16)
+	lo := 0
+	for i := 1; i <= n; i++ {
+		if i == n || pairs[i].k != pairs[lo].k {
+			groups = append(groups, Group{Key: pairs[lo].k, Lo: lo, Hi: i})
+			lo = i
+		}
+	}
+	return order, groups
+}
+
+// Dedup sorts keys and removes duplicates in place, returning the shortened
+// slice. It implements the paper's "parallel remove duplicates" primitive.
+func Dedup(a []uint64) []uint64 {
+	if len(a) < 2 {
+		return a
+	}
+	SortUint64(a)
+	w := 1
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[w-1] {
+			a[w] = a[i]
+			w++
+		}
+	}
+	return a[:w]
+}

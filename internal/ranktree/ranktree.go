@@ -1,0 +1,210 @@
+// Package ranktree implements rank trees (Wulff-Nilsen 2013), the
+// weight-biased balanced trees the paper uses to store the child sets of
+// high-fanout UFO clusters (§4.2).
+//
+// A rank tree stores weighted items so that an item of weight w in a tree
+// of total weight W sits at depth O(log(W/w)), and can be inserted or
+// deleted in O(log(W/w)) amortized time. Nesting rank trees inside a UFO
+// tree keeps the total leaf depth O(log n) by a telescoping argument
+// (Lemma C.5), which is what makes non-invertible subtree aggregates
+// (max/min) cost O(log n) per operation — matching the Ω(log n) lower
+// bound of Lemma C.6.
+//
+// The implementation follows the classic rank-pairing scheme: an item of
+// weight w enters as a leaf of rank ⌊log₂ w⌋; two roots of equal rank r
+// pair under a parent of rank r+1. The forest of O(log W) root buckets is
+// summarized left-to-right so aggregate queries read O(log W) roots.
+package ranktree
+
+import "math/bits"
+
+// Aggregate is a commutative, associative combine function over item
+// values (for example max or min; it need not be invertible).
+type Aggregate func(a, b int64) int64
+
+// Item is a handle to a stored element. The caller owns Value and Weight
+// at insertion; updates go through the Tree methods.
+type Item struct {
+	value  int64
+	weight int64
+	node   *node
+}
+
+// Value returns the item's current value.
+func (it *Item) Value() int64 { return it.value }
+
+// Weight returns the item's current weight.
+func (it *Item) Weight() int64 { return it.weight }
+
+type node struct {
+	parent      *node
+	left, right *node // nil for leaves
+	item        *Item // non-nil for leaves
+	rank        int
+	agg         int64
+}
+
+// Tree is a rank tree over weighted items with an aggregate.
+type Tree struct {
+	f Aggregate
+	// roots[r] is the unique root of rank r, if any (pairing keeps at
+	// most one per rank, like a binomial counter).
+	roots map[int]*node
+	n     int
+	total int64
+}
+
+// New returns an empty rank tree combining values with f.
+func New(f Aggregate) *Tree {
+	return &Tree{f: f, roots: make(map[int]*node)}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.n }
+
+// TotalWeight returns the sum of item weights.
+func (t *Tree) TotalWeight() int64 { return t.total }
+
+func rankOf(w int64) int {
+	if w < 1 {
+		w = 1
+	}
+	return bits.Len64(uint64(w)) - 1
+}
+
+// Insert adds an item with the given value and weight and returns its
+// handle. Cost O(log(W/w)) amortized.
+func (t *Tree) Insert(value, weight int64) *Item {
+	it := &Item{value: value, weight: weight}
+	leaf := &node{item: it, rank: rankOf(weight), agg: value}
+	it.node = leaf
+	t.n++
+	t.total += weight
+	t.place(leaf)
+	return it
+}
+
+// place inserts a detached node into the root buckets, pairing equal ranks
+// upward (the binomial-counter carry chain).
+func (t *Tree) place(x *node) {
+	for {
+		y, ok := t.roots[x.rank]
+		if !ok {
+			t.roots[x.rank] = x
+			x.parent = nil
+			return
+		}
+		delete(t.roots, x.rank)
+		p := &node{left: y, right: x, rank: x.rank + 1, agg: t.f(y.agg, x.agg)}
+		y.parent = p
+		x.parent = p
+		x = p
+	}
+}
+
+// Delete removes an item. Cost O(log(W/w)) amortized: the leaf's ancestor
+// path is dissolved and the orphaned subtrees re-placed.
+func (t *Tree) Delete(it *Item) {
+	leaf := it.node
+	if leaf == nil {
+		panic("ranktree: deleting an absent item")
+	}
+	t.n--
+	t.total -= it.weight
+	it.node = nil
+	// Remove the root of leaf's tree from the bucket, then re-place every
+	// subtree hanging off the leaf-to-root path.
+	root := leaf
+	for root.parent != nil {
+		root = root.parent
+	}
+	if t.roots[root.rank] == root {
+		delete(t.roots, root.rank)
+	}
+	for cur := leaf; cur.parent != nil; {
+		p := cur.parent
+		sib := p.left
+		if sib == cur {
+			sib = p.right
+		}
+		sib.parent = nil
+		t.place(sib)
+		cur = p
+	}
+}
+
+// UpdateValue changes an item's value, rebuilding aggregates on its path.
+func (t *Tree) UpdateValue(it *Item, value int64) {
+	it.value = value
+	leaf := it.node
+	if leaf == nil {
+		panic("ranktree: updating an absent item")
+	}
+	leaf.agg = value
+	for p := leaf.parent; p != nil; p = p.parent {
+		p.agg = t.f(p.left.agg, p.right.agg)
+	}
+}
+
+// Aggregate returns f over all item values; ok is false when empty.
+func (t *Tree) Aggregate() (int64, bool) {
+	var acc int64
+	first := true
+	for _, r := range t.roots {
+		if first {
+			acc = r.agg
+			first = false
+		} else {
+			acc = t.f(acc, r.agg)
+		}
+	}
+	return acc, !first
+}
+
+// AggregateExcept returns f over all item values except it's; ok is false
+// when it is the only item. This is the operation UFO subtree queries need
+// ("all siblings but the one on the query path") and costs O(log(W/w) +
+// log W): the excluded leaf's root-path siblings plus the other roots.
+func (t *Tree) AggregateExcept(it *Item) (int64, bool) {
+	leaf := it.node
+	if leaf == nil {
+		panic("ranktree: excluded item is absent")
+	}
+	var acc int64
+	have := false
+	add := func(v int64) {
+		if have {
+			acc = t.f(acc, v)
+		} else {
+			acc = v
+			have = true
+		}
+	}
+	root := leaf
+	for cur := leaf; cur.parent != nil; {
+		p := cur.parent
+		sib := p.left
+		if sib == cur {
+			sib = p.right
+		}
+		add(sib.agg)
+		cur = p
+		root = p
+	}
+	for _, r := range t.roots {
+		if r != root {
+			add(r.agg)
+		}
+	}
+	return acc, have
+}
+
+// Depth returns the number of pairing levels above it (test hook for the
+// O(log(W/w)) bias property).
+func (t *Tree) Depth(it *Item) int {
+	d := 0
+	for cur := it.node; cur.parent != nil; cur = cur.parent {
+		d++
+	}
+	return d
+}

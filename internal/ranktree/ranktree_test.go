@@ -1,0 +1,174 @@
+package ranktree
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func maxAgg(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(maxAgg)
+	if tr.Len() != 0 || tr.TotalWeight() != 0 {
+		t.Fatal("empty tree not empty")
+	}
+	if _, ok := tr.Aggregate(); ok {
+		t.Fatal("aggregate of empty tree should be not-ok")
+	}
+}
+
+func TestInsertAggregate(t *testing.T) {
+	tr := New(maxAgg)
+	items := []*Item{}
+	vals := []int64{5, 3, 9, 1, 7}
+	for _, v := range vals {
+		items = append(items, tr.Insert(v, 1))
+	}
+	if a, ok := tr.Aggregate(); !ok || a != 9 {
+		t.Fatalf("Aggregate = %d,%v want 9", a, ok)
+	}
+	if a, ok := tr.AggregateExcept(items[2]); !ok || a != 7 {
+		t.Fatalf("AggregateExcept(9) = %d,%v want 7", a, ok)
+	}
+	if a, ok := tr.AggregateExcept(items[4]); !ok || a != 9 {
+		t.Fatalf("AggregateExcept(7) = %d,%v want 9", a, ok)
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	tr := New(maxAgg)
+	a := tr.Insert(10, 4)
+	b := tr.Insert(20, 2)
+	c := tr.Insert(30, 1)
+	tr.Delete(c)
+	if v, _ := tr.Aggregate(); v != 20 {
+		t.Fatalf("after delete: %d want 20", v)
+	}
+	tr.UpdateValue(b, 5)
+	if v, _ := tr.Aggregate(); v != 10 {
+		t.Fatalf("after update: %d want 10", v)
+	}
+	tr.Delete(b)
+	if v, _ := tr.Aggregate(); v != 10 {
+		t.Fatalf("after second delete: %d want 10", v)
+	}
+	if _, ok := tr.AggregateExcept(a); ok {
+		t.Fatal("AggregateExcept of the only item should be not-ok")
+	}
+	tr.Delete(a)
+	if tr.Len() != 0 || tr.TotalWeight() != 0 {
+		t.Fatal("tree not empty after deleting everything")
+	}
+}
+
+// TestDifferential compares the rank tree against a slice model through a
+// random insert/delete/update sequence.
+func TestDifferential(t *testing.T) {
+	tr := New(maxAgg)
+	r := rng.New(5)
+	type mItem struct {
+		it  *Item
+		val int64
+	}
+	var model []mItem
+	check := func(step int) {
+		want := int64(-1 << 62)
+		for _, m := range model {
+			want = maxAgg(want, m.val)
+		}
+		got, ok := tr.Aggregate()
+		if len(model) == 0 {
+			if ok {
+				t.Fatalf("step %d: aggregate on empty", step)
+			}
+			return
+		}
+		if !ok || got != want {
+			t.Fatalf("step %d: Aggregate = %d,%v want %d", step, got, ok, want)
+		}
+		// Spot-check AggregateExcept.
+		if len(model) > 1 {
+			i := r.Intn(len(model))
+			wantEx := int64(-1 << 62)
+			for j, m := range model {
+				if j != i {
+					wantEx = maxAgg(wantEx, m.val)
+				}
+			}
+			gotEx, ok := tr.AggregateExcept(model[i].it)
+			if !ok || gotEx != wantEx {
+				t.Fatalf("step %d: AggregateExcept = %d,%v want %d", step, gotEx, ok, wantEx)
+			}
+		}
+	}
+	for step := 0; step < 4000; step++ {
+		switch {
+		case len(model) == 0 || r.Intn(3) == 0:
+			v := int64(r.Intn(1000))
+			w := int64(1 + r.Intn(100))
+			model = append(model, mItem{tr.Insert(v, w), v})
+		case r.Intn(2) == 0:
+			i := r.Intn(len(model))
+			tr.Delete(model[i].it)
+			model[i] = model[len(model)-1]
+			model = model[:len(model)-1]
+		default:
+			i := r.Intn(len(model))
+			v := int64(r.Intn(1000))
+			tr.UpdateValue(model[i].it, v)
+			model[i].val = v
+		}
+		check(step)
+	}
+}
+
+// TestWeightBias verifies the defining property: an item of weight w in a
+// tree of weight W sits at depth O(log(W/w)).
+func TestWeightBias(t *testing.T) {
+	tr := New(maxAgg)
+	heavy := tr.Insert(1, 1<<20)
+	for i := 0; i < 4096; i++ {
+		tr.Insert(int64(i), 1)
+	}
+	// W ≈ 2^20 + 4096; heavy item has w = 2^20: depth must be O(1)-ish
+	// (log2(W/w) < 1, pairing adds a constant number of levels).
+	if d := tr.Depth(heavy); d > 6 {
+		t.Fatalf("heavy item depth %d, want small", d)
+	}
+	// A unit-weight item may sit at depth ~log2(W) ≈ 21 but not much more.
+	light := tr.Insert(0, 1)
+	if d := tr.Depth(light); d > 2*bits.Len64(uint64(tr.TotalWeight()))+4 {
+		t.Fatalf("light item depth %d exceeds 2 log W", d)
+	}
+}
+
+// TestAggregateProperty: for arbitrary value sets, Aggregate equals the
+// maximum, via testing/quick.
+func TestAggregateProperty(t *testing.T) {
+	prop := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tr := New(maxAgg)
+		want := vals[0]
+		for _, v := range vals {
+			tr.Insert(v, 1+(v&7))
+			if v > want {
+				want = v
+			}
+		}
+		got, ok := tr.Aggregate()
+		return ok && got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

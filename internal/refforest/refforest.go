@@ -1,0 +1,321 @@
+// Package refforest provides a deliberately naive dynamic-forest
+// implementation used as a correctness oracle in tests.
+//
+// Every operation runs in O(n) time via explicit graph traversal, so its
+// behaviour is straightforward to audit. All tree structures in this
+// repository are differentially tested against it on randomized operation
+// sequences.
+package refforest
+
+import "fmt"
+
+// Forest is an edge-weighted, vertex-weighted forest over vertices
+// 0..n-1 with O(n)-time operations.
+type Forest struct {
+	n      int
+	adj    []map[int]int64 // adj[u][v] = weight of edge (u,v)
+	vval   []int64         // vertex values (for subtree queries)
+	marked []bool          // marked vertices (for nearest-marked queries)
+}
+
+// New returns an empty forest on n vertices. Vertex values start at zero.
+func New(n int) *Forest {
+	f := &Forest{
+		n:      n,
+		adj:    make([]map[int]int64, n),
+		vval:   make([]int64, n),
+		marked: make([]bool, n),
+	}
+	for i := range f.adj {
+		f.adj[i] = make(map[int]int64)
+	}
+	return f
+}
+
+// N returns the number of vertices.
+func (f *Forest) N() int { return f.n }
+
+// HasEdge reports whether edge (u,v) is present.
+func (f *Forest) HasEdge(u, v int) bool {
+	_, ok := f.adj[u][v]
+	return ok
+}
+
+// Degree returns the degree of u.
+func (f *Forest) Degree(u int) int { return len(f.adj[u]) }
+
+// Link inserts edge (u,v) with weight w. It panics if the edge exists or
+// would create a cycle, mirroring the preconditions of the real structures.
+func (f *Forest) Link(u, v int, w int64) {
+	if u == v {
+		panic(fmt.Sprintf("refforest: self loop %d", u))
+	}
+	if f.HasEdge(u, v) {
+		panic(fmt.Sprintf("refforest: duplicate edge (%d,%d)", u, v))
+	}
+	if f.Connected(u, v) {
+		panic(fmt.Sprintf("refforest: edge (%d,%d) would create a cycle", u, v))
+	}
+	f.adj[u][v] = w
+	f.adj[v][u] = w
+}
+
+// Cut removes edge (u,v). It panics if the edge is absent.
+func (f *Forest) Cut(u, v int) {
+	if !f.HasEdge(u, v) {
+		panic(fmt.Sprintf("refforest: cutting absent edge (%d,%d)", u, v))
+	}
+	delete(f.adj[u], v)
+	delete(f.adj[v], u)
+}
+
+// Connected reports whether u and v are in the same tree (BFS).
+func (f *Forest) Connected(u, v int) bool {
+	if u == v {
+		return true
+	}
+	visited := map[int]bool{u: true}
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range f.adj[x] {
+			if y == v {
+				return true
+			}
+			if !visited[y] {
+				visited[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return false
+}
+
+// Component returns the sorted-by-discovery vertex set of u's tree.
+func (f *Forest) Component(u int) []int {
+	visited := map[int]bool{u: true}
+	queue := []int{u}
+	out := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range f.adj[x] {
+			if !visited[y] {
+				visited[y] = true
+				queue = append(queue, y)
+				out = append(out, y)
+			}
+		}
+	}
+	return out
+}
+
+// ComponentSize returns the number of vertices in u's tree.
+func (f *Forest) ComponentSize(u int) int { return len(f.Component(u)) }
+
+// Path returns the unique u..v vertex path, or nil if disconnected.
+func (f *Forest) Path(u, v int) []int {
+	if u == v {
+		return []int{u}
+	}
+	parent := map[int]int{u: -1}
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range f.adj[x] {
+			if _, seen := parent[y]; seen {
+				continue
+			}
+			parent[y] = x
+			if y == v {
+				var path []int
+				for c := v; c != -1; c = parent[c] {
+					path = append(path, c)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, y)
+		}
+	}
+	return nil
+}
+
+// PathSum returns the sum of edge weights on the u..v path.
+// ok is false if u and v are disconnected.
+func (f *Forest) PathSum(u, v int) (sum int64, ok bool) {
+	p := f.Path(u, v)
+	if p == nil {
+		return 0, false
+	}
+	for i := 1; i < len(p); i++ {
+		sum += f.adj[p[i-1]][p[i]]
+	}
+	return sum, true
+}
+
+// PathMax returns the maximum edge weight on the u..v path.
+// ok is false if disconnected or u == v (empty path).
+func (f *Forest) PathMax(u, v int) (max int64, ok bool) {
+	p := f.Path(u, v)
+	if p == nil || len(p) < 2 {
+		return 0, false
+	}
+	max = f.adj[p[0]][p[1]]
+	for i := 2; i < len(p); i++ {
+		if w := f.adj[p[i-1]][p[i]]; w > max {
+			max = w
+		}
+	}
+	return max, true
+}
+
+// SetVertexValue assigns the value used by subtree queries.
+func (f *Forest) SetVertexValue(v int, val int64) { f.vval[v] = val }
+
+// VertexValue returns v's value.
+func (f *Forest) VertexValue(v int) int64 { return f.vval[v] }
+
+// subtreeVertices returns the vertices of the subtree rooted at v when the
+// tree is rooted so that p is v's parent. p must be adjacent to v.
+func (f *Forest) subtreeVertices(v, p int) []int {
+	if !f.HasEdge(v, p) {
+		panic(fmt.Sprintf("refforest: subtree query with non-adjacent (%d,%d)", v, p))
+	}
+	visited := map[int]bool{v: true, p: true}
+	queue := []int{v}
+	out := []int{v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range f.adj[x] {
+			if !visited[y] {
+				visited[y] = true
+				queue = append(queue, y)
+				out = append(out, y)
+			}
+		}
+	}
+	return out
+}
+
+// SubtreeSum returns the sum of vertex values in v's subtree w.r.t. parent p.
+func (f *Forest) SubtreeSum(v, p int) int64 {
+	var s int64
+	for _, x := range f.subtreeVertices(v, p) {
+		s += f.vval[x]
+	}
+	return s
+}
+
+// SubtreeMax returns the max vertex value in v's subtree w.r.t. parent p.
+func (f *Forest) SubtreeMax(v, p int) int64 {
+	vs := f.subtreeVertices(v, p)
+	max := f.vval[vs[0]]
+	for _, x := range vs[1:] {
+		if f.vval[x] > max {
+			max = f.vval[x]
+		}
+	}
+	return max
+}
+
+// SubtreeSize returns the number of vertices in v's subtree w.r.t. parent p.
+func (f *Forest) SubtreeSize(v, p int) int { return len(f.subtreeVertices(v, p)) }
+
+// LCA returns the lowest common ancestor of u and v when u's tree is rooted
+// at r. ok is false if u, v, r are not all in one tree.
+func (f *Forest) LCA(u, v, r int) (lca int, ok bool) {
+	pu := f.Path(r, u)
+	pv := f.Path(r, v)
+	if pu == nil || pv == nil {
+		return 0, false
+	}
+	lca = r
+	for i := 0; i < len(pu) && i < len(pv) && pu[i] == pv[i]; i++ {
+		lca = pu[i]
+	}
+	return lca, true
+}
+
+// Dist returns the weighted distance between u and v (ok false if
+// disconnected).
+func (f *Forest) Dist(u, v int) (int64, bool) { return f.PathSum(u, v) }
+
+// Eccentricity returns max_x dist(u, x) over u's component.
+func (f *Forest) Eccentricity(u int) int64 {
+	var best int64
+	for _, x := range f.Component(u) {
+		if d, _ := f.PathSum(u, x); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Diameter returns the weighted diameter of u's component.
+func (f *Forest) Diameter(u int) int64 {
+	var best int64
+	comp := f.Component(u)
+	for _, x := range comp {
+		if e := f.Eccentricity(x); e > best {
+			best = e
+		}
+	}
+	return best
+}
+
+// Center returns a vertex of u's component minimizing eccentricity
+// (smallest vertex id among ties, for determinism).
+func (f *Forest) Center(u int) int {
+	comp := f.Component(u)
+	best, bestEcc := -1, int64(0)
+	for _, x := range comp {
+		e := f.Eccentricity(x)
+		if best == -1 || e < bestEcc || (e == bestEcc && x < best) {
+			best, bestEcc = x, e
+		}
+	}
+	return best
+}
+
+// Median returns a vertex of u's component minimizing the sum over all
+// vertices x of vertexValue(x) * dist(v, x) (smallest id among ties).
+func (f *Forest) Median(u int) int {
+	comp := f.Component(u)
+	best, bestSum := -1, int64(0)
+	for _, v := range comp {
+		var s int64
+		for _, x := range comp {
+			d, _ := f.PathSum(v, x)
+			s += d * f.vval[x]
+		}
+		if best == -1 || s < bestSum || (s == bestSum && v < best) {
+			best, bestSum = v, s
+		}
+	}
+	return best
+}
+
+// SetMarked marks or unmarks vertex v.
+func (f *Forest) SetMarked(v int, m bool) { f.marked[v] = m }
+
+// NearestMarkedDist returns the distance from u to the nearest marked
+// vertex in its component; ok is false if none is marked.
+func (f *Forest) NearestMarkedDist(u int) (int64, bool) {
+	best, found := int64(0), false
+	for _, x := range f.Component(u) {
+		if !f.marked[x] {
+			continue
+		}
+		d, _ := f.PathSum(u, x)
+		if !found || d < best {
+			best, found = d, true
+		}
+	}
+	return best, found
+}

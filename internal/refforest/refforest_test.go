@@ -1,0 +1,192 @@
+package refforest
+
+import "testing"
+
+// buildSample constructs:
+//
+//	0 -1- 1 -2- 2
+//	      |
+//	      3 (weight 5)
+//	4 -7- 5        (separate component)
+func buildSample() *Forest {
+	f := New(6)
+	f.Link(0, 1, 1)
+	f.Link(1, 2, 2)
+	f.Link(1, 3, 5)
+	f.Link(4, 5, 7)
+	return f
+}
+
+func TestConnectivity(t *testing.T) {
+	f := buildSample()
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 2, true}, {0, 3, true}, {2, 3, true},
+		{0, 4, false}, {3, 5, false}, {4, 5, true}, {0, 0, true},
+	}
+	for _, c := range cases {
+		if got := f.Connected(c.u, c.v); got != c.want {
+			t.Errorf("Connected(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCutDisconnects(t *testing.T) {
+	f := buildSample()
+	f.Cut(1, 2)
+	if f.Connected(0, 2) {
+		t.Fatal("0 and 2 still connected after cut")
+	}
+	if !f.Connected(0, 3) {
+		t.Fatal("0 and 3 should remain connected")
+	}
+	f.Link(2, 3, 9)
+	if !f.Connected(0, 2) {
+		t.Fatal("relink failed")
+	}
+}
+
+func TestLinkPanics(t *testing.T) {
+	f := buildSample()
+	mustPanic(t, "self loop", func() { f.Link(2, 2, 1) })
+	mustPanic(t, "duplicate", func() { f.Link(0, 1, 1) })
+	mustPanic(t, "cycle", func() { f.Link(0, 3, 1) })
+	mustPanic(t, "absent cut", func() { f.Cut(0, 3+1) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestPathAndSums(t *testing.T) {
+	f := buildSample()
+	p := f.Path(0, 3)
+	want := []int{0, 1, 3}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+	if s, ok := f.PathSum(0, 3); !ok || s != 6 {
+		t.Fatalf("PathSum(0,3) = %d,%v", s, ok)
+	}
+	if s, ok := f.PathSum(2, 3); !ok || s != 7 {
+		t.Fatalf("PathSum(2,3) = %d,%v", s, ok)
+	}
+	if _, ok := f.PathSum(0, 4); ok {
+		t.Fatal("PathSum across components should fail")
+	}
+	if m, ok := f.PathMax(0, 3); !ok || m != 5 {
+		t.Fatalf("PathMax(0,3) = %d,%v", m, ok)
+	}
+	if _, ok := f.PathMax(2, 2); ok {
+		t.Fatal("PathMax on empty path should be not-ok")
+	}
+	if s, ok := f.PathSum(1, 1); !ok || s != 0 {
+		t.Fatalf("PathSum(1,1) = %d,%v, want 0,true", s, ok)
+	}
+}
+
+func TestSubtreeQueries(t *testing.T) {
+	f := buildSample()
+	for v := 0; v < 6; v++ {
+		f.SetVertexValue(v, int64(v+1)) // values 1..6
+	}
+	// Subtree of 1 w.r.t. parent 0 contains {1,2,3}: sum 2+3+4 = 9.
+	if s := f.SubtreeSum(1, 0); s != 9 {
+		t.Fatalf("SubtreeSum(1,0) = %d, want 9", s)
+	}
+	if m := f.SubtreeMax(1, 0); m != 4 {
+		t.Fatalf("SubtreeMax(1,0) = %d, want 4", m)
+	}
+	if n := f.SubtreeSize(1, 0); n != 3 {
+		t.Fatalf("SubtreeSize(1,0) = %d, want 3", n)
+	}
+	// Subtree of 0 w.r.t. parent 1 is just {0}.
+	if s := f.SubtreeSum(0, 1); s != 1 {
+		t.Fatalf("SubtreeSum(0,1) = %d, want 1", s)
+	}
+	mustPanic(t, "non-adjacent subtree", func() { f.SubtreeSum(0, 2) })
+}
+
+func TestLCA(t *testing.T) {
+	f := buildSample()
+	if l, ok := f.LCA(2, 3, 0); !ok || l != 1 {
+		t.Fatalf("LCA(2,3;0) = %d,%v, want 1", l, ok)
+	}
+	if l, ok := f.LCA(0, 2, 3); !ok || l != 1 {
+		t.Fatalf("LCA(0,2;3) = %d,%v, want 1", l, ok)
+	}
+	if _, ok := f.LCA(0, 4, 0); ok {
+		t.Fatal("LCA across components should fail")
+	}
+	if l, ok := f.LCA(2, 2, 0); !ok || l != 2 {
+		t.Fatalf("LCA(2,2;0) = %d,%v, want 2", l, ok)
+	}
+}
+
+func TestDiameterCenter(t *testing.T) {
+	f := buildSample()
+	// Component {0,1,2,3}: distances 0-2: 3, 0-3: 6, 2-3: 7 -> diameter 7.
+	if d := f.Diameter(0); d != 7 {
+		t.Fatalf("Diameter = %d, want 7", d)
+	}
+	// Eccentricities: 0 -> 6, 1 -> 5, 2 -> 7, 3 -> 7: center is 1.
+	if c := f.Center(0); c != 1 {
+		t.Fatalf("Center = %d, want 1", c)
+	}
+	if d := f.Diameter(4); d != 7 {
+		t.Fatalf("Diameter of (4,5) = %d, want 7", d)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	f := buildSample()
+	for v := 0; v < 6; v++ {
+		f.SetVertexValue(v, 1)
+	}
+	// Unweighted median of the component {0,1,2,3} is the vertex
+	// minimizing the sum of distances: vertex 1 (sum 1+2+5 = 8).
+	if m := f.Median(0); m != 1 {
+		t.Fatalf("Median = %d, want 1", m)
+	}
+}
+
+func TestNearestMarked(t *testing.T) {
+	f := buildSample()
+	if _, ok := f.NearestMarkedDist(0); ok {
+		t.Fatal("no marked vertices yet")
+	}
+	f.SetMarked(3, true)
+	if d, ok := f.NearestMarkedDist(2); !ok || d != 7 {
+		t.Fatalf("NearestMarkedDist(2) = %d,%v, want 7", d, ok)
+	}
+	f.SetMarked(2, true)
+	if d, ok := f.NearestMarkedDist(2); !ok || d != 0 {
+		t.Fatalf("NearestMarkedDist(2) = %d,%v, want 0", d, ok)
+	}
+	if _, ok := f.NearestMarkedDist(4); ok {
+		t.Fatal("marked vertex in another component should not count")
+	}
+}
+
+func TestComponentSize(t *testing.T) {
+	f := buildSample()
+	if n := f.ComponentSize(1); n != 4 {
+		t.Fatalf("ComponentSize(1) = %d, want 4", n)
+	}
+	if n := f.ComponentSize(5); n != 2 {
+		t.Fatalf("ComponentSize(5) = %d, want 2", n)
+	}
+}

@@ -1,0 +1,93 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the library.
+//
+// All randomized components of the library (workload generators, randomized
+// matching, treap priorities, skip-list heights) draw from these generators
+// so that experiments and tests are reproducible from a single seed.
+package rng
+
+import "math/bits"
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
+// used both directly as a sequential PRNG and as a mixer for Hash64.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a SplitMix64 seeded with seed.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64 pseudo-random bits.
+func (r *SplitMix64) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform pseudo-random integer in [0, n). n must be > 0.
+func (r *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection-free reduction (bias is negligible
+	// for the ranges used here; tests that need exactness use rejection).
+	hi, _ := bits.Mul64(r.Next(), uint64(n))
+	return int(hi)
+}
+
+// Int63 returns a non-negative pseudo-random int64.
+func (r *SplitMix64) Int63() int64 {
+	return int64(r.Next() >> 1)
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Bool returns a pseudo-random boolean.
+func (r *SplitMix64) Bool() bool {
+	return r.Next()&1 == 1
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (r *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (r *SplitMix64) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Hash64 is a stateless mixing function: it maps x to a well-distributed
+// 64-bit value. It is used for deterministic per-(object, round) coin flips
+// in randomized matching and rake-compress contraction, where the same coin
+// must be recoverable without storing it.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Coin returns a deterministic coin flip for the pair (id, round) under the
+// given seed.
+func Coin(seed, id, round uint64) bool {
+	return Hash64(seed^Hash64(id^Hash64(round)))&1 == 1
+}

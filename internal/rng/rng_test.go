@@ -1,0 +1,148 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	r := New(99)
+	const buckets, samples = 8, 80000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := samples / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d samples, expected near %d", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(8)
+	a := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	seen := make([]bool, len(a))
+	for _, v := range a {
+		if seen[v] {
+			t.Fatalf("duplicate after shuffle: %v", a)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	f := func(x uint64) bool { return Hash64(x) == Hash64(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash64Mixes(t *testing.T) {
+	// Consecutive inputs should differ in many bits on average.
+	totalBits := 0
+	for x := uint64(0); x < 1000; x++ {
+		d := Hash64(x) ^ Hash64(x+1)
+		for ; d != 0; d &= d - 1 {
+			totalBits++
+		}
+	}
+	if avg := totalBits / 1000; avg < 20 || avg > 44 {
+		t.Fatalf("poor avalanche: avg %d differing bits", avg)
+	}
+}
+
+func TestCoinBalanced(t *testing.T) {
+	heads := 0
+	for i := uint64(0); i < 10000; i++ {
+		if Coin(1, i, 3) {
+			heads++
+		}
+	}
+	if heads < 4500 || heads > 5500 {
+		t.Fatalf("coin heavily biased: %d/10000 heads", heads)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(12)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < 4500 || trues > 5500 {
+		t.Fatalf("Bool heavily biased: %d/10000", trues)
+	}
+}

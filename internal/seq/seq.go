@@ -1,0 +1,46 @@
+// Package seq provides balanced sequence data structures (treaps, splay
+// trees, and skip lists) behind a single split/join interface.
+//
+// Euler tour trees (package ett) are parameterized over this interface,
+// matching the paper's evaluation of three ETT variants ("ETT (Treap)",
+// "ETT (Splay Tree)", "ETT (Skip List)"). Sequences store two aggregates —
+// a value sum and a count of "vertex" elements — which is what ETT subtree
+// queries need.
+package seq
+
+// Backend is a mutable-sequence implementation over node handles of type N.
+// The zero N (nil pointer) denotes the empty sequence.
+//
+// Sequences are identified by representatives: two nodes belong to the same
+// sequence iff SameSeq reports true. Splits and joins invalidate previously
+// returned representatives but never node handles.
+type Backend[N comparable] interface {
+	// NewNode creates a fresh single-element sequence. isVertex marks
+	// elements that contribute to the count aggregate.
+	NewNode(val int64, isVertex bool) N
+	// Nil returns the empty-sequence handle.
+	Nil() N
+	// SameSeq reports whether x and y are in the same sequence.
+	SameSeq(x, y N) bool
+	// SplitBefore splits x's sequence into (elements before x, elements
+	// from x on) and returns representatives of both halves.
+	SplitBefore(x N) (l, r N)
+	// SplitAfter splits x's sequence into (elements up to and including
+	// x, elements after x).
+	SplitAfter(x N) (l, r N)
+	// Join concatenates the sequences represented by a and b. Either may
+	// be Nil().
+	Join(a, b N) N
+	// Repr returns the current representative of x's sequence.
+	Repr(x N) N
+	// Agg returns the aggregates of the whole sequence containing x
+	// (sum of values, count of vertex elements). x may be Nil(),
+	// in which case both are zero.
+	Agg(x N) (sum int64, cnt int)
+	// SetVal updates the value of node x, fixing aggregates.
+	SetVal(x N, v int64)
+	// Free releases node x (which must be a singleton sequence).
+	Free(x N)
+	// Name reports the backend name for benchmarks.
+	Name() string
+}

@@ -1,0 +1,266 @@
+package seq
+
+import "repro/internal/rng"
+
+const maxSkipLevel = 32
+
+// SkipNode is a node of a doubly-linked skip-list sequence.
+type SkipNode struct {
+	tower    []skipLink
+	val      int64
+	isVertex bool
+}
+
+type skipLink struct {
+	next, prev *SkipNode
+	// sum and cnt aggregate the level-0 run [this node, next-at-this-level)
+	// (to the end of the sequence when next is nil).
+	sum int64
+	cnt int32
+}
+
+// SkipList implements Backend over doubly linked skip lists without head
+// sentinels: a sequence is identified by its front node, found in expected
+// O(log n) time by climbing towers leftward. This mirrors the skip-list
+// representation of Tseng et al.'s Euler tour trees.
+type SkipList struct {
+	r *rng.SplitMix64
+}
+
+// NewSkipList returns a skip-list backend with the given height seed.
+func NewSkipList(seed uint64) *SkipList { return &SkipList{r: rng.New(seed)} }
+
+// Name implements Backend.
+func (s *SkipList) Name() string { return "skiplist" }
+
+// Nil implements Backend.
+func (s *SkipList) Nil() *SkipNode { return nil }
+
+// NewNode implements Backend.
+func (s *SkipList) NewNode(val int64, isVertex bool) *SkipNode {
+	h := 1
+	for h < maxSkipLevel && s.r.Next()&1 == 1 {
+		h++
+	}
+	n := &SkipNode{tower: make([]skipLink, h), val: val, isVertex: isVertex}
+	for l := range n.tower {
+		n.tower[l].sum = val
+		if isVertex {
+			n.tower[l].cnt = 1
+		}
+	}
+	return n
+}
+
+func (n *SkipNode) height() int { return len(n.tower) }
+
+// recomputeSpan rebuilds n's level-l aggregate from the level l-1 runs it
+// covers. Level 0 spans are the node's own contribution.
+func recomputeSpan(n *SkipNode, l int) {
+	if l == 0 {
+		n.tower[0].sum = n.val
+		if n.isVertex {
+			n.tower[0].cnt = 1
+		} else {
+			n.tower[0].cnt = 0
+		}
+		return
+	}
+	stop := n.tower[l].next
+	var sum int64
+	var cnt int32
+	for m := n; ; {
+		sum += m.tower[l-1].sum
+		cnt += m.tower[l-1].cnt
+		nx := m.tower[l-1].next
+		if nx == stop || nx == nil {
+			break
+		}
+		m = nx
+	}
+	n.tower[l].sum = sum
+	n.tower[l].cnt = cnt
+}
+
+// front returns the first node of x's sequence.
+func front(x *SkipNode) *SkipNode {
+	l := x.height() - 1
+	for {
+		if p := x.tower[l].prev; p != nil {
+			x = p
+			l = x.height() - 1
+			continue
+		}
+		if l == 0 {
+			return x
+		}
+		l--
+	}
+}
+
+// back returns the last node of x's sequence.
+func back(x *SkipNode) *SkipNode {
+	l := x.height() - 1
+	for {
+		if n := x.tower[l].next; n != nil {
+			x = n
+			l = x.height() - 1
+			continue
+		}
+		if l == 0 {
+			return x
+		}
+		l--
+	}
+}
+
+// predsOf returns, for each level l, the rightmost node strictly left of x
+// with height > l. The slice stops at the tallest such node.
+func predsOf(x *SkipNode) []*SkipNode {
+	var preds []*SkipNode
+	p := x.tower[0].prev
+	for p != nil {
+		for l := len(preds); l < p.height(); l++ {
+			preds = append(preds, p)
+		}
+		p = p.tower[p.height()-1].prev
+	}
+	return preds
+}
+
+// tallFrom returns, for each level l, the first node from x rightward
+// (inclusive) with height > l.
+func tallFrom(x *SkipNode) []*SkipNode {
+	var heads []*SkipNode
+	p := x
+	for p != nil {
+		for l := len(heads); l < p.height(); l++ {
+			heads = append(heads, p)
+		}
+		p = p.tower[p.height()-1].next
+	}
+	return heads
+}
+
+// tallTo returns, for each level l, the last node from x leftward
+// (inclusive) with height > l.
+func tallTo(x *SkipNode) []*SkipNode {
+	var tails []*SkipNode
+	p := x
+	for p != nil {
+		for l := len(tails); l < p.height(); l++ {
+			tails = append(tails, p)
+		}
+		p = p.tower[p.height()-1].prev
+	}
+	return tails
+}
+
+// Repr implements Backend.
+func (s *SkipList) Repr(x *SkipNode) *SkipNode {
+	if x == nil {
+		return nil
+	}
+	return front(x)
+}
+
+// SameSeq implements Backend.
+func (s *SkipList) SameSeq(x, y *SkipNode) bool {
+	if x == nil || y == nil {
+		return false
+	}
+	return front(x) == front(y)
+}
+
+// SplitBefore implements Backend.
+func (s *SkipList) SplitBefore(x *SkipNode) (*SkipNode, *SkipNode) {
+	if x.tower[0].prev == nil {
+		return nil, x
+	}
+	preds := predsOf(x)
+	for l, p := range preds {
+		r := p.tower[l].next
+		p.tower[l].next = nil
+		if r != nil {
+			r.tower[l].prev = nil
+		}
+	}
+	for l := 1; l < len(preds); l++ {
+		recomputeSpan(preds[l], l)
+	}
+	return front(preds[0]), x
+}
+
+// SplitAfter implements Backend.
+func (s *SkipList) SplitAfter(x *SkipNode) (*SkipNode, *SkipNode) {
+	y := x.tower[0].next
+	if y == nil {
+		return front(x), nil
+	}
+	l, r := s.SplitBefore(y)
+	return l, r
+}
+
+// Join implements Backend.
+func (s *SkipList) Join(a, b *SkipNode) *SkipNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	ta := tallTo(back(a))
+	hb := tallFrom(b)
+	m := len(ta)
+	if len(hb) < m {
+		m = len(hb)
+	}
+	for l := 0; l < m; l++ {
+		ta[l].tower[l].next = hb[l]
+		hb[l].tower[l].prev = ta[l]
+	}
+	// Spans of a's tall tail nodes now extend into b (and over b's short
+	// prefix at levels above b's tallest node): recompute bottom-up.
+	for l := 1; l < len(ta); l++ {
+		recomputeSpan(ta[l], l)
+	}
+	return a
+}
+
+// Agg implements Backend.
+func (s *SkipList) Agg(x *SkipNode) (int64, int) {
+	if x == nil {
+		return 0, 0
+	}
+	cur := front(x)
+	var sum int64
+	var cnt int32
+	for cur != nil {
+		top := cur.height() - 1
+		sum += cur.tower[top].sum
+		cnt += cur.tower[top].cnt
+		cur = cur.tower[top].next
+	}
+	return sum, int(cnt)
+}
+
+// SetVal implements Backend.
+func (s *SkipList) SetVal(x *SkipNode, v int64) {
+	x.val = v
+	for l := 0; l < x.height(); l++ {
+		recomputeSpan(x, l)
+	}
+	preds := predsOf(x)
+	for l := 1; l < len(preds); l++ {
+		recomputeSpan(preds[l], l)
+	}
+}
+
+// Free implements Backend.
+func (s *SkipList) Free(x *SkipNode) {
+	for l := range x.tower {
+		x.tower[l].next, x.tower[l].prev = nil, nil
+	}
+}
+
+var _ Backend[*SkipNode] = (*SkipList)(nil)

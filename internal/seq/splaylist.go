@@ -1,0 +1,188 @@
+package seq
+
+// SplayNode is a node of a splay-tree sequence.
+type SplayNode struct {
+	l, r, p  *SplayNode
+	val      int64
+	sum      int64
+	cnt      int32
+	isVertex bool
+}
+
+// Splay implements Backend over splay trees (amortized O(log n)).
+type Splay struct{}
+
+// NewSplay returns a splay-tree backend.
+func NewSplay() *Splay { return &Splay{} }
+
+// Name implements Backend.
+func (s *Splay) Name() string { return "splay" }
+
+// Nil implements Backend.
+func (s *Splay) Nil() *SplayNode { return nil }
+
+// NewNode implements Backend.
+func (s *Splay) NewNode(val int64, isVertex bool) *SplayNode {
+	n := &SplayNode{val: val, isVertex: isVertex}
+	n.pull()
+	return n
+}
+
+func (x *SplayNode) pull() {
+	x.sum = x.val
+	if x.isVertex {
+		x.cnt = 1
+	} else {
+		x.cnt = 0
+	}
+	if x.l != nil {
+		x.sum += x.l.sum
+		x.cnt += x.l.cnt
+	}
+	if x.r != nil {
+		x.sum += x.r.sum
+		x.cnt += x.r.cnt
+	}
+}
+
+func splayRotate(x *SplayNode) {
+	p := x.p
+	g := p.p
+	if g != nil {
+		if g.l == p {
+			g.l = x
+		} else {
+			g.r = x
+		}
+	}
+	x.p = g
+	if p.l == x {
+		p.l = x.r
+		if x.r != nil {
+			x.r.p = p
+		}
+		x.r = p
+	} else {
+		p.r = x.l
+		if x.l != nil {
+			x.l.p = p
+		}
+		x.l = p
+	}
+	p.p = x
+	p.pull()
+	x.pull()
+}
+
+func splayUp(x *SplayNode) {
+	for x.p != nil {
+		p := x.p
+		if p.p != nil {
+			if (p.p.l == p) == (p.l == x) {
+				splayRotate(p)
+			} else {
+				splayRotate(x)
+			}
+		}
+		splayRotate(x)
+	}
+}
+
+// Repr implements Backend. The representative must be stable across
+// queries (callers group sequences by it), so it is the sequence's first
+// element — splay roots move on every access and would not work. The
+// leftmost node is splayed afterwards to preserve the amortized bounds.
+func (s *Splay) Repr(x *SplayNode) *SplayNode {
+	if x == nil {
+		return nil
+	}
+	splayUp(x)
+	for x.l != nil {
+		x = x.l
+	}
+	splayUp(x)
+	return x
+}
+
+// SameSeq implements Backend.
+func (s *Splay) SameSeq(x, y *SplayNode) bool {
+	if x == nil || y == nil {
+		return false
+	}
+	if x == y {
+		return true
+	}
+	splayUp(x)
+	splayUp(y)
+	// If they share a tree, splaying y to the root hangs x below it.
+	return x.p != nil
+}
+
+// SplitBefore implements Backend.
+func (s *Splay) SplitBefore(x *SplayNode) (*SplayNode, *SplayNode) {
+	splayUp(x)
+	l := x.l
+	if l != nil {
+		l.p = nil
+		x.l = nil
+		x.pull()
+	}
+	return l, x
+}
+
+// SplitAfter implements Backend.
+func (s *Splay) SplitAfter(x *SplayNode) (*SplayNode, *SplayNode) {
+	splayUp(x)
+	r := x.r
+	if r != nil {
+		r.p = nil
+		x.r = nil
+		x.pull()
+	}
+	return x, r
+}
+
+// Join implements Backend.
+func (s *Splay) Join(a, b *SplayNode) *SplayNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	splayUp(a)
+	// Splay the maximum of a to its root, then attach b as right child.
+	m := a
+	for m.r != nil {
+		m = m.r
+	}
+	splayUp(m)
+	splayUp(b)
+	m.r = b
+	b.p = m
+	m.pull()
+	return m
+}
+
+// Agg implements Backend.
+func (s *Splay) Agg(x *SplayNode) (int64, int) {
+	if x == nil {
+		return 0, 0
+	}
+	splayUp(x)
+	return x.sum, int(x.cnt)
+}
+
+// SetVal implements Backend.
+func (s *Splay) SetVal(x *SplayNode, v int64) {
+	splayUp(x)
+	x.val = v
+	x.pull()
+}
+
+// Free implements Backend.
+func (s *Splay) Free(x *SplayNode) {
+	x.l, x.r, x.p = nil, nil, nil
+}
+
+var _ Backend[*SplayNode] = (*Splay)(nil)

@@ -1,0 +1,204 @@
+package seq
+
+import "repro/internal/rng"
+
+// TreapNode is a node of a parent-pointer treap sequence.
+type TreapNode struct {
+	l, r, p  *TreapNode
+	prio     uint64
+	val      int64
+	sum      int64
+	cnt      int32
+	isVertex bool
+}
+
+// Treap implements Backend over randomized treaps. Splits use the
+// finger-split technique from the node upward (no positions needed), and
+// joins merge by priority, both O(log n) expected.
+type Treap struct {
+	r *rng.SplitMix64
+}
+
+// NewTreap returns a treap backend with the given priority seed.
+func NewTreap(seed uint64) *Treap { return &Treap{r: rng.New(seed)} }
+
+// Name implements Backend.
+func (t *Treap) Name() string { return "treap" }
+
+// Nil implements Backend.
+func (t *Treap) Nil() *TreapNode { return nil }
+
+// NewNode implements Backend.
+func (t *Treap) NewNode(val int64, isVertex bool) *TreapNode {
+	n := &TreapNode{prio: t.r.Next(), val: val, isVertex: isVertex}
+	n.pull()
+	return n
+}
+
+func (x *TreapNode) pull() {
+	x.sum = x.val
+	if x.isVertex {
+		x.cnt = 1
+	} else {
+		x.cnt = 0
+	}
+	if x.l != nil {
+		x.sum += x.l.sum
+		x.cnt += x.l.cnt
+	}
+	if x.r != nil {
+		x.sum += x.r.sum
+		x.cnt += x.r.cnt
+	}
+}
+
+func (t *Treap) root(x *TreapNode) *TreapNode {
+	for x.p != nil {
+		x = x.p
+	}
+	return x
+}
+
+// Repr implements Backend.
+func (t *Treap) Repr(x *TreapNode) *TreapNode {
+	if x == nil {
+		return nil
+	}
+	return t.root(x)
+}
+
+// SameSeq implements Backend.
+func (t *Treap) SameSeq(x, y *TreapNode) bool {
+	if x == nil || y == nil {
+		return false
+	}
+	return t.root(x) == t.root(y)
+}
+
+// SplitBefore implements Backend.
+func (t *Treap) SplitBefore(x *TreapNode) (*TreapNode, *TreapNode) {
+	// Initial pieces: x's left subtree is entirely before x; x (with its
+	// right subtree) starts the right piece.
+	l := x.l
+	if l != nil {
+		l.p = nil
+		x.l = nil
+		x.pull()
+	}
+	r := x
+	cur := x
+	p := cur.p
+	cur.p = nil
+	for p != nil {
+		next := p.p
+		p.p = nil
+		if p.r == cur {
+			// p and p's left subtree precede x; the accumulated l
+			// hangs as p's new right subtree (heap order holds:
+			// everything accumulated so far descends from p).
+			p.r = l
+			if l != nil {
+				l.p = p
+			}
+			p.pull()
+			l = p
+		} else {
+			p.l = r
+			if r != nil {
+				r.p = p
+			}
+			p.pull()
+			r = p
+		}
+		cur = p
+		p = next
+	}
+	return l, r
+}
+
+// SplitAfter implements Backend.
+func (t *Treap) SplitAfter(x *TreapNode) (*TreapNode, *TreapNode) {
+	r := x.r
+	if r != nil {
+		r.p = nil
+		x.r = nil
+		x.pull()
+	}
+	l := x
+	cur := x
+	p := cur.p
+	cur.p = nil
+	for p != nil {
+		next := p.p
+		p.p = nil
+		if p.r == cur {
+			p.r = l
+			if l != nil {
+				l.p = p
+			}
+			p.pull()
+			l = p
+		} else {
+			p.l = r
+			if r != nil {
+				r.p = p
+			}
+			p.pull()
+			r = p
+		}
+		cur = p
+		p = next
+	}
+	return l, r
+}
+
+// Join implements Backend.
+func (t *Treap) Join(a, b *TreapNode) *TreapNode {
+	return treapJoin(a, b)
+}
+
+func treapJoin(a, b *TreapNode) *TreapNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio >= b.prio {
+		c := treapJoin(a.r, b)
+		a.r = c
+		c.p = a
+		a.pull()
+		return a
+	}
+	c := treapJoin(a, b.l)
+	b.l = c
+	c.p = b
+	b.pull()
+	return b
+}
+
+// Agg implements Backend.
+func (t *Treap) Agg(x *TreapNode) (int64, int) {
+	if x == nil {
+		return 0, 0
+	}
+	r := t.root(x)
+	return r.sum, int(r.cnt)
+}
+
+// SetVal implements Backend.
+func (t *Treap) SetVal(x *TreapNode, v int64) {
+	x.val = v
+	for n := x; n != nil; n = n.p {
+		n.pull()
+	}
+}
+
+// Free implements Backend.
+func (t *Treap) Free(x *TreapNode) {
+	// Garbage collected; verify the handle is detached in debug builds.
+	x.l, x.r, x.p = nil, nil, nil
+}
+
+var _ Backend[*TreapNode] = (*Treap)(nil)

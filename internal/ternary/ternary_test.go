@@ -1,0 +1,196 @@
+package ternary
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+	"repro/internal/ufo"
+)
+
+func builders() map[string]func(int) *Forest {
+	return map[string]func(int) *Forest{
+		"topology": NewTopology,
+		"rc":       NewRC,
+	}
+}
+
+func TestStarThroughTernarization(t *testing.T) {
+	for name, mk := range builders() {
+		n := 50
+		f := mk(n)
+		for i := 1; i < n; i++ {
+			f.Link(0, i, int64(i))
+		}
+		if err := f.Underlying().Validate(); err != nil {
+			t.Fatalf("%s: underlying invalid after star build: %v", name, err)
+		}
+		for i := 1; i < n; i++ {
+			if !f.Connected(0, i) {
+				t.Fatalf("%s: star not connected", name)
+			}
+			if s, ok := f.PathSum(0, i); !ok || s != int64(i) {
+				t.Fatalf("%s: PathSum(0,%d) = %d,%v", name, i, s, ok)
+			}
+		}
+		if s, ok := f.PathSum(3, 7); !ok || s != 10 {
+			t.Fatalf("%s: PathSum(3,7) = %d,%v want 10", name, s, ok)
+		}
+		if f.SlotsInUse() <= n {
+			t.Fatalf("%s: expected ternarization to allocate extra slots", name)
+		}
+		for i := 1; i < n; i++ {
+			f.Cut(0, i)
+		}
+		if f.EdgeCount() != 0 {
+			t.Fatalf("%s: edges remain", name)
+		}
+		if f.SlotsInUse() != n {
+			t.Fatalf("%s: slots leaked: %d in use, want %d", name, f.SlotsInUse(), n)
+		}
+	}
+}
+
+func runTernaryDifferential(t *testing.T, name string, f *Forest, n, steps int, seed uint64) {
+	t.Helper()
+	ref := refforest.New(n)
+	r := rng.New(seed)
+	var live [][2]int
+	for step := 0; step < steps; step++ {
+		op := r.Intn(12)
+		switch {
+		case op < 5:
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(50))
+				f.Link(u, v, w)
+				ref.Link(u, v, w)
+				live = append(live, [2]int{u, v})
+			}
+		case op < 7 && len(live) > 0:
+			i := r.Intn(len(live))
+			ed := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Cut(ed[0], ed[1])
+			ref.Cut(ed[0], ed[1])
+		case op < 8:
+			v := r.Intn(n)
+			val := int64(r.Intn(100))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		case op < 10:
+			u, v := r.Intn(n), r.Intn(n)
+			if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+				t.Fatalf("%s step %d: Connected(%d,%d) = %v, want %v", name, step, u, v, got, want)
+			}
+			gs, gok := f.PathSum(u, v)
+			ws, wok := ref.PathSum(u, v)
+			if gok != wok || (gok && gs != ws) {
+				t.Fatalf("%s step %d: PathSum(%d,%d) = %d,%v want %d,%v", name, step, u, v, gs, gok, ws, wok)
+			}
+			gm, gok := f.PathMax(u, v)
+			wm, wok := ref.PathMax(u, v)
+			if gok != wok || (gok && gm != wm) {
+				t.Fatalf("%s step %d: PathMax(%d,%d) = %d,%v want %d,%v", name, step, u, v, gm, gok, wm, wok)
+			}
+		default:
+			if len(live) == 0 {
+				continue
+			}
+			ed := live[r.Intn(len(live))]
+			v, p := ed[0], ed[1]
+			if r.Bool() {
+				v, p = p, v
+			}
+			if got, want := f.SubtreeSum(v, p), ref.SubtreeSum(v, p); got != want {
+				t.Fatalf("%s step %d: SubtreeSum(%d,%d) = %d, want %d", name, step, v, p, got, want)
+			}
+		}
+		if step%200 == 0 {
+			if err := f.Underlying().Validate(); err != nil {
+				t.Fatalf("%s step %d: underlying invalid: %v", name, step, err)
+			}
+		}
+	}
+}
+
+func TestTernaryDifferential(t *testing.T) {
+	for name, mk := range builders() {
+		runTernaryDifferential(t, name, mk(8), 8, 2500, 201)
+		runTernaryDifferential(t, name, mk(30), 30, 2500, 202)
+		runTernaryDifferential(t, name, mk(100), 100, 1500, 203)
+	}
+}
+
+func TestTernaryBatchShapes(t *testing.T) {
+	n := 300
+	shapes := []gen.Tree{
+		gen.Star(n), gen.Dandelion(n), gen.KAry(n, 64), gen.PrefAttach(n, 211),
+	}
+	for name, mk := range builders() {
+		for _, tr := range shapes {
+			f := mk(n)
+			ref := refforest.New(n)
+			sh := gen.Shuffled(gen.WithRandomWeights(tr, 40, 212), 213)
+			for lo := 0; lo < len(sh.Edges); lo += 43 {
+				hi := lo + 43
+				if hi > len(sh.Edges) {
+					hi = len(sh.Edges)
+				}
+				var edges []ufo.Edge
+				for _, e := range sh.Edges[lo:hi] {
+					edges = append(edges, ufo.Edge{U: e.U, V: e.V, W: e.W})
+					ref.Link(e.U, e.V, e.W)
+				}
+				f.BatchLink(edges)
+			}
+			if err := f.Underlying().Validate(); err != nil {
+				t.Fatalf("%s/%s: underlying invalid: %v", name, tr.Name, err)
+			}
+			r := rng.New(214)
+			for q := 0; q < 100; q++ {
+				u, v := r.Intn(n), r.Intn(n)
+				gs, _ := f.PathSum(u, v)
+				ws, _ := ref.PathSum(u, v)
+				if gs != ws {
+					t.Fatalf("%s/%s: PathSum(%d,%d) = %d, want %d", name, tr.Name, u, v, gs, ws)
+				}
+			}
+			var cuts [][2]int
+			for _, e := range gen.Shuffled(tr, 215).Edges {
+				cuts = append(cuts, [2]int{e.U, e.V})
+			}
+			for lo := 0; lo < len(cuts); lo += 67 {
+				hi := lo + 67
+				if hi > len(cuts) {
+					hi = len(cuts)
+				}
+				f.BatchCut(cuts[lo:hi])
+			}
+			if f.EdgeCount() != 0 || f.SlotsInUse() != n {
+				t.Fatalf("%s/%s: destroy leaked state", name, tr.Name)
+			}
+		}
+	}
+}
+
+func TestTernaryPanics(t *testing.T) {
+	f := NewTopology(4)
+	f.Link(0, 1, 1)
+	for name, fn := range map[string]func(){
+		"duplicate":    func() { f.Link(1, 0, 1) },
+		"absent cut":   func() { f.Cut(1, 2) },
+		"non-adjacent": func() { f.SubtreeSum(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

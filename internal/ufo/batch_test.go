@@ -1,0 +1,180 @@
+package ufo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+// TestBatchBuildDestroyShapes builds and destroys each shape in batches of
+// varying size, validating invariants and comparing against the oracle.
+func TestBatchBuildDestroyShapes(t *testing.T) {
+	n := 500
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Binary(n), gen.KAry(n, 64), gen.Star(n),
+		gen.Dandelion(n), gen.RandomAttach(n, 2), gen.PrefAttach(n, 3),
+	}
+	for _, batch := range []int{7, 64, 499} {
+		for _, tr := range shapes {
+			f := New(n)
+			ref := refforest.New(n)
+			sh := gen.Shuffled(gen.WithRandomWeights(tr, 50, 11), 13)
+			for lo := 0; lo < len(sh.Edges); lo += batch {
+				hi := lo + batch
+				if hi > len(sh.Edges) {
+					hi = len(sh.Edges)
+				}
+				var edges []Edge
+				for _, e := range sh.Edges[lo:hi] {
+					edges = append(edges, Edge{e.U, e.V, e.W})
+					ref.Link(e.U, e.V, e.W)
+				}
+				f.BatchLink(edges)
+				mustValidate(t, f, tr.Name+" batch link")
+			}
+			if f.ComponentSize(0) != n {
+				t.Fatalf("%s (batch %d): not connected after batch build", tr.Name, batch)
+			}
+			r := rng.New(99)
+			for q := 0; q < 100; q++ {
+				u, v := r.Intn(n), r.Intn(n)
+				gs, _ := f.PathSum(u, v)
+				ws, _ := ref.PathSum(u, v)
+				if gs != ws {
+					t.Fatalf("%s (batch %d): PathSum(%d,%d) = %d, want %d", tr.Name, batch, u, v, gs, ws)
+				}
+			}
+			sh2 := gen.Shuffled(tr, 17)
+			for lo := 0; lo < len(sh2.Edges); lo += batch {
+				hi := lo + batch
+				if hi > len(sh2.Edges) {
+					hi = len(sh2.Edges)
+				}
+				var edges [][2]int
+				for _, e := range sh2.Edges[lo:hi] {
+					edges = append(edges, [2]int{e.U, e.V})
+				}
+				f.BatchCut(edges)
+				mustValidate(t, f, tr.Name+" batch cut")
+			}
+			if f.EdgeCount() != 0 {
+				t.Fatalf("%s (batch %d): edges remain after batch destroy", tr.Name, batch)
+			}
+		}
+	}
+}
+
+// TestBatchMixedDifferential applies random mixed batches (links and cuts
+// together) and cross-checks queries against the oracle.
+func TestBatchMixedDifferential(t *testing.T) {
+	n := 120
+	f := New(n)
+	ref := refforest.New(n)
+	r := rng.New(21)
+	var live [][2]int
+	for round := 0; round < 150; round++ {
+		// Assemble a mixed batch: cuts of distinct live edges plus links
+		// that keep the forest acyclic (checked via the oracle
+		// incrementally).
+		var links []Edge
+		var cuts [][2]int
+		nCut := r.Intn(5)
+		for i := 0; i < nCut && len(live) > 0; i++ {
+			j := r.Intn(len(live))
+			cuts = append(cuts, live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for _, c := range cuts {
+			ref.Cut(c[0], c[1])
+		}
+		nLink := r.Intn(8)
+		for i := 0; i < nLink; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(30))
+				ref.Link(u, v, w)
+				links = append(links, Edge{u, v, w})
+				live = append(live, [2]int{u, v})
+			}
+		}
+		// Apply cuts and links as one mixed update through the engine.
+		f.eng.run(links, cuts)
+		mustValidate(t, f, "mixed batch")
+		for q := 0; q < 20; q++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+				t.Fatalf("round %d: Connected(%d,%d) = %v, want %v", round, u, v, got, want)
+			}
+			gs, gok := f.PathSum(u, v)
+			ws, wok := ref.PathSum(u, v)
+			if gok != wok || (gok && gs != ws) {
+				t.Fatalf("round %d: PathSum(%d,%d) = %d,%v want %d,%v", round, u, v, gs, gok, ws, wok)
+			}
+		}
+		if len(live) > 0 {
+			e := live[r.Intn(len(live))]
+			if got, want := f.SubtreeSum(e[0], e[1]), ref.SubtreeSum(e[0], e[1]); got != want {
+				t.Fatalf("round %d: SubtreeSum = %d, want %d", round, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchEquivalentToSequential verifies that one batch produces the same
+// observable forest as applying its updates one at a time.
+func TestBatchEquivalentToSequential(t *testing.T) {
+	n := 200
+	tr := gen.Shuffled(gen.WithRandomWeights(gen.RandomAttach(n, 31), 40, 32), 33)
+	seqF := New(n)
+	batF := New(n)
+	var edges []Edge
+	for _, e := range tr.Edges {
+		edges = append(edges, Edge{e.U, e.V, e.W})
+		seqF.Link(e.U, e.V, e.W)
+	}
+	batF.BatchLink(edges)
+	mustValidate(t, batF, "batch build")
+	r := rng.New(34)
+	for q := 0; q < 300; q++ {
+		u, v := r.Intn(n), r.Intn(n)
+		s1, ok1 := seqF.PathSum(u, v)
+		s2, ok2 := batF.PathSum(u, v)
+		if ok1 != ok2 || s1 != s2 {
+			t.Fatalf("PathSum(%d,%d): seq %d,%v batch %d,%v", u, v, s1, ok1, s2, ok2)
+		}
+		m1, ok1 := batF.PathMax(u, v)
+		m2, ok2 := seqF.PathMax(u, v)
+		if ok1 != ok2 || m1 != m2 {
+			t.Fatalf("PathMax(%d,%d): batch %d,%v seq %d,%v", u, v, m1, ok1, m2, ok2)
+		}
+	}
+}
+
+// TestLargeBatchSingleShot stresses one huge batch on a bigger forest.
+func TestLargeBatchSingleShot(t *testing.T) {
+	n := 5000
+	for _, shape := range []gen.Tree{gen.Star(n), gen.Path(n), gen.PrefAttach(n, 41)} {
+		f := New(n)
+		var edges []Edge
+		for _, e := range gen.Shuffled(shape, 43).Edges {
+			edges = append(edges, Edge{e.U, e.V, e.W})
+		}
+		f.BatchLink(edges)
+		if f.ComponentSize(0) != n {
+			t.Fatalf("%s: one-shot batch build failed", shape.Name)
+		}
+		mustValidate(t, f, shape.Name+" one-shot")
+		var cuts [][2]int
+		for _, e := range gen.Shuffled(shape, 44).Edges {
+			cuts = append(cuts, [2]int{e.U, e.V})
+		}
+		f.BatchCut(cuts)
+		if f.EdgeCount() != 0 {
+			t.Fatalf("%s: one-shot batch destroy failed", shape.Name)
+		}
+		mustValidate(t, f, shape.Name+" destroyed")
+	}
+}

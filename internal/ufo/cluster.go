@@ -1,0 +1,318 @@
+// Package ufo implements UFO trees (unbounded fan-out trees), the paper's
+// primary contribution: a parallel batch-dynamic trees data structure based
+// on parallel tree contraction that supports input trees of arbitrary
+// degree directly (no ternarization) and answers connectivity, path,
+// subtree, and non-local queries.
+//
+// # Structure
+//
+// A UFO tree represents rounds of tree contraction: level-0 clusters are the
+// input vertices; each round merges clusters along a maximal set of allowed
+// merges (degree-1/degree-1, degree-1/degree-2, degree-2/degree-2, and a
+// high-degree cluster with all of its degree-1 neighbors — the unbounded
+// fan-out rule). Every live cluster acquires a parent each round until its
+// component contracts to a single degree-0 cluster. Theorems 4.1/4.2 of the
+// paper give height O(min{log n, ceil(D/2)}).
+//
+// # Updates
+//
+// Updates use one engine for both the sequential (k=1) and batch-parallel
+// configurations (design decision S1 in DESIGN.md): the batch algorithm of
+// §5.2 with lazy edge-deletion propagation (E⁻ sets), conditional deletion
+// that preserves high-degree and high-fanout clusters, and maximal
+// reclustering level by level.
+package ufo
+
+import (
+	"math"
+
+	"repro/internal/ranktree"
+)
+
+const negInf = math.MinInt64
+
+// maxLevels bounds the contraction height. log_{6/5} n for n = 2^62 is
+// under 240; the engine panics if this is ever exceeded (which would
+// indicate a balance bug).
+const maxLevels = 256
+
+// Cluster flags.
+const (
+	flagDead uint8 = 1 << iota
+	flagInRoots
+	flagInDel
+	flagDamaged  // lost its merge center: force-delete when examined
+	flagTouched  // parent whose aggregates need recomputation this round
+	flagTrackMax // maintains non-invertible child aggregates (rank trees)
+)
+
+// EdgeRef is one endpoint's view of a level-i edge. Every level-i edge is
+// the image of a unique original tree edge; myV is the original endpoint
+// inside this cluster, otherV the endpoint inside the neighbor. The weight
+// rides along so path aggregates never need a side table.
+type EdgeRef struct {
+	to     *Cluster
+	key    uint64
+	w      int64
+	myV    int32
+	otherV int32
+}
+
+func edgeKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// edgeSet is a cluster's adjacency: a small inline array for the common
+// degree ≤ 4 case plus a hash-map overflow for high-degree clusters. This
+// is the paper's memory optimization (§D.1): low-degree clusters (at least
+// half of any tree) never allocate a map.
+type edgeSet struct {
+	arr [4]EdgeRef
+	n   int8
+	ov  map[uint64]EdgeRef
+}
+
+func (s *edgeSet) degree() int { return int(s.n) + len(s.ov) }
+
+func (s *edgeSet) get(key uint64) (EdgeRef, bool) {
+	for i := int8(0); i < s.n; i++ {
+		if s.arr[i].key == key {
+			return s.arr[i], true
+		}
+	}
+	if s.ov != nil {
+		e, ok := s.ov[key]
+		return e, ok
+	}
+	return EdgeRef{}, false
+}
+
+func (s *edgeSet) has(key uint64) bool {
+	_, ok := s.get(key)
+	return ok
+}
+
+// insert adds e unless an entry with the same key exists; it reports
+// whether the entry was added.
+func (s *edgeSet) insert(e EdgeRef) bool {
+	if s.has(e.key) {
+		return false
+	}
+	if s.n < int8(len(s.arr)) {
+		s.arr[s.n] = e
+		s.n++
+		return true
+	}
+	if s.ov == nil {
+		s.ov = make(map[uint64]EdgeRef, 4)
+	}
+	s.ov[e.key] = e
+	return true
+}
+
+// remove deletes the entry with the given key, reporting whether it existed.
+func (s *edgeSet) remove(key uint64) bool {
+	for i := int8(0); i < s.n; i++ {
+		if s.arr[i].key == key {
+			s.n--
+			s.arr[i] = s.arr[s.n]
+			s.arr[s.n] = EdgeRef{}
+			return true
+		}
+	}
+	if s.ov != nil {
+		if _, ok := s.ov[key]; ok {
+			delete(s.ov, key)
+			return true
+		}
+	}
+	return false
+}
+
+// forEach visits every entry; fn returning false stops early. The set must
+// not be mutated during iteration.
+func (s *edgeSet) forEach(fn func(EdgeRef) bool) {
+	for i := int8(0); i < s.n; i++ {
+		if !fn(s.arr[i]) {
+			return
+		}
+	}
+	for _, e := range s.ov {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// any returns an arbitrary entry.
+func (s *edgeSet) any() (EdgeRef, bool) {
+	if s.n > 0 {
+		return s.arr[0], true
+	}
+	for _, e := range s.ov {
+		return e, true
+	}
+	return EdgeRef{}, false
+}
+
+func (s *edgeSet) clear() {
+	*s = edgeSet{}
+}
+
+// Cluster is a node of the UFO tree: a connected set of input vertices
+// formed by one round of contraction.
+type Cluster struct {
+	level    int32
+	leafV    int32 // vertex id for level-0 leaves, else -1
+	childIdx int32
+	flags    uint8
+	parent   *Cluster
+	// center is the high-degree child of a superunary (unbounded-fanout)
+	// merge; nil for pair and fanout-1 clusters.
+	center   *Cluster
+	children []*Cluster
+	adj      edgeSet
+	// Aggregates over the cluster's contents.
+	vcnt    int64 // number of contained vertices
+	subSum  int64 // sum of contained vertex values (group-invertible)
+	pathSum int64 // sum of edge weights on the cluster path (binary only)
+	pathMax int64 // max edge weight on the cluster path (negInf identity)
+	pathCnt int32 // number of edges on the cluster path
+	// Non-invertible aggregation (present only with EnableSubtreeMax):
+	// subMax is the max vertex value in the cluster; childTree stores the
+	// children's subMax values in a rank tree; childItem is this cluster's
+	// handle inside its parent's childTree.
+	subMax    int64
+	childTree *ranktree.Tree
+	childItem *ranktree.Item
+}
+
+func (c *Cluster) dead() bool { return c.flags&flagDead != 0 }
+
+
+// boundaries returns the distinct boundary vertices of c (the inside
+// endpoints of its crossing edges) in O(1): clusters of degree ≥ 3 have a
+// single boundary vertex (the unbounded-fanout invariant), so one entry
+// suffices; degree ≤ 2 clusters are read directly.
+func (c *Cluster) boundaries() (b [2]int32, n int) {
+	d := c.adj.degree()
+	switch {
+	case d == 0:
+		return b, 0
+	case d >= 3:
+		e, _ := c.adj.any()
+		b[0] = e.myV
+		return b, 1
+	default:
+		i := 0
+		c.adj.forEach(func(e EdgeRef) bool {
+			if i == 0 || e.myV != b[0] {
+				b[i] = e.myV
+				i++
+			}
+			return true
+		})
+		return b, i
+	}
+}
+
+// hasBoundary reports whether vertex v is a boundary vertex of c.
+func (c *Cluster) hasBoundary(v int32) bool {
+	b, n := c.boundaries()
+	for i := 0; i < n; i++ {
+		if b[i] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// attach makes c a child of p, keeping subtree aggregates of p and all of
+// p's ancestors correct.
+func attach(p, c *Cluster) {
+	c.parent = p
+	c.childIdx = int32(len(p.children))
+	p.children = append(p.children, c)
+	for a := p; a != nil; a = a.parent {
+		a.subSum += c.subSum
+		a.vcnt += c.vcnt
+	}
+	if p.flags&flagTrackMax != 0 {
+		trackAttach(p, c)
+	}
+}
+
+// detach removes c from its parent, keeping aggregates correct and flagging
+// the parent as damaged when it loses its merge center (its remaining
+// children would be mutually disconnected) or its last child.
+func detach(c *Cluster) {
+	p := c.parent
+	if p == nil {
+		return
+	}
+	if p.flags&flagTrackMax != 0 {
+		trackDetach(p, c)
+	}
+	last := int32(len(p.children) - 1)
+	moved := p.children[last]
+	p.children[c.childIdx] = moved
+	moved.childIdx = c.childIdx
+	p.children = p.children[:last]
+	for a := p; a != nil; a = a.parent {
+		a.subSum -= c.subSum
+		a.vcnt -= c.vcnt
+	}
+	if p.center == c {
+		p.center = nil
+		if len(p.children) > 0 {
+			p.flags |= flagDamaged
+		}
+	}
+	if len(p.children) == 0 {
+		p.flags |= flagDamaged
+	}
+	c.parent = nil
+	c.childIdx = -1
+}
+
+// top returns the root cluster of c's component.
+func top(c *Cluster) *Cluster {
+	for c.parent != nil {
+		c = c.parent
+	}
+	return c
+}
+
+// edgeBetween finds the unique level edge between siblings a and b,
+// scanning the smaller-degree side (which is always ≤ 2 for siblings of a
+// valid merge, keeping this O(1)).
+func edgeBetween(a, b *Cluster) (EdgeRef, bool) {
+	if a.adj.degree() > b.adj.degree() {
+		// Search from b's side and flip the view.
+		var out EdgeRef
+		found := false
+		b.adj.forEach(func(e EdgeRef) bool {
+			if e.to == a {
+				out = EdgeRef{to: b, key: e.key, w: e.w, myV: e.otherV, otherV: e.myV}
+				found = true
+				return false
+			}
+			return true
+		})
+		return out, found
+	}
+	var out EdgeRef
+	found := false
+	a.adj.forEach(func(e EdgeRef) bool {
+		if e.to == b {
+			out = e
+			found = true
+			return false
+		}
+		return true
+	})
+	return out, found
+}

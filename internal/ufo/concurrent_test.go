@@ -1,0 +1,146 @@
+package ufo
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+// TestConcurrentQueries verifies the paper's claim (§4.2) that UFO-tree
+// queries are read-only and may run in parallel with no synchronization:
+// many goroutines issue mixed queries against one forest and every answer
+// must match the oracle. (Run with -race for the full guarantee; the
+// correctness check below holds either way.)
+func TestConcurrentQueries(t *testing.T) {
+	n := 2000
+	tr := gen.WithRandomWeights(gen.PrefAttach(n, 501), 60, 502)
+	f := New(n)
+	ref := refforest.New(n)
+	for _, e := range gen.Shuffled(tr, 503).Edges {
+		f.Link(e.U, e.V, e.W)
+		ref.Link(e.U, e.V, e.W)
+	}
+	vals := rng.New(504)
+	for v := 0; v < n; v++ {
+		x := int64(vals.Intn(100))
+		f.SetVertexValue(v, x)
+		ref.SetVertexValue(v, x)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			for q := 0; q < 400; q++ {
+				u, v := r.Intn(n), r.Intn(n)
+				switch r.Intn(4) {
+				case 0:
+					if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+						errs <- "Connected mismatch"
+						return
+					}
+				case 1:
+					gs, gok := f.PathSum(u, v)
+					ws, wok := ref.PathSum(u, v)
+					if gok != wok || (gok && gs != ws) {
+						errs <- "PathSum mismatch"
+						return
+					}
+				case 2:
+					e := tr.Edges[r.Intn(len(tr.Edges))]
+					if got, want := f.SubtreeSum(e.U, e.V), ref.SubtreeSum(e.U, e.V); got != want {
+						errs <- "SubtreeSum mismatch"
+						return
+					}
+				default:
+					root := r.Intn(n)
+					gl, gok := f.LCA(u, v, root)
+					wl, wok := ref.LCA(u, v, root)
+					if gok != wok || (gok && gl != wl) {
+						errs <- "LCA mismatch"
+						return
+					}
+				}
+			}
+		}(505 + uint64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestDeepStress runs a long mixed workload on a larger forest without
+// per-step validation (covering deeper contraction towers than the
+// differential drivers), validating once at checkpoints.
+func TestDeepStress(t *testing.T) {
+	n := 3000
+	f := New(n)
+	ref := refforest.New(n)
+	r := rng.New(601)
+	var live [][2]int
+	for step := 0; step < 20000; step++ {
+		if r.Intn(10) < 6 {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !f.Connected(u, v) {
+				w := int64(1 + r.Intn(100))
+				f.Link(u, v, w)
+				ref.Link(u, v, w)
+				live = append(live, [2]int{u, v})
+			}
+		} else if len(live) > 0 {
+			i := r.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Cut(e[0], e[1])
+			ref.Cut(e[0], e[1])
+		}
+		if step%5000 == 4999 {
+			mustValidate(t, f, "deep stress checkpoint")
+			for q := 0; q < 50; q++ {
+				u, v := r.Intn(n), r.Intn(n)
+				gs, gok := f.PathSum(u, v)
+				ws, wok := ref.PathSum(u, v)
+				if gok != wok || (gok && gs != ws) {
+					t.Fatalf("step %d: PathSum(%d,%d) = %d,%v want %d,%v",
+						step, u, v, gs, gok, ws, wok)
+				}
+			}
+		}
+	}
+	mustValidate(t, f, "deep stress end")
+}
+
+// TestRepeatedEdgeChurn hammers one edge and one star center with
+// link/cut cycles (failure-injection style: the same clusters are
+// repeatedly torn down and rebuilt).
+func TestRepeatedEdgeChurn(t *testing.T) {
+	n := 64
+	f := New(n)
+	// Static star around 0, plus a churning edge (1,2)... first detach 1
+	// and 2 from the star so they can host the churn edge.
+	for i := 3; i < n; i++ {
+		f.Link(0, i, 1)
+	}
+	f.Link(0, 1, 5)
+	for i := 0; i < 200; i++ {
+		f.Link(1, 2, int64(i))
+		mustValidate(t, f, "churn link")
+		if s, ok := f.PathSum(0, 2); !ok || s != 5+int64(i) {
+			t.Fatalf("iter %d: PathSum(0,2) = %d,%v", i, s, ok)
+		}
+		f.Cut(1, 2)
+		mustValidate(t, f, "churn cut")
+		// Also churn a star spoke.
+		f.Cut(0, 3)
+		f.Link(0, 3, 1)
+	}
+}

@@ -1,0 +1,171 @@
+package ufo
+
+import "fmt"
+
+// Edge is an update item for batch operations.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Mode selects the contraction rules. UFO trees allow the unbounded-fanout
+// merge (a high-degree cluster absorbs all its degree-1 neighbors) and
+// preserve high-degree/high-fanout clusters across updates; topology trees
+// (Frederickson) use pair merges only — including the degree-1/degree-3
+// pair — require input degree ≤ 3, and delete every stale ancestor.
+type Mode uint8
+
+// Contraction modes.
+const (
+	ModeUFO Mode = iota
+	ModeTopology
+	// ModeRC is a deterministic, direct rake–compress style contraction:
+	// every round, each cluster with degree-1 neighbors absorbs all of
+	// them (rake — the center may have any degree, unlike UFO's ≥ 3
+	// rule), and the remaining degree ≤ 2 clusters are compressed along a
+	// maximal matching. Updates tear down all stale ancestors (no
+	// preservation). Inputs must have degree ≤ 3 (ternarize first), which
+	// also bounds all fanouts. This reproduces the paper's "deterministic
+	// and direct version of rake-compress trees" baseline (§D.1).
+	ModeRC
+)
+
+// Forest is a contraction-based dynamic forest over vertices 0..n-1 (a UFO
+// tree by default, a topology tree with NewTopology).
+//
+// The zero configuration runs updates serially; SetParallel(true) enables
+// goroutine-parallel batch updates. All query methods are read-only and may
+// run concurrently with each other (but not with updates).
+type Forest struct {
+	n        int
+	leaves   []*Cluster
+	nEdges   int
+	parallel bool
+	trackMax bool
+	mode     Mode
+	seed     uint64
+	eng      engine
+}
+
+// New returns an empty UFO-tree forest over n vertices.
+func New(n int) *Forest {
+	return newForest(n, ModeUFO)
+}
+
+// NewTopology returns an empty topology-tree forest over n vertices. The
+// represented forest must keep all vertex degrees ≤ 3 (use the ternary
+// package to lift arbitrary-degree inputs).
+func NewTopology(n int) *Forest {
+	return newForest(n, ModeTopology)
+}
+
+// NewRC returns an empty rake-compress-style forest over n vertices. The
+// represented forest must keep all vertex degrees ≤ 3 (use the ternary
+// package to lift arbitrary-degree inputs).
+func NewRC(n int) *Forest {
+	return newForest(n, ModeRC)
+}
+
+func newForest(n int, m Mode) *Forest {
+	f := &Forest{n: n, leaves: make([]*Cluster, n), mode: m, seed: 0x9e3779b97f4a7c15}
+	for i := range f.leaves {
+		f.leaves[i] = &Cluster{level: 0, leafV: int32(i), childIdx: -1, vcnt: 1, pathMax: negInf}
+	}
+	f.eng.f = f
+	return f
+}
+
+// Mode reports the contraction mode.
+func (f *Forest) Mode() Mode { return f.mode }
+
+// N returns the number of vertices.
+func (f *Forest) N() int { return f.n }
+
+// EdgeCount returns the number of live edges.
+func (f *Forest) EdgeCount() int { return f.nEdges }
+
+// SetParallel toggles goroutine-parallel batch updates.
+func (f *Forest) SetParallel(p bool) { f.parallel = p }
+
+// HasEdge reports whether edge (u,v) is present.
+func (f *Forest) HasEdge(u, v int) bool {
+	return f.leaves[u].adj.has(edgeKey(int32(u), int32(v)))
+}
+
+// Connected reports whether u and v are in the same tree. Cost is
+// proportional to the tree height, O(min{log n, D}).
+func (f *Forest) Connected(u, v int) bool {
+	if u == v {
+		return true
+	}
+	return top(f.leaves[u]) == top(f.leaves[v])
+}
+
+// ComponentSize returns the number of vertices in u's tree in
+// O(min{log n, D}) time.
+func (f *Forest) ComponentSize(u int) int {
+	return int(top(f.leaves[u]).vcnt)
+}
+
+// Height returns the level of u's root cluster (diagnostics; the paper
+// bounds it by min{log_{6/5} n, ceil(D/2)}).
+func (f *Forest) Height(u int) int {
+	return int(top(f.leaves[u]).level)
+}
+
+// Link inserts edge (u,v) with weight w. The endpoints must be distinct,
+// currently disconnected, and not already joined by this edge.
+func (f *Forest) Link(u, v int, w int64) {
+	if u == v {
+		panic(fmt.Sprintf("ufo: self loop %d", u))
+	}
+	if f.HasEdge(u, v) {
+		panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", u, v))
+	}
+	if f.Connected(u, v) {
+		panic(fmt.Sprintf("ufo: edge (%d,%d) would create a cycle", u, v))
+	}
+	f.eng.run([]Edge{{u, v, w}}, nil)
+}
+
+// Cut removes edge (u,v), which must exist.
+func (f *Forest) Cut(u, v int) {
+	if !f.HasEdge(u, v) {
+		panic(fmt.Sprintf("ufo: cutting absent edge (%d,%d)", u, v))
+	}
+	f.eng.run(nil, [][2]int{{u, v}})
+}
+
+// BatchLink inserts a batch of edges. The batch joined with the current
+// forest must remain a forest, and no edge may repeat.
+func (f *Forest) BatchLink(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	f.eng.run(edges, nil)
+}
+
+// BatchCut removes a batch of edges, all of which must exist and be
+// distinct.
+func (f *Forest) BatchCut(edges [][2]int) {
+	if len(edges) == 0 {
+		return
+	}
+	f.eng.run(nil, edges)
+}
+
+// SetVertexValue assigns the value aggregated by subtree queries,
+// propagating the change along the leaf-to-root path.
+func (f *Forest) SetVertexValue(v int, val int64) {
+	l := f.leaves[v]
+	delta := val - l.subSum
+	for c := l; c != nil; c = c.parent {
+		c.subSum += delta
+	}
+	if f.trackMax {
+		bubbleMax(l)
+	}
+}
+
+// VertexValue returns v's current value.
+func (f *Forest) VertexValue(v int) int64 { return f.leaves[v].subSum }

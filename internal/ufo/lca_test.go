@@ -1,0 +1,153 @@
+package ufo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+func TestPathHopsSimple(t *testing.T) {
+	f := New(5)
+	f.Link(0, 1, 10)
+	f.Link(1, 2, 20)
+	f.Link(2, 3, 30)
+	if h, ok := f.PathHops(0, 3); !ok || h != 3 {
+		t.Fatalf("PathHops(0,3) = %d,%v want 3", h, ok)
+	}
+	if h, ok := f.PathHops(1, 1); !ok || h != 0 {
+		t.Fatalf("PathHops(1,1) = %d,%v want 0", h, ok)
+	}
+	if _, ok := f.PathHops(0, 4); ok {
+		t.Fatal("PathHops across components should fail")
+	}
+}
+
+func TestSelectOnPathSimple(t *testing.T) {
+	f := New(6)
+	for i := 1; i < 6; i++ {
+		f.Link(i-1, i, 1)
+	}
+	for k := 0; k <= 5; k++ {
+		if got, ok := f.SelectOnPath(0, 5, k); !ok || got != k {
+			t.Fatalf("SelectOnPath(0,5,%d) = %d,%v", k, got, ok)
+		}
+	}
+	if _, ok := f.SelectOnPath(0, 5, 6); ok {
+		t.Fatal("SelectOnPath out of range should fail")
+	}
+}
+
+func TestLCASimple(t *testing.T) {
+	// Rooted at 0:     0
+	//                 / \
+	//                1   2
+	//               / \
+	//              3   4
+	f := New(5)
+	f.Link(0, 1, 1)
+	f.Link(0, 2, 1)
+	f.Link(1, 3, 1)
+	f.Link(1, 4, 1)
+	cases := []struct{ u, v, r, want int }{
+		{3, 4, 0, 1}, {3, 2, 0, 0}, {3, 1, 0, 1},
+		{4, 2, 0, 0}, {3, 4, 2, 1}, {0, 2, 3, 0},
+	}
+	for _, c := range cases {
+		if got, ok := f.LCA(c.u, c.v, c.r); !ok || got != c.want {
+			t.Fatalf("LCA(%d,%d;%d) = %d,%v want %d", c.u, c.v, c.r, got, ok, c.want)
+		}
+	}
+	if _, ok := f.LCA(0, 1, 2+2); ok == (f.Connected(0, 4)) && !ok {
+		t.Fatal("unexpected LCA failure")
+	}
+}
+
+// TestLCADifferential checks LCA, PathHops and SelectOnPath against the
+// oracle on evolving random forests of several shapes.
+func TestLCADifferential(t *testing.T) {
+	n := 120
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Star(n), gen.Binary(n), gen.Dandelion(n),
+		gen.PrefAttach(n, 401), gen.RandomAttach(n, 402),
+	}
+	for _, tr := range shapes {
+		f := New(n)
+		ref := refforest.New(n)
+		for _, e := range gen.Shuffled(tr, 403).Edges {
+			f.Link(e.U, e.V, e.W)
+			ref.Link(e.U, e.V, e.W)
+		}
+		r := rng.New(404)
+		for q := 0; q < 400; q++ {
+			u, v, root := r.Intn(n), r.Intn(n), r.Intn(n)
+			wantHops := len(ref.Path(u, v)) - 1
+			if gotHops, ok := f.PathHops(u, v); !ok || gotHops != wantHops {
+				t.Fatalf("%s: PathHops(%d,%d) = %d,%v want %d", tr.Name, u, v, gotHops, ok, wantHops)
+			}
+			if wantHops >= 0 {
+				k := r.Intn(wantHops + 1)
+				want := ref.Path(u, v)[k]
+				if got, ok := f.SelectOnPath(u, v, k); !ok || got != want {
+					t.Fatalf("%s: SelectOnPath(%d,%d,%d) = %d,%v want %d",
+						tr.Name, u, v, k, got, ok, want)
+				}
+			}
+			wantLCA, wantOK := ref.LCA(u, v, root)
+			gotLCA, gotOK := f.LCA(u, v, root)
+			if gotOK != wantOK || (gotOK && gotLCA != wantLCA) {
+				t.Fatalf("%s: LCA(%d,%d;%d) = %d,%v want %d,%v",
+					tr.Name, u, v, root, gotLCA, gotOK, wantLCA, wantOK)
+			}
+		}
+		// Mutate and re-verify: cut and relink a few edges.
+		for i := 0; i < 25; i++ {
+			e := tr.Edges[r.Intn(len(tr.Edges))]
+			if !f.HasEdge(e.U, e.V) {
+				continue
+			}
+			f.Cut(e.U, e.V)
+			ref.Cut(e.U, e.V)
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b && !ref.Connected(a, b) {
+				f.Link(a, b, 1)
+				ref.Link(a, b, 1)
+			}
+		}
+		for q := 0; q < 150; q++ {
+			u, v, root := r.Intn(n), r.Intn(n), r.Intn(n)
+			wantLCA, wantOK := ref.LCA(u, v, root)
+			gotLCA, gotOK := f.LCA(u, v, root)
+			if gotOK != wantOK || (gotOK && gotLCA != wantLCA) {
+				t.Fatalf("%s (mutated): LCA(%d,%d;%d) = %d,%v want %d,%v",
+					tr.Name, u, v, root, gotLCA, gotOK, wantLCA, wantOK)
+			}
+		}
+	}
+}
+
+// TestLCAOnRCAndTopology exercises the query machinery under the other two
+// contraction modes (bounded-degree inputs).
+func TestLCAOnRCAndTopology(t *testing.T) {
+	n := 150
+	tr := gen.RandomDegree3(n, 405)
+	for _, mk := range []func(int) *Forest{NewTopology, NewRC} {
+		f := mk(n)
+		ref := refforest.New(n)
+		for _, e := range gen.Shuffled(tr, 406).Edges {
+			f.Link(e.U, e.V, e.W)
+			ref.Link(e.U, e.V, e.W)
+		}
+		r := rng.New(407)
+		for q := 0; q < 300; q++ {
+			u, v, root := r.Intn(n), r.Intn(n), r.Intn(n)
+			wantLCA, wantOK := ref.LCA(u, v, root)
+			gotLCA, gotOK := f.LCA(u, v, root)
+			if gotOK != wantOK || (gotOK && gotLCA != wantLCA) {
+				t.Fatalf("mode %v: LCA(%d,%d;%d) = %d,%v want %d,%v",
+					f.Mode(), u, v, root, gotLCA, gotOK, wantLCA, wantOK)
+			}
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package ufo
+
+import "fmt"
+
+// repEntry is one representative-path value: the aggregate of the edges on
+// the unique path from the query vertex to the boundary vertex v of the
+// current cluster.
+type repEntry struct {
+	v   int32
+	sum int64
+	max int64
+	cnt int32
+}
+
+// rep carries the representative paths of the current cluster: one entry
+// per distinct boundary vertex (at most two).
+type rep struct {
+	e [2]repEntry
+	n int
+}
+
+func (r *rep) get(v int32) (repEntry, bool) {
+	for i := 0; i < r.n; i++ {
+		if r.e[i].v == v {
+			return r.e[i], true
+		}
+	}
+	return repEntry{}, false
+}
+
+func (r *rep) set(ent repEntry) {
+	for i := 0; i < r.n; i++ {
+		if r.e[i].v == ent.v {
+			r.e[i] = ent
+			return
+		}
+	}
+	r.e[r.n] = ent
+	r.n++
+}
+
+// stepRep lifts the representative paths of c to its parent, implementing
+// the inductive cases of Appendix C.2 in the unified boundary-vertex
+// formulation: for each boundary b of the parent, either b lies inside c
+// (copy), or the path continues through the merge edge g into the sibling's
+// cluster path.
+func stepRep(c *Cluster, r rep) rep {
+	p := c.parent
+	if len(p.children) == 1 {
+		return r
+	}
+	pb, pn := p.boundaries()
+	var out rep
+	if pn == 0 {
+		return out
+	}
+	if p.center == c {
+		// All of p's crossing edges are c's (leaves contribute none).
+		for i := 0; i < pn; i++ {
+			ent, ok := r.get(pb[i])
+			if !ok {
+				panic("ufo: representative path missing a center boundary")
+			}
+			out.set(ent)
+		}
+		return out
+	}
+	// c attaches to exactly one sibling: the merge center, or its pair
+	// partner.
+	s := p.center
+	if s == nil {
+		if p.children[0] == c {
+			s = p.children[1]
+		} else {
+			s = p.children[0]
+		}
+	}
+	g, ok := edgeBetween(c, s)
+	if !ok {
+		panic("ufo: merge edge missing between siblings")
+	}
+	for i := 0; i < pn; i++ {
+		b := pb[i]
+		if c.hasBoundary(b) {
+			ent, ok := r.get(b)
+			if !ok {
+				panic("ufo: representative path missing a boundary")
+			}
+			out.set(ent)
+			continue
+		}
+		base, ok := r.get(g.myV)
+		if !ok {
+			panic("ufo: representative path missing the merge boundary")
+		}
+		sum := base.sum + g.w
+		mx := max64(base.max, g.w)
+		cnt := base.cnt + 1
+		if b != g.otherV {
+			// The path crosses the sibling's whole cluster path.
+			sum += s.pathSum
+			mx = max64(mx, s.pathMax)
+			cnt += s.pathCnt
+		}
+		out.set(repEntry{v: b, sum: sum, max: mx, cnt: cnt})
+	}
+	return out
+}
+
+// pathAgg walks both leaf-to-root chains in lockstep to the LCA cluster,
+// maintaining representative paths, and combines them through the
+// connecting edge (or through the superunary center when the two children
+// are both leaves of an unbounded-fanout merge).
+func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
+	if u == v {
+		return 0, negInf, 0, true
+	}
+	cu, cv := f.leaves[u], f.leaves[v]
+	ru := rep{e: [2]repEntry{{v: int32(u), sum: 0, max: negInf}}, n: 1}
+	rv := rep{e: [2]repEntry{{v: int32(v), sum: 0, max: negInf}}, n: 1}
+	for {
+		pu, pv := cu.parent, cv.parent
+		if pu == nil || pv == nil {
+			return 0, 0, 0, false
+		}
+		if pu == pv {
+			break
+		}
+		ru = stepRep(cu, ru)
+		rv = stepRep(cv, rv)
+		cu, cv = pu, pv
+	}
+	if g, found := edgeBetween(cu, cv); found {
+		eu, okU := ru.get(g.myV)
+		ev, okV := rv.get(g.otherV)
+		if !okU || !okV {
+			panic("ufo: representative paths missing connecting boundaries")
+		}
+		return eu.sum + g.w + ev.sum, max64(max64(eu.max, g.w), ev.max),
+			eu.cnt + 1 + ev.cnt, true
+	}
+	// Both are leaves of the same superunary merge: the path runs through
+	// the center. For UFO trees the center has a single boundary vertex and
+	// the center path is empty; RC rake centers may have two boundary
+	// vertices, in which case the center's cluster path joins the two
+	// attachment points.
+	eU, okU := cu.adj.any()
+	eV, okV := cv.adj.any()
+	if !okU || !okV {
+		panic("ufo: superunary leaves without edges")
+	}
+	entU, okU := ru.get(eU.myV)
+	entV, okV := rv.get(eV.myV)
+	if !okU || !okV {
+		panic("ufo: representative paths missing leaf boundaries")
+	}
+	sum = entU.sum + eU.w + eV.w + entV.sum
+	mx = max64(max64(entU.max, eU.w), max64(entV.max, eV.w))
+	cnt = entU.cnt + 2 + entV.cnt
+	if eU.otherV != eV.otherV {
+		center := eU.to
+		sum += center.pathSum
+		mx = max64(mx, center.pathMax)
+		cnt += center.pathCnt
+	}
+	return sum, mx, cnt, true
+}
+
+// PathSum returns the sum of edge weights on the u..v path in
+// O(min{log n, D}) time; ok is false if u and v are disconnected.
+func (f *Forest) PathSum(u, v int) (int64, bool) {
+	s, _, _, ok := f.pathAgg(u, v)
+	return s, ok
+}
+
+// PathMax returns the maximum edge weight on the u..v path in
+// O(min{log n, D}) time; ok is false if disconnected or u == v.
+func (f *Forest) PathMax(u, v int) (int64, bool) {
+	if u == v {
+		return 0, false
+	}
+	_, m, _, ok := f.pathAgg(u, v)
+	return m, ok
+}
+
+// PathHops returns the number of edges on the u..v path; ok is false when
+// u and v are disconnected.
+func (f *Forest) PathHops(u, v int) (int, bool) {
+	_, _, c, ok := f.pathAgg(u, v)
+	return int(c), ok
+}
+
+// ComponentSum returns the sum of vertex values in u's tree in
+// O(min{log n, D}) time.
+func (f *Forest) ComponentSum(u int) int64 {
+	return top(f.leaves[u]).subSum
+}
+
+// frontier is the set of boundary vertices (≤ 2) of the current cluster
+// through whose crossing edges the queried subtree extends further.
+type frontier struct {
+	v [2]int32
+	n int
+}
+
+func (fr *frontier) has(x int32) bool {
+	for i := 0; i < fr.n; i++ {
+		if fr.v[i] == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (fr *frontier) add(x int32) {
+	if !fr.has(x) {
+		fr.v[fr.n] = x
+		fr.n++
+	}
+}
+
+// SubtreeSum returns the sum of vertex values in the subtree rooted at v
+// when its tree is rooted so that p is v's parent (p must be adjacent to
+// v), in O(min{log n, D}) time. Vertex values are group elements (int64
+// addition), which is what makes the frontier ascent O(1) per level: the
+// contents of all siblings are P.subSum − X.subSum (Appendix C.2,
+// "subtree queries with invertible functions").
+func (f *Forest) SubtreeSum(v, p int) int64 {
+	return f.subtreeAgg(v, p, func(c *Cluster) int64 { return c.subSum })
+}
+
+// SubtreeSize returns the number of vertices in the subtree rooted at v
+// with respect to parent p, in O(min{log n, D}) time.
+func (f *Forest) SubtreeSize(v, p int) int {
+	return int(f.subtreeAgg(v, p, func(c *Cluster) int64 { return c.vcnt }))
+}
+
+// subtreeAgg implements the frontier ascent shared by all invertible
+// subtree aggregates; val extracts the aggregate being queried.
+func (f *Forest) subtreeAgg(v, p int, val func(*Cluster) int64) int64 {
+	key := edgeKey(int32(v), int32(p))
+	if !f.leaves[v].adj.has(key) {
+		panic(fmt.Sprintf("ufo: subtree query with non-adjacent (%d,%d)", v, p))
+	}
+	cv, cp := f.leaves[v], f.leaves[p]
+	for cv.parent != cp.parent {
+		cv, cp = cv.parent, cp.parent
+		if cv == nil || cp == nil {
+			panic("ufo: adjacent vertices with no common ancestor")
+		}
+	}
+	V, U := cv, cp
+	lca := V.parent
+	if lca == nil {
+		panic("ufo: adjacent vertices without an LCA cluster")
+	}
+	var sum int64
+	var fr frontier
+	switch {
+	case lca.center == V:
+		// v's side is the superunary center: every sibling except U (the
+		// p side) hangs off V's boundary and is inside the subtree.
+		sum = val(lca) - val(U)
+		b, n := lca.boundaries()
+		for i := 0; i < n; i++ {
+			fr.add(b[i])
+		}
+	case lca.center == U:
+		// v's side is a degree-1 leaf of the superunary merge: the
+		// subtree is exactly V.
+		return val(V)
+	default:
+		// Pair merge: the subtree within the LCA is V; it extends through
+		// V's crossing edges other than the (p,v) edge itself.
+		sum = val(V)
+		epv, ok := V.adj.get(key)
+		if !ok {
+			panic("ufo: (p,v) edge missing at the LCA level")
+		}
+		bs, n := V.boundaries()
+		for i := 0; i < n; i++ {
+			b := bs[i]
+			if b != epv.myV {
+				fr.add(b)
+				continue
+			}
+			// Keep the (p,v) boundary only if another crossing edge of V
+			// lands there.
+			others := 0
+			if V.adj.degree() >= 3 {
+				others = 1 // single-boundary invariant: all edges at b
+			} else {
+				V.adj.forEach(func(er EdgeRef) bool {
+					if er.key != key && er.myV == b {
+						others++
+						return false
+					}
+					return true
+				})
+			}
+			if others > 0 {
+				fr.add(b)
+			}
+		}
+	}
+	// Ascend: at each level, the sibling complex attaches to X at a single
+	// vertex; if that vertex is on the subtree frontier, all siblings lie
+	// inside the subtree.
+	X := lca
+	for fr.n > 0 && X.parent != nil {
+		P := X.parent
+		if len(P.children) > 1 {
+			if P.center == X {
+				_, xn := X.boundaries()
+				if xn == 0 {
+					break
+				}
+				if xn == 1 {
+					// All siblings attach at the single boundary, which
+					// must be the frontier (F ⊆ boundaries(X)).
+					sum += val(P) - val(X)
+				} else {
+					// RC-mode rake center with two boundary vertices:
+					// include each leaf sibling individually by its
+					// attachment vertex (fanout is degree-bounded here).
+					for _, s := range P.children {
+						if s == X {
+							continue
+						}
+						g, ok := edgeBetween(s, X)
+						if !ok {
+							panic("ufo: rake leaf not adjacent to center")
+						}
+						if fr.has(g.otherV) {
+							sum += val(s)
+						}
+					}
+				}
+				fr = liftFrontier(P, X, fr)
+				X = P
+				continue
+			}
+			s := P.center
+			if s == nil {
+				if P.children[0] == X {
+					s = P.children[1]
+				} else {
+					s = P.children[0]
+				}
+			}
+			g, ok := edgeBetween(X, s)
+			if !ok {
+				panic("ufo: merge edge missing during subtree ascent")
+			}
+			if fr.has(g.myV) {
+				sum += val(P) - val(X)
+				fr = liftFrontier(P, X, fr)
+			}
+		}
+		X = P
+	}
+	return sum
+}
+
+// liftFrontier maps the frontier of X to its parent P: P's boundary
+// vertices minus those boundaries of X that were not on the frontier.
+func liftFrontier(P, X *Cluster, fr frontier) frontier {
+	xb, xn := X.boundaries()
+	var ex [2]int32
+	nex := 0
+	for i := 0; i < xn; i++ {
+		if !fr.has(xb[i]) {
+			ex[nex] = xb[i]
+			nex++
+		}
+	}
+	pb, pn := P.boundaries()
+	var out frontier
+	for i := 0; i < pn; i++ {
+		excluded := false
+		for j := 0; j < nex; j++ {
+			if pb[i] == ex[j] {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			out.add(pb[i])
+		}
+	}
+	return out
+}

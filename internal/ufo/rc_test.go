@@ -1,0 +1,142 @@
+package ufo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+func TestRCBasic(t *testing.T) {
+	f := NewRC(6)
+	f.Link(0, 1, 1)
+	f.Link(1, 2, 2)
+	f.Link(2, 3, 5)
+	mustValidate(t, f, "rc path built")
+	if !f.Connected(0, 3) || f.Connected(0, 4) {
+		t.Fatal("bad connectivity")
+	}
+	if s, ok := f.PathSum(0, 3); !ok || s != 8 {
+		t.Fatalf("PathSum(0,3) = %d,%v want 8", s, ok)
+	}
+	f.Cut(1, 2)
+	mustValidate(t, f, "rc after cut")
+	if f.Connected(0, 3) {
+		t.Fatal("still connected after cut")
+	}
+}
+
+func runRCDifferential(t *testing.T, n, steps int, seed uint64, validateEvery int) {
+	t.Helper()
+	f := NewRC(n)
+	ref := refforest.New(n)
+	r := rng.New(seed)
+	var live [][2]int
+	for step := 0; step < steps; step++ {
+		op := r.Intn(12)
+		switch {
+		case op < 5:
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && ref.Degree(u) < 3 && ref.Degree(v) < 3 && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(50))
+				f.Link(u, v, w)
+				ref.Link(u, v, w)
+				live = append(live, [2]int{u, v})
+			}
+		case op < 7 && len(live) > 0:
+			i := r.Intn(len(live))
+			ed := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Cut(ed[0], ed[1])
+			ref.Cut(ed[0], ed[1])
+		case op < 8:
+			v := r.Intn(n)
+			val := int64(r.Intn(100))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		case op < 10:
+			u, v := r.Intn(n), r.Intn(n)
+			if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+				t.Fatalf("step %d: Connected(%d,%d) = %v, want %v", step, u, v, got, want)
+			}
+			gs, gok := f.PathSum(u, v)
+			ws, wok := ref.PathSum(u, v)
+			if gok != wok || (gok && gs != ws) {
+				t.Fatalf("step %d: PathSum(%d,%d) = %d,%v want %d,%v", step, u, v, gs, gok, ws, wok)
+			}
+		default:
+			if len(live) == 0 {
+				continue
+			}
+			ed := live[r.Intn(len(live))]
+			v, p := ed[0], ed[1]
+			if r.Bool() {
+				v, p = p, v
+			}
+			if got, want := f.SubtreeSum(v, p), ref.SubtreeSum(v, p); got != want {
+				t.Fatalf("step %d: SubtreeSum(%d,%d) = %d, want %d", step, v, p, got, want)
+			}
+		}
+		if validateEvery > 0 && step%validateEvery == 0 {
+			mustValidate(t, f, "rc differential")
+		}
+	}
+	mustValidate(t, f, "rc differential end")
+}
+
+func TestRCDifferentialTiny(t *testing.T)   { runRCDifferential(t, 6, 4000, 91, 1) }
+func TestRCDifferentialSmall(t *testing.T)  { runRCDifferential(t, 14, 4000, 92, 1) }
+func TestRCDifferentialMedium(t *testing.T) { runRCDifferential(t, 60, 3000, 93, 5) }
+
+func TestRCBuildDestroyShapes(t *testing.T) {
+	n := 400
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Binary(n), gen.RandomDegree3(n, 95),
+	}
+	for _, tr := range shapes {
+		f := NewRC(n)
+		ref := refforest.New(n)
+		sh := gen.Shuffled(gen.WithRandomWeights(tr, 100, 96), 97)
+		for _, e := range sh.Edges {
+			f.Link(e.U, e.V, e.W)
+			ref.Link(e.U, e.V, e.W)
+		}
+		mustValidate(t, f, tr.Name+" built (rc)")
+		r := rng.New(98)
+		for q := 0; q < 150; q++ {
+			u, v := r.Intn(n), r.Intn(n)
+			gs, _ := f.PathSum(u, v)
+			ws, _ := ref.PathSum(u, v)
+			if gs != ws {
+				t.Fatalf("%s: PathSum(%d,%d) = %d, want %d", tr.Name, u, v, gs, ws)
+			}
+		}
+		for _, e := range gen.Shuffled(tr, 99).Edges {
+			f.Cut(e.U, e.V)
+		}
+		mustValidate(t, f, tr.Name+" destroyed (rc)")
+	}
+}
+
+func TestRCBatch(t *testing.T) {
+	n := 300
+	tr := gen.Shuffled(gen.RandomDegree3(n, 101), 102)
+	f := NewRC(n)
+	for lo := 0; lo < len(tr.Edges); lo += 29 {
+		hi := lo + 29
+		if hi > len(tr.Edges) {
+			hi = len(tr.Edges)
+		}
+		var edges []Edge
+		for _, e := range tr.Edges[lo:hi] {
+			edges = append(edges, Edge{e.U, e.V, e.W})
+		}
+		f.BatchLink(edges)
+		mustValidate(t, f, "rc batch link")
+	}
+	if f.ComponentSize(0) != n {
+		t.Fatal("rc batch build incomplete")
+	}
+}

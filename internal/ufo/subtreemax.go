@@ -1,0 +1,217 @@
+package ufo
+
+import (
+	"fmt"
+
+	"repro/internal/ranktree"
+)
+
+// Non-invertible subtree aggregates (§4.2 of the paper, Theorem 4.4).
+//
+// Subtree max cannot use the frontier-subtraction trick of SubtreeSum (max
+// has no inverse), and recomputing over a high-fanout cluster's children
+// would cost O(fanout). Following the paper, every tracked cluster stores
+// its children in a rank tree (package ranktree) keyed by subtree weight,
+// giving O(log) insertion, deletion, and — crucially — aggregate-except-one
+// queries during the ascent. Lemma C.6 shows Ω(log n) is unavoidable here
+// even at constant diameter, so the O(D) bound of the invertible queries is
+// provably out of reach.
+//
+// Tracking is opt-in (EnableSubtreeMax) so that the default update paths
+// carry no rank-tree cost; this mirrors the paper's presentation of the
+// rank-tree machinery as an add-on for the non-invertible query family.
+
+func max2(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EnableSubtreeMax turns on non-invertible subtree aggregation. It must be
+// called while the forest has no edges.
+func (f *Forest) EnableSubtreeMax() {
+	if f.nEdges > 0 {
+		panic("ufo: EnableSubtreeMax requires an empty forest")
+	}
+	f.trackMax = true
+	for _, l := range f.leaves {
+		l.flags |= flagTrackMax
+		l.subMax = l.subSum
+	}
+}
+
+// trackAttach registers c in p's child rank tree and restores the subMax
+// invariant on p's ancestor chain.
+func trackAttach(p, c *Cluster) {
+	if p.childTree == nil {
+		p.childTree = ranktree.New(max2)
+	}
+	c.childItem = p.childTree.Insert(c.subMax, max2(c.vcnt, 1))
+	bubbleMax(p)
+}
+
+// trackDetach removes c from p's child rank tree and restores subMax.
+func trackDetach(p, c *Cluster) {
+	if c.childItem != nil {
+		p.childTree.Delete(c.childItem)
+		c.childItem = nil
+	}
+	bubbleMax(p)
+}
+
+// bubbleMax recomputes subMax at p and propagates changes upward, stopping
+// as soon as an ancestor's value is unaffected.
+func bubbleMax(p *Cluster) {
+	for q := p; q != nil; q = q.parent {
+		var nm int64 = negInf
+		if q.level == 0 {
+			nm = q.subSum // a leaf's max is its own value
+		} else if q.childTree != nil {
+			if agg, ok := q.childTree.Aggregate(); ok {
+				nm = agg
+			}
+		}
+		if nm == q.subMax && q != p {
+			return
+		}
+		q.subMax = nm
+		if q.parent != nil && q.childItem != nil {
+			q.parent.childTree.UpdateValue(q.childItem, nm)
+		}
+	}
+}
+
+// SubtreeMax returns the maximum vertex value in the subtree rooted at v
+// when p (adjacent to v) is its parent, in O(log n) time (Theorem 4.4).
+// EnableSubtreeMax must have been called before building the forest.
+func (f *Forest) SubtreeMax(v, p int) int64 {
+	if !f.trackMax {
+		panic("ufo: SubtreeMax requires EnableSubtreeMax before building")
+	}
+	key := edgeKey(int32(v), int32(p))
+	if !f.leaves[v].adj.has(key) {
+		panic(fmt.Sprintf("ufo: subtree query with non-adjacent (%d,%d)", v, p))
+	}
+	cv, cp := f.leaves[v], f.leaves[p]
+	for cv.parent != cp.parent {
+		cv, cp = cv.parent, cp.parent
+		if cv == nil || cp == nil {
+			panic("ufo: adjacent vertices with no common ancestor")
+		}
+	}
+	V, U := cv, cp
+	lca := V.parent
+	if lca == nil {
+		panic("ufo: adjacent vertices without an LCA cluster")
+	}
+	var acc int64 = negInf
+	var fr frontier
+	switch {
+	case lca.center == V:
+		// Everything in the LCA except the p side: O(log) via the rank
+		// tree's aggregate-except-one.
+		if ex, ok := lca.childTree.AggregateExcept(U.childItem); ok {
+			acc = ex
+		}
+		b, n := lca.boundaries()
+		for i := 0; i < n; i++ {
+			fr.add(b[i])
+		}
+	case lca.center == U:
+		return V.subMax
+	default:
+		acc = V.subMax
+		epv, ok := V.adj.get(key)
+		if !ok {
+			panic("ufo: (p,v) edge missing at the LCA level")
+		}
+		bs, n := V.boundaries()
+		for i := 0; i < n; i++ {
+			b := bs[i]
+			if b != epv.myV {
+				fr.add(b)
+				continue
+			}
+			others := 0
+			if V.adj.degree() >= 3 {
+				others = 1
+			} else {
+				V.adj.forEach(func(er EdgeRef) bool {
+					if er.key != key && er.myV == b {
+						others++
+						return false
+					}
+					return true
+				})
+			}
+			if others > 0 {
+				fr.add(b)
+			}
+		}
+	}
+	X := lca
+	for fr.n > 0 && X.parent != nil {
+		P := X.parent
+		if len(P.children) > 1 {
+			if P.center == X {
+				_, xn := X.boundaries()
+				if xn == 0 {
+					break
+				}
+				if xn == 1 {
+					if ex, ok := P.childTree.AggregateExcept(X.childItem); ok {
+						acc = max2(acc, ex)
+					}
+				} else {
+					// RC-mode two-boundary rake center: per-leaf
+					// attachment split (fanout is degree-bounded here).
+					for _, s := range P.children {
+						if s == X {
+							continue
+						}
+						g, ok := edgeBetween(s, X)
+						if !ok {
+							panic("ufo: rake leaf not adjacent to center")
+						}
+						if fr.has(g.otherV) {
+							acc = max2(acc, s.subMax)
+						}
+					}
+				}
+				fr = liftFrontier(P, X, fr)
+				X = P
+				continue
+			}
+			s := P.center
+			if s == nil {
+				if P.children[0] == X {
+					s = P.children[1]
+				} else {
+					s = P.children[0]
+				}
+			}
+			g, ok := edgeBetween(X, s)
+			if !ok {
+				panic("ufo: merge edge missing during subtree ascent")
+			}
+			if fr.has(g.myV) {
+				if ex, ok := P.childTree.AggregateExcept(X.childItem); ok {
+					acc = max2(acc, ex)
+				}
+				fr = liftFrontier(P, X, fr)
+			}
+		}
+		X = P
+	}
+	return acc
+}
+
+// ComponentMax returns the maximum vertex value in u's tree (requires
+// EnableSubtreeMax).
+func (f *Forest) ComponentMax(u int) int64 {
+	if !f.trackMax {
+		panic("ufo: ComponentMax requires EnableSubtreeMax before building")
+	}
+	return top(f.leaves[u]).subMax
+}

@@ -1,0 +1,194 @@
+package ufo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+func TestSubtreeMaxBasic(t *testing.T) {
+	f := New(6)
+	f.EnableSubtreeMax()
+	f.Link(0, 1, 1)
+	f.Link(1, 2, 1)
+	f.Link(1, 3, 1)
+	for v := 0; v < 6; v++ {
+		f.SetVertexValue(v, int64(10*v))
+	}
+	if m := f.SubtreeMax(1, 0); m != 30 {
+		t.Fatalf("SubtreeMax(1,0) = %d, want 30", m)
+	}
+	if m := f.SubtreeMax(0, 1); m != 0 {
+		t.Fatalf("SubtreeMax(0,1) = %d, want 0", m)
+	}
+	if m := f.ComponentMax(2); m != 30 {
+		t.Fatalf("ComponentMax = %d, want 30", m)
+	}
+	f.SetVertexValue(2, 99)
+	if m := f.SubtreeMax(1, 0); m != 99 {
+		t.Fatalf("SubtreeMax after update = %d, want 99", m)
+	}
+	f.Cut(1, 2)
+	if m := f.SubtreeMax(1, 0); m != 30 {
+		t.Fatalf("SubtreeMax after cut = %d, want 30", m)
+	}
+}
+
+func TestSubtreeMaxRequiresOptIn(t *testing.T) {
+	f := New(3)
+	f.Link(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubtreeMax without EnableSubtreeMax should panic")
+		}
+	}()
+	f.SubtreeMax(0, 1)
+}
+
+func TestEnableAfterBuildPanics(t *testing.T) {
+	f := New(3)
+	f.Link(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableSubtreeMax on a non-empty forest should panic")
+		}
+	}()
+	f.EnableSubtreeMax()
+}
+
+// runMaxDifferential drives link/cut/value updates with subtree-max checks
+// and full validation.
+func runMaxDifferential(t *testing.T, n, steps int, seed uint64, validateEvery int) {
+	t.Helper()
+	f := New(n)
+	f.EnableSubtreeMax()
+	ref := refforest.New(n)
+	r := rng.New(seed)
+	var live [][2]int
+	for step := 0; step < steps; step++ {
+		op := r.Intn(12)
+		switch {
+		case op < 5:
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(50))
+				f.Link(u, v, w)
+				ref.Link(u, v, w)
+				live = append(live, [2]int{u, v})
+			}
+		case op < 7 && len(live) > 0:
+			i := r.Intn(len(live))
+			ed := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Cut(ed[0], ed[1])
+			ref.Cut(ed[0], ed[1])
+		case op < 9:
+			v := r.Intn(n)
+			val := int64(r.Intn(200))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		default:
+			if len(live) == 0 {
+				continue
+			}
+			ed := live[r.Intn(len(live))]
+			v, p := ed[0], ed[1]
+			if r.Bool() {
+				v, p = p, v
+			}
+			if got, want := f.SubtreeMax(v, p), ref.SubtreeMax(v, p); got != want {
+				t.Fatalf("step %d: SubtreeMax(%d,%d) = %d, want %d", step, v, p, got, want)
+			}
+			if got, want := f.SubtreeSum(v, p), ref.SubtreeSum(v, p); got != want {
+				t.Fatalf("step %d: SubtreeSum(%d,%d) = %d, want %d", step, v, p, got, want)
+			}
+		}
+		if validateEvery > 0 && step%validateEvery == 0 {
+			mustValidate(t, f, "subtree-max differential")
+		}
+	}
+	mustValidate(t, f, "subtree-max differential end")
+}
+
+func TestSubtreeMaxDifferentialTiny(t *testing.T)  { runMaxDifferential(t, 7, 4000, 71, 1) }
+func TestSubtreeMaxDifferentialSmall(t *testing.T) { runMaxDifferential(t, 16, 4000, 72, 1) }
+func TestSubtreeMaxDifferentialMed(t *testing.T)   { runMaxDifferential(t, 70, 3000, 73, 5) }
+
+// TestSubtreeMaxStar exercises the rank-tree path on an extreme-fanout
+// input, including the sorting workload of Lemma C.6 (repeatedly remove
+// the maximum leaf of a star).
+func TestSubtreeMaxStar(t *testing.T) {
+	n := 300
+	f := New(n)
+	f.EnableSubtreeMax()
+	r := rng.New(74)
+	vals := r.Perm(n - 1)
+	for i := 1; i < n; i++ {
+		f.Link(0, i, 1)
+		f.SetVertexValue(i, int64(vals[i-1]))
+	}
+	mustValidate(t, f, "star built with tracking")
+	// Selection sort via subtree-max: the Lemma C.6 reduction.
+	want := n - 2
+	for i := 0; i < n-1; i++ {
+		// Max over all leaves = component max excluding center value 0.
+		m := f.ComponentMax(0)
+		if int(m) != want {
+			t.Fatalf("round %d: max = %d, want %d", i, m, want)
+		}
+		// Find and remove the leaf holding the max.
+		leaf := -1
+		for v := 1; v < n; v++ {
+			if f.HasEdge(0, v) && f.VertexValue(v) == m {
+				leaf = v
+				break
+			}
+		}
+		f.Cut(0, leaf)
+		f.SetVertexValue(leaf, -1)
+		want--
+	}
+	if f.EdgeCount() != 0 {
+		t.Fatal("star not fully dismantled")
+	}
+}
+
+func TestSubtreeMaxBatch(t *testing.T) {
+	n := 400
+	tr := gen.Shuffled(gen.PrefAttach(n, 75), 76)
+	f := New(n)
+	f.EnableSubtreeMax()
+	ref := refforest.New(n)
+	r := rng.New(77)
+	for v := 0; v < n; v++ {
+		val := int64(r.Intn(1000))
+		f.SetVertexValue(v, val)
+		ref.SetVertexValue(v, val)
+	}
+	var edges []Edge
+	for _, e := range tr.Edges {
+		edges = append(edges, Edge{e.U, e.V, e.W})
+		ref.Link(e.U, e.V, e.W)
+	}
+	for lo := 0; lo < len(edges); lo += 59 {
+		hi := lo + 59
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		f.BatchLink(edges[lo:hi])
+		mustValidate(t, f, "batch link with tracking")
+	}
+	for q := 0; q < 200; q++ {
+		e := tr.Edges[r.Intn(len(tr.Edges))]
+		v, p := e.U, e.V
+		if r.Bool() {
+			v, p = p, v
+		}
+		if got, want := f.SubtreeMax(v, p), ref.SubtreeMax(v, p); got != want {
+			t.Fatalf("SubtreeMax(%d,%d) = %d, want %d", v, p, got, want)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package ufo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+func TestTopologyBasic(t *testing.T) {
+	f := NewTopology(6)
+	f.Link(0, 1, 1)
+	f.Link(1, 2, 2)
+	f.Link(2, 3, 5)
+	mustValidate(t, f, "topology path built")
+	if !f.Connected(0, 3) || f.Connected(0, 4) {
+		t.Fatal("bad connectivity")
+	}
+	if s, ok := f.PathSum(0, 3); !ok || s != 8 {
+		t.Fatalf("PathSum(0,3) = %d,%v want 8", s, ok)
+	}
+	f.Cut(1, 2)
+	mustValidate(t, f, "topology after cut")
+	if f.Connected(0, 3) {
+		t.Fatal("still connected after cut")
+	}
+}
+
+func TestTopologyDegreeLimit(t *testing.T) {
+	f := NewTopology(5)
+	f.Link(0, 1, 1)
+	f.Link(0, 2, 1)
+	f.Link(0, 3, 1)
+	mustValidate(t, f, "degree-3 vertex")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on degree-4 vertex in topology mode")
+		}
+	}()
+	f.Link(0, 4, 1)
+}
+
+// runTopoDifferential mirrors the UFO differential driver but keeps all
+// degrees ≤ 3.
+func runTopoDifferential(t *testing.T, n, steps int, seed uint64, validateEvery int) {
+	t.Helper()
+	f := NewTopology(n)
+	ref := refforest.New(n)
+	r := rng.New(seed)
+	var live [][2]int
+	for step := 0; step < steps; step++ {
+		op := r.Intn(12)
+		switch {
+		case op < 5:
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && ref.Degree(u) < 3 && ref.Degree(v) < 3 && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(50))
+				f.Link(u, v, w)
+				ref.Link(u, v, w)
+				live = append(live, [2]int{u, v})
+			}
+		case op < 7 && len(live) > 0:
+			i := r.Intn(len(live))
+			ed := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Cut(ed[0], ed[1])
+			ref.Cut(ed[0], ed[1])
+		case op < 8:
+			v := r.Intn(n)
+			val := int64(r.Intn(100))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		case op < 10:
+			u, v := r.Intn(n), r.Intn(n)
+			if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+				t.Fatalf("step %d: Connected(%d,%d) = %v, want %v", step, u, v, got, want)
+			}
+			gs, gok := f.PathSum(u, v)
+			ws, wok := ref.PathSum(u, v)
+			if gok != wok || (gok && gs != ws) {
+				t.Fatalf("step %d: PathSum(%d,%d) = %d,%v want %d,%v", step, u, v, gs, gok, ws, wok)
+			}
+			gm, gok := f.PathMax(u, v)
+			wm, wok := ref.PathMax(u, v)
+			if gok != wok || (gok && gm != wm) {
+				t.Fatalf("step %d: PathMax(%d,%d) = %d,%v want %d,%v", step, u, v, gm, gok, wm, wok)
+			}
+		default:
+			if len(live) == 0 {
+				continue
+			}
+			ed := live[r.Intn(len(live))]
+			v, p := ed[0], ed[1]
+			if r.Bool() {
+				v, p = p, v
+			}
+			if got, want := f.SubtreeSum(v, p), ref.SubtreeSum(v, p); got != want {
+				t.Fatalf("step %d: SubtreeSum(%d,%d) = %d, want %d", step, v, p, got, want)
+			}
+		}
+		if validateEvery > 0 && step%validateEvery == 0 {
+			mustValidate(t, f, "topology differential")
+		}
+	}
+	mustValidate(t, f, "topology differential end")
+}
+
+func TestTopologyDifferentialTiny(t *testing.T)   { runTopoDifferential(t, 6, 4000, 51, 1) }
+func TestTopologyDifferentialSmall(t *testing.T)  { runTopoDifferential(t, 14, 4000, 52, 1) }
+func TestTopologyDifferentialMedium(t *testing.T) { runTopoDifferential(t, 60, 3000, 53, 5) }
+
+func TestTopologyBuildDestroyShapes(t *testing.T) {
+	n := 400
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Binary(n), gen.RandomDegree3(n, 61),
+	}
+	for _, tr := range shapes {
+		f := NewTopology(n)
+		ref := refforest.New(n)
+		sh := gen.Shuffled(gen.WithRandomWeights(tr, 100, 62), 63)
+		for _, e := range sh.Edges {
+			f.Link(e.U, e.V, e.W)
+			ref.Link(e.U, e.V, e.W)
+		}
+		mustValidate(t, f, tr.Name+" built (topology)")
+		r := rng.New(64)
+		for q := 0; q < 150; q++ {
+			u, v := r.Intn(n), r.Intn(n)
+			gs, _ := f.PathSum(u, v)
+			ws, _ := ref.PathSum(u, v)
+			if gs != ws {
+				t.Fatalf("%s: PathSum(%d,%d) = %d, want %d", tr.Name, u, v, gs, ws)
+			}
+		}
+		for _, e := range gen.Shuffled(tr, 65).Edges {
+			f.Cut(e.U, e.V)
+		}
+		mustValidate(t, f, tr.Name+" destroyed (topology)")
+	}
+}
+
+func TestTopologyBatch(t *testing.T) {
+	n := 400
+	tr := gen.Shuffled(gen.RandomDegree3(n, 71), 72)
+	f := NewTopology(n)
+	for lo := 0; lo < len(tr.Edges); lo += 37 {
+		hi := lo + 37
+		if hi > len(tr.Edges) {
+			hi = len(tr.Edges)
+		}
+		var edges []Edge
+		for _, e := range tr.Edges[lo:hi] {
+			edges = append(edges, Edge{e.U, e.V, e.W})
+		}
+		f.BatchLink(edges)
+		mustValidate(t, f, "topology batch link")
+	}
+	if f.ComponentSize(0) != n {
+		t.Fatal("topology batch build incomplete")
+	}
+	var cuts [][2]int
+	for _, e := range gen.Shuffled(tr, 73).Edges {
+		cuts = append(cuts, [2]int{e.U, e.V})
+	}
+	for lo := 0; lo < len(cuts); lo += 51 {
+		hi := lo + 51
+		if hi > len(cuts) {
+			hi = len(cuts)
+		}
+		f.BatchCut(cuts[lo:hi])
+		mustValidate(t, f, "topology batch cut")
+	}
+	if f.EdgeCount() != 0 {
+		t.Fatal("topology batch destroy incomplete")
+	}
+}
+
+// TestTopologyHeightStable: topology trees have O(log n) height regardless
+// of diameter (they lack the O(D) bound of UFO trees on low-diameter
+// inputs once ternarized; on bounded-degree inputs both are logarithmic).
+func TestTopologyHeightStable(t *testing.T) {
+	n := 1024
+	f := NewTopology(n)
+	for _, e := range gen.Shuffled(gen.Path(n), 81).Edges {
+		f.Link(e.U, e.V, 1)
+	}
+	if h := f.Height(0); h > 45 {
+		t.Fatalf("topology path height %d too large", h)
+	}
+}

@@ -1,0 +1,261 @@
+package ufo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+func mustValidate(t *testing.T, f *Forest, context string) {
+	t.Helper()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("%s: invariant violation: %v", context, err)
+	}
+}
+
+func TestEmptyForest(t *testing.T) {
+	f := New(5)
+	mustValidate(t, f, "empty")
+	if f.Connected(0, 1) || !f.Connected(2, 2) {
+		t.Fatal("bad connectivity on empty forest")
+	}
+	if f.ComponentSize(3) != 1 {
+		t.Fatal("singleton component size")
+	}
+}
+
+func TestBasicLinkCut(t *testing.T) {
+	f := New(6)
+	f.Link(0, 1, 1)
+	mustValidate(t, f, "after link(0,1)")
+	f.Link(1, 2, 2)
+	mustValidate(t, f, "after link(1,2)")
+	f.Link(3, 4, 3)
+	mustValidate(t, f, "after link(3,4)")
+	if !f.Connected(0, 2) || f.Connected(0, 3) || !f.Connected(3, 4) {
+		t.Fatal("bad connectivity")
+	}
+	if f.ComponentSize(0) != 3 || f.ComponentSize(5) != 1 {
+		t.Fatal("bad component sizes")
+	}
+	f.Cut(1, 2)
+	mustValidate(t, f, "after cut(1,2)")
+	if f.Connected(0, 2) || !f.Connected(0, 1) {
+		t.Fatal("bad connectivity after cut")
+	}
+	f.Link(2, 3, 1)
+	mustValidate(t, f, "after link(2,3)")
+	if !f.Connected(2, 4) {
+		t.Fatal("bad connectivity after relink")
+	}
+}
+
+func TestStar(t *testing.T) {
+	n := 64
+	f := New(n)
+	for i := 1; i < n; i++ {
+		f.Link(0, i, int64(i))
+		mustValidate(t, f, "building star")
+	}
+	if f.ComponentSize(0) != n {
+		t.Fatal("star not fully connected")
+	}
+	// Star has diameter 2: height must be tiny regardless of n.
+	if h := f.Height(0); h > 3 {
+		t.Fatalf("star height %d, want <= 3 (O(D) bound)", h)
+	}
+	for i := 1; i < n; i++ {
+		if s, ok := f.PathSum(0, i); !ok || s != int64(i) {
+			t.Fatalf("PathSum(0,%d) = %d,%v", i, s, ok)
+		}
+	}
+	if s, ok := f.PathSum(3, 5); !ok || s != 8 {
+		t.Fatalf("PathSum(3,5) = %d,%v want 8", s, ok)
+	}
+	// Destroy.
+	for i := 1; i < n; i++ {
+		f.Cut(0, i)
+		mustValidate(t, f, "destroying star")
+	}
+	if f.EdgeCount() != 0 {
+		t.Fatal("edges remain")
+	}
+}
+
+func TestPathGraphHeightAndQueries(t *testing.T) {
+	n := 200
+	f := New(n)
+	for i := 1; i < n; i++ {
+		f.Link(i-1, i, 1)
+	}
+	mustValidate(t, f, "path built")
+	if s, ok := f.PathSum(0, n-1); !ok || s != int64(n-1) {
+		t.Fatalf("PathSum over path = %d,%v", s, ok)
+	}
+	// Height must be logarithmic: log_{6/5}(200) ≈ 29.
+	if h := f.Height(0); h > 40 {
+		t.Fatalf("path height %d too large", h)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	f := New(4)
+	f.Link(0, 1, 1)
+	for name, fn := range map[string]func(){
+		"self loop":    func() { f.Link(2, 2, 1) },
+		"duplicate":    func() { f.Link(1, 0, 1) },
+		"cycle":        func() { f.Link(0, 1, 1) },
+		"absent cut":   func() { f.Cut(1, 2) },
+		"non-adjacent": func() { f.SubtreeSum(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// runDifferential drives the UFO forest and the oracle with the same random
+// operations, validating invariants and comparing every query kind.
+func runDifferential(t *testing.T, n, steps int, seed uint64, validateEvery int) {
+	t.Helper()
+	f := New(n)
+	ref := refforest.New(n)
+	r := rng.New(seed)
+	var live [][2]int
+	for step := 0; step < steps; step++ {
+		op := r.Intn(12)
+		switch {
+		case op < 5:
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(50))
+				f.Link(u, v, w)
+				ref.Link(u, v, w)
+				live = append(live, [2]int{u, v})
+			}
+		case op < 7 && len(live) > 0:
+			i := r.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			f.Cut(e[0], e[1])
+			ref.Cut(e[0], e[1])
+		case op < 8:
+			v := r.Intn(n)
+			val := int64(r.Intn(100))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		case op < 10:
+			u, v := r.Intn(n), r.Intn(n)
+			if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+				t.Fatalf("step %d: Connected(%d,%d) = %v, want %v", step, u, v, got, want)
+			}
+			if got, want := f.ComponentSize(u), ref.ComponentSize(u); got != want {
+				t.Fatalf("step %d: ComponentSize(%d) = %d, want %d", step, u, got, want)
+			}
+			gs, gok := f.PathSum(u, v)
+			ws, wok := ref.PathSum(u, v)
+			if gok != wok || (gok && gs != ws) {
+				t.Fatalf("step %d: PathSum(%d,%d) = %d,%v want %d,%v", step, u, v, gs, gok, ws, wok)
+			}
+			gm, gok := f.PathMax(u, v)
+			wm, wok := ref.PathMax(u, v)
+			if gok != wok || (gok && gm != wm) {
+				t.Fatalf("step %d: PathMax(%d,%d) = %d,%v want %d,%v", step, u, v, gm, gok, wm, wok)
+			}
+		default:
+			if len(live) == 0 {
+				continue
+			}
+			e := live[r.Intn(len(live))]
+			v, p := e[0], e[1]
+			if r.Bool() {
+				v, p = p, v
+			}
+			if got, want := f.SubtreeSum(v, p), ref.SubtreeSum(v, p); got != want {
+				t.Fatalf("step %d: SubtreeSum(%d,%d) = %d, want %d", step, v, p, got, want)
+			}
+			if got, want := f.SubtreeSize(v, p), ref.SubtreeSize(v, p); got != want {
+				t.Fatalf("step %d: SubtreeSize(%d,%d) = %d, want %d", step, v, p, got, want)
+			}
+		}
+		if validateEvery > 0 && step%validateEvery == 0 {
+			mustValidate(t, f, "differential step")
+		}
+	}
+	mustValidate(t, f, "differential end")
+}
+
+func TestDifferentialTiny(t *testing.T)   { runDifferential(t, 6, 4000, 1, 1) }
+func TestDifferentialSmall(t *testing.T)  { runDifferential(t, 12, 4000, 2, 1) }
+func TestDifferentialMedium(t *testing.T) { runDifferential(t, 50, 3000, 3, 5) }
+func TestDifferentialLarge(t *testing.T)  { runDifferential(t, 250, 3000, 4, 25) }
+
+func TestBuildDestroyShapes(t *testing.T) {
+	n := 400
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Binary(n), gen.KAry(n, 64), gen.Star(n),
+		gen.Dandelion(n), gen.RandomDegree3(n, 1), gen.RandomAttach(n, 2),
+		gen.PrefAttach(n, 3), gen.Zipf(n, 1.0, 4),
+	}
+	for _, tr := range shapes {
+		f := New(n)
+		sh := gen.Shuffled(gen.WithRandomWeights(tr, 100, 9), 7)
+		ref := refforest.New(n)
+		for _, e := range sh.Edges {
+			f.Link(e.U, e.V, e.W)
+			ref.Link(e.U, e.V, e.W)
+		}
+		mustValidate(t, f, tr.Name+" built")
+		if f.ComponentSize(0) != n {
+			t.Fatalf("%s: not connected after build", tr.Name)
+		}
+		r := rng.New(42)
+		for q := 0; q < 200; q++ {
+			u, v := r.Intn(n), r.Intn(n)
+			gs, _ := f.PathSum(u, v)
+			ws, _ := ref.PathSum(u, v)
+			if gs != ws {
+				t.Fatalf("%s: PathSum(%d,%d) = %d, want %d", tr.Name, u, v, gs, ws)
+			}
+		}
+		sh2 := gen.Shuffled(tr, 8)
+		for _, e := range sh2.Edges {
+			f.Cut(e.U, e.V)
+		}
+		mustValidate(t, f, tr.Name+" destroyed")
+		if f.EdgeCount() != 0 || f.ComponentSize(0) != 1 {
+			t.Fatalf("%s: not fully destroyed", tr.Name)
+		}
+	}
+}
+
+func TestHeightBounds(t *testing.T) {
+	// The height must track O(min{log n, D/2}) (Theorems 4.1, 4.2).
+	n := 2048
+	cases := []struct {
+		tr      gen.Tree
+		maxWant int
+	}{
+		{gen.Star(n), 3},     // D = 2
+		{gen.KAry(n, 64), 8}, // D = 4
+		{gen.Binary(n), 24},  // D = 21
+		{gen.Path(n), 50},    // log_{6/5} 2048 ≈ 42
+	}
+	for _, c := range cases {
+		f := New(n)
+		for _, e := range gen.Shuffled(c.tr, 5).Edges {
+			f.Link(e.U, e.V, 1)
+		}
+		if h := f.Height(0); h > c.maxWant {
+			t.Fatalf("%s: height %d exceeds bound %d", c.tr.Name, h, c.maxWant)
+		}
+	}
+}

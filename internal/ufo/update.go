@@ -1,0 +1,571 @@
+package ufo
+
+import "fmt"
+
+// edelEnt schedules the lazy deletion of one original edge's image at a
+// given level: the edge with this key must be removed from the adjacency of
+// clusters a and b (either of which may have died by processing time; dead
+// clusters keep their former parent pointer so propagation can continue).
+//
+// This implements the E⁻ sets of Algorithm 4 ("Challenge 2"): edges are
+// deleted level by level, one level ahead of the reclustering frontier,
+// so that degree checks in the conditional-deletion phase see current
+// degrees.
+type edelEnt struct {
+	key  uint64
+	a, b *Cluster
+}
+
+// engine runs batch updates over a Forest. It is reused across updates to
+// amortize allocations; a Forest owns exactly one engine (updates are not
+// concurrent).
+type engine struct {
+	f      *Forest
+	roots  [][]*Cluster // roots[l]: parentless clusters at level l awaiting reclustering
+	del    [][]*Cluster // del[l]: level-l clusters to examine for deletion
+	edel   [][]edelEnt  // edel[l]: lazy edge deletions at level l
+	maxLvl int
+	// recluster scratch
+	hi, lo  []*Cluster // stage-1 (degree ≥ 3) and stage-2 (degree ≤ 2) queues
+	proc    []*Cluster // roots that received parents and need adjacency lift
+	touched []*Cluster // parents whose aggregates must be recomputed
+}
+
+func (e *engine) ensureLevel(l int) {
+	for len(e.roots) <= l {
+		e.roots = append(e.roots, nil)
+	}
+	for len(e.del) <= l {
+		e.del = append(e.del, nil)
+	}
+	for len(e.edel) <= l {
+		e.edel = append(e.edel, nil)
+	}
+}
+
+func (e *engine) addRoot(l int, c *Cluster) {
+	if c == nil || c.dead() || c.flags&flagInRoots != 0 {
+		return
+	}
+	c.flags |= flagInRoots
+	e.ensureLevel(l)
+	e.roots[l] = append(e.roots[l], c)
+	if l > e.maxLvl {
+		e.maxLvl = l
+	}
+}
+
+func (e *engine) addDel(c *Cluster) {
+	if c == nil || c.dead() || c.flags&flagInDel != 0 {
+		return
+	}
+	c.flags |= flagInDel
+	l := int(c.level)
+	e.ensureLevel(l)
+	e.del[l] = append(e.del[l], c)
+	if l > e.maxLvl {
+		e.maxLvl = l
+	}
+}
+
+func (e *engine) addEdel(l int, ent edelEnt) {
+	e.ensureLevel(l)
+	e.edel[l] = append(e.edel[l], ent)
+	if l > e.maxLvl {
+		e.maxLvl = l
+	}
+}
+
+func (e *engine) newCluster(level int) *Cluster {
+	c := &Cluster{level: int32(level), leafV: -1, childIdx: -1, pathMax: negInf}
+	if e.f.trackMax {
+		c.flags |= flagTrackMax
+		c.subMax = negInf
+	}
+	return c
+}
+
+func (e *engine) markTouched(p *Cluster) {
+	if p.flags&flagTouched == 0 {
+		p.flags |= flagTouched
+		e.touched = append(e.touched, p)
+	}
+}
+
+// run applies a mixed batch of insertions and deletions.
+func (e *engine) run(links []Edge, cuts [][2]int) {
+	f := e.f
+	e.maxLvl = 0
+	e.ensureLevel(2)
+
+	// Level-0 adjacency updates and seeds: the affected leaves become the
+	// level-0 roots, their (old) parents the level-1 deletion candidates,
+	// and removed edges are scheduled for level-1 lazy deletion.
+	for _, c := range cuts {
+		lu, lv := f.leaves[c[0]], f.leaves[c[1]]
+		key := edgeKey(int32(c[0]), int32(c[1]))
+		if !lu.adj.remove(key) {
+			panic(fmt.Sprintf("ufo: cutting absent edge (%d,%d)", c[0], c[1]))
+		}
+		lv.adj.remove(key)
+		f.nEdges--
+		if lu.parent != nil && lv.parent != nil && lu.parent != lv.parent {
+			e.addEdel(1, edelEnt{key, lu.parent, lv.parent})
+		}
+		e.addRoot(0, lu)
+		e.addRoot(0, lv)
+		e.addDel(lu.parent)
+		e.addDel(lv.parent)
+	}
+	for _, ed := range links {
+		lu, lv := f.leaves[ed.U], f.leaves[ed.V]
+		key := edgeKey(int32(ed.U), int32(ed.V))
+		if !lu.adj.insert(EdgeRef{to: lv, key: key, w: ed.W, myV: int32(ed.U), otherV: int32(ed.V)}) {
+			panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", ed.U, ed.V))
+		}
+		lv.adj.insert(EdgeRef{to: lu, key: key, w: ed.W, myV: int32(ed.V), otherV: int32(ed.U)})
+		f.nEdges++
+		// Insert the edge's image at every level along the (old) ancestor
+		// chains (sequential Algorithm 2, line 2): when a chain segment
+		// survives — an intact superunary center — its image must exist
+		// for degree checks and quotient consistency; segments that are
+		// torn down re-derive the image through reclustering.
+		au, av := lu.parent, lv.parent
+		myV, otherV := int32(ed.U), int32(ed.V)
+		for au != nil && av != nil && au != av {
+			if au.adj.insert(EdgeRef{to: av, key: key, w: ed.W, myV: myV, otherV: otherV}) {
+				av.adj.insert(EdgeRef{to: au, key: key, w: ed.W, myV: otherV, otherV: myV})
+			}
+			au, av = au.parent, av.parent
+		}
+		e.addRoot(0, lu)
+		e.addRoot(0, lv)
+		e.addDel(lu.parent)
+		e.addDel(lv.parent)
+	}
+	if f.mode != ModeUFO {
+		for _, ed := range links {
+			if f.leaves[ed.U].adj.degree() > 3 || f.leaves[ed.V].adj.degree() > 3 {
+				panic(fmt.Sprintf("ufo: topology/RC modes require degree <= 3 (edge %d,%d)", ed.U, ed.V))
+			}
+		}
+	}
+
+	// Disconnect affected leaves from stale parents (the level-0 analogue
+	// of Algorithm 1's prev.parent ← null): a leaf whose adjacency changed
+	// invalidates its parent's merge unless it is the intact high-degree
+	// center of a superunary merge (UFO mode only; topology trees always
+	// tear down the full ancestor path).
+	for _, l := range e.roots[0] {
+		p := l.parent
+		if p == nil {
+			continue
+		}
+		if f.mode == ModeUFO && l.adj.degree() >= 3 && p.center == l {
+			continue
+		}
+		l.adj.forEach(func(er EdgeRef) bool {
+			tp := er.to.parent
+			if tp != nil && tp != p {
+				e.addEdel(1, edelEnt{er.key, p, tp})
+			}
+			return true
+		})
+		detach(l)
+	}
+
+	for i := 0; i <= e.maxLvl; i++ {
+		if i >= maxLevels {
+			panic("ufo: contraction level overflow (balance bug)")
+		}
+		e.ensureLevel(i + 2)
+
+		// Phase 1: the parents of everything examined at level i+1 are
+		// candidates at level i+2 (their contents transitively changed).
+		for _, c := range e.del[i+1] {
+			if c.parent != nil {
+				e.addDel(c.parent)
+			}
+		}
+
+		// Phase 2: lazy edge deletions at level i+1, propagating images
+		// one level further while both sides' parent chains persist.
+		for _, ent := range e.edel[i+1] {
+			if !ent.a.dead() {
+				ent.a.adj.remove(ent.key)
+			}
+			if !ent.b.dead() {
+				ent.b.adj.remove(ent.key)
+			}
+			pa, pb := ent.a.parent, ent.b.parent
+			if pa != nil && pb != nil && pa != pb {
+				e.addEdel(i+2, edelEnt{ent.key, pa, pb})
+			}
+		}
+		e.edel[i+1] = e.edel[i+1][:0]
+
+		// Phase 3: conditional deletion (Algorithm 4 lines 11-19). Only
+		// low-degree, low-fanout clusters are deleted; high-fanout ones
+		// are disconnected and reclustered; a high-degree cluster that is
+		// still the intact center of its parent's merge stays put. In
+		// topology mode every examined cluster is deleted (fanout and
+		// degree are constant-bounded, so this is O(1) per cluster).
+		for _, c := range e.del[i+1] {
+			c.flags &^= flagInDel
+			if c.dead() {
+				continue
+			}
+			deg := c.adj.degree()
+			fo := len(c.children)
+			switch {
+			case f.mode != ModeUFO || c.flags&flagDamaged != 0 || (deg < 3 && fo < 3):
+				e.deleteCluster(c)
+			case deg >= 3 && c.parent != nil && c.parent.center == c:
+				// Intact merge center: remains merged (its siblings'
+				// adjacency to it is unchanged).
+			default:
+				// Contents or degree changed: the parent's merge is
+				// stale. Disconnect and recluster at this level,
+				// scheduling the removal of this cluster's (now stale)
+				// edge images above.
+				if fp := c.parent; fp != nil {
+					c.adj.forEach(func(er EdgeRef) bool {
+						tp := er.to.parent
+						if tp != nil && tp != fp {
+							e.addEdel(i+2, edelEnt{er.key, fp, tp})
+						}
+						return true
+					})
+					detach(c)
+				}
+				e.addRoot(i+1, c)
+			}
+		}
+		e.del[i+1] = e.del[i+1][:0]
+
+		// Phase 4: recluster the level-i roots.
+		e.recluster(i)
+	}
+}
+
+// deleteCluster removes c entirely: its children become roots one level
+// down, it is detached from its parent (keeping the pointer for lazy edge
+// propagation), and its incident edges are removed with their higher-level
+// images scheduled.
+func (e *engine) deleteCluster(c *Cluster) {
+	for _, y := range c.children {
+		y.parent = nil
+		y.childIdx = -1
+		y.childItem = nil // the dying cluster's child rank tree goes with it
+		e.addRoot(int(c.level)-1, y)
+	}
+	c.children = nil
+	c.center = nil
+	c.childTree = nil
+	fp := c.parent
+	if fp != nil {
+		detach(c)
+		c.parent = fp // former-parent pointer: lets edel entries ride upward
+	}
+	c.adj.forEach(func(er EdgeRef) bool {
+		er.to.adj.remove(er.key)
+		tp := er.to.parent
+		if fp != nil && tp != nil && tp != fp {
+			e.addEdel(int(c.level)+1, edelEnt{er.key, fp, tp})
+		}
+		return true
+	})
+	c.adj.clear()
+	c.flags |= flagDead
+}
+
+// stealLeaf detaches the degree-1 cluster y from its current parent q so a
+// high-degree root can absorb it. If y was q's merge center, q's remaining
+// children would be mutually disconnected; since a degree-1 center bounds
+// q's fanout by 2, we release the lone sibling and delete q (cheap). The
+// released sibling re-enters the recluster queues.
+func (e *engine) stealLeaf(y *Cluster, i int) {
+	q := y.parent
+	wasCenter := q.center == y
+	detach(y)
+	switch {
+	case len(q.children) == 0:
+		e.deleteCluster(q)
+	case wasCenter:
+		for len(q.children) > 0 {
+			z := q.children[0]
+			detach(z)
+			e.addReclusterItem(z)
+		}
+		e.deleteCluster(q)
+	default:
+		e.scheduleAncestors(q)
+	}
+}
+
+// scheduleAncestors marks q's parent chain stale after q's membership
+// changed: q's parent is examined at the next level, and if q has no parent
+// it must recluster at its own level.
+func (e *engine) scheduleAncestors(q *Cluster) {
+	if q.parent != nil {
+		e.addDel(q.parent)
+	} else {
+		e.addRoot(int(q.level), q)
+	}
+}
+
+// addReclusterItem routes a parentless cluster to the absorb stage (hi) or
+// the chain-matching stage (lo) according to the mode's rake rule: UFO
+// absorbs around degree ≥ 3 clusters, RC rakes around any cluster of degree
+// ≥ 2 with a degree-1 neighbor, and topology trees only pair.
+func (e *engine) addReclusterItem(z *Cluster) {
+	if e.isAbsorbCenter(z) {
+		e.hi = append(e.hi, z)
+	} else {
+		e.lo = append(e.lo, z)
+	}
+}
+
+func (e *engine) isAbsorbCenter(z *Cluster) bool {
+	switch e.f.mode {
+	case ModeUFO:
+		return z.adj.degree() >= 3
+	case ModeRC:
+		if z.adj.degree() < 2 {
+			return false
+		}
+		hasLeaf := false
+		z.adj.forEach(func(er EdgeRef) bool {
+			if er.to.adj.degree() == 1 {
+				hasLeaf = true
+				return false
+			}
+			return true
+		})
+		return hasLeaf
+	default:
+		return false
+	}
+}
+
+// recluster merges the parentless level-i clusters maximally (Algorithm 2 /
+// the matching step of Algorithm 4):
+//
+//  1. every high-degree root creates a superunary parent and absorbs all
+//     its degree-1 neighbors (stealing them from stale parents if needed);
+//  2. remaining degree ≤ 2 roots pair greedily with unmerged neighbors —
+//     other roots, unmerged non-roots (adopting their fanout-1 parents), or
+//     high-degree families (a degree-1 root joins the superunary merge);
+//  3. adjacency is lifted to level i+1 and parent aggregates recomputed.
+func (e *engine) recluster(i int) {
+	rts := e.roots[i]
+	if len(rts) == 0 {
+		return
+	}
+	e.hi = e.hi[:0]
+	e.lo = e.lo[:0]
+	e.proc = e.proc[:0]
+	e.touched = e.touched[:0]
+	topo := e.f.mode == ModeTopology
+	for _, x := range rts {
+		x.flags &^= flagInRoots
+		if x.dead() || x.parent != nil {
+			continue
+		}
+		e.addReclusterItem(x)
+	}
+	e.roots[i] = e.roots[i][:0]
+
+	// Stage 1: high-degree roots (processed first so that the strong
+	// maximality invariant — high-degree clusters absorb all degree-1
+	// neighbors — holds before pair matching can capture those leaves).
+	for k := 0; k < len(e.hi); k++ {
+		x := e.hi[k]
+		if x.dead() || x.parent != nil {
+			continue
+		}
+		if !e.isAbsorbCenter(x) {
+			e.lo = append(e.lo, x)
+			continue
+		}
+		p := e.newCluster(i + 1)
+		attach(p, x)
+		p.center = x
+		x.adj.forEach(func(er EdgeRef) bool {
+			y := er.to
+			if y.adj.degree() == 1 {
+				if y.parent != nil {
+					e.stealLeaf(y, i)
+				}
+				if y.parent == nil {
+					attach(p, y)
+				}
+			}
+			return true
+		})
+		e.proc = append(e.proc, x)
+	}
+
+	// Stage 2: greedy maximal matching of degree ≤ 2 roots along chains.
+	for k := 0; k < len(e.lo); k++ {
+		x := e.lo[k]
+		if x.dead() || x.parent != nil {
+			continue
+		}
+		dx := x.adj.degree()
+		if dx == 0 {
+			continue // fully contracted component root
+		}
+		merged := false
+		x.adj.forEach(func(er EdgeRef) bool {
+			y := er.to
+			dy := y.adj.degree()
+			// Pairwise-mergeable neighbors: any two degree ≤ 2 clusters;
+			// topology mode additionally allows the degree-1/degree-3
+			// pair; RC compress never involves degree ≥ 3 clusters (in
+			// UFO mode stage-2 roots always have degree ≤ 2 already).
+			var pairable bool
+			switch e.f.mode {
+			case ModeTopology:
+				pairable = (dx <= 2 && dy <= 2) || (dx == 1 && dy == 3) || (dx == 3 && dy == 1)
+			case ModeRC:
+				pairable = dx <= 2 && dy <= 2
+			default:
+				pairable = dy <= 2
+			}
+			if pairable {
+				if y.parent == nil {
+					p := e.newCluster(i + 1)
+					attach(p, x)
+					attach(p, y)
+					e.proc = append(e.proc, y)
+					merged = true
+					return false
+				}
+				if len(y.parent.children) == 1 {
+					q := y.parent
+					attach(q, x)
+					e.scheduleAncestors(q)
+					merged = true
+					return false
+				}
+				return true
+			}
+			// UFO mode, dy >= 3: only a degree-1 root may join the
+			// high-degree cluster's superunary family.
+			if !topo && dx == 1 && dy >= 3 {
+				q := y.parent
+				if q == nil {
+					return true // defensive; stage 1 parents all high-degree roots
+				}
+				if q.center == nil && len(q.children) == 1 {
+					q.center = y
+				}
+				if q.center == y {
+					attach(q, x)
+					e.scheduleAncestors(q)
+					merged = true
+					return false
+				}
+			}
+			return true
+		})
+		if !merged {
+			p := e.newCluster(i + 1)
+			attach(p, x)
+		}
+		e.proc = append(e.proc, x)
+	}
+
+	// Stage 3: lift adjacency to level i+1 and refresh parent aggregates.
+	for _, x := range e.proc {
+		if x.dead() || x.parent == nil {
+			continue
+		}
+		p := x.parent
+		x.adj.forEach(func(er EdgeRef) bool {
+			py := er.to.parent
+			if py == nil || py == p {
+				return true
+			}
+			if p.adj.insert(EdgeRef{to: py, key: er.key, w: er.w, myV: er.myV, otherV: er.otherV}) {
+				py.adj.insert(EdgeRef{to: p, key: er.key, w: er.w, myV: er.otherV, otherV: er.myV})
+			}
+			return true
+		})
+		e.markTouched(p)
+		e.addRoot(i+1, p)
+	}
+	for _, p := range e.touched {
+		p.flags &^= flagTouched
+		e.computePathAgg(p)
+	}
+	e.touched = e.touched[:0]
+}
+
+// computePathAgg recomputes the cluster-path aggregates of p from its
+// children and its (freshly lifted) adjacency. Only binary clusters whose
+// two crossing edges land at distinct boundary vertices carry a non-trivial
+// cluster path; they always have fanout ≤ 2, so this is O(1).
+func (e *engine) computePathAgg(p *Cluster) {
+	p.pathSum = 0
+	p.pathMax = negInf
+	p.pathCnt = 0
+	if p.adj.degree() != 2 {
+		return
+	}
+	var es [2]EdgeRef
+	idx := 0
+	p.adj.forEach(func(er EdgeRef) bool {
+		es[idx] = er
+		idx++
+		return true
+	})
+	if es[0].myV == es[1].myV {
+		return
+	}
+	switch len(p.children) {
+	case 1:
+		c := p.children[0]
+		p.pathSum = c.pathSum
+		p.pathMax = c.pathMax
+		p.pathCnt = c.pathCnt
+	case 2:
+		a, b := p.children[0], p.children[1]
+		g, ok := edgeBetween(a, b)
+		if !ok {
+			panic("ufo: pair merge without a connecting edge")
+		}
+		// Each child holds exactly one of the two crossing edges (both
+		// children have degree ≤ 2 in a pair merge).
+		if !a.adj.has(es[0].key) {
+			a, b = b, a
+			g = EdgeRef{to: a, key: g.key, w: g.w, myV: g.otherV, otherV: g.myV}
+		}
+		p.pathSum = a.pathSum + g.w + b.pathSum
+		p.pathMax = max64(max64(a.pathMax, g.w), b.pathMax)
+		p.pathCnt = a.pathCnt + 1 + b.pathCnt
+	default:
+		// UFO-mode superunary clusters have a single boundary vertex, so
+		// this is unreachable there; in RC mode a rake center may have
+		// degree 2, in which case both crossing edges are the center's
+		// and the cluster path is the center's own path (leaves hang off
+		// it).
+		if p.center == nil {
+			panic("ufo: fanout >= 3 without a center")
+		}
+		if !p.center.adj.has(es[0].key) || !p.center.adj.has(es[1].key) {
+			panic("ufo: superunary cluster with crossing edges outside its center")
+		}
+		p.pathSum = p.center.pathSum
+		p.pathMax = p.center.pathMax
+		p.pathCnt = p.center.pathCnt
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,466 @@
+package ufo
+
+import "fmt"
+
+// Validate exhaustively checks the structural invariants of the UFO tree.
+// It runs in O(n · height) time and is intended for tests, where it is
+// called after every update of a differential run.
+//
+// Checked invariants:
+//   - parent/child symmetry and childIdx consistency; strictly increasing
+//     levels along parent edges; no dead clusters reachable;
+//   - adjacency symmetry: every entry has a mirror with swapped endpoints,
+//     equal keys/weights, at the same level; entry endpoints actually lie
+//     inside the owning clusters;
+//   - quotient consistency: the level-(l+1) edges are exactly the images of
+//     level-l edges whose endpoints have distinct parents (no stale edges);
+//   - merge validity: children of each cluster are connected via level
+//     edges; superunary clusters (fanout ≥ 3) have a recorded center
+//     adjacent to every other child; clusters of degree ≥ 3 have a single
+//     boundary vertex;
+//   - aggregate consistency: vcnt, subSum, pathSum, pathMax match a direct
+//     recomputation;
+//   - maximality: no two adjacent unmerged clusters that could merge; every
+//     degree-1 cluster adjacent to a high-degree cluster shares its parent
+//     (the strong unbounded-fanout maximality invariant);
+//   - height: every root cluster sits at level ≤ ceil(D/2)+1 and
+//     ≤ log_{6/5} n + 2 for its component.
+func (f *Forest) Validate() error {
+	// Gather all live clusters level by level by walking up from leaves.
+	byLevel := map[int32]map[*Cluster]bool{}
+	addAll := func(c *Cluster) {
+		for ; c != nil; c = c.parent {
+			m := byLevel[c.level]
+			if m == nil {
+				m = map[*Cluster]bool{}
+				byLevel[c.level] = m
+			}
+			if m[c] {
+				return
+			}
+			m[c] = true
+		}
+	}
+	for _, l := range f.leaves {
+		addAll(l)
+	}
+
+	// Map each cluster to its contained vertices for membership checks.
+	contents := map[*Cluster]map[int32]bool{}
+	for v, l := range f.leaves {
+		for c := l; c != nil; c = c.parent {
+			m := contents[c]
+			if m == nil {
+				m = map[int32]bool{}
+				contents[c] = m
+			}
+			m[int32(v)] = true
+		}
+	}
+
+	var maxLevel int32
+	for l := range byLevel {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+
+	for l := int32(0); l <= maxLevel; l++ {
+		for c := range byLevel[l] {
+			if err := f.validateCluster(c, contents); err != nil {
+				return err
+			}
+		}
+		// Quotient consistency between level l and l+1.
+		if err := f.validateQuotient(byLevel[l], l); err != nil {
+			return err
+		}
+	}
+	if err := f.validateMaximality(byLevel, maxLevel); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (f *Forest) validateCluster(c *Cluster, contents map[*Cluster]map[int32]bool) error {
+	if c.dead() {
+		return fmt.Errorf("level %d: dead cluster reachable", c.level)
+	}
+	if c.flags&(flagInRoots|flagInDel|flagTouched) != 0 {
+		return fmt.Errorf("level %d: cluster with leftover engine flags %b", c.level, c.flags)
+	}
+	if c.parent != nil && c.parent.level != c.level+1 {
+		return fmt.Errorf("level %d: parent at level %d", c.level, c.parent.level)
+	}
+	if c.parent != nil {
+		if int(c.childIdx) >= len(c.parent.children) || c.parent.children[c.childIdx] != c {
+			return fmt.Errorf("level %d: childIdx inconsistent", c.level)
+		}
+	}
+	// Children.
+	if c.level == 0 {
+		if len(c.children) != 0 || c.leafV < 0 {
+			return fmt.Errorf("leaf cluster malformed")
+		}
+	} else if len(c.children) == 0 {
+		return fmt.Errorf("level %d: internal cluster with no children", c.level)
+	}
+	var vcnt, subSum int64
+	if c.level == 0 {
+		vcnt = 1
+		subSum = c.subSum // leaf value is its own ground truth
+	}
+	for _, ch := range c.children {
+		if ch.parent != c {
+			return fmt.Errorf("level %d: child does not point back", c.level)
+		}
+		if ch.level != c.level-1 {
+			return fmt.Errorf("level %d: child at level %d", c.level, ch.level)
+		}
+		vcnt += ch.vcnt
+		subSum += ch.subSum
+	}
+	if c.level > 0 {
+		if c.vcnt != vcnt {
+			return fmt.Errorf("level %d: vcnt %d != sum of children %d", c.level, c.vcnt, vcnt)
+		}
+		if c.subSum != subSum {
+			return fmt.Errorf("level %d: subSum %d != sum of children %d", c.level, c.subSum, subSum)
+		}
+	}
+	if f.trackMax {
+		wantMax := int64(negInf)
+		if c.level == 0 {
+			wantMax = c.subSum
+		} else {
+			for _, ch := range c.children {
+				if ch.subMax > wantMax {
+					wantMax = ch.subMax
+				}
+			}
+		}
+		if c.subMax != wantMax {
+			return fmt.Errorf("level %d: subMax %d != recomputed %d", c.level, c.subMax, wantMax)
+		}
+		if c.level > 0 && (c.childTree == nil || c.childTree.Len() != len(c.children)) {
+			return fmt.Errorf("level %d: child rank tree out of sync", c.level)
+		}
+	}
+	// Children connectivity and merge shape.
+	if c.level > 0 && len(c.children) > 1 {
+		if err := validateMergeShape(c); err != nil {
+			return err
+		}
+	}
+	if f.mode == ModeTopology {
+		if len(c.children) > 2 {
+			return fmt.Errorf("level %d: topology cluster with fanout %d", c.level, len(c.children))
+		}
+		if c.adj.degree() > 3 {
+			return fmt.Errorf("level %d: topology cluster with degree %d", c.level, c.adj.degree())
+		}
+		if c.center != nil {
+			return fmt.Errorf("level %d: topology cluster with a superunary center", c.level)
+		}
+	}
+	if f.mode == ModeRC {
+		if len(c.children) > 4 {
+			return fmt.Errorf("level %d: RC cluster with fanout %d", c.level, len(c.children))
+		}
+		if c.adj.degree() > 3 {
+			return fmt.Errorf("level %d: RC cluster with degree %d", c.level, c.adj.degree())
+		}
+	}
+	if len(c.children) >= 3 && c.center == nil {
+		return fmt.Errorf("level %d: fanout %d without a center", c.level, len(c.children))
+	}
+	if c.center != nil && c.center.parent != c {
+		return fmt.Errorf("level %d: center is not a child", c.level)
+	}
+	// Adjacency.
+	own := contents[c]
+	seenKeys := map[uint64]bool{}
+	var firstBoundary int32 = -1
+	multiBoundary := false
+	var adjErr error
+	c.adj.forEach(func(er EdgeRef) bool {
+		if seenKeys[er.key] {
+			adjErr = fmt.Errorf("level %d: duplicate adjacency key", c.level)
+			return false
+		}
+		seenKeys[er.key] = true
+		if er.to == c {
+			adjErr = fmt.Errorf("level %d: self edge", c.level)
+			return false
+		}
+		if er.to.dead() {
+			adjErr = fmt.Errorf("level %d: edge to dead cluster", c.level)
+			return false
+		}
+		if er.to.level != c.level {
+			adjErr = fmt.Errorf("level %d: edge to level %d", c.level, er.to.level)
+			return false
+		}
+		if er.key != edgeKey(er.myV, er.otherV) {
+			adjErr = fmt.Errorf("level %d: edge key does not match endpoints", c.level)
+			return false
+		}
+		if !own[er.myV] {
+			adjErr = fmt.Errorf("level %d: edge endpoint %d not inside cluster", c.level, er.myV)
+			return false
+		}
+		if !contents[er.to][er.otherV] {
+			adjErr = fmt.Errorf("level %d: edge far endpoint %d not inside neighbor", c.level, er.otherV)
+			return false
+		}
+		mirror, ok := er.to.adj.get(er.key)
+		if !ok || mirror.to != c || mirror.myV != er.otherV || mirror.otherV != er.myV || mirror.w != er.w {
+			adjErr = fmt.Errorf("level %d: missing or inconsistent mirror entry", c.level)
+			return false
+		}
+		if firstBoundary == -1 {
+			firstBoundary = er.myV
+		} else if er.myV != firstBoundary {
+			multiBoundary = true
+		}
+		return true
+	})
+	if adjErr != nil {
+		return adjErr
+	}
+	if c.adj.degree() >= 3 && multiBoundary {
+		return fmt.Errorf("level %d: degree-%d cluster with multiple boundary vertices", c.level, c.adj.degree())
+	}
+	// Path aggregates.
+	if err := f.validatePathAgg(c); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateMergeShape checks that c's children form a connected subgraph of
+// the level below, and that superunary merges are stars around the center.
+func validateMergeShape(c *Cluster) error {
+	kids := map[*Cluster]bool{}
+	for _, ch := range c.children {
+		kids[ch] = true
+	}
+	// BFS over children using level edges restricted to siblings.
+	visited := map[*Cluster]bool{c.children[0]: true}
+	queue := []*Cluster{c.children[0]}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		x.adj.forEach(func(er EdgeRef) bool {
+			if kids[er.to] && !visited[er.to] {
+				visited[er.to] = true
+				queue = append(queue, er.to)
+			}
+			return true
+		})
+	}
+	if len(visited) != len(c.children) {
+		return fmt.Errorf("level %d: children of a cluster are disconnected (%d of %d reachable)",
+			c.level, len(visited), len(c.children))
+	}
+	if c.center != nil {
+		for _, ch := range c.children {
+			if ch == c.center {
+				continue
+			}
+			if _, ok := edgeBetween(ch, c.center); !ok {
+				return fmt.Errorf("level %d: superunary child not adjacent to center", c.level)
+			}
+		}
+	}
+	return nil
+}
+
+// validatePathAgg recomputes c's cluster-path aggregates by walking the
+// actual vertex path between its boundary vertices in the input forest.
+func (f *Forest) validatePathAgg(c *Cluster) error {
+	b, n := c.boundaries()
+	wantSum, wantMax, wantCnt := int64(0), int64(negInf), int32(0)
+	if n == 2 {
+		// Walk the path b[0]..b[1] in the input forest (edges at level 0).
+		sum, mx, cnt, ok := f.refPath(b[0], b[1])
+		if !ok {
+			return fmt.Errorf("level %d: boundary vertices disconnected", c.level)
+		}
+		wantSum, wantMax, wantCnt = sum, mx, cnt
+	}
+	if c.pathSum != wantSum || c.pathMax != wantMax || c.pathCnt != wantCnt {
+		return fmt.Errorf("level %d: pathAgg (%d,%d,%d) != recomputed (%d,%d,%d)",
+			c.level, c.pathSum, c.pathMax, c.pathCnt, wantSum, wantMax, wantCnt)
+	}
+	return nil
+}
+
+// refPath computes the path aggregate between two vertices by BFS over the
+// level-0 adjacency (test oracle inside the validator).
+func (f *Forest) refPath(a, b int32) (sum, mx int64, cnt int32, ok bool) {
+	if a == b {
+		return 0, negInf, 0, true
+	}
+	type st struct {
+		v   int32
+		sum int64
+		mx  int64
+		cnt int32
+	}
+	prev := map[int32]bool{a: true}
+	queue := []st{{a, 0, negInf, 0}}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		found := st{}
+		done := false
+		f.leaves[x.v].adj.forEach(func(er EdgeRef) bool {
+			y := er.otherV
+			if prev[y] {
+				return true
+			}
+			prev[y] = true
+			ns := st{y, x.sum + er.w, max64(x.mx, er.w), x.cnt + 1}
+			if y == b {
+				found = ns
+				done = true
+				return false
+			}
+			queue = append(queue, ns)
+			return true
+		})
+		if done {
+			return found.sum, found.mx, found.cnt, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// validateQuotient checks that level l+1 edges are exactly the images of
+// level-l edges between clusters with distinct parents.
+func (f *Forest) validateQuotient(level map[*Cluster]bool, l int32) error {
+	type img struct {
+		p, q *Cluster
+	}
+	want := map[uint64]img{}
+	for c := range level {
+		var err error
+		c.adj.forEach(func(er EdgeRef) bool {
+			p, q := c.parent, er.to.parent
+			if p == nil || q == nil || p == q {
+				return true
+			}
+			if prev, ok := want[er.key]; ok {
+				if !(prev.p == p && prev.q == q) && !(prev.p == q && prev.q == p) {
+					err = fmt.Errorf("level %d: edge image inconsistent", l+1)
+					return false
+				}
+				return true
+			}
+			want[er.key] = img{p, q}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Every expected image must exist; every existing upper edge must be
+	// expected.
+	found := map[uint64]bool{}
+	seen := map[*Cluster]bool{}
+	for c := range level {
+		p := c.parent
+		if p == nil || seen[p] {
+			continue
+		}
+		seen[p] = true
+		var err error
+		p.adj.forEach(func(er EdgeRef) bool {
+			w, ok := want[er.key]
+			if !ok {
+				err = fmt.Errorf("level %d: stale edge (key %x) with no level-%d preimage", l+1, er.key, l)
+				return false
+			}
+			if !(w.p == p && w.q == er.to) && !(w.p == er.to && w.q == p) {
+				err = fmt.Errorf("level %d: edge connects wrong clusters", l+1)
+				return false
+			}
+			found[er.key] = true
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for key := range want {
+		if !found[key] {
+			return fmt.Errorf("level %d: missing edge image for key %x", l+1, key)
+		}
+	}
+	return nil
+}
+
+// validateMaximality enforces the contraction maximality invariants.
+func (f *Forest) validateMaximality(byLevel map[int32]map[*Cluster]bool, maxLevel int32) error {
+	for l := int32(0); l <= maxLevel; l++ {
+		for c := range byLevel[l] {
+			if c.parent == nil {
+				if c.adj.degree() != 0 {
+					return fmt.Errorf("level %d: root cluster with remaining edges", l)
+				}
+				continue
+			}
+			merged := len(c.parent.children) > 1
+			deg := c.adj.degree()
+			if f.mode == ModeUFO && deg >= 3 {
+				// Strong maximality: every degree-1 neighbor must be in
+				// the same merge.
+				var err error
+				c.adj.forEach(func(er EdgeRef) bool {
+					if er.to.adj.degree() == 1 && er.to.parent != c.parent {
+						err = fmt.Errorf("level %d: degree-1 neighbor of a high-degree cluster not absorbed", l)
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			if merged {
+				continue
+			}
+			// Unmerged cluster: no neighbor may be unmerged and pairable
+			// with it under the mode's merge rules.
+			var err error
+			c.adj.forEach(func(er EdgeRef) bool {
+				y := er.to
+				ydeg := y.adj.degree()
+				ymerged := y.parent != nil && len(y.parent.children) > 1
+				pairable := false
+				switch f.mode {
+				case ModeUFO, ModeRC:
+					pairable = deg <= 2 && ydeg <= 2
+					if ydeg >= 3 && deg == 1 {
+						// Must have joined the high-degree family.
+						err = fmt.Errorf("level %d: unmerged degree-1 cluster adjacent to a high-degree cluster", l)
+						return false
+					}
+				case ModeTopology:
+					pairable = (deg <= 2 && ydeg <= 2) || (deg == 1 && ydeg == 3) || (deg == 3 && ydeg == 1)
+				}
+				if pairable && !ymerged {
+					err = fmt.Errorf("level %d: two adjacent unmerged mergeable clusters", l)
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

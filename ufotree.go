@@ -1,0 +1,251 @@
+// Package ufotree is a library of dynamic-tree data structures, built as a
+// faithful reproduction of "UFO Trees: Practical and Provably-Efficient
+// Parallel Batch-Dynamic Trees" (De Man, Sharma, Gowda, Dhulipala — PPoPP
+// 2026).
+//
+// A dynamic-tree (or dynamic-forest) structure maintains a forest under
+// edge insertions (Link) and deletions (Cut) while answering connectivity,
+// path, and subtree queries in (poly-)logarithmic time. This package
+// provides one facade over six implementations:
+//
+//   - UFO trees (the paper's contribution): arbitrary-degree inputs, all
+//     query types, O(min{log n, D}) updates and queries (D = diameter),
+//     and batch updates;
+//   - link-cut trees: the fastest sequential baseline (path queries only);
+//   - Euler tour trees over treaps, splay trees, or skip lists
+//     (connectivity and subtree queries only);
+//   - topology trees and rake-compress style trees over dynamic
+//     ternarization (all query types, constant-degree core).
+//
+// Construct a structure with one of the New* functions and drive it
+// through the Forest / BatchForest interfaces, or use the concrete types in
+// internal packages for the full API (extended queries, validation).
+package ufotree
+
+import (
+	"repro/internal/ett"
+	"repro/internal/linkcut"
+	"repro/internal/seq"
+	"repro/internal/ternary"
+	"repro/internal/ufo"
+)
+
+// Edge is a weighted undirected edge used by batch updates.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Forest is the operation set shared by every dynamic-tree structure in
+// this library. Implementations panic on precondition violations (self
+// loops, duplicate links, links that would close a cycle, cuts of absent
+// edges), mirroring the C++ implementations the paper benchmarks.
+type Forest interface {
+	// N returns the number of vertices.
+	N() int
+	// Link inserts edge (u,v) with weight w; u and v must currently be in
+	// different trees.
+	Link(u, v int, w int64)
+	// Cut removes the existing edge (u,v).
+	Cut(u, v int)
+	// Connected reports whether u and v are in the same tree.
+	Connected(u, v int) bool
+	// HasEdge reports whether the edge (u,v) is present.
+	HasEdge(u, v int) bool
+	// Name identifies the implementation in benchmark output.
+	Name() string
+}
+
+// PathQuerier is implemented by structures that support path aggregates
+// (link-cut, UFO, topology, RC).
+type PathQuerier interface {
+	// PathSum returns the sum of edge weights on the u..v path; ok is
+	// false when u and v are disconnected.
+	PathSum(u, v int) (int64, bool)
+	// PathMax returns the maximum edge weight on the u..v path; ok is
+	// false when disconnected or u == v.
+	PathMax(u, v int) (int64, bool)
+}
+
+// SubtreeQuerier is implemented by structures that support subtree
+// aggregates over vertex values (UFO, topology, RC, ETT).
+type SubtreeQuerier interface {
+	// SetVertexValue assigns the value of v aggregated by SubtreeSum.
+	SetVertexValue(v int, val int64)
+	// SubtreeSum returns the sum of vertex values in the subtree rooted
+	// at v when p (adjacent to v) is its parent.
+	SubtreeSum(v, p int) int64
+}
+
+// BatchForest is implemented by the parallel batch-dynamic structures
+// (UFO, topology, RC, ETT).
+type BatchForest interface {
+	Forest
+	// BatchLink inserts a set of edges; the result must remain a forest.
+	BatchLink(edges []Edge)
+	// BatchCut removes a set of existing edges.
+	BatchCut(edges []Edge)
+	// SetParallel toggles goroutine parallelism inside batch updates.
+	SetParallel(on bool)
+}
+
+// NewUFO returns a UFO-tree forest over n vertices: the paper's primary
+// data structure. It supports every interface in this package.
+func NewUFO(n int) BatchForest { return &ufoAdapter{f: ufo.New(n), name: "ufo"} }
+
+// NewLinkCut returns a link-cut tree forest over n vertices (sequential
+// only; path queries).
+func NewLinkCut(n int) Forest { return &lctAdapter{f: linkcut.New(n)} }
+
+// NewTopology returns a topology-tree forest over n vertices behind dynamic
+// ternarization (arbitrary degrees).
+func NewTopology(n int) BatchForest {
+	return &ternAdapter{f: ternary.NewTopology(n), name: "topology"}
+}
+
+// NewRC returns a rake-compress style forest over n vertices behind dynamic
+// ternarization (arbitrary degrees).
+func NewRC(n int) BatchForest {
+	return &ternAdapter{f: ternary.NewRC(n), name: "rc"}
+}
+
+// NewETTTreap returns an Euler-tour-tree forest backed by treaps.
+func NewETTTreap(n int, seed uint64) BatchForest {
+	return &ettAdapter[*seq.TreapNode, *seq.Treap]{f: ett.NewTreap(n, seed), name: "ett-treap"}
+}
+
+// NewETTSplay returns an Euler-tour-tree forest backed by splay trees.
+func NewETTSplay(n int) BatchForest {
+	return &ettAdapter[*seq.SplayNode, *seq.Splay]{f: ett.NewSplay(n), name: "ett-splay"}
+}
+
+// NewETTSkipList returns an Euler-tour-tree forest backed by skip lists.
+func NewETTSkipList(n int, seed uint64) BatchForest {
+	return &ettAdapter[*seq.SkipNode, *seq.SkipList]{f: ett.NewSkipList(n, seed), name: "ett-skiplist"}
+}
+
+type ufoAdapter struct {
+	f    *ufo.Forest
+	name string
+}
+
+func (a *ufoAdapter) N() int                         { return a.f.N() }
+func (a *ufoAdapter) Link(u, v int, w int64)         { a.f.Link(u, v, w) }
+func (a *ufoAdapter) Cut(u, v int)                   { a.f.Cut(u, v) }
+func (a *ufoAdapter) Connected(u, v int) bool        { return a.f.Connected(u, v) }
+func (a *ufoAdapter) HasEdge(u, v int) bool          { return a.f.HasEdge(u, v) }
+func (a *ufoAdapter) Name() string                   { return a.name }
+func (a *ufoAdapter) PathSum(u, v int) (int64, bool) { return a.f.PathSum(u, v) }
+func (a *ufoAdapter) PathMax(u, v int) (int64, bool) { return a.f.PathMax(u, v) }
+func (a *ufoAdapter) SetVertexValue(v int, x int64)  { a.f.SetVertexValue(v, x) }
+func (a *ufoAdapter) SubtreeSum(v, p int) int64      { return a.f.SubtreeSum(v, p) }
+func (a *ufoAdapter) SetParallel(on bool)            { a.f.SetParallel(on) }
+func (a *ufoAdapter) BatchLink(edges []Edge) {
+	conv := make([]ufo.Edge, len(edges))
+	for i, e := range edges {
+		conv[i] = ufo.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	a.f.BatchLink(conv)
+}
+func (a *ufoAdapter) BatchCut(edges []Edge) {
+	conv := make([][2]int, len(edges))
+	for i, e := range edges {
+		conv[i] = [2]int{e.U, e.V}
+	}
+	a.f.BatchCut(conv)
+}
+
+// UnderlyingUFO exposes the concrete UFO forest behind a facade value for
+// callers that need the extended API (validation, heights, batch modes).
+func UnderlyingUFO(f Forest) (*ufo.Forest, bool) {
+	a, ok := f.(*ufoAdapter)
+	if !ok {
+		return nil, false
+	}
+	return a.f, true
+}
+
+type lctAdapter struct {
+	f *linkcut.Forest
+}
+
+func (a *lctAdapter) N() int                         { return a.f.N() }
+func (a *lctAdapter) Link(u, v int, w int64)         { a.f.Link(u, v, w) }
+func (a *lctAdapter) Cut(u, v int)                   { a.f.Cut(u, v) }
+func (a *lctAdapter) Connected(u, v int) bool        { return a.f.Connected(u, v) }
+func (a *lctAdapter) HasEdge(u, v int) bool          { return a.f.HasEdge(u, v) }
+func (a *lctAdapter) Name() string                   { return "link-cut" }
+func (a *lctAdapter) PathSum(u, v int) (int64, bool) { return a.f.PathSum(u, v) }
+func (a *lctAdapter) PathMax(u, v int) (int64, bool) { return a.f.PathMax(u, v) }
+
+type ternAdapter struct {
+	f    *ternary.Forest
+	name string
+}
+
+func (a *ternAdapter) N() int                         { return a.f.N() }
+func (a *ternAdapter) Link(u, v int, w int64)         { a.f.Link(u, v, w) }
+func (a *ternAdapter) Cut(u, v int)                   { a.f.Cut(u, v) }
+func (a *ternAdapter) Connected(u, v int) bool        { return a.f.Connected(u, v) }
+func (a *ternAdapter) HasEdge(u, v int) bool          { return a.f.HasEdge(u, v) }
+func (a *ternAdapter) Name() string                   { return a.name }
+func (a *ternAdapter) PathSum(u, v int) (int64, bool) { return a.f.PathSum(u, v) }
+func (a *ternAdapter) PathMax(u, v int) (int64, bool) { return a.f.PathMax(u, v) }
+func (a *ternAdapter) SetVertexValue(v int, x int64)  { a.f.SetVertexValue(v, x) }
+func (a *ternAdapter) SubtreeSum(v, p int) int64      { return a.f.SubtreeSum(v, p) }
+func (a *ternAdapter) SetParallel(on bool)            { a.f.Underlying().SetParallel(on) }
+func (a *ternAdapter) BatchLink(edges []Edge) {
+	conv := make([]ufo.Edge, len(edges))
+	for i, e := range edges {
+		conv[i] = ufo.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	a.f.BatchLink(conv)
+}
+func (a *ternAdapter) BatchCut(edges []Edge) {
+	conv := make([][2]int, len(edges))
+	for i, e := range edges {
+		conv[i] = [2]int{e.U, e.V}
+	}
+	a.f.BatchCut(conv)
+}
+
+type ettAdapter[N comparable, B seq.Backend[N]] struct {
+	f    *ett.Forest[N, B]
+	name string
+}
+
+func (a *ettAdapter[N, B]) N() int                        { return a.f.N() }
+func (a *ettAdapter[N, B]) Link(u, v int, w int64)        { a.f.Link(u, v) }
+func (a *ettAdapter[N, B]) Cut(u, v int)                  { a.f.Cut(u, v) }
+func (a *ettAdapter[N, B]) Connected(u, v int) bool       { return a.f.Connected(u, v) }
+func (a *ettAdapter[N, B]) HasEdge(u, v int) bool         { return a.f.HasEdge(u, v) }
+func (a *ettAdapter[N, B]) Name() string                  { return a.name }
+func (a *ettAdapter[N, B]) SetVertexValue(v int, x int64) { a.f.SetVertexValue(v, x) }
+func (a *ettAdapter[N, B]) SubtreeSum(v, p int) int64     { return a.f.SubtreeSum(v, p) }
+func (a *ettAdapter[N, B]) SetParallel(on bool)           { a.f.SetParallel(on) }
+func (a *ettAdapter[N, B]) BatchLink(edges []Edge) {
+	conv := make([][2]int, len(edges))
+	for i, e := range edges {
+		conv[i] = [2]int{e.U, e.V}
+	}
+	a.f.BatchLink(conv)
+}
+func (a *ettAdapter[N, B]) BatchCut(edges []Edge) {
+	conv := make([][2]int, len(edges))
+	for i, e := range edges {
+		conv[i] = [2]int{e.U, e.V}
+	}
+	a.f.BatchCut(conv)
+}
+
+// Compile-time interface checks.
+var (
+	_ BatchForest    = (*ufoAdapter)(nil)
+	_ PathQuerier    = (*ufoAdapter)(nil)
+	_ SubtreeQuerier = (*ufoAdapter)(nil)
+	_ Forest         = (*lctAdapter)(nil)
+	_ PathQuerier    = (*lctAdapter)(nil)
+	_ BatchForest    = (*ternAdapter)(nil)
+	_ PathQuerier    = (*ternAdapter)(nil)
+	_ SubtreeQuerier = (*ternAdapter)(nil)
+)

@@ -1,0 +1,199 @@
+package ufotree_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+func allForests(n int) []ufotree.Forest {
+	return []ufotree.Forest{
+		ufotree.NewUFO(n),
+		ufotree.NewLinkCut(n),
+		ufotree.NewETTTreap(n, 1),
+		ufotree.NewETTSplay(n),
+		ufotree.NewETTSkipList(n, 2),
+		ufotree.NewTopology(n),
+		ufotree.NewRC(n),
+	}
+}
+
+// TestFacadeAgreement drives every structure with one operation sequence
+// and requires all of them to agree with the oracle on every query they
+// support.
+func TestFacadeAgreement(t *testing.T) {
+	n := 60
+	forests := allForests(n)
+	ref := refforest.New(n)
+	r := rng.New(1001)
+	var live [][2]int
+	for step := 0; step < 1200; step++ {
+		switch {
+		case r.Intn(10) < 5:
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(40))
+				ref.Link(u, v, w)
+				for _, f := range forests {
+					f.Link(u, v, w)
+				}
+				live = append(live, [2]int{u, v})
+			}
+		case len(live) > 0:
+			i := r.Intn(len(live))
+			e := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ref.Cut(e[0], e[1])
+			for _, f := range forests {
+				f.Cut(e[0], e[1])
+			}
+		}
+		u, v := r.Intn(n), r.Intn(n)
+		want := ref.Connected(u, v)
+		for _, f := range forests {
+			if got := f.Connected(u, v); got != want {
+				t.Fatalf("step %d: %s Connected(%d,%d) = %v, want %v", step, f.Name(), u, v, got, want)
+			}
+			if pq, ok := f.(ufotree.PathQuerier); ok {
+				gs, gok := pq.PathSum(u, v)
+				ws, wok := ref.PathSum(u, v)
+				if gok != wok || (gok && gs != ws) {
+					t.Fatalf("step %d: %s PathSum(%d,%d) = %d,%v want %d,%v",
+						step, f.Name(), u, v, gs, gok, ws, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestFacadeSubtree drives the subtree-capable structures together.
+func TestFacadeSubtree(t *testing.T) {
+	n := 40
+	forests := allForests(n)
+	ref := refforest.New(n)
+	r := rng.New(1002)
+	tr := gen.Shuffled(gen.RandomDegree3(n, 1003), 1004)
+	for _, e := range tr.Edges {
+		ref.Link(e.U, e.V, e.W)
+		for _, f := range forests {
+			f.Link(e.U, e.V, e.W)
+		}
+	}
+	for v := 0; v < n; v++ {
+		val := int64(r.Intn(100))
+		ref.SetVertexValue(v, val)
+		for _, f := range forests {
+			if sq, ok := f.(ufotree.SubtreeQuerier); ok {
+				sq.SetVertexValue(v, val)
+			}
+		}
+	}
+	for q := 0; q < 300; q++ {
+		e := tr.Edges[r.Intn(len(tr.Edges))]
+		v, p := e.U, e.V
+		if r.Bool() {
+			v, p = p, v
+		}
+		want := ref.SubtreeSum(v, p)
+		for _, f := range forests {
+			if sq, ok := f.(ufotree.SubtreeQuerier); ok {
+				if got := sq.SubtreeSum(v, p); got != want {
+					t.Fatalf("%s: SubtreeSum(%d,%d) = %d, want %d", f.Name(), v, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchFacade checks the batch interface across structures.
+func TestBatchFacade(t *testing.T) {
+	n := 500
+	tr := gen.Shuffled(gen.PrefAttach(n, 1005), 1006)
+	batchers := []ufotree.BatchForest{
+		ufotree.NewUFO(n), ufotree.NewETTTreap(n, 3),
+		ufotree.NewTopology(n), ufotree.NewRC(n),
+	}
+	var edges []ufotree.Edge
+	for _, e := range tr.Edges {
+		edges = append(edges, ufotree.Edge{U: e.U, V: e.V, W: e.W})
+	}
+	for _, f := range batchers {
+		f.SetParallel(true)
+		for lo := 0; lo < len(edges); lo += 77 {
+			hi := lo + 77
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			f.BatchLink(edges[lo:hi])
+		}
+		if !f.Connected(0, n-1) {
+			t.Fatalf("%s: batch build incomplete", f.Name())
+		}
+		f.BatchCut(edges)
+		if f.Connected(tr.Edges[0].U, tr.Edges[0].V) && tr.Edges[0].U != tr.Edges[0].V {
+			t.Fatalf("%s: batch cut incomplete", f.Name())
+		}
+	}
+}
+
+// TestConnectivityProperties uses testing/quick on random forests: the
+// connectivity relation must be symmetric and transitive across all
+// structures simultaneously.
+func TestConnectivityProperties(t *testing.T) {
+	prop := func(seed uint64) bool {
+		n := 24
+		r := rng.New(seed)
+		f := ufotree.NewUFO(n)
+		ref := refforest.New(n)
+		for i := 0; i < 30; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				f.Link(u, v, 1)
+				ref.Link(u, v, 1)
+			}
+		}
+		for i := 0; i < 60; i++ {
+			a, b, c := r.Intn(n), r.Intn(n), r.Intn(n)
+			if f.Connected(a, b) != f.Connected(b, a) {
+				return false
+			}
+			if f.Connected(a, b) && f.Connected(b, c) && !f.Connected(a, c) {
+				return false
+			}
+			if f.Connected(a, b) != ref.Connected(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnderlyingUFOAccess checks the extended-API escape hatch (LCA and
+// structural validation via the concrete type).
+func TestUnderlyingUFOAccess(t *testing.T) {
+	f := ufotree.NewUFO(6)
+	f.Link(0, 1, 1)
+	f.Link(1, 2, 1)
+	f.Link(1, 3, 1)
+	uf, ok := ufotree.UnderlyingUFO(f)
+	if !ok {
+		t.Fatal("UnderlyingUFO failed on a UFO facade")
+	}
+	if err := uf.Validate(); err != nil {
+		t.Fatalf("validator: %v", err)
+	}
+	if l, ok := uf.LCA(2, 3, 0); !ok || l != 1 {
+		t.Fatalf("LCA(2,3;0) = %d,%v want 1", l, ok)
+	}
+	if _, ok := ufotree.UnderlyingUFO(ufotree.NewLinkCut(3)); ok {
+		t.Fatal("UnderlyingUFO should fail on non-UFO forests")
+	}
+}
