@@ -4,6 +4,7 @@
 package ufotree_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -14,8 +15,61 @@ import (
 
 const benchN = 20000
 
+// skipInShort gates the heavyweight paper-regeneration benchmarks so the
+// CI test job (-short) stays fast; the bench smoke job still runs each of
+// them once via `go test -run NONE -bench . -benchtime 1x`.
+func skipInShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy experiment benchmark skipped in -short")
+	}
+}
+
+// BenchmarkBatchScaling is the self-relative scaling experiment of the
+// parallel batch-update engine: batched build+destroy throughput of the
+// UFO tree at worker counts 1..GOMAXPROCS (plus oversubscribed counts on
+// small hosts), batches of benchN/2 ≥ 10k edges. Compare the workers=1 and
+// workers=GOMAXPROCS variants for the self-relative speedup.
+func BenchmarkBatchScaling(b *testing.B) {
+	t := gen.PrefAttach(benchN, 44)
+	k := benchN / 2
+	for _, workers := range bench.DefaultWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			links := make([]ufotree.Edge, 0, len(t.Edges))
+			for _, e := range gen.Shuffled(t, 45).Edges {
+				links = append(links, ufotree.Edge{U: e.U, V: e.V, W: e.W})
+			}
+			cuts := make([]ufotree.Edge, 0, len(t.Edges))
+			for _, e := range gen.Shuffled(t, 46).Edges {
+				cuts = append(cuts, ufotree.Edge{U: e.U, V: e.V})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := ufotree.NewUFO(t.N)
+				f.SetWorkers(workers)
+				for lo := 0; lo < len(links); lo += k {
+					hi := lo + k
+					if hi > len(links) {
+						hi = len(links)
+					}
+					f.BatchLink(links[lo:hi])
+				}
+				for lo := 0; lo < len(cuts); lo += k {
+					hi := lo + k
+					if hi > len(cuts) {
+						hi = len(cuts)
+					}
+					f.BatchCut(cuts[lo:hi])
+				}
+			}
+			b.ReportMetric(float64(2*len(t.Edges)*b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
+}
+
 // BenchmarkTable1 measures the star-vs-path adaptivity matrix of Table 1.
 func BenchmarkTable1(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		bench.Table1(io.Discard, benchN/2, 42)
 	}
@@ -23,6 +77,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkTable2 regenerates the dataset summary of Table 2.
 func BenchmarkTable2(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		bench.Table2(io.Discard, benchN/4, 42)
 	}
@@ -30,6 +85,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // Figure 5: one benchmark per structure over the synthetic input set.
 func benchmarkFig5(b *testing.B, name string) {
+	skipInShort(b)
 	var builder bench.Builder
 	for _, s := range bench.Sequential() {
 		if s.Name == name {
@@ -62,6 +118,7 @@ func BenchmarkFig5RC(b *testing.B)          { benchmarkFig5(b, "rc") }
 // Figure 6: diameter sweep — updates and queries at the two extremes of the
 // Zipf parameter.
 func benchmarkFig6(b *testing.B, alpha float64) {
+	skipInShort(b)
 	t := gen.Zipf(benchN, alpha, 9)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -88,6 +145,7 @@ func BenchmarkFig6LowDiameter(b *testing.B)  { benchmarkFig6(b, 2.0) }
 // BenchmarkFig7Memory reports bytes/vertex for each structure on the
 // random-attachment input (allocation-focused benchmark).
 func BenchmarkFig7Memory(b *testing.B) {
+	skipInShort(b)
 	t := gen.RandomAttach(benchN, 11)
 	for _, s := range bench.Sequential() {
 		b.Run(s.Name, func(b *testing.B) {
@@ -104,6 +162,7 @@ func BenchmarkFig7Memory(b *testing.B) {
 
 // Figure 8: batch updates with k = n/10 per structure.
 func benchmarkFig8(b *testing.B, name string) {
+	skipInShort(b)
 	var builder bench.Builder
 	for _, s := range bench.Parallel() {
 		if s.Name == name {
@@ -150,6 +209,7 @@ func BenchmarkFig8RC(b *testing.B)       { benchmarkFig8(b, "rc") }
 
 // BenchmarkFig9Scaling: UFO batch build+destroy across input sizes.
 func BenchmarkFig9Scaling(b *testing.B) {
+	skipInShort(b)
 	for _, n := range []int{benchN / 4, benchN, benchN * 4} {
 		t := gen.Star(n)
 		b.Run(t.Name+"/"+itoa(n), func(b *testing.B) {
@@ -175,6 +235,7 @@ func BenchmarkFig9Scaling(b *testing.B) {
 
 // BenchmarkFig16ParallelSweep: batch updates across the diameter sweep.
 func BenchmarkFig16ParallelSweep(b *testing.B) {
+	skipInShort(b)
 	for _, alpha := range []float64{0.0, 2.0} {
 		t := gen.Zipf(benchN, alpha, 15)
 		b.Run("alpha="+ftoa(alpha), func(b *testing.B) {

@@ -5,8 +5,10 @@
 //
 //	ufobench -experiment fig5 -n 100000
 //	ufobench -experiment all -n 20000 -k 2000
+//	ufobench -experiment scaling -n 200000 -k 20000
 //
-// Experiments: table1, table2, fig5, fig6, fig7, fig8, fig9, fig16, all.
+// Experiments: table1, table2, fig5, fig6, fig7, fig8, fig9, fig16,
+// scaling, ablation, all.
 // Sizes default to laptop scale; raise -n / -k to approach the paper's
 // configuration (n=10^7, k=10^6 on a 96-core machine).
 package main
@@ -22,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|all")
+		exp    = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|ablation|all")
 		n      = flag.Int("n", 50000, "input tree size")
 		k      = flag.Int("k", 5000, "batch size for parallel experiments")
 		q      = flag.Int("q", 20000, "query count for the diameter sweep")
@@ -54,6 +56,7 @@ func main() {
 	run("fig16", func() {
 		bench.Fig16(w, *n, *k, []float64{0, 0.5, 1.0, 1.5, 2.0}, *seed)
 	})
+	run("scaling", func() { bench.Scaling(w, *n, *k, nil, *seed) })
 	run("ablation", func() {
 		bench.Ablation(w, *n, *seed)
 		fmt.Fprintln(w)
@@ -61,10 +64,12 @@ func main() {
 	})
 
 	valid := map[string]bool{"all": true, "table1": true, "table2": true, "fig5": true,
-		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig16": true, "ablation": true}
+		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig16": true,
+		"scaling": true, "ablation": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n", *exp,
-			strings.Join([]string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig16", "all"}, "|"))
+			strings.Join([]string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+				"fig16", "scaling", "ablation", "all"}, "|"))
 		os.Exit(2)
 	}
 }

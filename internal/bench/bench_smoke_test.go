@@ -9,6 +9,16 @@ import (
 // The experiment harness is exercised end-to-end at tiny sizes so that the
 // report generators stay wired to the structures (a broken experiment
 // should fail tests, not just produce an empty figure).
+//
+// The longer-running experiments are skipped under -short so the CI test
+// job stays fast; the full set still runs in the default (non-short) mode.
+
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("long experiment smoke skipped in -short")
+	}
+}
 
 func TestTable1Smoke(t *testing.T) {
 	var buf bytes.Buffer
@@ -32,6 +42,7 @@ func TestTable2Smoke(t *testing.T) {
 }
 
 func TestFig5Smoke(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	Fig5(&buf, 300, 1, false)
 	if lines := strings.Count(buf.String(), "\n"); lines < 9 {
@@ -40,6 +51,7 @@ func TestFig5Smoke(t *testing.T) {
 }
 
 func TestFig6Smoke(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	Fig6(&buf, 300, 100, []float64{0, 2}, 1)
 	out := buf.String()
@@ -52,6 +64,7 @@ func TestFig6Smoke(t *testing.T) {
 }
 
 func TestFig7Smoke(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	Fig7(&buf, 300, 1)
 	if !strings.Contains(buf.String(), "memory usage") {
@@ -60,6 +73,7 @@ func TestFig7Smoke(t *testing.T) {
 }
 
 func TestFig8Smoke(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	Fig8(&buf, 300, 50, 1, false)
 	out := buf.String()
@@ -88,6 +102,7 @@ func TestFig16Smoke(t *testing.T) {
 }
 
 func TestAblationSmoke(t *testing.T) {
+	skipInShort(t)
 	var buf bytes.Buffer
 	Ablation(&buf, 2100, 1)
 	out := buf.String()
@@ -97,6 +112,23 @@ func TestAblationSmoke(t *testing.T) {
 	AblationBatchAmortization(&buf, 500, 1)
 	if !strings.Contains(buf.String(), "batch k") {
 		t.Fatal("batch amortization ablation missing")
+	}
+}
+
+func TestScalingSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	res := Scaling(&buf, 400, 100, []int{1, 2}, 1)
+	out := buf.String()
+	if !strings.Contains(out, "w=1") || !strings.Contains(out, "w=2") {
+		t.Fatalf("scaling table missing worker columns:\n%s", out)
+	}
+	if len(res) == 0 {
+		t.Fatal("scaling returned no results")
+	}
+	for _, r := range res {
+		if r.Throughput <= 0 || r.Edges <= 0 {
+			t.Fatalf("degenerate scaling result: %+v", r)
+		}
 	}
 }
 

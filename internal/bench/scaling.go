@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/ufo"
+)
+
+// DefaultWorkerCounts returns the worker sweep for the self-relative
+// scaling experiment: 1, 2, 4, ... up to GOMAXPROCS (always including
+// GOMAXPROCS itself). On single-core hosts it still returns {1, 2, 4} so
+// the parallel engine's overhead is measurable (oversubscribed workers
+// time-slice one core).
+func DefaultWorkerCounts() []int {
+	p := runtime.GOMAXPROCS(0)
+	seen := map[int]bool{}
+	var counts []int
+	add := func(w int) {
+		if !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+	add(1)
+	for w := 2; w < p; w *= 2 {
+		add(w)
+	}
+	if p > 1 {
+		add(p)
+	}
+	if p < 4 {
+		add(2)
+		add(4)
+	}
+	return counts
+}
+
+// ScalingResult is one configuration's measurement of the self-relative
+// scaling experiment.
+type ScalingResult struct {
+	Input      string
+	Workers    int
+	Edges      int     // edges applied (links + cuts)
+	Seconds    float64 // wall time for the batched build + destroy
+	Throughput float64 // edges per second
+}
+
+// Scaling measures batched build+destroy throughput of the UFO tree at
+// each worker count, on each input shape, with batch size k. It reports
+// edge-updates/second and the speedup relative to workers=1 for the same
+// input (the paper's self-relative scaling metric, Figure 9's analogue on
+// the worker axis).
+func Scaling(w io.Writer, n, k int, workers []int, seed uint64) []ScalingResult {
+	if len(workers) == 0 {
+		workers = DefaultWorkerCounts()
+	}
+	inputs := []gen.Tree{gen.Path(n), gen.Binary(n), gen.Star(n), gen.PrefAttach(n, seed+2)}
+	fmt.Fprintf(w, "# Self-relative scaling: UFO batch build+destroy, n=%d, k=%d, GOMAXPROCS=%d\n",
+		n, k, runtime.GOMAXPROCS(0))
+	cols := make([]string, 0, len(workers)+1)
+	for _, wk := range workers {
+		cols = append(cols, fmt.Sprintf("w=%d", wk))
+	}
+	cols = append(cols, "speedup")
+	header(w, "input", cols)
+	var out []ScalingResult
+	for _, t := range inputs {
+		fmt.Fprintf(w, "%-14s", t.Name)
+		var base, maxThr float64
+		maxWorkers := 0
+		for _, wk := range workers {
+			f := ufo.New(t.N)
+			f.SetWorkers(wk)
+			d := buildDestroyBatchUFO(f, t, k, seed+17)
+			edges := 2 * len(t.Edges)
+			thr := float64(edges) / d.Seconds()
+			out = append(out, ScalingResult{t.Name, wk, edges, d.Seconds(), thr})
+			if wk == 1 {
+				base = thr
+			}
+			if wk > maxWorkers {
+				maxWorkers, maxThr = wk, thr
+			}
+			fmt.Fprintf(w, " %12.0f", thr)
+		}
+		// Self-relative speedup of the highest worker count vs the
+		// sequential engine — below 1.00x means the parallel engine loses
+		// (e.g. oversubscription on a small host). n/a when the sweep
+		// does not include workers=1.
+		if base > 0 {
+			fmt.Fprintf(w, " %11.2fx", maxThr/base)
+		} else {
+			fmt.Fprintf(w, " %12s", "n/a")
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "# (columns: edge updates/second at each worker count; speedup = highest worker count / workers=1)")
+	return out
+}
+
+// buildDestroyBatchUFO is buildDestroyBatch against the concrete UFO
+// forest (avoids the facade conversion inside the timed region).
+func buildDestroyBatchUFO(f *ufo.Forest, t gen.Tree, k int, seed uint64) time.Duration {
+	ins := gen.Shuffled(t, seed)
+	del := gen.Shuffled(t, seed+1)
+	links := make([]ufo.Edge, len(ins.Edges))
+	for i, e := range ins.Edges {
+		links[i] = ufo.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	cuts := make([][2]int, len(del.Edges))
+	for i, e := range del.Edges {
+		cuts[i] = [2]int{e.U, e.V}
+	}
+	start := time.Now()
+	for lo := 0; lo < len(links); lo += k {
+		f.BatchLink(links[lo:min(lo+k, len(links))])
+	}
+	for lo := 0; lo < len(cuts); lo += k {
+		f.BatchCut(cuts[lo:min(lo+k, len(cuts))])
+	}
+	return time.Since(start)
+}

@@ -46,34 +46,11 @@ func ForGrain(n, grain int, body func(i int)) {
 		}
 		return
 	}
-	chunks := (n + grain - 1) / grain
-	workers := p
-	if workers > chunks {
-		workers = chunks
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					body(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	WorkersForRange(p, n, grain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
 }
 
 // ForRange executes body(lo, hi) over disjoint subranges covering [0, n).
@@ -90,37 +67,77 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	WorkersForRange(p, n, grain, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// WorkersForRange executes body(worker, lo, hi) over disjoint chunked
+// subranges covering [0, n), using exactly min(p, chunks) goroutines with
+// worker indices in [0, p). The worker index lets callers keep per-worker
+// scratch state without any synchronization. Unlike ForRange, p is an
+// explicit parameter rather than GOMAXPROCS, so callers can run a fixed
+// parallelism level regardless of the machine (oversubscription included,
+// which the batch-update tests use to exercise real interleavings on small
+// hosts).
+//
+// A panic raised inside body is captured and re-raised on the calling
+// goroutine after all workers have drained, so callers (and tests using
+// recover) observe it like a serial panic instead of a process abort.
+func WorkersForRange(p, n, grain int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
 	chunks := (n + grain - 1) / grain
-	workers := p
-	if workers > chunks {
-		workers = chunks
+	if p > chunks {
+		p = chunks
+	}
+	if p <= 1 {
+		body(0, 0, n)
+		return
 	}
 	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
+	var panicVal atomic.Pointer[any]
+	run := func(w int) {
+		defer func() {
+			if r := recover(); r != nil {
+				v := r
+				panicVal.CompareAndSwap(nil, &v)
 			}
 		}()
+		for {
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(w, lo, hi)
+		}
 	}
+	var wg sync.WaitGroup
+	wg.Add(p - 1)
+	for w := 1; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			run(w)
+		}(w)
+	}
+	run(0)
 	wg.Wait()
+	if pv := panicVal.Load(); pv != nil {
+		panic(*pv)
+	}
 }
 
 // Do runs the given functions, possibly concurrently, and waits for all of
 // them. It is the binary-forking "fork-join" primitive of the paper's model
-// generalized to arbitrary arity.
+// generalized to arbitrary arity. A panic in any function is re-raised on
+// the calling goroutine once every function has finished.
 func Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
@@ -129,16 +146,29 @@ func Do(fns ...func()) {
 		fns[0]()
 		return
 	}
+	var panicVal atomic.Pointer[any]
+	guard := func(f func()) {
+		defer func() {
+			if r := recover(); r != nil {
+				v := r
+				panicVal.CompareAndSwap(nil, &v)
+			}
+		}()
+		f()
+	}
 	var wg sync.WaitGroup
 	wg.Add(len(fns) - 1)
 	for _, fn := range fns[1:] {
 		go func(f func()) {
 			defer wg.Done()
-			f()
+			guard(f)
 		}(fn)
 	}
-	fns[0]()
+	guard(fns[0])
 	wg.Wait()
+	if pv := panicVal.Load(); pv != nil {
+		panic(*pv)
+	}
 }
 
 // Reduce combines map(i) for i in [0, n) with the associative function

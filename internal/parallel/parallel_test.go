@@ -48,6 +48,89 @@ func TestForRangeCoversDisjointRanges(t *testing.T) {
 	}
 }
 
+func TestWorkersForRangeCoversAll(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 63, 4096} {
+			hit := make([]int32, n)
+			maxW := int32(-1)
+			var mw atomic.Int32
+			mw.Store(maxW)
+			WorkersForRange(p, n, 16, func(w, lo, hi int) {
+				if w < 0 || w >= p {
+					t.Errorf("worker index %d out of range [0,%d)", w, p)
+				}
+				for {
+					cur := mw.Load()
+					if int32(w) <= cur || mw.CompareAndSwap(cur, int32(w)) {
+						break
+					}
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hit[i], 1)
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("p=%d n=%d index %d visited %d times", p, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersForRangeOversubscription(t *testing.T) {
+	// More workers than GOMAXPROCS must still terminate and cover [0, n).
+	n := 1000
+	var sum atomic.Int64
+	WorkersForRange(64, n, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if want := int64(n) * int64(n-1) / 2; sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestWorkersForRangePanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate to caller")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	WorkersForRange(4, 1000, 8, func(_, lo, hi int) {
+		if lo >= 500 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForGrainPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForGrain panic did not propagate")
+		}
+	}()
+	ForGrain(10000, 8, func(i int) {
+		if i == 7777 {
+			panic("late panic")
+		}
+	})
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Do panic did not propagate")
+		}
+	}()
+	Do(func() {}, func() { panic("do boom") }, func() {})
+}
+
 func TestDoRunsAll(t *testing.T) {
 	var a, b, c atomic.Bool
 	Do(func() { a.Store(true) }, func() { b.Store(true) }, func() { c.Store(true) })

@@ -25,6 +25,7 @@ package ufo
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/ranktree"
 )
@@ -36,9 +37,13 @@ const negInf = math.MinInt64
 // indicate a balance bug).
 const maxLevels = 256
 
-// Cluster flags.
+// Cluster flags. Flags are stored in an atomic word so that the parallel
+// batch-update phases can claim clusters (queue membership bits) and mark
+// them (dead/damaged) with lock-free test-and-set; the sequential paths use
+// the same accessors, whose uncontended atomic cost is negligible next to
+// the adjacency work per cluster.
 const (
-	flagDead uint8 = 1 << iota
+	flagDead uint32 = 1 << iota
 	flagInRoots
 	flagInDel
 	flagDamaged  // lost its merge center: force-delete when examined
@@ -168,8 +173,15 @@ type Cluster struct {
 	level    int32
 	leafV    int32 // vertex id for level-0 leaves, else -1
 	childIdx int32
-	flags    uint8
-	parent   *Cluster
+	// uid is a forest-unique id used for lock striping and as the
+	// symmetry-breaking priority source of the parallel pair matching.
+	uid    uint32
+	flags  atomic.Uint32
+	parent *Cluster
+	// prop is transient engine scratch: the current proposal target during
+	// the parallel pair-matching rounds of recluster. Always nil outside an
+	// update.
+	prop *Cluster
 	// center is the high-degree child of a superunary (unbounded-fanout)
 	// merge; nil for pair and fanout-1 clusters.
 	center   *Cluster
@@ -190,8 +202,53 @@ type Cluster struct {
 	childItem *ranktree.Item
 }
 
-func (c *Cluster) dead() bool { return c.flags&flagDead != 0 }
+func (c *Cluster) dead() bool { return c.has(flagDead) }
 
+// has reports whether any of the given flag bits is set.
+func (c *Cluster) has(fl uint32) bool { return c.flags.Load()&fl != 0 }
+
+// NOTE: set/clear/trySet intentionally use Load+CompareAndSwap loops
+// rather than atomic.Uint32.Or/And. On the go1.24.0 toolchain the inlined
+// And/Or intrinsics miscompile in this package's hot paths and corrupt the
+// heap (reproducible with GOGC=1: "found bad pointer in Go heap"; clean
+// with -gcflags=-l or with these CAS loops). Do not "simplify" these back
+// to Or/And without verifying on a fixed toolchain under
+// `GOGC=1 go test -count=10 ./internal/ufo/`.
+
+// set sets the given flag bits.
+func (c *Cluster) set(fl uint32) {
+	for {
+		old := c.flags.Load()
+		if old&fl == fl || c.flags.CompareAndSwap(old, old|fl) {
+			return
+		}
+	}
+}
+
+// clear clears the given flag bits.
+func (c *Cluster) clear(fl uint32) {
+	for {
+		old := c.flags.Load()
+		if old&fl == 0 || c.flags.CompareAndSwap(old, old&^fl) {
+			return
+		}
+	}
+}
+
+// trySet atomically sets fl and reports whether this call was the one that
+// set it (false when it was already set). The parallel phases use it to
+// claim queue membership exactly once per cluster.
+func (c *Cluster) trySet(fl uint32) bool {
+	for {
+		old := c.flags.Load()
+		if old&fl != 0 {
+			return false
+		}
+		if c.flags.CompareAndSwap(old, old|fl) {
+			return true
+		}
+	}
+}
 
 // boundaries returns the distinct boundary vertices of c (the inside
 // endpoints of its crossing edges) in O(1): clusters of degree ≥ 3 have a
@@ -240,7 +297,7 @@ func attach(p, c *Cluster) {
 		a.subSum += c.subSum
 		a.vcnt += c.vcnt
 	}
-	if p.flags&flagTrackMax != 0 {
+	if p.has(flagTrackMax) {
 		trackAttach(p, c)
 	}
 }
@@ -253,7 +310,7 @@ func detach(c *Cluster) {
 	if p == nil {
 		return
 	}
-	if p.flags&flagTrackMax != 0 {
+	if p.has(flagTrackMax) {
 		trackDetach(p, c)
 	}
 	last := int32(len(p.children) - 1)
@@ -268,11 +325,11 @@ func detach(c *Cluster) {
 	if p.center == c {
 		p.center = nil
 		if len(p.children) > 0 {
-			p.flags |= flagDamaged
+			p.set(flagDamaged)
 		}
 	}
 	if len(p.children) == 0 {
-		p.flags |= flagDamaged
+		p.set(flagDamaged)
 	}
 	c.parent = nil
 	c.childIdx = -1

@@ -1,6 +1,11 @@
 package ufo
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
 
 // Edge is an update item for batch operations.
 type Edge struct {
@@ -34,16 +39,18 @@ const (
 // tree by default, a topology tree with NewTopology).
 //
 // The zero configuration runs updates serially; SetParallel(true) enables
-// goroutine-parallel batch updates. All query methods are read-only and may
+// goroutine-parallel batch updates with GOMAXPROCS workers, and SetWorkers
+// picks an explicit worker count. All query methods are read-only and may
 // run concurrently with each other (but not with updates).
 type Forest struct {
 	n        int
 	leaves   []*Cluster
 	nEdges   int
-	parallel bool
+	workers  int
 	trackMax bool
 	mode     Mode
 	seed     uint64
+	uidSrc   atomic.Uint32
 	eng      engine
 }
 
@@ -67,10 +74,11 @@ func NewRC(n int) *Forest {
 }
 
 func newForest(n int, m Mode) *Forest {
-	f := &Forest{n: n, leaves: make([]*Cluster, n), mode: m, seed: 0x9e3779b97f4a7c15}
+	f := &Forest{n: n, leaves: make([]*Cluster, n), workers: 1, mode: m, seed: 0x9e3779b97f4a7c15}
 	for i := range f.leaves {
-		f.leaves[i] = &Cluster{level: 0, leafV: int32(i), childIdx: -1, vcnt: 1, pathMax: negInf}
+		f.leaves[i] = &Cluster{level: 0, leafV: int32(i), uid: uint32(i), childIdx: -1, vcnt: 1, pathMax: negInf}
 	}
+	f.uidSrc.Store(uint32(n))
 	f.eng.f = f
 	return f
 }
@@ -84,8 +92,29 @@ func (f *Forest) N() int { return f.n }
 // EdgeCount returns the number of live edges.
 func (f *Forest) EdgeCount() int { return f.nEdges }
 
-// SetParallel toggles goroutine-parallel batch updates.
-func (f *Forest) SetParallel(p bool) { f.parallel = p }
+// SetParallel toggles goroutine-parallel batch updates: on means
+// GOMAXPROCS workers, off means fully sequential.
+func (f *Forest) SetParallel(p bool) {
+	if p {
+		f.SetWorkers(parallel.Procs())
+	} else {
+		f.SetWorkers(1)
+	}
+}
+
+// SetWorkers fixes the number of workers used by batch updates. Values
+// below 2 select the sequential engine. Counts above GOMAXPROCS are allowed
+// (oversubscription), which the tests use to exercise the parallel engine's
+// interleavings on machines with few cores.
+func (f *Forest) SetWorkers(k int) {
+	if k < 1 {
+		k = 1
+	}
+	f.workers = k
+}
+
+// Workers reports the configured batch-update worker count.
+func (f *Forest) Workers() int { return f.workers }
 
 // HasEdge reports whether edge (u,v) is present.
 func (f *Forest) HasEdge(u, v int) bool {

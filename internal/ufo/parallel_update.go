@@ -1,0 +1,712 @@
+package ufo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Parallel batch-update engine (Algorithm 4 of the paper, §5.2).
+//
+// The update is level-synchronous: within one level the E⁻ lazy
+// edge-deletion pass, the conditional-deletion examination, and the
+// reclustering stages each run as chunked parallel loops over the level's
+// work lists, with a barrier between phases. The design rules:
+//
+//   - Queue membership (roots/del/touched) is claimed with lock-free
+//     test-and-set on the cluster flag word and collected into per-worker
+//     buffers that are drained into the engine's level queues at the phase
+//     barrier, so the shared queues are never written concurrently.
+//   - Adjacency sets are guarded by a striped mutex pool hashed on the
+//     cluster uid. A worker never holds more than one stripe at a time
+//     (snapshot-then-act), so lock ordering is trivial and deadlock-free.
+//   - Structural decisions (conditional deletion) are computed in a
+//     read-only classification pass over the pre-phase state and executed
+//     in a second mutation pass, matching the snapshot semantics of the
+//     paper's data-parallel loops. Subtree aggregates on shared ancestor
+//     chains are updated with atomic adds.
+//   - Stage 2 of reclustering replaces the greedy sequential matching with
+//     rounds of randomized mutual proposals (each root proposes to its
+//     highest-priority eligible neighbor; mutual proposals merge). Roots
+//     left over after the matching fixpoint — adoptions, superunary joins,
+//     singletons — fall through to the sequential greedy loop, which is a
+//     no-op for everything already matched.
+//
+// The resulting cluster hierarchy can differ from the sequential engine's
+// (both are valid UFO trees), but the represented forest — and therefore
+// every query answer — is identical; parallel_test.go checks this
+// differentially after every batch.
+//
+// EnableSubtreeMax keeps the rank-tree maintenance of non-invertible
+// aggregates, whose ancestor bubbling is not phase-local; the structural
+// phases (disconnect, conditional deletion) then run sequentially while
+// the remaining phases still run in parallel.
+
+// parGrain is the smallest per-phase work-list size worth forking for.
+// Tests lower it to drive the parallel paths on small inputs.
+var parGrain = 192
+
+// maxMatchRounds bounds the mutual-proposal matching fixpoint; the
+// sequential fallback loop picks up anything left (termination is
+// guaranteed without the cap — each round matches at least one mutual
+// pair while any eligible pair exists — this is a defensive bound).
+const maxMatchRounds = 64
+
+// nStripes is the size of the adjacency lock pool (power of two);
+// stripeShift derives the index width so the two cannot drift apart.
+const (
+	nStripes    = 1024
+	stripeShift = 10 // log2(nStripes)
+)
+
+// Compile-time guard: stripeShift must equal log2(nStripes).
+const _ = uint(nStripes - 1<<stripeShift)
+const _ = uint(1<<stripeShift - nStripes)
+
+// stripedMu pads each mutex to its own cache line.
+type stripedMu struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
+// wscratch is one worker's phase-local collection state. Buffers are
+// drained (and reset) at every phase barrier; the padding keeps workers'
+// append bookkeeping off each other's cache lines.
+type wscratch struct {
+	roots   []*Cluster // addRoot collector (phase-dependent level)
+	roots2  []*Cluster // secondary addRoot collector (second level / lo queue)
+	del     []*Cluster // addDel collector
+	proc    []*Cluster // recluster: merged roots needing adjacency lift
+	touched []*Cluster // recluster: parents needing aggregate recomputation
+	edel    []edelEnt  // addEdel collector
+	snap    []EdgeRef  // adjacency snapshot (deleteClusterPar)
+	cnt     int        // nEdges delta
+	matched int        // pair-matching merge count this round
+	_       [72]byte   // pads the struct to 256 bytes (a cache-line multiple)
+}
+
+func (e *engine) setupPar() {
+	if len(e.ws) < e.f.workers {
+		e.ws = make([]wscratch, e.f.workers)
+	}
+	if e.stripes == nil {
+		e.stripes = make([]stripedMu, nStripes)
+	}
+}
+
+// par reports whether a phase over n items should run in parallel.
+func (e *engine) par(n int) bool { return e.f.workers > 1 && n >= parGrain }
+
+// mu returns the lock stripe guarding c's adjacency set.
+func (e *engine) mu(c *Cluster) *sync.Mutex {
+	h := c.uid * 0x9E3779B1 // Fibonacci hashing; top bits are well mixed
+	return &e.stripes[h>>(32-stripeShift)].mu
+}
+
+// parChaos, when true, yields the processor at every synchronization
+// boundary of the parallel phases (debug hook: widens race windows so the
+// stress tests explore far more interleavings on few-core hosts).
+var parChaos bool
+
+func chaos() {
+	if parChaos {
+		runtime.Gosched()
+	}
+}
+
+// forWorkers runs body over chunked subranges of [0, n) with the engine's
+// configured worker count, sized so each worker claims a few chunks.
+func (e *engine) forWorkers(n int, body func(w, lo, hi int)) {
+	p := e.f.workers
+	g := n / (4 * p)
+	if g < 16 {
+		g = 16
+	}
+	parallel.WorkersForRange(p, n, g, body)
+}
+
+// drainScratch moves every worker's buffers into the engine's queues at a
+// phase barrier. Level arguments say where this phase's collections land;
+// phases that do not use a buffer leave it empty, making its level moot.
+func (e *engine) drainScratch(rootsLvl, roots2Lvl, delLvl, edelLvl int) {
+	for w := range e.ws {
+		s := &e.ws[w]
+		if len(s.roots) > 0 {
+			e.bumpLevel(rootsLvl)
+			e.roots[rootsLvl] = append(e.roots[rootsLvl], s.roots...)
+			s.roots = s.roots[:0]
+		}
+		if len(s.roots2) > 0 {
+			e.bumpLevel(roots2Lvl)
+			e.roots[roots2Lvl] = append(e.roots[roots2Lvl], s.roots2...)
+			s.roots2 = s.roots2[:0]
+		}
+		if len(s.del) > 0 {
+			e.bumpLevel(delLvl)
+			e.del[delLvl] = append(e.del[delLvl], s.del...)
+			s.del = s.del[:0]
+		}
+		if len(s.edel) > 0 {
+			e.bumpLevel(edelLvl)
+			e.edel[edelLvl] = append(e.edel[edelLvl], s.edel...)
+			s.edel = s.edel[:0]
+		}
+		if len(s.proc) > 0 {
+			e.proc = append(e.proc, s.proc...)
+			s.proc = s.proc[:0]
+		}
+		if len(s.touched) > 0 {
+			e.touched = append(e.touched, s.touched...)
+			s.touched = s.touched[:0]
+		}
+		e.f.nEdges += s.cnt
+		s.cnt = 0
+	}
+}
+
+// collectRoot claims c for the roots queue into the worker buffer.
+func collectRoot(s *wscratch, c *Cluster) {
+	if c == nil || c.dead() || !c.trySet(flagInRoots) {
+		return
+	}
+	s.roots = append(s.roots, c)
+}
+
+// collectDel claims c for the deletion-candidate queue into the worker
+// buffer (the caller guarantees all collected clusters share one level).
+func collectDel(s *wscratch, c *Cluster) {
+	if c == nil || c.dead() || !c.trySet(flagInDel) {
+		return
+	}
+	s.del = append(s.del, c)
+}
+
+// seedCutsPar is seedCutsSeq over lock-striped adjacency. Parent pointers
+// are stable during seeding (disconnection runs after), so the only
+// contention is between cuts sharing an endpoint.
+func (e *engine) seedCutsPar(cuts [][2]int) {
+	f := e.f
+	e.forWorkers(len(cuts), func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			c := cuts[j]
+			lu, lv := f.leaves[c[0]], f.leaves[c[1]]
+			key := edgeKey(int32(c[0]), int32(c[1]))
+			mu := e.mu(lu)
+			mu.Lock()
+			ok := lu.adj.remove(key)
+			mu.Unlock()
+			chaos()
+			if !ok {
+				panic(fmt.Sprintf("ufo: cutting absent edge (%d,%d)", c[0], c[1]))
+			}
+			mv := e.mu(lv)
+			mv.Lock()
+			lv.adj.remove(key)
+			mv.Unlock()
+			chaos()
+			s.cnt--
+			pu, pv := lu.parent, lv.parent
+			if pu != nil && pv != nil && pu != pv {
+				s.edel = append(s.edel, edelEnt{key, pu, pv})
+			}
+			collectRoot(s, lu)
+			collectRoot(s, lv)
+			collectDel(s, pu)
+			collectDel(s, pv)
+		}
+	})
+	e.drainScratch(0, 0, 1, 1)
+}
+
+// seedLinksPar is seedLinksSeq over lock-striped adjacency, including the
+// ancestor-chain image insertion. Each original edge is owned by one
+// worker and edge keys are unique, so cross-worker conflicts are only
+// same-cluster adjacency writes, which the stripes serialize.
+func (e *engine) seedLinksPar(links []Edge) {
+	f := e.f
+	e.forWorkers(len(links), func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			ed := links[j]
+			lu, lv := f.leaves[ed.U], f.leaves[ed.V]
+			key := edgeKey(int32(ed.U), int32(ed.V))
+			mu := e.mu(lu)
+			mu.Lock()
+			ok := lu.adj.insert(EdgeRef{to: lv, key: key, w: ed.W, myV: int32(ed.U), otherV: int32(ed.V)})
+			mu.Unlock()
+			chaos()
+			if !ok {
+				panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", ed.U, ed.V))
+			}
+			mv := e.mu(lv)
+			mv.Lock()
+			lv.adj.insert(EdgeRef{to: lu, key: key, w: ed.W, myV: int32(ed.V), otherV: int32(ed.U)})
+			mv.Unlock()
+			chaos()
+			s.cnt++
+			au, av := lu.parent, lv.parent
+			myV, otherV := int32(ed.U), int32(ed.V)
+			for au != nil && av != nil && au != av {
+				ma := e.mu(au)
+				ma.Lock()
+				added := au.adj.insert(EdgeRef{to: av, key: key, w: ed.W, myV: myV, otherV: otherV})
+				ma.Unlock()
+				chaos()
+				if added {
+					mb := e.mu(av)
+					mb.Lock()
+					av.adj.insert(EdgeRef{to: au, key: key, w: ed.W, myV: otherV, otherV: myV})
+					mb.Unlock()
+					chaos()
+				}
+				au, av = au.parent, av.parent
+			}
+			collectRoot(s, lu)
+			collectRoot(s, lv)
+			collectDel(s, lu.parent)
+			collectDel(s, lv.parent)
+		}
+	})
+	e.drainScratch(0, 0, 1, 1)
+}
+
+// disconnectPar splits disconnectSeq into a read-only pass that collects
+// the stale-image deletions and the leaves to detach (using pre-detach
+// parents for every edel entry — both endpoints of a doubly-moved edge
+// schedule its image, and edel removals are idempotent), and a mutation
+// pass that detaches under the parent's lock stripe with atomic aggregate
+// updates on the ancestor chains.
+func (e *engine) disconnectPar() {
+	f := e.f
+	roots0 := e.roots[0]
+	e.forWorkers(len(roots0), func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			l := roots0[j]
+			p := l.parent
+			if p == nil {
+				continue
+			}
+			if f.mode == ModeUFO && l.adj.degree() >= 3 && p.center == l {
+				continue
+			}
+			l.adj.forEach(func(er EdgeRef) bool {
+				tp := er.to.parent
+				if tp != nil && tp != p {
+					s.edel = append(s.edel, edelEnt{er.key, p, tp})
+				}
+				return true
+			})
+			s.roots2 = append(s.roots2, l) // to detach (not a queue claim)
+		}
+	})
+	// Flatten the detach lists before draining resets them.
+	e.cand = e.cand[:0]
+	for w := range e.ws {
+		s := &e.ws[w]
+		e.cand = append(e.cand, s.roots2...)
+		s.roots2 = s.roots2[:0]
+	}
+	e.drainScratch(0, 0, 0, 1)
+	det := e.cand
+	e.forWorkers(len(det), func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			e.detachPar(det[j])
+		}
+	})
+	e.cand = e.cand[:0]
+}
+
+// markParentsPar is phase 1: claim the parents of the level-(i+1)
+// examination set for level i+2.
+func (e *engine) markParentsPar(i int) {
+	del := e.del[i+1]
+	e.forWorkers(len(del), func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			collectDel(s, del[j].parent)
+		}
+	})
+	e.drainScratch(0, 0, i+2, 0)
+}
+
+// edelPar is phase 2: remove the scheduled edge images at level i+1 under
+// the lock stripes and propagate surviving images to level i+2. Parent
+// pointers and dead flags are stable during this phase.
+func (e *engine) edelPar(i int) {
+	ents := e.edel[i+1]
+	e.forWorkers(len(ents), func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			ent := ents[j]
+			if !ent.a.dead() {
+				mu := e.mu(ent.a)
+				mu.Lock()
+				ent.a.adj.remove(ent.key)
+				mu.Unlock()
+				chaos()
+			}
+			if !ent.b.dead() {
+				mu := e.mu(ent.b)
+				mu.Lock()
+				ent.b.adj.remove(ent.key)
+				mu.Unlock()
+				chaos()
+			}
+			pa, pb := ent.a.parent, ent.b.parent
+			if pa != nil && pb != nil && pa != pb {
+				s.edel = append(s.edel, edelEnt{ent.key, pa, pb})
+			}
+		}
+	})
+	e.drainScratch(0, 0, 0, i+2)
+}
+
+// Conditional-deletion actions (condDeletePar classification).
+const (
+	actSkip uint8 = iota
+	actDelete
+	actKeep
+	actRecluster
+)
+
+// condDeletePar is phase 3 as classify-then-mutate: pass 1 decides every
+// cluster's fate and collects the scheduling side effects from the
+// pre-phase state (the paper's data-parallel semantics — every degree and
+// parent is read as of the start of the phase; duplicate E⁻ entries from
+// both endpoints of a doubly-affected edge are benign because image
+// removal is idempotent). Pass 2 executes the structural mutations with
+// lock-striped adjacency surgery and atomic aggregate updates.
+func (e *engine) condDeletePar(i int) {
+	f := e.f
+	del := e.del[i+1]
+	n := len(del)
+	if cap(e.acts) < n {
+		e.acts = make([]uint8, n)
+	}
+	acts := e.acts[:n]
+	e.forWorkers(n, func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			c := del[j]
+			c.clear(flagInDel)
+			if c.dead() {
+				acts[j] = actSkip
+				continue
+			}
+			deg := c.adj.degree()
+			fo := len(c.children)
+			switch {
+			case f.mode != ModeUFO || c.has(flagDamaged) || (deg < 3 && fo < 3):
+				acts[j] = actDelete
+				for _, y := range c.children {
+					collectRoot(s, y)
+				}
+				fp := c.parent
+				if fp != nil {
+					c.adj.forEach(func(er EdgeRef) bool {
+						tp := er.to.parent
+						if tp != nil && tp != fp {
+							s.edel = append(s.edel, edelEnt{er.key, fp, tp})
+						}
+						return true
+					})
+				}
+			case deg >= 3 && c.parent != nil && c.parent.center == c:
+				acts[j] = actKeep
+			default:
+				acts[j] = actRecluster
+				if fp := c.parent; fp != nil {
+					c.adj.forEach(func(er EdgeRef) bool {
+						tp := er.to.parent
+						if tp != nil && tp != fp {
+							s.edel = append(s.edel, edelEnt{er.key, fp, tp})
+						}
+						return true
+					})
+				}
+				if c.trySet(flagInRoots) {
+					s.roots2 = append(s.roots2, c)
+				}
+			}
+		}
+	})
+	e.drainScratch(i, i+1, 0, i+2)
+	e.forWorkers(n, func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			c := del[j]
+			switch acts[j] {
+			case actDelete:
+				e.deleteClusterPar(c, s)
+			case actRecluster:
+				if c.parent != nil {
+					e.detachPar(c)
+				}
+			}
+		}
+	})
+}
+
+// deleteClusterPar is deleteCluster's mutation half: the children were
+// already collected as level-i roots and the E⁻ images already scheduled
+// by the classification pass. Adjacency is snapshot under the cluster's
+// own stripe and removed from neighbors one stripe at a time (never
+// holding two locks).
+func (e *engine) deleteClusterPar(c *Cluster, s *wscratch) {
+	for _, y := range c.children {
+		y.parent = nil
+		y.childIdx = -1
+		y.childItem = nil
+	}
+	c.children = nil
+	c.center = nil
+	c.childTree = nil
+	fp := c.parent
+	if fp != nil {
+		e.detachPar(c)
+		c.parent = fp // former-parent pointer: lets edel entries ride upward
+	}
+	mu := e.mu(c)
+	mu.Lock()
+	s.snap = s.snap[:0]
+	c.adj.forEach(func(er EdgeRef) bool {
+		s.snap = append(s.snap, er)
+		return true
+	})
+	c.adj.clear()
+	mu.Unlock()
+	chaos()
+	for _, er := range s.snap {
+		mv := e.mu(er.to)
+		mv.Lock()
+		er.to.adj.remove(er.key)
+		mv.Unlock()
+		chaos()
+	}
+	c.set(flagDead)
+}
+
+// detachPar is detach under the parent's lock stripe, with atomic subtree
+// aggregates (ancestor chains are shared between concurrent detaches, but
+// their parent pointers are stable within a phase). Callers guarantee
+// trackMax is off — rank-tree maintenance bubbles through ancestors and is
+// not phase-local.
+func (e *engine) detachPar(c *Cluster) {
+	p := c.parent
+	if p == nil {
+		return
+	}
+	mu := e.mu(p)
+	mu.Lock()
+	last := int32(len(p.children) - 1)
+	moved := p.children[last]
+	p.children[c.childIdx] = moved
+	moved.childIdx = c.childIdx
+	p.children = p.children[:last]
+	if p.center == c {
+		p.center = nil
+		if len(p.children) > 0 {
+			p.set(flagDamaged)
+		}
+	}
+	if len(p.children) == 0 {
+		p.set(flagDamaged)
+	}
+	mu.Unlock()
+	chaos()
+	for a := p; a != nil; a = a.parent {
+		atomic.AddInt64(&a.subSum, -c.subSum)
+		atomic.AddInt64(&a.vcnt, -c.vcnt)
+	}
+	c.parent = nil
+	c.childIdx = -1
+}
+
+// classifyRootsPar routes the level-i roots into the absorb (hi) and
+// pair-matching (lo) queues in parallel; all reads are stable between the
+// conditional-deletion barrier and stage 1.
+func (e *engine) classifyRootsPar(rts []*Cluster) {
+	e.forWorkers(len(rts), func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			x := rts[j]
+			x.clear(flagInRoots)
+			if x.dead() || x.parent != nil {
+				continue
+			}
+			if e.isAbsorbCenter(x) {
+				s.roots = append(s.roots, x)
+			} else {
+				s.roots2 = append(s.roots2, x)
+			}
+		}
+	})
+	for w := range e.ws {
+		s := &e.ws[w]
+		e.hi = append(e.hi, s.roots...)
+		e.lo = append(e.lo, s.roots2...)
+		s.roots = s.roots[:0]
+		s.roots2 = s.roots2[:0]
+	}
+}
+
+// mixUID is a splitmix64-style hash giving every cluster a fresh random
+// priority each matching round (deterministic for a given forest seed).
+func mixUID(uid uint32, round int, seed uint64) uint64 {
+	z := uint64(uid) + seed + uint64(round)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// matchPairsPar runs the randomized mutual-proposal maximal matching over
+// the root-root pair merges of stage 2 (the bulk of a contraction round):
+// every unmatched root proposes to its highest-priority eligible neighbor;
+// mutual proposals merge under a fresh parent (created by the smaller-uid
+// side, so exactly one worker touches each pair). While any eligible pair
+// remains, the round's globally highest-priority root always receives a
+// mutual proposal, so every round makes progress and the fixpoint is a
+// maximal matching in O(log) rounds with high probability. Leftovers
+// (adoptions, superunary joins, singletons) are handled by the sequential
+// stage-2 loop that follows.
+func (e *engine) matchPairsPar(i int) {
+	e.cand = e.cand[:0]
+	for _, x := range e.lo {
+		if x.dead() || x.parent != nil {
+			continue
+		}
+		if d := x.adj.degree(); d >= 1 && d <= 2 {
+			e.cand = append(e.cand, x)
+		}
+	}
+	seed := e.f.seed
+	for round := 0; len(e.cand) > 1 && round < maxMatchRounds; round++ {
+		cand := e.cand
+		e.forWorkers(len(cand), func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				x := cand[j]
+				var best *Cluster
+				var bestH uint64
+				x.adj.forEach(func(er EdgeRef) bool {
+					y := er.to
+					if y.parent != nil || y.dead() || y.adj.degree() > 2 {
+						return true
+					}
+					h := mixUID(y.uid, round, seed)
+					if best == nil || h > bestH {
+						best, bestH = y, h
+					}
+					return true
+				})
+				x.prop = best
+			}
+		})
+		e.forWorkers(len(cand), func(w, lo, hi int) {
+			s := &e.ws[w]
+			for j := lo; j < hi; j++ {
+				x := cand[j]
+				y := x.prop
+				if y == nil || y.prop != x || x.uid >= y.uid {
+					continue
+				}
+				p := e.newCluster(i + 1)
+				attach(p, x)
+				attach(p, y)
+				s.proc = append(s.proc, x, y)
+				s.matched += 2
+			}
+		})
+		matched := 0
+		for w := range e.ws {
+			s := &e.ws[w]
+			e.proc = append(e.proc, s.proc...)
+			s.proc = s.proc[:0]
+			matched += s.matched
+			s.matched = 0
+		}
+		if matched == 0 {
+			break
+		}
+		out := e.cand[:0]
+		for _, x := range cand {
+			x.prop = nil
+			if x.parent == nil {
+				out = append(out, x)
+			}
+		}
+		e.cand = out
+	}
+	for _, x := range e.cand {
+		x.prop = nil
+	}
+	e.cand = e.cand[:0]
+}
+
+// liftPar is stage 3's adjacency lift: every processed root's level-i
+// edges are imaged into its new parent under the lock stripes. When both
+// endpoints lift the same edge concurrently, each side's primary insert
+// succeeds at most once and every successful primary attempts the mirror,
+// so both sides end with exactly one symmetric entry regardless of the
+// interleaving.
+func (e *engine) liftPar(i int) {
+	proc := e.proc
+	e.forWorkers(len(proc), func(w, lo, hi int) {
+		s := &e.ws[w]
+		for j := lo; j < hi; j++ {
+			x := proc[j]
+			if x.dead() || x.parent == nil {
+				continue
+			}
+			p := x.parent
+			x.adj.forEach(func(er EdgeRef) bool {
+				py := er.to.parent
+				if py == nil || py == p {
+					return true
+				}
+				mu := e.mu(p)
+				mu.Lock()
+				added := p.adj.insert(EdgeRef{to: py, key: er.key, w: er.w, myV: er.myV, otherV: er.otherV})
+				mu.Unlock()
+				chaos()
+				if added {
+					mv := e.mu(py)
+					mv.Lock()
+					py.adj.insert(EdgeRef{to: p, key: er.key, w: er.w, myV: er.otherV, otherV: er.myV})
+					mv.Unlock()
+					chaos()
+				}
+				return true
+			})
+			if p.trySet(flagTouched) {
+				s.touched = append(s.touched, p)
+			}
+			if !p.dead() && p.trySet(flagInRoots) {
+				s.roots2 = append(s.roots2, p)
+			}
+		}
+	})
+	e.drainScratch(0, i+1, 0, 0)
+}
+
+// pathAggPar recomputes the touched parents' cluster-path aggregates in
+// parallel: all inputs (adjacency, children) are stable after the lift
+// barrier and every touched parent is visited exactly once, so no locks
+// are needed.
+func (e *engine) pathAggPar() {
+	touched := e.touched
+	e.forWorkers(len(touched), func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			p := touched[j]
+			p.clear(flagTouched)
+			e.computePathAgg(p)
+		}
+	})
+}

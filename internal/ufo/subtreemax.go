@@ -36,7 +36,7 @@ func (f *Forest) EnableSubtreeMax() {
 	}
 	f.trackMax = true
 	for _, l := range f.leaves {
-		l.flags |= flagTrackMax
+		l.set(flagTrackMax)
 		l.subMax = l.subSum
 	}
 }

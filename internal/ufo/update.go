@@ -19,6 +19,11 @@ type edelEnt struct {
 // engine runs batch updates over a Forest. It is reused across updates to
 // amortize allocations; a Forest owns exactly one engine (updates are not
 // concurrent).
+//
+// Every level-synchronous phase has a sequential and a parallel
+// implementation (parallel_update.go); run dispatches per phase on the
+// configured worker count and the phase's input size, so the same engine
+// serves the k=1 and the batch-parallel configurations of the paper.
 type engine struct {
 	f      *Forest
 	roots  [][]*Cluster // roots[l]: parentless clusters at level l awaiting reclustering
@@ -29,6 +34,11 @@ type engine struct {
 	hi, lo  []*Cluster // stage-1 (degree ≥ 3) and stage-2 (degree ≤ 2) queues
 	proc    []*Cluster // roots that received parents and need adjacency lift
 	touched []*Cluster // parents whose aggregates must be recomputed
+	// parallel scratch (allocated on first parallel run)
+	ws      []wscratch  // per-worker buffers
+	stripes []stripedMu // lock stripes hashed by cluster uid
+	acts    []uint8     // conditional-deletion action per del entry
+	cand    []*Cluster  // pair-matching candidate set
 }
 
 func (e *engine) ensureLevel(l int) {
@@ -43,51 +53,46 @@ func (e *engine) ensureLevel(l int) {
 	}
 }
 
-func (e *engine) addRoot(l int, c *Cluster) {
-	if c == nil || c.dead() || c.flags&flagInRoots != 0 {
-		return
-	}
-	c.flags |= flagInRoots
+func (e *engine) bumpLevel(l int) {
 	e.ensureLevel(l)
-	e.roots[l] = append(e.roots[l], c)
 	if l > e.maxLvl {
 		e.maxLvl = l
 	}
+}
+
+func (e *engine) addRoot(l int, c *Cluster) {
+	if c == nil || c.dead() || !c.trySet(flagInRoots) {
+		return
+	}
+	e.bumpLevel(l)
+	e.roots[l] = append(e.roots[l], c)
 }
 
 func (e *engine) addDel(c *Cluster) {
-	if c == nil || c.dead() || c.flags&flagInDel != 0 {
+	if c == nil || c.dead() || !c.trySet(flagInDel) {
 		return
 	}
-	c.flags |= flagInDel
 	l := int(c.level)
-	e.ensureLevel(l)
+	e.bumpLevel(l)
 	e.del[l] = append(e.del[l], c)
-	if l > e.maxLvl {
-		e.maxLvl = l
-	}
 }
 
 func (e *engine) addEdel(l int, ent edelEnt) {
-	e.ensureLevel(l)
+	e.bumpLevel(l)
 	e.edel[l] = append(e.edel[l], ent)
-	if l > e.maxLvl {
-		e.maxLvl = l
-	}
 }
 
 func (e *engine) newCluster(level int) *Cluster {
-	c := &Cluster{level: int32(level), leafV: -1, childIdx: -1, pathMax: negInf}
+	c := &Cluster{level: int32(level), uid: e.f.uidSrc.Add(1) - 1, leafV: -1, childIdx: -1, pathMax: negInf}
 	if e.f.trackMax {
-		c.flags |= flagTrackMax
+		c.flags.Store(flagTrackMax)
 		c.subMax = negInf
 	}
 	return c
 }
 
 func (e *engine) markTouched(p *Cluster) {
-	if p.flags&flagTouched == 0 {
-		p.flags |= flagTouched
+	if p.trySet(flagTouched) {
 		e.touched = append(e.touched, p)
 	}
 }
@@ -97,10 +102,86 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 	f := e.f
 	e.maxLvl = 0
 	e.ensureLevel(2)
+	if f.workers > 1 {
+		e.setupPar()
+	}
 
 	// Level-0 adjacency updates and seeds: the affected leaves become the
 	// level-0 roots, their (old) parents the level-1 deletion candidates,
 	// and removed edges are scheduled for level-1 lazy deletion.
+	if e.par(len(cuts)) {
+		e.seedCutsPar(cuts)
+	} else {
+		e.seedCutsSeq(cuts)
+	}
+	if e.par(len(links)) {
+		e.seedLinksPar(links)
+	} else {
+		e.seedLinksSeq(links)
+	}
+	if f.mode != ModeUFO {
+		for _, ed := range links {
+			if f.leaves[ed.U].adj.degree() > 3 || f.leaves[ed.V].adj.degree() > 3 {
+				panic(fmt.Sprintf("ufo: topology/RC modes require degree <= 3 (edge %d,%d)", ed.U, ed.V))
+			}
+		}
+	}
+
+	// Disconnect affected leaves from stale parents (the level-0 analogue
+	// of Algorithm 1's prev.parent ← null): a leaf whose adjacency changed
+	// invalidates its parent's merge unless it is the intact high-degree
+	// center of a superunary merge (UFO mode only; topology trees always
+	// tear down the full ancestor path).
+	if e.par(len(e.roots[0])) && !f.trackMax {
+		e.disconnectPar()
+	} else {
+		e.disconnectSeq()
+	}
+
+	for i := 0; i <= e.maxLvl; i++ {
+		if i >= maxLevels {
+			panic("ufo: contraction level overflow (balance bug)")
+		}
+		e.ensureLevel(i + 2)
+
+		// Phase 1: the parents of everything examined at level i+1 are
+		// candidates at level i+2 (their contents transitively changed).
+		if e.par(len(e.del[i+1])) {
+			e.markParentsPar(i)
+		} else {
+			e.markParentsSeq(i)
+		}
+
+		// Phase 2: lazy edge deletions at level i+1, propagating images
+		// one level further while both sides' parent chains persist.
+		if e.par(len(e.edel[i+1])) {
+			e.edelPar(i)
+		} else {
+			e.edelSeq(i)
+		}
+		e.edel[i+1] = e.edel[i+1][:0]
+
+		// Phase 3: conditional deletion (Algorithm 4 lines 11-19). Only
+		// low-degree, low-fanout clusters are deleted; high-fanout ones
+		// are disconnected and reclustered; a high-degree cluster that is
+		// still the intact center of its parent's merge stays put. In
+		// topology mode every examined cluster is deleted (fanout and
+		// degree are constant-bounded, so this is O(1) per cluster).
+		if e.par(len(e.del[i+1])) && !f.trackMax {
+			e.condDeletePar(i)
+		} else {
+			e.condDeleteSeq(i)
+		}
+		e.del[i+1] = e.del[i+1][:0]
+
+		// Phase 4: recluster the level-i roots.
+		e.recluster(i)
+	}
+}
+
+// seedCutsSeq applies the level-0 half of a cut batch.
+func (e *engine) seedCutsSeq(cuts [][2]int) {
+	f := e.f
 	for _, c := range cuts {
 		lu, lv := f.leaves[c[0]], f.leaves[c[1]]
 		key := edgeKey(int32(c[0]), int32(c[1]))
@@ -117,6 +198,11 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 		e.addDel(lu.parent)
 		e.addDel(lv.parent)
 	}
+}
+
+// seedLinksSeq applies the level-0 half of a link batch.
+func (e *engine) seedLinksSeq(links []Edge) {
+	f := e.f
 	for _, ed := range links {
 		lu, lv := f.leaves[ed.U], f.leaves[ed.V]
 		key := edgeKey(int32(ed.U), int32(ed.V))
@@ -143,19 +229,12 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 		e.addDel(lu.parent)
 		e.addDel(lv.parent)
 	}
-	if f.mode != ModeUFO {
-		for _, ed := range links {
-			if f.leaves[ed.U].adj.degree() > 3 || f.leaves[ed.V].adj.degree() > 3 {
-				panic(fmt.Sprintf("ufo: topology/RC modes require degree <= 3 (edge %d,%d)", ed.U, ed.V))
-			}
-		}
-	}
+}
 
-	// Disconnect affected leaves from stale parents (the level-0 analogue
-	// of Algorithm 1's prev.parent ← null): a leaf whose adjacency changed
-	// invalidates its parent's merge unless it is the intact high-degree
-	// center of a superunary merge (UFO mode only; topology trees always
-	// tear down the full ancestor path).
+// disconnectSeq detaches the level-0 roots from stale parents and schedules
+// the lazy deletion of their stale level-1 edge images.
+func (e *engine) disconnectSeq() {
+	f := e.f
 	for _, l := range e.roots[0] {
 		p := l.parent
 		if p == nil {
@@ -173,78 +252,66 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 		})
 		detach(l)
 	}
+}
 
-	for i := 0; i <= e.maxLvl; i++ {
-		if i >= maxLevels {
-			panic("ufo: contraction level overflow (balance bug)")
+// markParentsSeq implements phase 1 at round i.
+func (e *engine) markParentsSeq(i int) {
+	for _, c := range e.del[i+1] {
+		if c.parent != nil {
+			e.addDel(c.parent)
 		}
-		e.ensureLevel(i + 2)
+	}
+}
 
-		// Phase 1: the parents of everything examined at level i+1 are
-		// candidates at level i+2 (their contents transitively changed).
-		for _, c := range e.del[i+1] {
-			if c.parent != nil {
-				e.addDel(c.parent)
-			}
+// edelSeq implements phase 2 at round i.
+func (e *engine) edelSeq(i int) {
+	for _, ent := range e.edel[i+1] {
+		if !ent.a.dead() {
+			ent.a.adj.remove(ent.key)
 		}
-
-		// Phase 2: lazy edge deletions at level i+1, propagating images
-		// one level further while both sides' parent chains persist.
-		for _, ent := range e.edel[i+1] {
-			if !ent.a.dead() {
-				ent.a.adj.remove(ent.key)
-			}
-			if !ent.b.dead() {
-				ent.b.adj.remove(ent.key)
-			}
-			pa, pb := ent.a.parent, ent.b.parent
-			if pa != nil && pb != nil && pa != pb {
-				e.addEdel(i+2, edelEnt{ent.key, pa, pb})
-			}
+		if !ent.b.dead() {
+			ent.b.adj.remove(ent.key)
 		}
-		e.edel[i+1] = e.edel[i+1][:0]
-
-		// Phase 3: conditional deletion (Algorithm 4 lines 11-19). Only
-		// low-degree, low-fanout clusters are deleted; high-fanout ones
-		// are disconnected and reclustered; a high-degree cluster that is
-		// still the intact center of its parent's merge stays put. In
-		// topology mode every examined cluster is deleted (fanout and
-		// degree are constant-bounded, so this is O(1) per cluster).
-		for _, c := range e.del[i+1] {
-			c.flags &^= flagInDel
-			if c.dead() {
-				continue
-			}
-			deg := c.adj.degree()
-			fo := len(c.children)
-			switch {
-			case f.mode != ModeUFO || c.flags&flagDamaged != 0 || (deg < 3 && fo < 3):
-				e.deleteCluster(c)
-			case deg >= 3 && c.parent != nil && c.parent.center == c:
-				// Intact merge center: remains merged (its siblings'
-				// adjacency to it is unchanged).
-			default:
-				// Contents or degree changed: the parent's merge is
-				// stale. Disconnect and recluster at this level,
-				// scheduling the removal of this cluster's (now stale)
-				// edge images above.
-				if fp := c.parent; fp != nil {
-					c.adj.forEach(func(er EdgeRef) bool {
-						tp := er.to.parent
-						if tp != nil && tp != fp {
-							e.addEdel(i+2, edelEnt{er.key, fp, tp})
-						}
-						return true
-					})
-					detach(c)
-				}
-				e.addRoot(i+1, c)
-			}
+		pa, pb := ent.a.parent, ent.b.parent
+		if pa != nil && pb != nil && pa != pb {
+			e.addEdel(i+2, edelEnt{ent.key, pa, pb})
 		}
-		e.del[i+1] = e.del[i+1][:0]
+	}
+}
 
-		// Phase 4: recluster the level-i roots.
-		e.recluster(i)
+// condDeleteSeq implements phase 3 at round i.
+func (e *engine) condDeleteSeq(i int) {
+	f := e.f
+	for _, c := range e.del[i+1] {
+		c.clear(flagInDel)
+		if c.dead() {
+			continue
+		}
+		deg := c.adj.degree()
+		fo := len(c.children)
+		switch {
+		case f.mode != ModeUFO || c.has(flagDamaged) || (deg < 3 && fo < 3):
+			e.deleteCluster(c)
+		case deg >= 3 && c.parent != nil && c.parent.center == c:
+			// Intact merge center: remains merged (its siblings'
+			// adjacency to it is unchanged).
+		default:
+			// Contents or degree changed: the parent's merge is
+			// stale. Disconnect and recluster at this level,
+			// scheduling the removal of this cluster's (now stale)
+			// edge images above.
+			if fp := c.parent; fp != nil {
+				c.adj.forEach(func(er EdgeRef) bool {
+					tp := er.to.parent
+					if tp != nil && tp != fp {
+						e.addEdel(i+2, edelEnt{er.key, fp, tp})
+					}
+					return true
+				})
+				detach(c)
+			}
+			e.addRoot(i+1, c)
+		}
 	}
 }
 
@@ -276,7 +343,7 @@ func (e *engine) deleteCluster(c *Cluster) {
 		return true
 	})
 	c.adj.clear()
-	c.flags |= flagDead
+	c.set(flagDead)
 }
 
 // stealLeaf detaches the degree-1 cluster y from its current parent q so a
@@ -357,6 +424,12 @@ func (e *engine) isAbsorbCenter(z *Cluster) bool {
 //     other roots, unmerged non-roots (adopting their fanout-1 parents), or
 //     high-degree families (a degree-1 root joins the superunary merge);
 //  3. adjacency is lifted to level i+1 and parent aggregates recomputed.
+//
+// In the parallel configuration, root classification runs as a parallel
+// pack, the bulk of stage 2 runs as a randomized mutual-proposal maximal
+// matching (matchPairsPar) whose leftovers fall through to the sequential
+// greedy loop, and stages 3's adjacency lift and aggregate refresh are
+// chunked parallel loops.
 func (e *engine) recluster(i int) {
 	rts := e.roots[i]
 	if len(rts) == 0 {
@@ -367,12 +440,16 @@ func (e *engine) recluster(i int) {
 	e.proc = e.proc[:0]
 	e.touched = e.touched[:0]
 	topo := e.f.mode == ModeTopology
-	for _, x := range rts {
-		x.flags &^= flagInRoots
-		if x.dead() || x.parent != nil {
-			continue
+	if e.par(len(rts)) {
+		e.classifyRootsPar(rts)
+	} else {
+		for _, x := range rts {
+			x.clear(flagInRoots)
+			if x.dead() || x.parent != nil {
+				continue
+			}
+			e.addReclusterItem(x)
 		}
-		e.addReclusterItem(x)
 	}
 	e.roots[i] = e.roots[i][:0]
 
@@ -406,7 +483,14 @@ func (e *engine) recluster(i int) {
 		e.proc = append(e.proc, x)
 	}
 
-	// Stage 2: greedy maximal matching of degree ≤ 2 roots along chains.
+	// Stage 2a (parallel only): maximal matching over the root-root pair
+	// merges, which are the bulk of any contraction round. Leftover cases
+	// (adoptions, superunary joins, singletons) fall through to stage 2b.
+	if e.par(len(e.lo)) {
+		e.matchPairsPar(i)
+	}
+
+	// Stage 2b: greedy maximal matching of degree ≤ 2 roots along chains.
 	for k := 0; k < len(e.lo); k++ {
 		x := e.lo[k]
 		if x.dead() || x.parent != nil {
@@ -478,27 +562,35 @@ func (e *engine) recluster(i int) {
 	}
 
 	// Stage 3: lift adjacency to level i+1 and refresh parent aggregates.
-	for _, x := range e.proc {
-		if x.dead() || x.parent == nil {
-			continue
-		}
-		p := x.parent
-		x.adj.forEach(func(er EdgeRef) bool {
-			py := er.to.parent
-			if py == nil || py == p {
+	if e.par(len(e.proc)) {
+		e.liftPar(i)
+	} else {
+		for _, x := range e.proc {
+			if x.dead() || x.parent == nil {
+				continue
+			}
+			p := x.parent
+			x.adj.forEach(func(er EdgeRef) bool {
+				py := er.to.parent
+				if py == nil || py == p {
+					return true
+				}
+				if p.adj.insert(EdgeRef{to: py, key: er.key, w: er.w, myV: er.myV, otherV: er.otherV}) {
+					py.adj.insert(EdgeRef{to: p, key: er.key, w: er.w, myV: er.otherV, otherV: er.myV})
+				}
 				return true
-			}
-			if p.adj.insert(EdgeRef{to: py, key: er.key, w: er.w, myV: er.myV, otherV: er.otherV}) {
-				py.adj.insert(EdgeRef{to: p, key: er.key, w: er.w, myV: er.otherV, otherV: er.myV})
-			}
-			return true
-		})
-		e.markTouched(p)
-		e.addRoot(i+1, p)
+			})
+			e.markTouched(p)
+			e.addRoot(i+1, p)
+		}
 	}
-	for _, p := range e.touched {
-		p.flags &^= flagTouched
-		e.computePathAgg(p)
+	if e.par(len(e.touched)) {
+		e.pathAggPar()
+	} else {
+		for _, p := range e.touched {
+			p.clear(flagTouched)
+			e.computePathAgg(p)
+		}
 	}
 	e.touched = e.touched[:0]
 }

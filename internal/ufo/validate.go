@@ -86,8 +86,11 @@ func (f *Forest) validateCluster(c *Cluster, contents map[*Cluster]map[int32]boo
 	if c.dead() {
 		return fmt.Errorf("level %d: dead cluster reachable", c.level)
 	}
-	if c.flags&(flagInRoots|flagInDel|flagTouched) != 0 {
-		return fmt.Errorf("level %d: cluster with leftover engine flags %b", c.level, c.flags)
+	if c.has(flagInRoots | flagInDel | flagTouched) {
+		return fmt.Errorf("level %d: cluster with leftover engine flags %b", c.level, c.flags.Load())
+	}
+	if c.prop != nil {
+		return fmt.Errorf("level %d: cluster with leftover matching proposal", c.level)
 	}
 	if c.parent != nil && c.parent.level != c.level+1 {
 		return fmt.Errorf("level %d: parent at level %d", c.level, c.parent.level)

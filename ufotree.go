@@ -87,6 +87,11 @@ type BatchForest interface {
 	BatchCut(edges []Edge)
 	// SetParallel toggles goroutine parallelism inside batch updates.
 	SetParallel(on bool)
+	// SetWorkers fixes the number of workers used by batch updates; values
+	// below 2 select the sequential engine, and counts above GOMAXPROCS are
+	// allowed (oversubscription). Implementations without a tunable worker
+	// count treat any k > 1 as SetParallel(true).
+	SetWorkers(k int)
 }
 
 // NewUFO returns a UFO-tree forest over n vertices: the paper's primary
@@ -140,6 +145,7 @@ func (a *ufoAdapter) PathMax(u, v int) (int64, bool) { return a.f.PathMax(u, v) 
 func (a *ufoAdapter) SetVertexValue(v int, x int64)  { a.f.SetVertexValue(v, x) }
 func (a *ufoAdapter) SubtreeSum(v, p int) int64      { return a.f.SubtreeSum(v, p) }
 func (a *ufoAdapter) SetParallel(on bool)            { a.f.SetParallel(on) }
+func (a *ufoAdapter) SetWorkers(k int)               { a.f.SetWorkers(k) }
 func (a *ufoAdapter) BatchLink(edges []Edge) {
 	conv := make([]ufo.Edge, len(edges))
 	for i, e := range edges {
@@ -194,6 +200,7 @@ func (a *ternAdapter) PathMax(u, v int) (int64, bool) { return a.f.PathMax(u, v)
 func (a *ternAdapter) SetVertexValue(v int, x int64)  { a.f.SetVertexValue(v, x) }
 func (a *ternAdapter) SubtreeSum(v, p int) int64      { return a.f.SubtreeSum(v, p) }
 func (a *ternAdapter) SetParallel(on bool)            { a.f.Underlying().SetParallel(on) }
+func (a *ternAdapter) SetWorkers(k int)               { a.f.Underlying().SetWorkers(k) }
 func (a *ternAdapter) BatchLink(edges []Edge) {
 	conv := make([]ufo.Edge, len(edges))
 	for i, e := range edges {
@@ -223,6 +230,7 @@ func (a *ettAdapter[N, B]) Name() string                  { return a.name }
 func (a *ettAdapter[N, B]) SetVertexValue(v int, x int64) { a.f.SetVertexValue(v, x) }
 func (a *ettAdapter[N, B]) SubtreeSum(v, p int) int64     { return a.f.SubtreeSum(v, p) }
 func (a *ettAdapter[N, B]) SetParallel(on bool)           { a.f.SetParallel(on) }
+func (a *ettAdapter[N, B]) SetWorkers(k int)              { a.f.SetParallel(k > 1) }
 func (a *ettAdapter[N, B]) BatchLink(edges []Edge) {
 	conv := make([][2]int, len(edges))
 	for i, e := range edges {
