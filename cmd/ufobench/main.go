@@ -6,11 +6,17 @@
 //	ufobench -experiment fig5 -n 100000
 //	ufobench -experiment all -n 20000 -k 2000
 //	ufobench -experiment scaling -n 200000 -k 20000
+//	ufobench -experiment queries -n 100000 -k 10000 -q 100000 -json
 //
 // Experiments: table1, table2, fig5, fig6, fig7, fig8, fig9, fig16,
-// scaling, ablation, all.
+// scaling, queries, ablation, all.
 // Sizes default to laptop scale; raise -n / -k to approach the paper's
 // configuration (n=10^7, k=10^6 on a 96-core machine).
+//
+// With -json, the experiments that produce machine-readable results
+// (scaling, queries) additionally write BENCH_<experiment>.json into the
+// working directory; CI uploads these as artifacts so the performance
+// trajectory accumulates across commits.
 package main
 
 import (
@@ -24,12 +30,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|ablation|all")
-		n      = flag.Int("n", 50000, "input tree size")
-		k      = flag.Int("k", 5000, "batch size for parallel experiments")
-		q      = flag.Int("q", 20000, "query count for the diameter sweep")
-		seed   = flag.Uint64("seed", 42, "deterministic workload seed")
-		graphs = flag.Bool("graphs", true, "include BFS/RIS forests of the graph stand-ins")
+		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|ablation|all")
+		n        = flag.Int("n", 50000, "input tree size")
+		k        = flag.Int("k", 5000, "batch size for parallel experiments")
+		q        = flag.Int("q", 20000, "query count (diameter sweep and batch-query experiment)")
+		seed     = flag.Uint64("seed", 42, "deterministic workload seed")
+		graphs   = flag.Bool("graphs", true, "include BFS/RIS forests of the graph stand-ins")
+		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<experiment>.json files")
+		exitCode = 0
 	)
 	flag.Parse()
 	w := os.Stdout
@@ -39,6 +47,18 @@ func main() {
 			fn()
 			fmt.Fprintln(w)
 		}
+	}
+	writeJSON := func(name string, results any) {
+		if !*jsonOut {
+			return
+		}
+		path := "BENCH_" + name + ".json"
+		if err := bench.WriteJSON(path, results); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			exitCode = 1
+			return
+		}
+		fmt.Fprintf(w, "# wrote %s\n", path)
 	}
 
 	run("table1", func() { bench.Table1(w, *n, *seed) })
@@ -56,7 +76,12 @@ func main() {
 	run("fig16", func() {
 		bench.Fig16(w, *n, *k, []float64{0, 0.5, 1.0, 1.5, 2.0}, *seed)
 	})
-	run("scaling", func() { bench.Scaling(w, *n, *k, nil, *seed) })
+	run("scaling", func() {
+		writeJSON("scaling", bench.Scaling(w, *n, *k, nil, *seed))
+	})
+	run("queries", func() {
+		writeJSON("queries", bench.Queries(w, *n, *k, *q, nil, *seed))
+	})
 	run("ablation", func() {
 		bench.Ablation(w, *n, *seed)
 		fmt.Fprintln(w)
@@ -65,11 +90,12 @@ func main() {
 
 	valid := map[string]bool{"all": true, "table1": true, "table2": true, "fig5": true,
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig16": true,
-		"scaling": true, "ablation": true}
+		"scaling": true, "queries": true, "ablation": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n", *exp,
 			strings.Join([]string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-				"fig16", "scaling", "ablation", "all"}, "|"))
+				"fig16", "scaling", "queries", "ablation", "all"}, "|"))
 		os.Exit(2)
 	}
+	os.Exit(exitCode)
 }

@@ -1,0 +1,243 @@
+// Path-query server: the read-heavy workload of the ROADMAP's north star.
+//
+// A fleet of agents (delivery drones, packets, players — anything routed
+// over a tree) keeps asking "what is the cost/bottleneck/hop count between
+// a and b right now?" while the tree itself churns under batched link and
+// cut updates. This example serves that workload from one UFO forest:
+// updates are applied as batches under a write lock, queries are collected
+// into batches and fanned out over the parallel batch-query subsystem
+// under a read lock (queries never block each other — they are read-only
+// between updates).
+//
+// Two modes:
+//
+//	pathserver              # self-driving simulation: interleaved batch
+//	                        # links/cuts/queries, prints throughput, exits
+//	pathserver -addr :8080  # HTTP server:
+//	                        #   GET /path?u=3&v=9     -> sum, max, hops
+//	                        #   GET /lca?u=3&v=9&r=0  -> lowest common ancestor
+//	                        #   POST /paths           -> JSON [[u,v],...] batch
+//	                        # churn keeps mutating the tree in the background
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// server owns the forest. The RWMutex encodes the batch-query concurrency
+// contract: queries (read-only between updates) share the read side,
+// update batches take the write side.
+type server struct {
+	mu   sync.RWMutex
+	f    ufotree.BatchForest
+	bq   ufotree.BatchQuerier
+	hops func(pairs [][2]int) ([]int, []bool) // UFO-only extension (see newServer)
+	n    int
+	r    *rng.SplitMix64
+	// live tree edges, for generating valid churn batches
+	live [][2]int
+}
+
+// newServer builds the initial topology; workers <= 0 selects GOMAXPROCS.
+func newServer(n, workers int, seed uint64) *server {
+	f := ufotree.NewUFO(n)
+	if workers <= 0 {
+		f.SetParallel(true)
+	} else {
+		f.SetWorkers(workers)
+	}
+	s := &server{f: f, bq: f.(ufotree.BatchQuerier), n: n, r: rng.New(seed)}
+	// Hop counts are a UFO-only extension (the facade's BatchQuerier has no
+	// BatchPathHops — ternarized structures cannot answer it); resolve the
+	// escape hatch once at startup so a future swap to another BatchForest
+	// fails loudly here, not mid-request.
+	uf, ok := ufotree.UnderlyingUFO(f)
+	if !ok {
+		log.Fatalf("pathserver needs the UFO structure for hop counts; got %s", f.Name())
+	}
+	s.hops = uf.BatchPathHops
+	topo := gen.WithRandomWeights(gen.PrefAttach(n, seed+1), 100, seed+2)
+	edges := make([]ufotree.Edge, len(topo.Edges))
+	for i, e := range topo.Edges {
+		edges[i] = ufotree.Edge{U: e.U, V: e.V, W: e.W}
+		s.live = append(s.live, [2]int{e.U, e.V})
+	}
+	for lo := 0; lo < len(edges); lo += 10000 {
+		hi := lo + 10000
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		f.BatchLink(edges[lo:hi])
+	}
+	return s
+}
+
+// churn applies one batch of k cuts + k links (rewiring random live edges
+// to random new endpoints) under the write lock.
+func (s *server) churn(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cuts []ufotree.Edge
+	for i := 0; i < k && len(s.live) > 0; i++ {
+		j := s.r.Intn(len(s.live))
+		e := s.live[j]
+		s.live[j] = s.live[len(s.live)-1]
+		s.live = s.live[:len(s.live)-1]
+		cuts = append(cuts, ufotree.Edge{U: e[0], V: e[1]})
+	}
+	s.f.BatchCut(cuts)
+	// Reattach each cut-off side somewhere else (or back) with a fresh
+	// weight. Links apply one at a time: each rewire's cycle check must see
+	// the previous rewires.
+	for _, c := range cuts {
+		u := c.U
+		for try := 0; try < 8; try++ {
+			v := s.r.Intn(s.n)
+			if v != u && !s.f.Connected(u, v) {
+				s.f.Link(u, v, int64(1+s.r.Intn(100)))
+				s.live = append(s.live, [2]int{u, v})
+				break
+			}
+		}
+	}
+}
+
+// answerPaths runs one query batch under the read lock.
+func (s *server) answerPaths(pairs [][2]int) (sum []int64, sumOK []bool, mx []int64, hops []int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sum, sumOK = s.bq.BatchPathSum(pairs)
+	mx, _ = s.bq.BatchPathMax(pairs)
+	hops, _ = s.hops(pairs)
+	return sum, sumOK, mx, hops
+}
+
+// simulate is the self-driving mode: phases of churn followed by query
+// batches, reporting read-side throughput.
+func simulate(n, workers, batch, q, rounds int) {
+	s := newServer(n, workers, 11)
+	fmt.Printf("pathserver simulation: n=%d workers=%d churn-batch=%d query-batch=%d\n",
+		n, s.f.Workers(), batch, q)
+	var queries int
+	var qsecs float64
+	for round := 0; round < rounds; round++ {
+		s.churn(batch)
+		pairs := make([][2]int, q)
+		for i := range pairs {
+			pairs[i] = [2]int{s.r.Intn(n), s.r.Intn(n)}
+		}
+		start := time.Now()
+		sum, ok, mx, hops := s.answerPaths(pairs)
+		qsecs += time.Since(start).Seconds()
+		queries += len(pairs)
+		// Show one sample answer per round so the output means something.
+		for i := range pairs {
+			if ok[i] {
+				fmt.Printf("  round %d sample: route %d->%d cost=%d bottleneck=%d hops=%d\n",
+					round, pairs[i][0], pairs[i][1], sum[i], mx[i], hops[i])
+				break
+			}
+		}
+	}
+	if qsecs > 0 {
+		fmt.Printf("answered %d path queries in %.3fs (%.0f queries/s, 3 aggregates each)\n",
+			queries, qsecs, float64(queries)/qsecs)
+	}
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "listen address; empty runs the self-driving simulation")
+		n       = flag.Int("n", 50000, "vertices")
+		workers = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
+		batch   = flag.Int("batch", 2000, "churn batch size")
+		q       = flag.Int("q", 20000, "queries per batch (simulation mode)")
+		rounds  = flag.Int("rounds", 5, "simulation rounds")
+	)
+	flag.Parse()
+
+	if *addr == "" {
+		simulate(*n, *workers, *batch, *q, *rounds)
+		return
+	}
+
+	s := newServer(*n, *workers, 11)
+	go func() {
+		for range time.Tick(time.Second) {
+			s.churn(*batch)
+		}
+	}()
+	arg := func(req *http.Request, k string) (int, bool) {
+		v, err := strconv.Atoi(req.URL.Query().Get(k))
+		return v, err == nil && v >= 0 && v < s.n
+	}
+	http.HandleFunc("/path", func(w http.ResponseWriter, req *http.Request) {
+		u, okU := arg(req, "u")
+		v, okV := arg(req, "v")
+		if !okU || !okV {
+			http.Error(w, fmt.Sprintf("u and v must be vertex ids in [0,%d)", s.n), http.StatusBadRequest)
+			return
+		}
+		sum, ok, mx, hops := s.answerPaths([][2]int{{u, v}})
+		if !ok[0] {
+			http.Error(w, "disconnected", http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "{\"sum\":%d,\"max\":%d,\"hops\":%d}\n", sum[0], mx[0], hops[0])
+	})
+	http.HandleFunc("/lca", func(w http.ResponseWriter, req *http.Request) {
+		u, okU := arg(req, "u")
+		v, okV := arg(req, "v")
+		root, okR := arg(req, "r")
+		if !okU || !okV || !okR {
+			http.Error(w, fmt.Sprintf("u, v, r must be vertex ids in [0,%d)", s.n), http.StatusBadRequest)
+			return
+		}
+		s.mu.RLock()
+		l, ok := s.bq.BatchLCA([][3]int{{u, v, root}})
+		s.mu.RUnlock()
+		if !ok[0] {
+			http.Error(w, "not in one tree", http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "{\"lca\":%d}\n", l[0])
+	})
+	http.HandleFunc("/paths", func(w http.ResponseWriter, req *http.Request) {
+		var pairs [][2]int
+		if err := json.NewDecoder(req.Body).Decode(&pairs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, p := range pairs {
+			if p[0] < 0 || p[0] >= s.n || p[1] < 0 || p[1] >= s.n {
+				http.Error(w, fmt.Sprintf("pair %v out of range [0,%d)", p, s.n), http.StatusBadRequest)
+				return
+			}
+		}
+		sum, ok, mx, hops := s.answerPaths(pairs)
+		type ans struct {
+			Sum  int64 `json:"sum"`
+			Max  int64 `json:"max"`
+			Hops int   `json:"hops"`
+			OK   bool  `json:"ok"`
+		}
+		out := make([]ans, len(pairs))
+		for i := range pairs {
+			out[i] = ans{sum[i], mx[i], hops[i], ok[i]}
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	log.Printf("pathserver listening on %s (n=%d)", *addr, *n)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}

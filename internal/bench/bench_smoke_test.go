@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -145,5 +148,47 @@ func TestBuildersCoverPaper(t *testing.T) {
 		if !b.Batch {
 			t.Fatalf("%s in parallel set without batch support", b.Name)
 		}
+	}
+}
+
+func TestQueriesSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := Queries(&buf, 400, 100, 300, []int{1, 2}, 1)
+	out := buf.String()
+	for _, want := range []string{"connected", "pathsum", "pathhops", "lca", "subtreesum", "update", "w=1", "w=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("queries experiment missing %q:\n%s", want, out)
+		}
+	}
+	if len(results) == 0 {
+		t.Fatal("queries experiment produced no machine-readable results")
+	}
+	for _, r := range results {
+		if r.Ops <= 0 || r.Seconds <= 0 || r.Throughput <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	results := Queries(&buf, 300, 80, 200, []int{1}, 2)
+	path := filepath.Join(t.TempDir(), "BENCH_queries.json")
+	if err := WriteJSON(path, results); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	var back []QueryResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back), len(results))
+	}
+	if back[0].Kind == "" || back[0].Input == "" || back[0].Workers == 0 {
+		t.Fatalf("round-tripped result lost fields: %+v", back[0])
 	}
 }

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/ufo"
+)
+
+// QueryResult is one configuration's measurement of the batch-query
+// scaling experiment (machine-readable; see WriteJSON).
+type QueryResult struct {
+	Input      string  `json:"input"`
+	Kind       string  `json:"kind"` // connected | pathsum | pathhops | lca | subtreesum | update
+	Workers    int     `json:"workers"`
+	Ops        int     `json:"ops"`            // queries answered (or edges applied, for update)
+	Seconds    float64 `json:"seconds"`        // wall time for those ops
+	Throughput float64 `json:"throughput_ops"` // ops per second
+}
+
+// queryKinds is the reporting order of the per-kind rows.
+var queryKinds = []string{"connected", "pathsum", "pathhops", "lca", "subtreesum", "update"}
+
+// Queries measures UFO batch-query throughput over mixed update/query
+// phases at each worker count: per input shape and worker count, the
+// forest is built in batches of k, then driven through rounds that each
+// apply a churn batch (cut k random tree edges, relink them) followed by
+// one batch of q queries per kind. The same seeded workload runs at every
+// worker count, so the throughput columns are self-relative — the paper's
+// scaling metric applied to the read side. The update row times the churn
+// batches, so read- and write-side scaling land in one table.
+func Queries(w io.Writer, n, k, q int, workers []int, seed uint64) []QueryResult {
+	if len(workers) == 0 {
+		workers = DefaultWorkerCounts()
+	}
+	const rounds = 3
+	inputs := []gen.Tree{gen.Path(n), gen.Star(n), gen.PrefAttach(n, seed+2)}
+	fmt.Fprintf(w, "# Batch-query scaling: UFO mixed update/query phases, n=%d, k=%d, q=%d, GOMAXPROCS=%d\n",
+		n, k, q, runtime.GOMAXPROCS(0))
+	cols := make([]string, 0, len(workers)+1)
+	for _, wk := range workers {
+		cols = append(cols, fmt.Sprintf("w=%d", wk))
+	}
+	cols = append(cols, "speedup")
+	var out []QueryResult
+	for _, t := range inputs {
+		t = gen.WithRandomWeights(t, 1000, seed+3)
+		fmt.Fprintf(w, "## input %s (ops/s per kind)\n", t.Name)
+		header(w, "kind", cols)
+		// secs[kind][workerIdx] accumulated over rounds.
+		secs := make(map[string][]float64, len(queryKinds))
+		ops := make(map[string]int, len(queryKinds))
+		for _, kind := range queryKinds {
+			secs[kind] = make([]float64, len(workers))
+		}
+		for wi, wk := range workers {
+			f := ufo.New(t.N)
+			f.SetWorkers(wk)
+			r := rng.New(seed + 5) // same workload at every worker count
+			links := make([]ufo.Edge, len(t.Edges))
+			for i, e := range t.Edges {
+				links[i] = ufo.Edge{U: e.U, V: e.V, W: e.W}
+			}
+			for lo := 0; lo < len(links); lo += k {
+				f.BatchLink(links[lo:min(lo+k, len(links))])
+			}
+			for v := 0; v < t.N; v++ {
+				f.SetVertexValue(v, int64(r.Intn(1000)))
+			}
+			for round := 0; round < rounds; round++ {
+				// Churn phase: cut a batch of tree edges and relink them.
+				churn := make([]ufo.Edge, 0, k)
+				cuts := make([][2]int, 0, k)
+				seen := map[int]bool{}
+				for len(churn) < k && len(seen) < len(t.Edges) {
+					i := r.Intn(len(t.Edges))
+					if seen[i] {
+						continue
+					}
+					seen[i] = true
+					e := t.Edges[i]
+					churn = append(churn, ufo.Edge{U: e.U, V: e.V, W: e.W})
+					cuts = append(cuts, [2]int{e.U, e.V})
+				}
+				start := time.Now()
+				f.BatchCut(cuts)
+				f.BatchLink(churn)
+				secs["update"][wi] += time.Since(start).Seconds()
+				ops["update"] += 2 * len(churn)
+
+				// Query phases: one batch per kind, identical across counts.
+				pairs := make([][2]int, q)
+				for i := range pairs {
+					pairs[i] = [2]int{r.Intn(t.N), r.Intn(t.N)}
+				}
+				triples := make([][3]int, q)
+				for i := range triples {
+					triples[i] = [3]int{r.Intn(t.N), r.Intn(t.N), r.Intn(t.N)}
+				}
+				sub := make([][2]int, q)
+				for i := range sub {
+					e := t.Edges[r.Intn(len(t.Edges))]
+					sub[i] = [2]int{e.U, e.V}
+				}
+				time1 := func(kind string, fn func()) {
+					start := time.Now()
+					fn()
+					secs[kind][wi] += time.Since(start).Seconds()
+					ops[kind] += q
+				}
+				time1("connected", func() { f.BatchConnected(pairs) })
+				time1("pathsum", func() { f.BatchPathSum(pairs) })
+				time1("pathhops", func() { f.BatchPathHops(pairs) })
+				time1("lca", func() { f.BatchLCA(triples) })
+				time1("subtreesum", func() { f.BatchSubtreeSum(sub) })
+			}
+		}
+		// ops was accumulated across worker counts; per-configuration ops is
+		// the per-kind total divided by the sweep width.
+		for _, kind := range queryKinds {
+			perCfg := ops[kind] / len(workers)
+			fmt.Fprintf(w, "%-14s", kind)
+			var base, maxThr float64
+			maxWorkers := 0
+			for wi, wk := range workers {
+				thr := float64(perCfg) / secs[kind][wi]
+				out = append(out, QueryResult{
+					Input: t.Name, Kind: kind, Workers: wk,
+					Ops: perCfg, Seconds: secs[kind][wi], Throughput: thr,
+				})
+				if wk == 1 {
+					base = thr
+				}
+				if wk > maxWorkers {
+					maxWorkers, maxThr = wk, thr
+				}
+				fmt.Fprintf(w, " %12.0f", thr)
+			}
+			if base > 0 {
+				fmt.Fprintf(w, " %11.2fx", maxThr/base)
+			} else {
+				fmt.Fprintf(w, " %12s", "n/a")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "# (columns: ops/second at each worker count; speedup = highest worker count / workers=1)")
+	return out
+}
+
+// WriteJSON writes v as indented JSON to path (the ufobench -json flag;
+// CI uploads the BENCH_*.json files as artifacts so the perf trajectory
+// accumulates across commits).
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

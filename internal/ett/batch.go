@@ -18,8 +18,35 @@ import (
 // disjoint node sets.
 
 // SetParallel enables goroutine parallelism across independent component
-// groups in batch operations.
-func (f *Forest[N, B]) SetParallel(p bool) { f.par = p }
+// groups in batch operations (GOMAXPROCS workers for batch queries).
+func (f *Forest[N, B]) SetParallel(p bool) {
+	f.par = p
+	if p {
+		f.workers = parallel.Procs()
+	} else {
+		f.workers = 1
+	}
+}
+
+// SetWorkers fixes the worker count used by parallel batch queries and
+// toggles batch-update parallelism (the update path parallelizes across
+// component groups with fork-join, so it has no tunable width). Values
+// below 2 select fully serial operation; oversubscription is allowed.
+func (f *Forest[N, B]) SetWorkers(k int) {
+	if k < 1 {
+		k = 1
+	}
+	f.workers = k
+	f.par = k > 1
+}
+
+// Workers reports the configured batch worker count.
+func (f *Forest[N, B]) Workers() int {
+	if f.workers < 1 {
+		return 1
+	}
+	return f.workers
+}
 
 // BatchLink inserts a batch of edges. The batch together with the current
 // forest must remain a forest, and no edge may repeat.

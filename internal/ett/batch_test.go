@@ -132,3 +132,98 @@ func TestBatchPanicsOnBadInput(t *testing.T) {
 		}()
 	}
 }
+
+type batchQueryForest interface {
+	batchForest
+	SetWorkers(int)
+	Workers() int
+	BatchConnected([][2]int) []bool
+	BatchSubtreeSum([][2]int) []int64
+}
+
+// TestBatchQueriesMatchOracle validates BatchConnected and BatchSubtreeSum
+// against the single-op queries and the oracle on every backend, with the
+// worker knob forced past 1 (read-only backends take the flat parallel
+// path, splay trees take the documented serial fallback) and the query
+// grain lowered so tiny batches still fan out.
+func TestBatchQueriesMatchOracle(t *testing.T) {
+	oldGrain := ettQueryGrain
+	ettQueryGrain = 1
+	t.Cleanup(func() { ettQueryGrain = oldGrain })
+	n := 250
+	fs := []batchQueryForest{NewTreap(n, 7), NewSplay(n), NewSkipList(n, 8)}
+	for _, f := range fs {
+		f.SetWorkers(4)
+		if f.Workers() != 4 {
+			t.Fatalf("%s: Workers() = %d after SetWorkers(4)", f.BackendName(), f.Workers())
+		}
+		ref := refforest.New(n)
+		r := rng.New(21)
+		for v := 0; v < n; v++ {
+			val := int64(r.Intn(300))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		}
+		// Build a fragmented forest (several components) in batches, so the
+		// component-grouped subtree fan-out has real groups to spread.
+		tr := gen.RandomAttach(n, 22)
+		var links [][2]int
+		var live [][2]int
+		for i, e := range tr.Edges {
+			if i%17 == 0 {
+				continue // leave holes: multiple components
+			}
+			links = append(links, [2]int{e.U, e.V})
+			live = append(live, [2]int{e.U, e.V})
+			ref.Link(e.U, e.V, 1)
+		}
+		f.BatchLink(links)
+		q := 120
+		pairs := make([][2]int, q)
+		for i := range pairs {
+			pairs[i] = [2]int{r.Intn(n), r.Intn(n)}
+		}
+		conn := f.BatchConnected(pairs)
+		for i, p := range pairs {
+			if want := ref.Connected(p[0], p[1]); conn[i] != want {
+				t.Fatalf("%s: BatchConnected(%d,%d) = %v, want %v", f.BackendName(), p[0], p[1], conn[i], want)
+			}
+			if single := f.Connected(p[0], p[1]); conn[i] != single {
+				t.Fatalf("%s: BatchConnected[%d] disagrees with single-op", f.BackendName(), i)
+			}
+		}
+		sub := make([][2]int, 0, 60)
+		for i := 0; i < 60; i++ {
+			e := live[r.Intn(len(live))]
+			if r.Intn(2) == 0 {
+				e[0], e[1] = e[1], e[0]
+			}
+			sub = append(sub, e)
+		}
+		got := f.BatchSubtreeSum(sub)
+		for i, e := range sub {
+			if want := ref.SubtreeSum(e[0], e[1]); got[i] != want {
+				t.Fatalf("%s: BatchSubtreeSum(%d,%d) = %d, oracle %d", f.BackendName(), e[0], e[1], got[i], want)
+			}
+		}
+		// Non-adjacent pair panics deterministically.
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: BatchSubtreeSum with non-adjacent pair did not panic", f.BackendName())
+				}
+			}()
+			var bad [2]int
+		search:
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					if u != v && !f.HasEdge(u, v) {
+						bad = [2]int{u, v}
+						break search
+					}
+				}
+			}
+			f.BatchSubtreeSum([][2]int{bad})
+		}()
+	}
+}

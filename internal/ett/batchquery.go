@@ -1,0 +1,90 @@
+package ett
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Parallel batch queries.
+//
+// ETT queries are not uniformly read-only, so the two batch entry points
+// parallelize differently:
+//
+//   - Connectivity compares sequence representatives, which is a pure read
+//     for treaps and skip lists; those backends fan a batch out as a flat
+//     parallel loop. Splay trees rotate on every access
+//     (Backend.ConcurrentReads reports false), so they keep a serial loop
+//     regardless of the worker setting — correctness first, and the splay
+//     working-set locality the backend exists to demonstrate survives.
+//   - Subtree sums split and join the tour (reroot + two range splits),
+//     mutating the backend for every backend. But tours of distinct
+//     components occupy disjoint node sets, so the batch is grouped by
+//     component (the same decomposition batch updates use) and groups run
+//     in parallel while queries within one group stay serial.
+//
+// Concurrency contract (stricter than the UFO batch queries): batch
+// queries must not run concurrently with updates OR with each other —
+// BatchSubtreeSum mutates the tour on every backend, and splay-backend
+// connectivity rotates on access. Each call parallelizes internally;
+// callers serialize the calls.
+
+// ettQueryGrain is the smallest per-chunk query count worth forking for.
+// Tests lower it to drive the parallel paths on tiny batches.
+var ettQueryGrain = 64
+
+// BatchConnected answers Connected for every (u,v) pair, in parallel when
+// the backend's query path is read-only.
+func (f *Forest[N, B]) BatchConnected(pairs [][2]int) []bool {
+	out := make([]bool, len(pairs))
+	k := f.Workers()
+	if !f.b.ConcurrentReads() {
+		k = 1
+	}
+	parallel.WorkersForRangeAuto(k, len(pairs), ettQueryGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Connected(pairs[i][0], pairs[i][1])
+		}
+	})
+	return out
+}
+
+// BatchSubtreeSum answers SubtreeSum for every (v,p) pair, running
+// distinct components' queries in parallel. Non-adjacent pairs panic
+// deterministically during the serial grouping pass, before any fan-out.
+func (f *Forest[N, B]) BatchSubtreeSum(pairs [][2]int) []int64 {
+	out := make([]int64, len(pairs))
+	if !parallel.WillFanOut(f.Workers(), len(pairs), ettQueryGrain) {
+		for i, pr := range pairs {
+			out[i] = f.SubtreeSum(pr[0], pr[1])
+		}
+		return out
+	}
+	// Serial grouping pass: validate adjacency and bucket queries by the
+	// component of v. Repr may mutate self-adjusting backends, which is
+	// fine here — this pass is single-threaded, and the parallel phase
+	// below touches each component's nodes from exactly one goroutine.
+	groups := map[N][]int{}
+	for i, pr := range pairs {
+		v, p := pr[0], pr[1]
+		if _, _, ok := f.arcsOf(p, v); !ok {
+			panic(fmt.Sprintf("ett: subtree query with non-adjacent (%d,%d)", v, p))
+		}
+		r := f.b.Repr(f.verts[v])
+		groups[r] = append(groups[r], i)
+	}
+	work := make([][]int, 0, len(groups))
+	for _, idxs := range groups {
+		work = append(work, idxs)
+	}
+	// One chunk-claiming worker pool over the groups (not one goroutine
+	// per component: a fragmented forest can have thousands).
+	parallel.WorkersForRange(f.Workers(), len(work), 1, func(_, lo, hi int) {
+		for g := lo; g < hi; g++ {
+			for _, i := range work[g] {
+				out[i] = f.SubtreeSum(pairs[i][0], pairs[i][1])
+			}
+		}
+	})
+	return out
+}

@@ -21,10 +21,11 @@ import (
 // Forest is an Euler-tour-tree forest over n vertices, generic over the
 // sequence backend B with node type N.
 type Forest[N comparable, B seq.Backend[N]] struct {
-	b     B
-	verts []N
-	arcs  map[uint64][2]N // canonical edge key -> [arc lo->hi, arc hi->lo]
-	par   bool            // parallel batch mode (across component groups)
+	b       B
+	verts   []N
+	arcs    map[uint64][2]N // canonical edge key -> [arc lo->hi, arc hi->lo]
+	par     bool            // parallel batch mode (across component groups)
+	workers int             // worker count for parallel batch queries (0/1 = serial)
 }
 
 // New returns an empty forest over vertices 0..n-1 using backend b.

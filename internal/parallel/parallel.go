@@ -134,6 +134,41 @@ func WorkersForRange(p, n, grain int, body func(worker, lo, hi int)) {
 	}
 }
 
+// WorkersForRangeAuto is WorkersForRange with the shared batch-query
+// chunking policy: serial below 2 workers or 2*grain items, otherwise
+// chunks of max(grain, n/(4p)) so each worker claims a few chunks. Keep
+// the policy here — the UFO and ETT query fan-outs both use it, and two
+// hand-rolled copies would drift.
+func WorkersForRangeAuto(p, n, grain int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if !WillFanOut(p, n, grain) {
+		body(0, 0, n)
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	g := n / (4 * p)
+	if g < grain {
+		g = grain
+	}
+	WorkersForRange(p, n, g, body)
+}
+
+// WillFanOut reports whether WorkersForRangeAuto(p, n, grain, ...) will
+// actually run in parallel rather than take the serial fallback. Callers
+// that need behavior conditioned on the fan-out decision (e.g. a
+// deterministic pre-validation pass before worker goroutines exist) must
+// use this predicate instead of re-encoding the threshold.
+func WillFanOut(p, n, grain int) bool {
+	if grain < 1 {
+		grain = 1
+	}
+	return p > 1 && n >= 2*grain
+}
+
 // Do runs the given functions, possibly concurrently, and waits for all of
 // them. It is the binary-forking "fork-join" primitive of the paper's model
 // generalized to arbitrary arity. A panic in any function is re-raised on

@@ -43,4 +43,10 @@ type Backend[N comparable] interface {
 	Free(x N)
 	// Name reports the backend name for benchmarks.
 	Name() string
+	// ConcurrentReads reports whether the pure query operations (SameSeq,
+	// Repr, Agg) are read-only and therefore safe to call concurrently
+	// when no mutation is in flight. Self-adjusting backends (splay trees
+	// rotate on every access) must return false; parallel batch queries
+	// fall back to a serial loop for them.
+	ConcurrentReads() bool
 }

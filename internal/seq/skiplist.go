@@ -33,6 +33,10 @@ func NewSkipList(seed uint64) *SkipList { return &SkipList{r: rng.New(seed)} }
 // Name implements Backend.
 func (s *SkipList) Name() string { return "skiplist" }
 
+// ConcurrentReads implements Backend: skip-list queries only follow tower
+// links and read span aggregates.
+func (s *SkipList) ConcurrentReads() bool { return true }
+
 // Nil implements Backend.
 func (s *SkipList) Nil() *SkipNode { return nil }
 

@@ -18,6 +18,10 @@ func NewSplay() *Splay { return &Splay{} }
 // Name implements Backend.
 func (s *Splay) Name() string { return "splay" }
 
+// ConcurrentReads implements Backend: splay trees rotate on every access
+// (Repr splays the leftmost node), so even "queries" mutate the tree.
+func (s *Splay) ConcurrentReads() bool { return false }
+
 // Nil implements Backend.
 func (s *Splay) Nil() *SplayNode { return nil }
 

@@ -25,6 +25,10 @@ func NewTreap(seed uint64) *Treap { return &Treap{r: rng.New(seed)} }
 // Name implements Backend.
 func (t *Treap) Name() string { return "treap" }
 
+// ConcurrentReads implements Backend: treap queries only walk parent
+// pointers and read cached aggregates.
+func (t *Treap) ConcurrentReads() bool { return true }
+
 // Nil implements Backend.
 func (t *Treap) Nil() *TreapNode { return nil }
 

@@ -326,14 +326,86 @@ func (f *Forest) SetVertexValue(v int, val int64) {
 // SubtreeSum returns the sum of vertex values in v's subtree with respect
 // to adjacent parent p.
 func (f *Forest) SubtreeSum(v, p int) int64 {
+	sv, sp := f.subtreeSlots(v, p)
+	return f.under.SubtreeSum(int(sv), int(sp))
+}
+
+// subtreeSlots maps a real (v, parent p) subtree query to the hosting
+// slots of the (v,p) edge, panicking on non-adjacent pairs.
+func (f *Forest) subtreeSlots(v, p int) (sv, sp int32) {
 	key := edgeKey(int32(v), int32(p))
 	pair, ok := f.edgeSlots[key]
 	if !ok {
 		panic(fmt.Sprintf("ternary: subtree query with non-adjacent (%d,%d)", v, p))
 	}
-	sv, sp := pair[0], pair[1]
+	sv, sp = pair[0], pair[1]
 	if v > p {
 		sv, sp = sp, sv
 	}
-	return f.under.SubtreeSum(int(sv), int(sp))
+	return sv, sp
+}
+
+// LCA returns the lowest common ancestor of u and v when their tree is
+// rooted at r; ok is false when u, v, r are not all in one tree.
+//
+// The query runs on the ternarized forest between head slots (vertex v's
+// head slot is slot v) and maps the answer back through slot ownership:
+// each vertex's slots form a connected sub-path, so contracting slot paths
+// maps the underlying tree onto the represented tree, and the median of
+// the three head slots must therefore lie in the slot path of the real
+// median — the unique vertex on all three pairwise paths.
+func (f *Forest) LCA(u, v, r int) (int, bool) {
+	m, ok := f.under.LCA(u, v, r)
+	if !ok {
+		return 0, false
+	}
+	return int(f.slots[m].owner), true
+}
+
+// Batch queries: read-only between batch updates, fanned out over the
+// underlying forest's worker count (Underlying().SetWorkers). Head slots
+// coincide with vertex ids, so connectivity and path batches delegate
+// directly; subtree and LCA batches translate through the slot mapping
+// outside the timed parallel region (map lookups are not written during
+// queries, so the translation itself could run concurrently — it stays
+// serial because it is a few hash probes per query).
+
+// BatchConnected answers Connected for every pair in parallel.
+func (f *Forest) BatchConnected(pairs [][2]int) []bool {
+	return f.under.BatchConnected(pairs)
+}
+
+// BatchPathSum answers PathSum for every pair in parallel.
+func (f *Forest) BatchPathSum(pairs [][2]int) ([]int64, []bool) {
+	return f.under.BatchPathSum(pairs)
+}
+
+// BatchPathMax answers PathMax for every pair in parallel (fake edges
+// weigh 0, so results are exact for non-negative weights, as with the
+// single-op PathMax).
+func (f *Forest) BatchPathMax(pairs [][2]int) ([]int64, []bool) {
+	return f.under.BatchPathMax(pairs)
+}
+
+// BatchSubtreeSum answers SubtreeSum for every (v,p) pair in parallel.
+// Non-adjacent pairs panic deterministically during translation, before
+// any fan-out.
+func (f *Forest) BatchSubtreeSum(pairs [][2]int) []int64 {
+	conv := make([][2]int, len(pairs))
+	for i, pr := range pairs {
+		sv, sp := f.subtreeSlots(pr[0], pr[1])
+		conv[i] = [2]int{int(sv), int(sp)}
+	}
+	return f.under.BatchSubtreeSum(conv)
+}
+
+// BatchLCA answers LCA for every (u,v,r) triple in parallel.
+func (f *Forest) BatchLCA(triples [][3]int) ([]int, []bool) {
+	out, ok := f.under.BatchLCA(triples)
+	for i := range out {
+		if ok[i] {
+			out[i] = int(f.slots[out[i]].owner)
+		}
+	}
+	return out, ok
 }

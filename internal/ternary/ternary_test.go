@@ -194,3 +194,117 @@ func TestTernaryPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestTernaryLCA checks the slot-owner LCA mapping against the oracle on
+// high-degree inputs (the regime ternarization exists for), across both
+// contraction modes and under churn.
+func TestTernaryLCA(t *testing.T) {
+	n := 120
+	for name, mk := range builders() {
+		for _, tr := range []gen.Tree{gen.Star(n), gen.RandomAttach(n, 301), gen.PrefAttach(n, 302)} {
+			f := mk(n)
+			ref := refforest.New(n)
+			for _, e := range gen.Shuffled(tr, 303).Edges {
+				f.Link(e.U, e.V, e.W)
+				ref.Link(e.U, e.V, e.W)
+			}
+			r := rng.New(304)
+			check := func(stage string) {
+				for q := 0; q < 250; q++ {
+					u, v, root := r.Intn(n), r.Intn(n), r.Intn(n)
+					want, wantOK := ref.LCA(u, v, root)
+					got, ok := f.LCA(u, v, root)
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("%s/%s %s: LCA(%d,%d;%d) = %d,%v, oracle %d,%v",
+							name, tr.Name, stage, u, v, root, got, ok, want, wantOK)
+					}
+				}
+			}
+			check("built")
+			for i := 0; i < 20; i++ {
+				e := tr.Edges[r.Intn(len(tr.Edges))]
+				if !f.HasEdge(e.U, e.V) {
+					continue
+				}
+				f.Cut(e.U, e.V)
+				ref.Cut(e.U, e.V)
+				a, b := r.Intn(n), r.Intn(n)
+				if a != b && !ref.Connected(a, b) {
+					f.Link(a, b, 1)
+					ref.Link(a, b, 1)
+				}
+			}
+			check("churned")
+		}
+	}
+}
+
+// TestTernaryBatchQueries validates every facade batch query against the
+// single-op queries and the oracle, with the underlying forest's worker
+// knob forced past 1 (oversubscribed on small hosts).
+func TestTernaryBatchQueries(t *testing.T) {
+	n := 150
+	for name, mk := range builders() {
+		f := mk(n)
+		f.Underlying().SetWorkers(4)
+		ref := refforest.New(n)
+		r := rng.New(311)
+		for v := 0; v < n; v++ {
+			val := int64(r.Intn(400))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		}
+		tr := gen.Shuffled(gen.WithRandomWeights(gen.PrefAttach(n, 312), 30, 313), 314)
+		var edges []ufo.Edge
+		for _, e := range tr.Edges {
+			edges = append(edges, ufo.Edge{U: e.U, V: e.V, W: e.W})
+			ref.Link(e.U, e.V, e.W)
+		}
+		f.BatchLink(edges)
+		q := 80
+		pairs := make([][2]int, q)
+		triples := make([][3]int, q)
+		for i := range pairs {
+			pairs[i] = [2]int{r.Intn(n), r.Intn(n)}
+			triples[i] = [3]int{r.Intn(n), r.Intn(n), r.Intn(n)}
+		}
+		conn := f.BatchConnected(pairs)
+		sums, sumOK := f.BatchPathSum(pairs)
+		maxs, maxOK := f.BatchPathMax(pairs)
+		lcas, lcaOK := f.BatchLCA(triples)
+		for i := 0; i < q; i++ {
+			u, v := pairs[i][0], pairs[i][1]
+			if conn[i] != ref.Connected(u, v) {
+				t.Fatalf("%s: BatchConnected(%d,%d) = %v", name, u, v, conn[i])
+			}
+			if got, ok := f.PathSum(u, v); got != sums[i] || ok != sumOK[i] {
+				t.Fatalf("%s: BatchPathSum[%d] mismatch vs single-op", name, i)
+			}
+			if want, wok := ref.PathSum(u, v); sumOK[i] != wok || (wok && sums[i] != want) {
+				t.Fatalf("%s: BatchPathSum(%d,%d) = %d,%v oracle %d,%v", name, u, v, sums[i], sumOK[i], want, wok)
+			}
+			if got, ok := f.PathMax(u, v); got != maxs[i] || ok != maxOK[i] {
+				t.Fatalf("%s: BatchPathMax[%d] mismatch vs single-op", name, i)
+			}
+			a, b, root := triples[i][0], triples[i][1], triples[i][2]
+			if want, wok := ref.LCA(a, b, root); lcaOK[i] != wok || (wok && lcas[i] != want) {
+				t.Fatalf("%s: BatchLCA(%d,%d;%d) = %d,%v oracle %d,%v", name, a, b, root, lcas[i], lcaOK[i], want, wok)
+			}
+		}
+		sub := make([][2]int, 0, 40)
+		for i := 0; i < 40; i++ {
+			e := tr.Edges[r.Intn(len(tr.Edges))]
+			if r.Intn(2) == 0 {
+				sub = append(sub, [2]int{e.U, e.V})
+			} else {
+				sub = append(sub, [2]int{e.V, e.U})
+			}
+		}
+		got := f.BatchSubtreeSum(sub)
+		for i, e := range sub {
+			if want := ref.SubtreeSum(e[0], e[1]); got[i] != want {
+				t.Fatalf("%s: BatchSubtreeSum(%d,%d) = %d, oracle %d", name, e[0], e[1], got[i], want)
+			}
+		}
+	}
+}

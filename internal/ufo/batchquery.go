@@ -1,0 +1,132 @@
+package ufo
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Parallel batch queries (the read-side twin of the batch-update engine).
+//
+// Between batch updates the cluster hierarchy is immutable, so a batch of
+// queries is embarrassingly parallel: every query method in query.go and
+// lca.go walks parent pointers and adjacency sets without writing a single
+// field, and the rep/frontier walkers keep their state in stack values, so
+// a worker needs no heap scratch at all. The batch entry points below
+// range-partition the query slice over the forest's configured worker
+// count (SetWorkers — the same knob that drives batch updates) with the
+// fork-join primitives of internal/parallel.
+//
+// Concurrency contract: batch queries may run concurrently with each other
+// but not with updates, exactly like the single-op queries they fan out.
+// A precondition panic raised by any query (e.g. a non-adjacent
+// BatchSubtreeSum pair) is re-raised on the calling goroutine after all
+// workers drain (see parallel.WorkersForRange).
+
+// queryGrain is the smallest number of queries one worker chunk should
+// carry; below 2*queryGrain a batch runs serially. Tests lower it (like
+// parGrain) to drive the parallel path on tiny batches.
+var queryGrain = 64
+
+// forQueries runs body over disjoint subranges of [0, n) queries using the
+// forest's worker count. Queries are read-only, so unlike the update
+// phases there is no trackMax fallback: the full worker count always
+// applies.
+func (f *Forest) forQueries(n int, body func(lo, hi int)) {
+	parallel.WorkersForRangeAuto(f.workers, n, queryGrain, func(_, lo, hi int) {
+		chaos()
+		body(lo, hi)
+	})
+}
+
+// parQueries reports whether forQueries will actually fan out n queries.
+func (f *Forest) parQueries(n int) bool {
+	return parallel.WillFanOut(f.workers, n, queryGrain)
+}
+
+// BatchConnected answers Connected for every (u,v) pair in parallel.
+func (f *Forest) BatchConnected(pairs [][2]int) []bool {
+	out := make([]bool, len(pairs))
+	f.forQueries(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Connected(pairs[i][0], pairs[i][1])
+		}
+	})
+	return out
+}
+
+// BatchPathSum answers PathSum for every (u,v) pair in parallel. ok[i] is
+// false when the pair is disconnected.
+func (f *Forest) BatchPathSum(pairs [][2]int) ([]int64, []bool) {
+	out := make([]int64, len(pairs))
+	ok := make([]bool, len(pairs))
+	f.forQueries(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], ok[i] = f.PathSum(pairs[i][0], pairs[i][1])
+		}
+	})
+	return out, ok
+}
+
+// BatchPathMax answers PathMax for every (u,v) pair in parallel. ok[i] is
+// false when the pair is disconnected or u == v.
+func (f *Forest) BatchPathMax(pairs [][2]int) ([]int64, []bool) {
+	out := make([]int64, len(pairs))
+	ok := make([]bool, len(pairs))
+	f.forQueries(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], ok[i] = f.PathMax(pairs[i][0], pairs[i][1])
+		}
+	})
+	return out, ok
+}
+
+// BatchPathHops answers PathHops for every (u,v) pair in parallel.
+func (f *Forest) BatchPathHops(pairs [][2]int) ([]int, []bool) {
+	out := make([]int, len(pairs))
+	ok := make([]bool, len(pairs))
+	f.forQueries(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], ok[i] = f.PathHops(pairs[i][0], pairs[i][1])
+		}
+	})
+	return out, ok
+}
+
+// BatchSubtreeSum answers SubtreeSum for every (v,p) pair in parallel.
+// Every p must be adjacent to its v (the single-op precondition); a
+// violating pair panics identically to SubtreeSum, before any parallel
+// fan-out, so the panic is deterministic regardless of worker count. The
+// pre-pass only runs when the batch will actually fan out — a serial
+// batch already panics deterministically at the first bad pair.
+func (f *Forest) BatchSubtreeSum(pairs [][2]int) []int64 {
+	if f.parQueries(len(pairs)) {
+		for _, pr := range pairs {
+			if !f.leaves[pr[0]].adj.has(edgeKey(int32(pr[0]), int32(pr[1]))) {
+				panic(fmt.Sprintf("ufo: subtree query with non-adjacent (%d,%d)", pr[0], pr[1]))
+			}
+		}
+	}
+	out := make([]int64, len(pairs))
+	f.forQueries(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.SubtreeSum(pairs[i][0], pairs[i][1])
+		}
+	})
+	return out
+}
+
+// BatchLCA answers LCA for every (u,v,r) triple in parallel: out[i] is the
+// lowest common ancestor of triples[i][0] and triples[i][1] when the tree
+// is rooted at triples[i][2]; ok[i] is false when the triple spans more
+// than one tree.
+func (f *Forest) BatchLCA(triples [][3]int) ([]int, []bool) {
+	out := make([]int, len(triples))
+	ok := make([]bool, len(triples))
+	f.forQueries(len(triples), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i], ok[i] = f.LCA(triples[i][0], triples[i][1], triples[i][2])
+		}
+	})
+	return out, ok
+}

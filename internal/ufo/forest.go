@@ -113,8 +113,25 @@ func (f *Forest) SetWorkers(k int) {
 	f.workers = k
 }
 
-// Workers reports the configured batch-update worker count.
+// Workers reports the configured batch-update worker count (the value set
+// by SetWorkers/SetParallel, before any capability fallback — see
+// EffectiveWorkers).
 func (f *Forest) Workers() int { return f.workers }
+
+// EffectiveWorkers reports the worker count the structural phases of the
+// next batch update will actually use. With EnableSubtreeMax the
+// disconnect and conditional-deletion phases fall back to the sequential
+// engine — rank-tree bubbling is not phase-local — so a trackMax forest
+// reports 1 even when SetWorkers requested more; the remaining update
+// phases and all batch queries still run with Workers(). Callers that need
+// the parallel structural engine should check this after configuration
+// instead of discovering the silent fallback in a profile.
+func (f *Forest) EffectiveWorkers() int {
+	if f.trackMax {
+		return 1
+	}
+	return f.workers
+}
 
 // HasEdge reports whether edge (u,v) is present.
 func (f *Forest) HasEdge(u, v int) bool {
@@ -167,20 +184,68 @@ func (f *Forest) Cut(u, v int) {
 
 // BatchLink inserts a batch of edges. The batch joined with the current
 // forest must remain a forest, and no edge may repeat.
+//
+// Adversarial inputs panic deterministically before any mutation, in both
+// the sequential and the parallel engine: self loops, an edge repeated
+// inside the batch (in either orientation — (u,v) and (v,u) name the same
+// edge), and edges already present in the forest. Because validation
+// precedes the first structural change, a recovered panic leaves the
+// forest exactly as it was. (Batches that would close a cycle across
+// distinct edges are not pre-validated; they violate the forest contract
+// like in the C++ baselines.)
 func (f *Forest) BatchLink(edges []Edge) {
 	if len(edges) == 0 {
 		return
 	}
+	f.validateLinkBatch(edges)
 	f.eng.run(edges, nil)
 }
 
 // BatchCut removes a batch of edges, all of which must exist and be
-// distinct.
+// distinct. Like BatchLink, adversarial inputs — an edge repeated inside
+// the batch in either orientation, or an absent edge — panic
+// deterministically before any mutation in both engines.
 func (f *Forest) BatchCut(edges [][2]int) {
 	if len(edges) == 0 {
 		return
 	}
+	f.validateCutBatch(edges)
 	f.eng.run(nil, edges)
+}
+
+// validateLinkBatch enforces the BatchLink preconditions that are checkable
+// before mutation. The orientation-normalized edge key makes (u,v) vs
+// (v,u) duplicates indistinguishable from exact repeats, so both panic.
+func (f *Forest) validateLinkBatch(edges []Edge) {
+	seen := make(map[uint64]struct{}, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			panic(fmt.Sprintf("ufo: self loop %d in batch link", e.U))
+		}
+		key := edgeKey(int32(e.U), int32(e.V))
+		if _, dup := seen[key]; dup {
+			panic(fmt.Sprintf("ufo: edge (%d,%d) repeated in batch link", e.U, e.V))
+		}
+		seen[key] = struct{}{}
+		if f.leaves[e.U].adj.has(key) {
+			panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", e.U, e.V))
+		}
+	}
+}
+
+// validateCutBatch enforces the BatchCut preconditions before mutation.
+func (f *Forest) validateCutBatch(cuts [][2]int) {
+	seen := make(map[uint64]struct{}, len(cuts))
+	for _, c := range cuts {
+		key := edgeKey(int32(c[0]), int32(c[1]))
+		if _, dup := seen[key]; dup {
+			panic(fmt.Sprintf("ufo: edge (%d,%d) repeated in batch cut", c[0], c[1]))
+		}
+		seen[key] = struct{}{}
+		if !f.HasEdge(c[0], c[1]) {
+			panic(fmt.Sprintf("ufo: cutting absent edge (%d,%d)", c[0], c[1]))
+		}
+	}
 }
 
 // SetVertexValue assigns the value aggregated by subtree queries,

@@ -1,0 +1,167 @@
+package ufo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+// TestTrackMaxEffectiveWorkers pins the documented fallback: a trackMax
+// forest keeps the requested worker count for queries but reports the
+// sequential structural engine through EffectiveWorkers.
+func TestTrackMaxEffectiveWorkers(t *testing.T) {
+	f := New(8)
+	f.SetWorkers(4)
+	if f.Workers() != 4 || f.EffectiveWorkers() != 4 {
+		t.Fatalf("plain forest: Workers=%d Effective=%d, want 4/4", f.Workers(), f.EffectiveWorkers())
+	}
+	g := New(8)
+	g.EnableSubtreeMax()
+	g.SetWorkers(4)
+	if g.Workers() != 4 {
+		t.Fatalf("trackMax forest: Workers=%d, want the configured 4", g.Workers())
+	}
+	if g.EffectiveWorkers() != 1 {
+		t.Fatalf("trackMax forest: EffectiveWorkers=%d, want 1 (sequential structural fallback)", g.EffectiveWorkers())
+	}
+}
+
+// TestTrackMaxParallelDifferential runs mixed batches through a trackMax
+// forest with parallelism requested and checks every aggregate — subtree
+// max included — against the oracle after each batch. This is the
+// regression net for the known gap: the fallback must degrade performance
+// only, never answers.
+func TestTrackMaxParallelDifferential(t *testing.T) {
+	n := 180
+	f := New(n)
+	f.EnableSubtreeMax()
+	forceParallelQueries(t, f)
+	ref := refforest.New(n)
+	r := rng.New(91)
+	for v := 0; v < n; v++ {
+		val := int64(r.Intn(900))
+		f.SetVertexValue(v, val)
+		ref.SetVertexValue(v, val)
+	}
+	var live [][2]int
+	for round := 0; round < 30; round++ {
+		var links []Edge
+		var cuts [][2]int
+		for i, nCut := 0, r.Intn(12); i < nCut && len(live) > 0; i++ {
+			j := r.Intn(len(live))
+			cuts = append(cuts, live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for _, c := range cuts {
+			ref.Cut(c[0], c[1])
+		}
+		for i, nLink := 0, r.Intn(30); i < nLink; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(25))
+				ref.Link(u, v, w)
+				links = append(links, Edge{u, v, w})
+				live = append(live, [2]int{u, v})
+			}
+		}
+		f.BatchCut(cuts)
+		f.BatchLink(links)
+		mustValidate(t, f, "trackMax parallel mixed batch")
+		for q := 0; q < 25 && len(live) > 0; q++ {
+			e := live[r.Intn(len(live))]
+			v, p := e[0], e[1]
+			if r.Intn(2) == 0 {
+				v, p = p, v
+			}
+			if got, want := f.SubtreeMax(v, p), ref.SubtreeMax(v, p); got != want {
+				t.Fatalf("round %d: SubtreeMax(%d,%d) = %d, oracle %d", round, v, p, got, want)
+			}
+			if got, want := f.SubtreeSum(v, p), ref.SubtreeSum(v, p); got != want {
+				t.Fatalf("round %d: SubtreeSum(%d,%d) = %d, oracle %d", round, v, p, got, want)
+			}
+		}
+		// Occasionally shift a vertex value so bubbling is exercised too.
+		v := r.Intn(n)
+		nv := int64(r.Intn(900))
+		f.SetVertexValue(v, nv)
+		ref.SetVertexValue(v, nv)
+	}
+}
+
+// TestSelectOnPathBoundaries sweeps k across and past the path-length
+// boundary on every shape, including the superunary star and dandelion
+// centers, against the brute-force BFS oracle.
+func TestSelectOnPathBoundaries(t *testing.T) {
+	n := 130
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Star(n), gen.KAry(n, 32), gen.Dandelion(n),
+		gen.PrefAttach(n, 501), gen.RandomAttach(n, 502),
+	}
+	for _, tr := range shapes {
+		f := New(n)
+		ref := refforest.New(n)
+		for _, e := range gen.Shuffled(tr, 503).Edges {
+			f.Link(e.U, e.V, e.W)
+			ref.Link(e.U, e.V, e.W)
+		}
+		r := rng.New(504)
+		for q := 0; q < 120; q++ {
+			u, v := r.Intn(n), r.Intn(n)
+			path := ref.Path(u, v)
+			d := len(path) - 1 // -1 when disconnected (never here: trees are spanning)
+			for _, k := range []int{-1, 0, 1, d / 2, d - 1, d, d + 1, d + n} {
+				got, ok := f.SelectOnPath(u, v, k)
+				wantOK := k >= 0 && k <= d && d >= 0
+				if ok != wantOK {
+					t.Fatalf("%s: SelectOnPath(%d,%d,%d) ok=%v, want %v (d=%d)",
+						tr.Name, u, v, k, ok, wantOK, d)
+				}
+				if wantOK && got != path[k] {
+					t.Fatalf("%s: SelectOnPath(%d,%d,%d) = %d, oracle %d",
+						tr.Name, u, v, k, got, path[k])
+				}
+			}
+		}
+	}
+}
+
+// TestLCAPropertyOnStars drives LCA on high-degree superunary centers,
+// including cross-component triples (ok must be false) and triples where
+// two or three of the vertices coincide.
+func TestLCAPropertyOnStars(t *testing.T) {
+	n := 120
+	for _, tr := range []gen.Tree{gen.Star(n), gen.Dandelion(n), gen.KAry(n, 64)} {
+		f := New(n)
+		ref := refforest.New(n)
+		// Leave a few vertices out of the tree to get cross-component triples.
+		cut := n - 5
+		for _, e := range gen.Shuffled(tr, 601).Edges {
+			if e.U >= cut || e.V >= cut {
+				continue
+			}
+			f.Link(e.U, e.V, e.W)
+			ref.Link(e.U, e.V, e.W)
+		}
+		r := rng.New(602)
+		for q := 0; q < 500; q++ {
+			u, v, root := r.Intn(n), r.Intn(n), r.Intn(n)
+			switch r.Intn(5) {
+			case 0:
+				v = u
+			case 1:
+				root = u
+			case 2:
+				root, v = u, u
+			}
+			want, wantOK := ref.LCA(u, v, root)
+			got, ok := f.LCA(u, v, root)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("%s: LCA(%d,%d;%d) = %d,%v, oracle %d,%v",
+					tr.Name, u, v, root, got, ok, want, wantOK)
+			}
+		}
+	}
+}

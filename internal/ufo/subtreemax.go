@@ -30,6 +30,12 @@ func max2(a, b int64) int64 {
 
 // EnableSubtreeMax turns on non-invertible subtree aggregation. It must be
 // called while the forest has no edges.
+//
+// Parallelism caveat: a trackMax forest runs the structural update phases
+// (disconnect, conditional deletion) sequentially regardless of
+// SetWorkers, because rank-tree bubbling crosses level boundaries; the
+// effective configuration is observable via EffectiveWorkers. Batch
+// queries are unaffected and keep the full worker count.
 func (f *Forest) EnableSubtreeMax() {
 	if f.nEdges > 0 {
 		panic("ufo: EnableSubtreeMax requires an empty forest")

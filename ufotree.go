@@ -45,6 +45,14 @@ type Forest interface {
 	N() int
 	// Link inserts edge (u,v) with weight w; u and v must currently be in
 	// different trees.
+	//
+	// Weight contract: structures that do not support path queries are
+	// weight-agnostic — Euler tour trees ignore w entirely (their Euler
+	// tours carry no per-edge aggregate). The facade makes this uniform:
+	// every adapter accepts w, weight-aware structures (UFO, link-cut,
+	// topology, RC) aggregate it, and weight-agnostic ones ignore it
+	// without panicking. Feature-detect with a PathQuerier type assertion
+	// when weights matter.
 	Link(u, v int, w int64)
 	// Cut removes the existing edge (u,v).
 	Cut(u, v int)
@@ -87,11 +95,60 @@ type BatchForest interface {
 	BatchCut(edges []Edge)
 	// SetParallel toggles goroutine parallelism inside batch updates.
 	SetParallel(on bool)
-	// SetWorkers fixes the number of workers used by batch updates; values
-	// below 2 select the sequential engine, and counts above GOMAXPROCS are
-	// allowed (oversubscription). Implementations without a tunable worker
-	// count treat any k > 1 as SetParallel(true).
+	// SetWorkers fixes the number of workers used by batch updates and
+	// batch queries; values below 2 select the sequential engine, and
+	// counts above GOMAXPROCS are allowed (oversubscription).
+	// Implementations without a tunable worker count treat any k > 1 as
+	// SetParallel(true).
 	SetWorkers(k int)
+	// Workers reports the effective worker count of the structural update
+	// phases, which can be lower than the last SetWorkers value when a
+	// configuration forces a sequential fallback (e.g. a UFO forest with
+	// subtree-max tracking enabled). UFO and ternarized batch queries
+	// always use the full configured count; ETT query fan-out is further
+	// limited by backend capability (splay backends answer connectivity
+	// serially — they rotate on access) and by component structure
+	// (subtree batches parallelize across, not within, components).
+	Workers() int
+}
+
+// BatchQuerier is the read-side twin of BatchForest: batched queries
+// fanned out over the structure's worker count (SetWorkers). UFO and
+// ternarized queries are read-only between batch updates, so the batch
+// forms need no locking; a batch must not run concurrently with updates,
+// but BatchQuerier batches may run concurrently with each other.
+// Implemented by the UFO and ternarization (topology, RC) adapters;
+// Euler tour trees implement the BatchConnectivityQuerier subset — with a
+// stricter contract: ETT subtree queries splice the Euler tour even when
+// answering, so ETT batch queries must also be exclusive of each other
+// (each call parallelizes internally).
+//
+// Batched path-hop counting (BatchPathHops) is deliberately absent: the
+// ternarized structures cannot separate real from fake edges in a hop
+// count. The concrete *ufo.Forest (via UnderlyingUFO) provides it.
+type BatchQuerier interface {
+	BatchConnectivityQuerier
+	// BatchPathSum answers PathSum for every (u,v) pair; ok[i] is false
+	// when the pair is disconnected.
+	BatchPathSum(pairs [][2]int) ([]int64, []bool)
+	// BatchPathMax answers PathMax for every (u,v) pair; ok[i] is false
+	// when the pair is disconnected or u == v.
+	BatchPathMax(pairs [][2]int) ([]int64, []bool)
+	// BatchLCA answers, for every triple (u,v,r), the lowest common
+	// ancestor of u and v with the tree rooted at r; ok[i] is false when
+	// the triple spans more than one tree.
+	BatchLCA(triples [][3]int) ([]int, []bool)
+}
+
+// BatchConnectivityQuerier is the batch-query subset every batch-dynamic
+// structure in this library supports, including Euler tour trees.
+type BatchConnectivityQuerier interface {
+	// BatchConnected answers Connected for every (u,v) pair.
+	BatchConnected(pairs [][2]int) []bool
+	// BatchSubtreeSum answers SubtreeSum for every (v,p) pair; each p
+	// must be adjacent to its v, and violating pairs panic
+	// deterministically before any parallel fan-out.
+	BatchSubtreeSum(pairs [][2]int) []int64
 }
 
 // NewUFO returns a UFO-tree forest over n vertices: the paper's primary
@@ -146,6 +203,17 @@ func (a *ufoAdapter) SetVertexValue(v int, x int64)  { a.f.SetVertexValue(v, x) 
 func (a *ufoAdapter) SubtreeSum(v, p int) int64      { return a.f.SubtreeSum(v, p) }
 func (a *ufoAdapter) SetParallel(on bool)            { a.f.SetParallel(on) }
 func (a *ufoAdapter) SetWorkers(k int)               { a.f.SetWorkers(k) }
+func (a *ufoAdapter) Workers() int                   { return a.f.EffectiveWorkers() }
+
+func (a *ufoAdapter) BatchConnected(pairs [][2]int) []bool   { return a.f.BatchConnected(pairs) }
+func (a *ufoAdapter) BatchSubtreeSum(pairs [][2]int) []int64 { return a.f.BatchSubtreeSum(pairs) }
+func (a *ufoAdapter) BatchPathSum(pairs [][2]int) ([]int64, []bool) {
+	return a.f.BatchPathSum(pairs)
+}
+func (a *ufoAdapter) BatchPathMax(pairs [][2]int) ([]int64, []bool) {
+	return a.f.BatchPathMax(pairs)
+}
+func (a *ufoAdapter) BatchLCA(triples [][3]int) ([]int, []bool) { return a.f.BatchLCA(triples) }
 func (a *ufoAdapter) BatchLink(edges []Edge) {
 	conv := make([]ufo.Edge, len(edges))
 	for i, e := range edges {
@@ -201,6 +269,17 @@ func (a *ternAdapter) SetVertexValue(v int, x int64)  { a.f.SetVertexValue(v, x)
 func (a *ternAdapter) SubtreeSum(v, p int) int64      { return a.f.SubtreeSum(v, p) }
 func (a *ternAdapter) SetParallel(on bool)            { a.f.Underlying().SetParallel(on) }
 func (a *ternAdapter) SetWorkers(k int)               { a.f.Underlying().SetWorkers(k) }
+func (a *ternAdapter) Workers() int                   { return a.f.Underlying().EffectiveWorkers() }
+
+func (a *ternAdapter) BatchConnected(pairs [][2]int) []bool   { return a.f.BatchConnected(pairs) }
+func (a *ternAdapter) BatchSubtreeSum(pairs [][2]int) []int64 { return a.f.BatchSubtreeSum(pairs) }
+func (a *ternAdapter) BatchPathSum(pairs [][2]int) ([]int64, []bool) {
+	return a.f.BatchPathSum(pairs)
+}
+func (a *ternAdapter) BatchPathMax(pairs [][2]int) ([]int64, []bool) {
+	return a.f.BatchPathMax(pairs)
+}
+func (a *ternAdapter) BatchLCA(triples [][3]int) ([]int, []bool) { return a.f.BatchLCA(triples) }
 func (a *ternAdapter) BatchLink(edges []Edge) {
 	conv := make([]ufo.Edge, len(edges))
 	for i, e := range edges {
@@ -230,7 +309,13 @@ func (a *ettAdapter[N, B]) Name() string                  { return a.name }
 func (a *ettAdapter[N, B]) SetVertexValue(v int, x int64) { a.f.SetVertexValue(v, x) }
 func (a *ettAdapter[N, B]) SubtreeSum(v, p int) int64     { return a.f.SubtreeSum(v, p) }
 func (a *ettAdapter[N, B]) SetParallel(on bool)           { a.f.SetParallel(on) }
-func (a *ettAdapter[N, B]) SetWorkers(k int)              { a.f.SetParallel(k > 1) }
+func (a *ettAdapter[N, B]) SetWorkers(k int)              { a.f.SetWorkers(k) }
+func (a *ettAdapter[N, B]) Workers() int                  { return a.f.Workers() }
+
+func (a *ettAdapter[N, B]) BatchConnected(pairs [][2]int) []bool { return a.f.BatchConnected(pairs) }
+func (a *ettAdapter[N, B]) BatchSubtreeSum(pairs [][2]int) []int64 {
+	return a.f.BatchSubtreeSum(pairs)
+}
 func (a *ettAdapter[N, B]) BatchLink(edges []Edge) {
 	conv := make([][2]int, len(edges))
 	for i, e := range edges {
@@ -248,12 +333,16 @@ func (a *ettAdapter[N, B]) BatchCut(edges []Edge) {
 
 // Compile-time interface checks.
 var (
-	_ BatchForest    = (*ufoAdapter)(nil)
-	_ PathQuerier    = (*ufoAdapter)(nil)
-	_ SubtreeQuerier = (*ufoAdapter)(nil)
-	_ Forest         = (*lctAdapter)(nil)
-	_ PathQuerier    = (*lctAdapter)(nil)
-	_ BatchForest    = (*ternAdapter)(nil)
-	_ PathQuerier    = (*ternAdapter)(nil)
-	_ SubtreeQuerier = (*ternAdapter)(nil)
+	_ BatchForest              = (*ufoAdapter)(nil)
+	_ PathQuerier              = (*ufoAdapter)(nil)
+	_ SubtreeQuerier           = (*ufoAdapter)(nil)
+	_ BatchQuerier             = (*ufoAdapter)(nil)
+	_ Forest                   = (*lctAdapter)(nil)
+	_ PathQuerier              = (*lctAdapter)(nil)
+	_ BatchForest              = (*ternAdapter)(nil)
+	_ PathQuerier              = (*ternAdapter)(nil)
+	_ SubtreeQuerier           = (*ternAdapter)(nil)
+	_ BatchQuerier             = (*ternAdapter)(nil)
+	_ BatchForest              = (*ettAdapter[*seq.TreapNode, *seq.Treap])(nil)
+	_ BatchConnectivityQuerier = (*ettAdapter[*seq.TreapNode, *seq.Treap])(nil)
 )

@@ -197,3 +197,164 @@ func TestUnderlyingUFOAccess(t *testing.T) {
 		t.Fatal("UnderlyingUFO should fail on non-UFO forests")
 	}
 }
+
+// TestETTLinkWeightContract pins the facade's documented weight behavior:
+// weight-agnostic adapters (Euler tour trees) accept and ignore weights —
+// no panic, no drift in connectivity or subtree sums — and do not claim
+// PathQuerier.
+func TestETTLinkWeightContract(t *testing.T) {
+	for _, f := range []ufotree.Forest{
+		ufotree.NewETTTreap(8, 1), ufotree.NewETTSplay(8), ufotree.NewETTSkipList(8, 2),
+	} {
+		f.Link(0, 1, 42) // weight silently ignored
+		f.Link(1, 2, -7)
+		if !f.Connected(0, 2) {
+			t.Fatalf("%s: weighted links did not connect", f.Name())
+		}
+		if _, ok := f.(ufotree.PathQuerier); ok {
+			t.Fatalf("%s: weight-agnostic structure must not satisfy PathQuerier", f.Name())
+		}
+		sq := f.(ufotree.SubtreeQuerier)
+		sq.SetVertexValue(2, 5)
+		if got := sq.SubtreeSum(2, 1); got != 5 {
+			t.Fatalf("%s: SubtreeSum after weighted links = %d, want 5", f.Name(), got)
+		}
+	}
+	// Weight-aware structures must aggregate the same weight the ETTs drop.
+	for _, f := range []ufotree.Forest{
+		ufotree.NewUFO(8), ufotree.NewLinkCut(8), ufotree.NewTopology(8), ufotree.NewRC(8),
+	} {
+		f.Link(0, 1, 42)
+		if s, ok := f.(ufotree.PathQuerier).PathSum(0, 1); !ok || s != 42 {
+			t.Fatalf("%s: PathSum = %d,%v want 42", f.Name(), s, ok)
+		}
+	}
+}
+
+// TestBatchQuerierFacade drives the batch-query interfaces through the
+// facade: full BatchQuerier on UFO/topology/RC, the connectivity subset on
+// ETT, differentially against the oracle under forced parallelism.
+func TestBatchQuerierFacade(t *testing.T) {
+	n := 400
+	full := []ufotree.BatchForest{ufotree.NewUFO(n), ufotree.NewTopology(n), ufotree.NewRC(n)}
+	subset := []ufotree.BatchForest{
+		ufotree.NewETTTreap(n, 3), ufotree.NewETTSplay(n), ufotree.NewETTSkipList(n, 4),
+	}
+	ref := refforest.New(n)
+	r := rng.New(1101)
+	tr := gen.Shuffled(gen.WithRandomWeights(gen.PrefAttach(n, 1102), 60, 1103), 1104)
+	var edges []ufotree.Edge
+	for _, e := range tr.Edges {
+		edges = append(edges, ufotree.Edge{U: e.U, V: e.V, W: e.W})
+		ref.Link(e.U, e.V, e.W)
+	}
+	vals := make([]int64, n)
+	for v := range vals {
+		vals[v] = int64(r.Intn(200))
+		ref.SetVertexValue(v, vals[v])
+	}
+	for _, f := range append(append([]ufotree.BatchForest{}, full...), subset...) {
+		f.SetWorkers(4)
+		if f.Workers() < 1 {
+			t.Fatalf("%s: Workers() = %d", f.Name(), f.Workers())
+		}
+		for v, val := range vals {
+			f.(ufotree.SubtreeQuerier).SetVertexValue(v, val)
+		}
+		f.BatchLink(edges)
+	}
+	pairs := make([][2]int, 150)
+	for i := range pairs {
+		pairs[i] = [2]int{r.Intn(n), r.Intn(n)}
+	}
+	triples := make([][3]int, 150)
+	for i := range triples {
+		triples[i] = [3]int{r.Intn(n), r.Intn(n), r.Intn(n)}
+	}
+	sub := make([][2]int, 0, 80)
+	for i := 0; i < 80; i++ {
+		e := tr.Edges[r.Intn(len(tr.Edges))]
+		if r.Bool() {
+			sub = append(sub, [2]int{e.U, e.V})
+		} else {
+			sub = append(sub, [2]int{e.V, e.U})
+		}
+	}
+	for _, f := range full {
+		bq, ok := f.(ufotree.BatchQuerier)
+		if !ok {
+			t.Fatalf("%s must implement BatchQuerier", f.Name())
+		}
+		conn := bq.BatchConnected(pairs)
+		sums, sumOK := bq.BatchPathSum(pairs)
+		lcas, lcaOK := bq.BatchLCA(triples)
+		subs := bq.BatchSubtreeSum(sub)
+		for i, p := range pairs {
+			if conn[i] != ref.Connected(p[0], p[1]) {
+				t.Fatalf("%s: BatchConnected[%d] wrong", f.Name(), i)
+			}
+			ws, wok := ref.PathSum(p[0], p[1])
+			if sumOK[i] != wok || (wok && sums[i] != ws) {
+				t.Fatalf("%s: BatchPathSum(%d,%d) = %d,%v oracle %d,%v",
+					f.Name(), p[0], p[1], sums[i], sumOK[i], ws, wok)
+			}
+		}
+		for i, tr3 := range triples {
+			want, wok := ref.LCA(tr3[0], tr3[1], tr3[2])
+			if lcaOK[i] != wok || (wok && lcas[i] != want) {
+				t.Fatalf("%s: BatchLCA(%v) = %d,%v oracle %d,%v",
+					f.Name(), tr3, lcas[i], lcaOK[i], want, wok)
+			}
+		}
+		for i, e := range sub {
+			if want := ref.SubtreeSum(e[0], e[1]); subs[i] != want {
+				t.Fatalf("%s: BatchSubtreeSum(%d,%d) = %d, oracle %d",
+					f.Name(), e[0], e[1], subs[i], want)
+			}
+		}
+	}
+	for _, f := range subset {
+		if _, ok := f.(ufotree.BatchQuerier); ok {
+			t.Fatalf("%s: ETT must not claim the full BatchQuerier", f.Name())
+		}
+		cq, ok := f.(ufotree.BatchConnectivityQuerier)
+		if !ok {
+			t.Fatalf("%s must implement BatchConnectivityQuerier", f.Name())
+		}
+		conn := cq.BatchConnected(pairs)
+		for i, p := range pairs {
+			if conn[i] != ref.Connected(p[0], p[1]) {
+				t.Fatalf("%s: BatchConnected[%d] wrong", f.Name(), i)
+			}
+		}
+		subs := cq.BatchSubtreeSum(sub)
+		for i, e := range sub {
+			if want := ref.SubtreeSum(e[0], e[1]); subs[i] != want {
+				t.Fatalf("%s: BatchSubtreeSum(%d,%d) = %d, oracle %d",
+					f.Name(), e[0], e[1], subs[i], want)
+			}
+		}
+	}
+}
+
+// TestFacadeWorkersReportsFallback checks the effective-engine reporting
+// satellite at the facade level: a trackMax UFO forest keeps the requested
+// count in the concrete accessor but reports 1 effective worker.
+func TestFacadeWorkersReportsFallback(t *testing.T) {
+	f := ufotree.NewUFO(16)
+	f.SetWorkers(8)
+	if f.Workers() != 8 {
+		t.Fatalf("plain UFO facade Workers() = %d, want 8", f.Workers())
+	}
+	uf, _ := ufotree.UnderlyingUFO(f)
+	g := ufotree.NewUFO(16)
+	ug, _ := ufotree.UnderlyingUFO(g)
+	ug.EnableSubtreeMax()
+	g.SetWorkers(8)
+	if g.Workers() != 1 {
+		t.Fatalf("trackMax UFO facade Workers() = %d, want 1 (sequential structural fallback)", g.Workers())
+	}
+	if ug.Workers() != 8 || uf.Workers() != 8 {
+		t.Fatalf("concrete Workers() should keep the configured count")
+	}
+}
