@@ -1,0 +1,172 @@
+// Command benchdiff compares two BENCH_*.json files produced by ufobench
+// -json and exits non-zero when any throughput metric regresses by more
+// than a configurable threshold. CI uses it to gate the accumulated
+// performance trajectory: a committed baseline under bench/baseline/ is
+// compared against the freshly measured file, so a structural regression
+// fails the build instead of landing silently in an artifact nobody reads.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.30] baseline.json current.json
+//
+// The tool is schema-agnostic across the ufobench experiments (queries,
+// scaling, trackmax, ablation): each file is an array of result records; a
+// record's configuration key is built from its string-valued fields plus
+// the conventional integer configuration fields (workers, k), and its
+// metrics are every numeric field whose name contains "throughput"
+// (matching both the json-tagged `throughput_ops` records and untagged
+// `Throughput` records). Only configurations present in both files are
+// compared; baseline configurations missing from the current file are
+// reported as warnings, since experiments may legitimately drop inputs.
+//
+// Exit codes: 0 clean, 1 regression past threshold, 2 usage/parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.30,
+		"maximum tolerated fractional throughput drop (0.30 = fail below 70% of baseline)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.30] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := loadResults(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadResults(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	rep := compare(base, cur, *threshold)
+	for _, w := range rep.warnings {
+		fmt.Printf("warn: %s\n", w)
+	}
+	for _, l := range rep.lines {
+		fmt.Println(l)
+	}
+	fmt.Printf("benchdiff: %d metrics compared against %s (threshold %.0f%%), worst %+.1f%%, %d regressions\n",
+		rep.compared, flag.Arg(0), *threshold*100, rep.worst*100, len(rep.regressions))
+	if rep.compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping metrics between the two files")
+		os.Exit(2)
+	}
+	if len(rep.regressions) > 0 {
+		for _, r := range rep.regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+		}
+		os.Exit(1)
+	}
+}
+
+func loadResults(path string) ([]map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// configKey derives a stable configuration identity from a record: every
+// string field plus the conventional integer configuration fields, sorted
+// by field name so field ordering never matters.
+func configKey(rec map[string]any) string {
+	var parts []string
+	for name, v := range rec {
+		ln := strings.ToLower(name)
+		switch val := v.(type) {
+		case string:
+			parts = append(parts, ln+"="+val)
+		case float64:
+			if ln == "workers" || ln == "k" {
+				parts = append(parts, fmt.Sprintf("%s=%g", ln, val))
+			}
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// metrics extracts the throughput-like numeric fields of a record, keyed
+// by lower-cased field name.
+func metrics(rec map[string]any) map[string]float64 {
+	out := map[string]float64{}
+	for name, v := range rec {
+		ln := strings.ToLower(name)
+		if f, ok := v.(float64); ok && strings.Contains(ln, "throughput") {
+			out[ln] = f
+		}
+	}
+	return out
+}
+
+type report struct {
+	compared    int
+	worst       float64 // most negative fractional delta seen (0 when none)
+	lines       []string
+	warnings    []string
+	regressions []string
+}
+
+// compare evaluates current against baseline at the given threshold.
+func compare(base, cur []map[string]any, threshold float64) report {
+	curByKey := map[string]map[string]float64{}
+	for _, rec := range cur {
+		if m := metrics(rec); len(m) > 0 {
+			curByKey[configKey(rec)] = m
+		}
+	}
+	var rep report
+	seen := map[string]bool{}
+	for _, rec := range base {
+		key := configKey(rec)
+		bm := metrics(rec)
+		if len(bm) == 0 || seen[key] {
+			continue
+		}
+		seen[key] = true
+		cm, ok := curByKey[key]
+		if !ok {
+			rep.warnings = append(rep.warnings, fmt.Sprintf("baseline configuration %q missing from current file", key))
+			continue
+		}
+		names := make([]string, 0, len(bm))
+		for name := range bm {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bv := bm[name]
+			cv, ok := cm[name]
+			if !ok || bv <= 0 {
+				continue
+			}
+			delta := cv/bv - 1
+			rep.compared++
+			if delta < rep.worst {
+				rep.worst = delta
+			}
+			line := fmt.Sprintf("%-60s %s %12.0f -> %12.0f  %+.1f%%", key, name, bv, cv, delta*100)
+			rep.lines = append(rep.lines, line)
+			if delta < -threshold {
+				rep.regressions = append(rep.regressions, line)
+			}
+		}
+	}
+	return rep
+}

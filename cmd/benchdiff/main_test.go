@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func recs(t *testing.T, raw string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	if err := json.Unmarshal([]byte(raw), &out); err != nil {
+		t.Fatalf("bad test fixture: %v", err)
+	}
+	return out
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := recs(t, `[
+	  {"input":"path","kind":"pathsum","workers":1,"ops":100,"throughput_ops":1000},
+	  {"input":"path","kind":"pathsum","workers":2,"ops":100,"throughput_ops":2000}
+	]`)
+	cur := recs(t, `[
+	  {"input":"path","kind":"pathsum","workers":1,"ops":100,"throughput_ops":950},
+	  {"input":"path","kind":"pathsum","workers":2,"ops":100,"throughput_ops":1200}
+	]`)
+	rep := compare(base, cur, 0.30)
+	if rep.compared != 2 {
+		t.Fatalf("compared %d metrics, want 2", rep.compared)
+	}
+	if len(rep.regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the w=2 40%% drop", rep.regressions)
+	}
+	if rep.worst > -0.39 || rep.worst < -0.41 {
+		t.Fatalf("worst delta = %v, want ~ -0.40", rep.worst)
+	}
+}
+
+func TestCompareCleanWithinThreshold(t *testing.T) {
+	base := recs(t, `[{"input":"star","kind":"update","workers":4,"throughput_ops":500}]`)
+	cur := recs(t, `[{"input":"star","kind":"update","workers":4,"throughput_ops":400}]`)
+	if rep := compare(base, cur, 0.30); len(rep.regressions) != 0 {
+		t.Fatalf("20%% drop flagged at 30%% threshold: %v", rep.regressions)
+	}
+	// Improvements never regress.
+	cur2 := recs(t, `[{"input":"star","kind":"update","workers":4,"throughput_ops":5000}]`)
+	if rep := compare(base, cur2, 0.30); len(rep.regressions) != 0 || rep.worst != 0 {
+		t.Fatalf("improvement misreported: %+v", rep)
+	}
+}
+
+func TestCompareHandlesUntaggedScalingSchema(t *testing.T) {
+	// ScalingResult marshals without json tags (capitalized keys); the
+	// matcher must be case-insensitive on both config and metric fields.
+	base := recs(t, `[{"Input":"binary","Workers":2,"Edges":800,"Seconds":0.1,"Throughput":8000}]`)
+	cur := recs(t, `[{"Input":"binary","Workers":2,"Edges":800,"Seconds":0.5,"Throughput":1600}]`)
+	rep := compare(base, cur, 0.30)
+	if rep.compared != 1 || len(rep.regressions) != 1 {
+		t.Fatalf("untagged schema not compared: %+v", rep)
+	}
+}
+
+func TestCompareWarnsOnMissingConfig(t *testing.T) {
+	base := recs(t, `[
+	  {"input":"path","kind":"lca","workers":1,"throughput_ops":100},
+	  {"input":"gone","kind":"lca","workers":1,"throughput_ops":100}
+	]`)
+	cur := recs(t, `[{"input":"path","kind":"lca","workers":1,"throughput_ops":100}]`)
+	rep := compare(base, cur, 0.30)
+	if len(rep.warnings) != 1 || len(rep.regressions) != 0 || rep.compared != 1 {
+		t.Fatalf("missing config handling wrong: %+v", rep)
+	}
+}
+
+func TestCompareDistinguishesAblationSections(t *testing.T) {
+	// Same k in different sections must not collide.
+	base := recs(t, `[
+	  {"section":"kary-sweep","structure":"ufo","k":16,"throughput_ops":100},
+	  {"section":"batch-amortization","structure":"ufo","k":16,"throughput_ops":900}
+	]`)
+	cur := recs(t, `[
+	  {"section":"kary-sweep","structure":"ufo","k":16,"throughput_ops":100},
+	  {"section":"batch-amortization","structure":"ufo","k":16,"throughput_ops":100}
+	]`)
+	rep := compare(base, cur, 0.30)
+	if rep.compared != 2 || len(rep.regressions) != 1 {
+		t.Fatalf("section collision: %+v", rep)
+	}
+}

@@ -7,16 +7,19 @@
 //	ufobench -experiment all -n 20000 -k 2000
 //	ufobench -experiment scaling -n 200000 -k 20000
 //	ufobench -experiment queries -n 100000 -k 10000 -q 100000 -json
+//	ufobench -experiment trackmax -n 50000 -k 5000 -q 20000 -json
 //
 // Experiments: table1, table2, fig5, fig6, fig7, fig8, fig9, fig16,
-// scaling, queries, ablation, all.
+// scaling, queries, trackmax, ablation, all.
 // Sizes default to laptop scale; raise -n / -k to approach the paper's
 // configuration (n=10^7, k=10^6 on a 96-core machine).
 //
 // With -json, the experiments that produce machine-readable results
-// (scaling, queries) additionally write BENCH_<experiment>.json into the
-// working directory; CI uploads these as artifacts so the performance
-// trajectory accumulates across commits.
+// (scaling, queries, trackmax, ablation) additionally write
+// BENCH_<experiment>.json into the working directory; CI uploads these as
+// artifacts and gates them against committed baselines with cmd/benchdiff,
+// so the performance trajectory accumulates across commits and regressions
+// fail the build instead of landing silently.
 package main
 
 import (
@@ -30,10 +33,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|ablation|all")
+		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|trackmax|ablation|all")
 		n        = flag.Int("n", 50000, "input tree size")
 		k        = flag.Int("k", 5000, "batch size for parallel experiments")
-		q        = flag.Int("q", 20000, "query count (diameter sweep and batch-query experiment)")
+		q        = flag.Int("q", 20000, "query count (diameter sweep, batch-query, and trackmax experiments)")
 		seed     = flag.Uint64("seed", 42, "deterministic workload seed")
 		graphs   = flag.Bool("graphs", true, "include BFS/RIS forests of the graph stand-ins")
 		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<experiment>.json files")
@@ -82,19 +85,23 @@ func main() {
 	run("queries", func() {
 		writeJSON("queries", bench.Queries(w, *n, *k, *q, nil, *seed))
 	})
+	run("trackmax", func() {
+		writeJSON("trackmax", bench.TrackMax(w, *n, *k, *q, nil, *seed))
+	})
 	run("ablation", func() {
-		bench.Ablation(w, *n, *seed)
+		results := bench.Ablation(w, *n, *seed)
 		fmt.Fprintln(w)
-		bench.AblationBatchAmortization(w, *n, *seed)
+		results = append(results, bench.AblationBatchAmortization(w, *n, *seed)...)
+		writeJSON("ablation", results)
 	})
 
 	valid := map[string]bool{"all": true, "table1": true, "table2": true, "fig5": true,
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig16": true,
-		"scaling": true, "queries": true, "ablation": true}
+		"scaling": true, "queries": true, "trackmax": true, "ablation": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n", *exp,
 			strings.Join([]string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-				"fig16", "scaling", "queries", "ablation", "all"}, "|"))
+				"fig16", "scaling", "queries", "trackmax", "ablation", "all"}, "|"))
 		os.Exit(2)
 	}
 	os.Exit(exitCode)

@@ -9,6 +9,21 @@ import (
 	"repro/internal/gen"
 )
 
+// AblationResult is one configuration's measurement of the ablation
+// experiments (machine-readable; WriteJSON). Section "kary-sweep" rows
+// come from Ablation (K is the tree arity), "batch-amortization" rows from
+// AblationBatchAmortization (K is the batch size).
+type AblationResult struct {
+	Section    string  `json:"section"` // kary-sweep | batch-amortization
+	Structure  string  `json:"structure"`
+	K          int     `json:"k"`
+	Edges      int     `json:"edges"`                   // edges applied (build+destroy, or build only)
+	Seconds    float64 `json:"seconds"`                 // wall time for those edges
+	Throughput float64 `json:"throughput_ops"`          // edge updates per second
+	Height     int     `json:"height,omitempty"`        // UFO height after build (kary-sweep, ufo rows)
+	HalfDiam   int     `json:"half_diameter,omitempty"` // ceil(D/2) bound (kary-sweep, ufo rows)
+}
+
 // Ablation quantifies the design choices DESIGN.md calls out:
 //
 //  1. The unbounded-fanout merge rule. UFO trees handle a degree-d vertex
@@ -19,10 +34,11 @@ import (
 //  2. Diameter-adaptive height. The same sweep reports the UFO tree height
 //     against the ceil(D/2) bound of Theorem 4.2 and the log_{6/5} n bound
 //     of Theorem 4.1.
-func Ablation(w io.Writer, n int, seed uint64) {
+func Ablation(w io.Writer, n int, seed uint64) []AblationResult {
 	fmt.Fprintf(w, "# Ablation: unbounded fan-out vs pair merges (k-ary sweep, n=%d)\n", n)
 	fmt.Fprintf(w, "%-8s %12s %12s %10s %12s %12s\n",
 		"k", "ufo (ms)", "topo (ms)", "topo/ufo", "ufo height", "ceil(D/2)")
+	var out []AblationResult
 	for _, k := range []int{2, 4, 16, 64, 256, 1024} {
 		t := gen.KAry(n, k)
 		fu := ufotree.NewUFO(n)
@@ -40,6 +56,17 @@ func Ablation(w io.Writer, n int, seed uint64) {
 			h = uf.Height(0)
 		}
 		d := gen.Diameter(t)
+		edges := 2 * len(t.Edges)
+		out = append(out,
+			AblationResult{
+				Section: "kary-sweep", Structure: "ufo", K: k, Edges: edges,
+				Seconds: du.Seconds(), Throughput: float64(edges) / du.Seconds(),
+				Height: h, HalfDiam: (d + 1) / 2,
+			},
+			AblationResult{
+				Section: "kary-sweep", Structure: "topology", K: k, Edges: edges,
+				Seconds: dt.Seconds(), Throughput: float64(edges) / dt.Seconds(),
+			})
 		fmt.Fprintf(w, "%-8d %12.1f %12.1f %9.1fx %12d %12d\n",
 			k,
 			float64(du.Microseconds())/1000,
@@ -49,18 +76,20 @@ func Ablation(w io.Writer, n int, seed uint64) {
 	}
 	fmt.Fprintln(w, "# (topology = pair merges behind dynamic ternarization; the ratio grows")
 	fmt.Fprintln(w, "#  with k because ternarization turns one high-degree vertex into a path)")
+	return out
 }
 
 // AblationBatchAmortization reports how batching amortizes the
 // level-synchronous passes of the UFO engine: the same edge set applied
 // with batch sizes 1..n.
-func AblationBatchAmortization(w io.Writer, n int, seed uint64) {
+func AblationBatchAmortization(w io.Writer, n int, seed uint64) []AblationResult {
 	fmt.Fprintf(w, "# Ablation: batch-size amortization (UFO, preferential attachment, n=%d)\n", n)
 	t := gen.Shuffled(gen.PrefAttach(n, seed), seed+1)
 	links := make([]ufotree.Edge, len(t.Edges))
 	for i, e := range t.Edges {
 		links[i] = ufotree.Edge{U: e.U, V: e.V, W: e.W}
 	}
+	var out []AblationResult
 	fmt.Fprintf(w, "%-10s %12s\n", "batch k", "build (ms)")
 	for _, k := range []int{1, 16, 256, 4096, n} {
 		f := ufotree.NewUFO(n)
@@ -70,6 +99,11 @@ func AblationBatchAmortization(w io.Writer, n int, seed uint64) {
 			f.BatchLink(links[lo:hi])
 		}
 		d := time.Since(start)
+		out = append(out, AblationResult{
+			Section: "batch-amortization", Structure: "ufo", K: k, Edges: len(links),
+			Seconds: d.Seconds(), Throughput: float64(len(links)) / d.Seconds(),
+		})
 		fmt.Fprintf(w, "%-10d %12.1f\n", k, float64(d.Microseconds())/1000)
 	}
+	return out
 }

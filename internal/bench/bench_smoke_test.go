@@ -107,14 +107,46 @@ func TestFig16Smoke(t *testing.T) {
 func TestAblationSmoke(t *testing.T) {
 	skipInShort(t)
 	var buf bytes.Buffer
-	Ablation(&buf, 2100, 1)
+	res := Ablation(&buf, 2100, 1)
 	out := buf.String()
 	if !strings.Contains(out, "1024") {
 		t.Fatalf("ablation missing k sweep:\n%s", out)
 	}
-	AblationBatchAmortization(&buf, 500, 1)
+	if len(res) == 0 {
+		t.Fatal("ablation returned no machine-readable results")
+	}
+	for _, r := range res {
+		if r.Section != "kary-sweep" || r.Throughput <= 0 || r.Edges <= 0 {
+			t.Fatalf("degenerate ablation result: %+v", r)
+		}
+	}
+	res2 := AblationBatchAmortization(&buf, 500, 1)
 	if !strings.Contains(buf.String(), "batch k") {
 		t.Fatal("batch amortization ablation missing")
+	}
+	for _, r := range res2 {
+		if r.Section != "batch-amortization" || r.Throughput <= 0 {
+			t.Fatalf("degenerate amortization result: %+v", r)
+		}
+	}
+}
+
+func TestTrackMaxSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := TrackMax(&buf, 400, 100, 200, []int{1, 2}, 1)
+	out := buf.String()
+	for _, want := range []string{"update", "subtreemax", "w=1", "w=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trackmax experiment missing %q:\n%s", want, out)
+		}
+	}
+	if len(results) == 0 {
+		t.Fatal("trackmax experiment produced no machine-readable results")
+	}
+	for _, r := range results {
+		if r.Ops <= 0 || r.Seconds <= 0 || r.Throughput <= 0 {
+			t.Fatalf("degenerate trackmax result %+v", r)
+		}
 	}
 }
 
@@ -190,5 +222,64 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 	}
 	if back[0].Kind == "" || back[0].Input == "" || back[0].Workers == 0 {
 		t.Fatalf("round-tripped result lost fields: %+v", back[0])
+	}
+}
+
+// TestWriteJSONRoundTripTrackMax covers the trackmax experiment's JSON
+// emission: every machine-readable experiment must survive the artifact
+// round trip so benchdiff can gate it.
+func TestWriteJSONRoundTripTrackMax(t *testing.T) {
+	var buf bytes.Buffer
+	results := TrackMax(&buf, 300, 80, 100, []int{1}, 2)
+	path := filepath.Join(t.TempDir(), "BENCH_trackmax.json")
+	if err := WriteJSON(path, results); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	var back []TrackMaxResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back), len(results))
+	}
+	if back[0].Kind == "" || back[0].Input == "" || back[0].Workers == 0 || back[0].Throughput <= 0 {
+		t.Fatalf("round-tripped result lost fields: %+v", back[0])
+	}
+}
+
+// TestWriteJSONRoundTripAblation covers the ablation experiment's JSON
+// emission (the -json fix: ablation used to be print-only).
+func TestWriteJSONRoundTripAblation(t *testing.T) {
+	skipInShort(t)
+	var buf bytes.Buffer
+	results := append(Ablation(&buf, 1200, 2), AblationBatchAmortization(&buf, 400, 2)...)
+	path := filepath.Join(t.TempDir(), "BENCH_ablation.json")
+	if err := WriteJSON(path, results); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	var back []AblationResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back), len(results))
+	}
+	sections := map[string]bool{}
+	for _, r := range back {
+		sections[r.Section] = true
+		if r.Structure == "" || r.K == 0 || r.Throughput <= 0 {
+			t.Fatalf("round-tripped result lost fields: %+v", r)
+		}
+	}
+	if !sections["kary-sweep"] || !sections["batch-amortization"] {
+		t.Fatalf("round trip lost a section: %v", sections)
 	}
 }

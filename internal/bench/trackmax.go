@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/ufo"
+)
+
+// TrackMaxResult is one configuration's measurement of the trackMax
+// (rank-tree aggregate) scaling experiment (machine-readable; WriteJSON).
+type TrackMaxResult struct {
+	Input      string  `json:"input"`
+	Kind       string  `json:"kind"` // update | subtreemax
+	Workers    int     `json:"workers"`
+	Ops        int     `json:"ops"`            // edges applied, or subtree-max queries answered
+	Seconds    float64 `json:"seconds"`        // wall time for those ops
+	Throughput float64 `json:"throughput_ops"` // ops per second
+}
+
+// trackMaxKinds is the reporting order of the per-kind rows.
+var trackMaxKinds = []string{"update", "subtreemax"}
+
+// TrackMax measures the SubtreeMax-tracking engine at each worker count:
+// per input shape, an EnableSubtreeMax forest is built and destroyed in
+// batches of k (the update row — this drives the level-synchronous
+// rank-tree repair pass through every structural phase), and between build
+// and destroy q random subtree-max queries are answered (the subtreemax
+// row — the O(log n) aggregate-except-one ascent of Theorem 4.4). The same
+// seeded workload runs at every worker count, so the columns are
+// self-relative, matching the scaling and queries experiments.
+func TrackMax(w io.Writer, n, k, q int, workers []int, seed uint64) []TrackMaxResult {
+	if len(workers) == 0 {
+		workers = DefaultWorkerCounts()
+	}
+	inputs := []gen.Tree{gen.Path(n), gen.Star(n), gen.KAry(n, 64), gen.PrefAttach(n, seed+2)}
+	fmt.Fprintf(w, "# TrackMax scaling: subtree-max forest batch build+destroy + queries, n=%d, k=%d, q=%d, GOMAXPROCS=%d\n",
+		n, k, q, runtime.GOMAXPROCS(0))
+	cols := make([]string, 0, len(workers)+1)
+	for _, wk := range workers {
+		cols = append(cols, fmt.Sprintf("w=%d", wk))
+	}
+	cols = append(cols, "speedup")
+	var out []TrackMaxResult
+	for _, t := range inputs {
+		t = gen.WithRandomWeights(t, 1000, seed+3)
+		fmt.Fprintf(w, "## input %s (ops/s per kind)\n", t.Name)
+		header(w, "kind", cols)
+		secs := make(map[string][]float64, len(trackMaxKinds))
+		ops := make(map[string]int, len(trackMaxKinds))
+		for _, kind := range trackMaxKinds {
+			secs[kind] = make([]float64, len(workers))
+		}
+		for wi, wk := range workers {
+			f := ufo.New(t.N)
+			f.EnableSubtreeMax()
+			f.SetWorkers(wk)
+			r := rng.New(seed + 5) // same workload at every worker count
+			for v := 0; v < t.N; v++ {
+				f.SetVertexValue(v, int64(r.Intn(100000)))
+			}
+			ins := gen.Shuffled(t, seed+6)
+			links := make([]ufo.Edge, len(ins.Edges))
+			for i, e := range ins.Edges {
+				links[i] = ufo.Edge{U: e.U, V: e.V, W: e.W}
+			}
+			start := time.Now()
+			for lo := 0; lo < len(links); lo += k {
+				f.BatchLink(links[lo:min(lo+k, len(links))])
+			}
+			secs["update"][wi] += time.Since(start).Seconds()
+			ops["update"] += len(links)
+
+			// Subtree-max queries over random live edges (both sides).
+			start = time.Now()
+			for i := 0; i < q; i++ {
+				e := t.Edges[r.Intn(len(t.Edges))]
+				if i&1 == 0 {
+					f.SubtreeMax(e.U, e.V)
+				} else {
+					f.SubtreeMax(e.V, e.U)
+				}
+			}
+			secs["subtreemax"][wi] += time.Since(start).Seconds()
+			ops["subtreemax"] += q
+
+			del := gen.Shuffled(t, seed+7)
+			cuts := make([][2]int, len(del.Edges))
+			for i, e := range del.Edges {
+				cuts[i] = [2]int{e.U, e.V}
+			}
+			start = time.Now()
+			for lo := 0; lo < len(cuts); lo += k {
+				f.BatchCut(cuts[lo:min(lo+k, len(cuts))])
+			}
+			secs["update"][wi] += time.Since(start).Seconds()
+			ops["update"] += len(cuts)
+		}
+		for _, kind := range trackMaxKinds {
+			perCfg := ops[kind] / len(workers)
+			fmt.Fprintf(w, "%-14s", kind)
+			var base, maxThr float64
+			maxWorkers := 0
+			for wi, wk := range workers {
+				thr := float64(perCfg) / secs[kind][wi]
+				out = append(out, TrackMaxResult{
+					Input: t.Name, Kind: kind, Workers: wk,
+					Ops: perCfg, Seconds: secs[kind][wi], Throughput: thr,
+				})
+				if wk == 1 {
+					base = thr
+				}
+				if wk > maxWorkers {
+					maxWorkers, maxThr = wk, thr
+				}
+				fmt.Fprintf(w, " %12.0f", thr)
+			}
+			if base > 0 {
+				fmt.Fprintf(w, " %11.2fx", maxThr/base)
+			} else {
+				fmt.Fprintf(w, " %12s", "n/a")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "# (columns: ops/second at each worker count; speedup = highest worker count / workers=1)")
+	return out
+}

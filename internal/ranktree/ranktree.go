@@ -14,6 +14,13 @@
 // weight w enters as a leaf of rank ⌊log₂ w⌋; two roots of equal rank r
 // pair under a parent of rank r+1. The forest of O(log W) root buckets is
 // summarized left-to-right so aggregate queries read O(log W) roots.
+//
+// The root buckets are a fixed 64-slot array indexed by rank with an
+// occupancy bitmask (a node of rank r has subtree weight ≥ 2^r, so ranks
+// never exceed 63 for int64 weights). Compared to the previous map-backed
+// buckets this makes Aggregate/AggregateExcept allocation-free, iterates
+// roots in deterministic ascending-rank order, and keeps the hot loops of
+// the UFO engine's level-synchronous aggregate-repair pass branch-cheap.
 package ranktree
 
 import "math/bits"
@@ -48,15 +55,17 @@ type node struct {
 type Tree struct {
 	f Aggregate
 	// roots[r] is the unique root of rank r, if any (pairing keeps at
-	// most one per rank, like a binomial counter).
-	roots map[int]*node
+	// most one per rank, like a binomial counter); occ has bit r set iff
+	// roots[r] is non-nil.
+	roots [64]*node
+	occ   uint64
 	n     int
 	total int64
 }
 
 // New returns an empty rank tree combining values with f.
 func New(f Aggregate) *Tree {
-	return &Tree{f: f, roots: make(map[int]*node)}
+	return &Tree{f: f}
 }
 
 // Len returns the number of stored items.
@@ -88,13 +97,15 @@ func (t *Tree) Insert(value, weight int64) *Item {
 // upward (the binomial-counter carry chain).
 func (t *Tree) place(x *node) {
 	for {
-		y, ok := t.roots[x.rank]
-		if !ok {
+		y := t.roots[x.rank]
+		if y == nil {
 			t.roots[x.rank] = x
+			t.occ |= 1 << uint(x.rank)
 			x.parent = nil
 			return
 		}
-		delete(t.roots, x.rank)
+		t.roots[x.rank] = nil
+		t.occ &^= 1 << uint(x.rank)
 		p := &node{left: y, right: x, rank: x.rank + 1, agg: t.f(y.agg, x.agg)}
 		y.parent = p
 		x.parent = p
@@ -119,7 +130,8 @@ func (t *Tree) Delete(it *Item) {
 		root = root.parent
 	}
 	if t.roots[root.rank] == root {
-		delete(t.roots, root.rank)
+		t.roots[root.rank] = nil
+		t.occ &^= 1 << uint(root.rank)
 	}
 	for cur := leaf; cur.parent != nil; {
 		p := cur.parent
@@ -146,11 +158,13 @@ func (t *Tree) UpdateValue(it *Item, value int64) {
 	}
 }
 
-// Aggregate returns f over all item values; ok is false when empty.
+// Aggregate returns f over all item values in ascending rank order; ok is
+// false when empty.
 func (t *Tree) Aggregate() (int64, bool) {
 	var acc int64
 	first := true
-	for _, r := range t.roots {
+	for occ := t.occ; occ != 0; occ &= occ - 1 {
+		r := t.roots[bits.TrailingZeros64(occ)]
 		if first {
 			acc = r.agg
 			first = false
@@ -191,8 +205,8 @@ func (t *Tree) AggregateExcept(it *Item) (int64, bool) {
 		cur = p
 		root = p
 	}
-	for _, r := range t.roots {
-		if r != root {
+	for occ := t.occ; occ != 0; occ &= occ - 1 {
+		if r := t.roots[bits.TrailingZeros64(occ)]; r != root {
 			add(r.agg)
 		}
 	}

@@ -29,9 +29,9 @@ import (
 var queryGrain = 64
 
 // forQueries runs body over disjoint subranges of [0, n) queries using the
-// forest's worker count. Queries are read-only, so unlike the update
-// phases there is no trackMax fallback: the full worker count always
-// applies.
+// forest's worker count. Queries are read-only and, like the update phases
+// since the level-synchronous rank-tree repair, always run at the full
+// configured worker count.
 func (f *Forest) forQueries(n int, body func(lo, hi int)) {
 	parallel.WorkersForRangeAuto(f.workers, n, queryGrain, func(_, lo, hi int) {
 		chaos()

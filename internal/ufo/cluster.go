@@ -49,6 +49,7 @@ const (
 	flagDamaged  // lost its merge center: force-delete when examined
 	flagTouched  // parent whose aggregates need recomputation this round
 	flagTrackMax // maintains non-invertible child aggregates (rank trees)
+	flagMaxDirty // claimed for the level-synchronous rank-tree repair pass
 )
 
 // EdgeRef is one endpoint's view of a level-i edge. Every level-i edge is
@@ -200,6 +201,14 @@ type Cluster struct {
 	subMax    int64
 	childTree *ranktree.Tree
 	childItem *ranktree.Item
+	// Deferred rank-tree repair buffers (trackMax engine only). Structural
+	// phases record child-set and child-value changes here instead of
+	// eagerly rebuilding childTree; the engine's post-phase repair pass
+	// (maxrepair.go) applies them level-synchronously, one level per
+	// contraction round. All three are empty between batch updates.
+	rtOrphans []*ranktree.Item // items of departed children awaiting Delete
+	rtNew     []*Cluster       // freshly attached children awaiting Insert
+	rtStale   []*Cluster       // children whose subMax changed (UpdateValue)
 }
 
 func (c *Cluster) dead() bool { return c.has(flagDead) }
@@ -288,7 +297,11 @@ func (c *Cluster) hasBoundary(v int32) bool {
 }
 
 // attach makes c a child of p, keeping subtree aggregates of p and all of
-// p's ancestors correct.
+// p's ancestors correct. With trackMax the rank-tree insertion is deferred:
+// c is recorded in p's rtNew buffer and applied by the engine's repair pass
+// (callers inside the engine must claim p via markMaxDirty). The only
+// parallel attach site (matchPairsPar) targets freshly created,
+// worker-owned parents, so the rtNew append needs no lock.
 func attach(p, c *Cluster) {
 	c.parent = p
 	c.childIdx = int32(len(p.children))
@@ -298,20 +311,25 @@ func attach(p, c *Cluster) {
 		a.vcnt += c.vcnt
 	}
 	if p.has(flagTrackMax) {
-		trackAttach(p, c)
+		p.rtNew = append(p.rtNew, c)
 	}
 }
 
 // detach removes c from its parent, keeping aggregates correct and flagging
 // the parent as damaged when it loses its merge center (its remaining
-// children would be mutually disconnected) or its last child.
+// children would be mutually disconnected) or its last child. With trackMax
+// the rank-tree deletion is deferred: c's item handle moves to p's
+// rtOrphans buffer for the engine's repair pass (callers inside the engine
+// must claim p via markMaxDirty). All detach callers are sequential phases;
+// the parallel mutation passes use detachPar.
 func detach(c *Cluster) {
 	p := c.parent
 	if p == nil {
 		return
 	}
-	if p.has(flagTrackMax) {
-		trackDetach(p, c)
+	if p.has(flagTrackMax) && c.childItem != nil {
+		p.rtOrphans = append(p.rtOrphans, c.childItem)
+		c.childItem = nil
 	}
 	last := int32(len(p.children) - 1)
 	moved := p.children[last]

@@ -114,22 +114,16 @@ func (f *Forest) SetWorkers(k int) {
 }
 
 // Workers reports the configured batch-update worker count (the value set
-// by SetWorkers/SetParallel, before any capability fallback — see
-// EffectiveWorkers).
+// by SetWorkers/SetParallel).
 func (f *Forest) Workers() int { return f.workers }
 
 // EffectiveWorkers reports the worker count the structural phases of the
-// next batch update will actually use. With EnableSubtreeMax the
-// disconnect and conditional-deletion phases fall back to the sequential
-// engine — rank-tree bubbling is not phase-local — so a trackMax forest
-// reports 1 even when SetWorkers requested more; the remaining update
-// phases and all batch queries still run with Workers(). Callers that need
-// the parallel structural engine should check this after configuration
-// instead of discovering the silent fallback in a profile.
+// next batch update will actually use. Since the trackMax engine moved to
+// level-synchronous rank-tree repair (maxrepair.go) there is no capability
+// fallback left and this always equals Workers(); it remains as the
+// observability hook callers were told to check, and as the place a future
+// configuration-dependent degradation would surface.
 func (f *Forest) EffectiveWorkers() int {
-	if f.trackMax {
-		return 1
-	}
 	return f.workers
 }
 

@@ -1,0 +1,157 @@
+package ufo
+
+import "repro/internal/ranktree"
+
+// Level-synchronous rank-tree repair (the trackMax analogue of the paper's
+// data-parallel aggregate maintenance, §4.2 applied to Algorithm 4).
+//
+// Eager rank-tree bubbling walks the whole ancestor chain on every attach
+// and detach, which crosses level boundaries and forced the structural
+// phases of a trackMax forest onto the sequential engine. The engine now
+// runs a two-step scheme instead:
+//
+//  1. Dirty mark. Structural phases record child-set changes in the
+//     parent's repair buffers (rtOrphans/rtNew, written by attach, detach,
+//     and detachPar) and claim the parent for repair with a lock-free
+//     test-and-set on flagMaxDirty, collecting claimed clusters into
+//     per-worker scratch exactly like the roots/del queue claims.
+//  2. Post-phase repair. At the end of contraction round i — after
+//     recluster(i), when the child sets of every level-(i+1) cluster are
+//     final — repairMax applies the buffered deletions, insertions, and
+//     value updates of each dirty level-(i+1) cluster to its child rank
+//     tree, recomputes subMax, and, when the value changed, schedules a
+//     value update in the parent (rtStale + a dirty claim one level up).
+//     The pass fans out over the dirty set with the engine's worker count;
+//     each dirty cluster is owned by exactly one worker (the flag claim),
+//     so the rank-tree surgery itself needs no locks.
+//
+// Per-cluster work is one O(log) rank-tree operation per buffered event —
+// the same work as eager bubbling, now phase-local. Value propagation
+// still stops as soon as an ancestor's aggregate is unaffected, so the
+// O(log n) update bound of Theorem 4.4 is preserved.
+
+// markMaxDirty claims p for the repair pass. Claims land in the worker
+// scratch when s is non-nil (drained at the phase barrier) and directly in
+// the engine's per-level dirty queues otherwise. No-op for non-trackMax
+// forests, so callers may invoke it unconditionally after attach/detach.
+func (e *engine) markMaxDirty(p *Cluster, s *wscratch) {
+	if p == nil || !e.f.trackMax || !p.trySet(flagMaxDirty) {
+		return
+	}
+	if s != nil {
+		s.dirty = append(s.dirty, p)
+		return
+	}
+	e.pushDirty(p)
+}
+
+// pushDirty enqueues a claimed cluster into its level's dirty queue,
+// extending the main loop so the level is still repaired (repair of level
+// l runs at the end of round l-1, which bumpLevel(l) guarantees).
+func (e *engine) pushDirty(p *Cluster) {
+	l := int(p.level)
+	e.bumpLevel(l)
+	e.dirty[l] = append(e.dirty[l], p)
+}
+
+// drainDirty moves every worker's dirty claims into the engine's per-level
+// queues. Called at the barrier of each phase that can claim clusters from
+// worker context (disconnectPar, condDeletePar, matchPairsPar, repairMax).
+func (e *engine) drainDirty() {
+	for w := range e.ws {
+		s := &e.ws[w]
+		for _, p := range s.dirty {
+			e.pushDirty(p)
+		}
+		s.dirty = s.dirty[:0]
+	}
+}
+
+// repairMax runs the post-phase aggregate repair for contraction round i,
+// rebuilding the dirty level-(i+1) clusters' rank trees. At this point the
+// child sets of level i+1 are final for the batch and every child's subMax
+// is final (children were repaired at the end of round i-1, or are leaves,
+// whose values never change during a batch).
+func (e *engine) repairMax(i int) {
+	l := i + 1
+	if !e.f.trackMax || l >= len(e.dirty) || len(e.dirty[l]) == 0 {
+		return
+	}
+	d := e.dirty[l]
+	if e.par(len(d)) {
+		e.forWorkers(len(d), func(w, lo, hi int) {
+			s := &e.ws[w]
+			for j := lo; j < hi; j++ {
+				e.repairMaxCluster(d[j], s)
+			}
+		})
+		e.drainDirty()
+	} else {
+		for _, p := range d {
+			e.repairMaxCluster(p, nil)
+		}
+	}
+	e.dirty[l] = d[:0]
+}
+
+// repairMaxCluster applies p's buffered rank-tree events and recomputes its
+// subMax. The guards on each buffered entry make stale events harmless: a
+// child that was re-detached after being recorded, died, or moved to a
+// different parent is simply skipped (its departure was captured as an
+// orphaned item or by the new parent's own buffers).
+func (e *engine) repairMaxCluster(p *Cluster, s *wscratch) {
+	p.clear(flagMaxDirty)
+	if p.dead() {
+		p.rtOrphans, p.rtNew, p.rtStale = nil, nil, nil
+		return
+	}
+	t := p.childTree
+	for _, it := range p.rtOrphans {
+		t.Delete(it)
+	}
+	p.rtOrphans = p.rtOrphans[:0]
+	for _, c := range p.rtNew {
+		if c.dead() || c.parent != p || c.childItem != nil {
+			continue
+		}
+		if t == nil {
+			t = ranktree.New(max2)
+			p.childTree = t
+		}
+		c.childItem = t.Insert(c.subMax, max2(c.vcnt, 1))
+	}
+	p.rtNew = p.rtNew[:0]
+	for _, c := range p.rtStale {
+		if c.parent != p || c.childItem == nil {
+			continue
+		}
+		t.UpdateValue(c.childItem, c.subMax)
+	}
+	p.rtStale = p.rtStale[:0]
+	var nm int64 = negInf
+	if t != nil {
+		if agg, ok := t.Aggregate(); ok {
+			nm = agg
+		}
+	}
+	if nm == p.subMax {
+		return
+	}
+	p.subMax = nm
+	q := p.parent
+	if q == nil || q.dead() {
+		return
+	}
+	// The parent's stored value for p is stale; schedule the UpdateValue in
+	// the parent's own repair one level up. Siblings repaired by other
+	// workers append to the same buffer, so take the parent's lock stripe.
+	if s != nil {
+		mu := e.mu(q)
+		mu.Lock()
+		q.rtStale = append(q.rtStale, p)
+		mu.Unlock()
+	} else {
+		q.rtStale = append(q.rtStale, p)
+	}
+	e.markMaxDirty(q, s)
+}

@@ -198,8 +198,9 @@ func TestParallelTopologyAndRC(t *testing.T) {
 }
 
 // TestParallelSubtreeMax checks that the rank-tree (non-invertible
-// aggregate) configuration still works with workers > 1: the structural
-// phases fall back to the sequential engine, the rest stays parallel.
+// aggregate) configuration works with workers > 1: every structural phase
+// runs parallel, with rank-tree maintenance deferred to the
+// level-synchronous repair pass.
 func TestParallelSubtreeMax(t *testing.T) {
 	n := 200
 	f := New(n)

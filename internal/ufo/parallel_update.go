@@ -40,10 +40,13 @@ import (
 // every query answer — is identical; parallel_test.go checks this
 // differentially after every batch.
 //
-// EnableSubtreeMax keeps the rank-tree maintenance of non-invertible
-// aggregates, whose ancestor bubbling is not phase-local; the structural
-// phases (disconnect, conditional deletion) then run sequentially while
-// the remaining phases still run in parallel.
+// EnableSubtreeMax (rank-tree maintenance of non-invertible aggregates)
+// changes nothing about the phase structure: attach/detach record child-set
+// changes in per-cluster repair buffers instead of bubbling through
+// ancestors, and a post-phase repair pass (maxrepair.go) applies them
+// level-synchronously with the same dirty-claim + per-worker-scratch
+// pattern as the queue claims below. Every structural phase therefore runs
+// at the full worker count in trackMax forests too.
 
 // parGrain is the smallest per-phase work-list size worth forking for.
 // Tests lower it to drive the parallel paths on small inputs.
@@ -81,11 +84,12 @@ type wscratch struct {
 	del     []*Cluster // addDel collector
 	proc    []*Cluster // recluster: merged roots needing adjacency lift
 	touched []*Cluster // recluster: parents needing aggregate recomputation
+	dirty   []*Cluster // markMaxDirty collector (rank-tree repair claims)
 	edel    []edelEnt  // addEdel collector
 	snap    []EdgeRef  // adjacency snapshot (deleteClusterPar)
 	cnt     int        // nEdges delta
 	matched int        // pair-matching merge count this round
-	_       [72]byte   // pads the struct to 256 bytes (a cache-line multiple)
+	_       [48]byte   // pads the struct to 256 bytes (a cache-line multiple)
 }
 
 func (e *engine) setupPar() {
@@ -165,6 +169,7 @@ func (e *engine) drainScratch(rootsLvl, roots2Lvl, delLvl, edelLvl int) {
 		e.f.nEdges += s.cnt
 		s.cnt = 0
 	}
+	e.drainDirty()
 }
 
 // collectRoot claims c for the roots queue into the worker buffer.
@@ -313,11 +318,13 @@ func (e *engine) disconnectPar() {
 	}
 	e.drainScratch(0, 0, 0, 1)
 	det := e.cand
-	e.forWorkers(len(det), func(_, lo, hi int) {
+	e.forWorkers(len(det), func(w, lo, hi int) {
+		s := &e.ws[w]
 		for j := lo; j < hi; j++ {
-			e.detachPar(det[j])
+			e.detachPar(det[j], s)
 		}
 	})
+	e.drainDirty()
 	e.cand = e.cand[:0]
 }
 
@@ -445,11 +452,12 @@ func (e *engine) condDeletePar(i int) {
 				e.deleteClusterPar(c, s)
 			case actRecluster:
 				if c.parent != nil {
-					e.detachPar(c)
+					e.detachPar(c, s)
 				}
 			}
 		}
 	})
+	e.drainDirty()
 }
 
 // deleteClusterPar is deleteCluster's mutation half: the children were
@@ -466,9 +474,10 @@ func (e *engine) deleteClusterPar(c *Cluster, s *wscratch) {
 	c.children = nil
 	c.center = nil
 	c.childTree = nil
+	c.rtOrphans, c.rtNew, c.rtStale = nil, nil, nil
 	fp := c.parent
 	if fp != nil {
-		e.detachPar(c)
+		e.detachPar(c, s)
 		c.parent = fp // former-parent pointer: lets edel entries ride upward
 	}
 	mu := e.mu(c)
@@ -493,16 +502,22 @@ func (e *engine) deleteClusterPar(c *Cluster, s *wscratch) {
 
 // detachPar is detach under the parent's lock stripe, with atomic subtree
 // aggregates (ancestor chains are shared between concurrent detaches, but
-// their parent pointers are stable within a phase). Callers guarantee
-// trackMax is off — rank-tree maintenance bubbles through ancestors and is
-// not phase-local.
-func (e *engine) detachPar(c *Cluster) {
+// their parent pointers are stable within a phase). With trackMax the
+// rank-tree deletion is deferred exactly like sequential detach: the
+// child's item handle moves to the parent's rtOrphans buffer (under the
+// same stripe that serializes sibling detaches) and the parent is claimed
+// for the post-phase repair pass.
+func (e *engine) detachPar(c *Cluster, s *wscratch) {
 	p := c.parent
 	if p == nil {
 		return
 	}
 	mu := e.mu(p)
 	mu.Lock()
+	if p.has(flagTrackMax) && c.childItem != nil {
+		p.rtOrphans = append(p.rtOrphans, c.childItem)
+		c.childItem = nil
+	}
 	last := int32(len(p.children) - 1)
 	moved := p.children[last]
 	p.children[c.childIdx] = moved
@@ -525,6 +540,7 @@ func (e *engine) detachPar(c *Cluster) {
 	}
 	c.parent = nil
 	c.childIdx = -1
+	e.markMaxDirty(p, s)
 }
 
 // classifyRootsPar routes the level-i roots into the absorb (hi) and
@@ -620,6 +636,7 @@ func (e *engine) matchPairsPar(i int) {
 				p := e.newCluster(i + 1)
 				attach(p, x)
 				attach(p, y)
+				e.markMaxDirty(p, s)
 				s.proc = append(s.proc, x, y)
 				s.matched += 2
 			}
@@ -648,6 +665,7 @@ func (e *engine) matchPairsPar(i int) {
 		x.prop = nil
 	}
 	e.cand = e.cand[:0]
+	e.drainDirty()
 }
 
 // liftPar is stage 3's adjacency lift: every processed root's level-i

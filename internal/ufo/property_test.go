@@ -8,9 +8,10 @@ import (
 	"repro/internal/rng"
 )
 
-// TestTrackMaxEffectiveWorkers pins the documented fallback: a trackMax
-// forest keeps the requested worker count for queries but reports the
-// sequential structural engine through EffectiveWorkers.
+// TestTrackMaxEffectiveWorkers pins the post-repair-pass contract: the
+// level-synchronous rank-tree repair removed the sequential structural
+// fallback, so EffectiveWorkers always equals the configured count — on
+// trackMax forests too.
 func TestTrackMaxEffectiveWorkers(t *testing.T) {
 	f := New(8)
 	f.SetWorkers(4)
@@ -23,16 +24,15 @@ func TestTrackMaxEffectiveWorkers(t *testing.T) {
 	if g.Workers() != 4 {
 		t.Fatalf("trackMax forest: Workers=%d, want the configured 4", g.Workers())
 	}
-	if g.EffectiveWorkers() != 1 {
-		t.Fatalf("trackMax forest: EffectiveWorkers=%d, want 1 (sequential structural fallback)", g.EffectiveWorkers())
+	if g.EffectiveWorkers() != 4 {
+		t.Fatalf("trackMax forest: EffectiveWorkers=%d, want the configured 4 (no structural fallback)", g.EffectiveWorkers())
 	}
 }
 
 // TestTrackMaxParallelDifferential runs mixed batches through a trackMax
 // forest with parallelism requested and checks every aggregate — subtree
-// max included — against the oracle after each batch. This is the
-// regression net for the known gap: the fallback must degrade performance
-// only, never answers.
+// max included — against the oracle after each batch (see also the
+// worker-sweep, shape, and chaos suites in trackmax_parallel_test.go).
 func TestTrackMaxParallelDifferential(t *testing.T) {
 	n := 180
 	f := New(n)

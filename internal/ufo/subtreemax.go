@@ -1,10 +1,6 @@
 package ufo
 
-import (
-	"fmt"
-
-	"repro/internal/ranktree"
-)
+import "fmt"
 
 // Non-invertible subtree aggregates (§4.2 of the paper, Theorem 4.4).
 //
@@ -31,11 +27,12 @@ func max2(a, b int64) int64 {
 // EnableSubtreeMax turns on non-invertible subtree aggregation. It must be
 // called while the forest has no edges.
 //
-// Parallelism caveat: a trackMax forest runs the structural update phases
-// (disconnect, conditional deletion) sequentially regardless of
-// SetWorkers, because rank-tree bubbling crosses level boundaries; the
-// effective configuration is observable via EffectiveWorkers. Batch
-// queries are unaffected and keep the full worker count.
+// Rank-tree maintenance is phase-local: structural phases record child-set
+// changes in per-cluster repair buffers, and the engine's level-synchronous
+// repair pass (maxrepair.go) rebuilds childTree values bottom-up, one level
+// per contraction round. A trackMax forest therefore runs every structural
+// phase — disconnect, conditional deletion, recluster, pair matching,
+// adjacency lift — at the full SetWorkers count, like the plain engine.
 func (f *Forest) EnableSubtreeMax() {
 	if f.nEdges > 0 {
 		panic("ufo: EnableSubtreeMax requires an empty forest")
@@ -47,27 +44,12 @@ func (f *Forest) EnableSubtreeMax() {
 	}
 }
 
-// trackAttach registers c in p's child rank tree and restores the subMax
-// invariant on p's ancestor chain.
-func trackAttach(p, c *Cluster) {
-	if p.childTree == nil {
-		p.childTree = ranktree.New(max2)
-	}
-	c.childItem = p.childTree.Insert(c.subMax, max2(c.vcnt, 1))
-	bubbleMax(p)
-}
-
-// trackDetach removes c from p's child rank tree and restores subMax.
-func trackDetach(p, c *Cluster) {
-	if c.childItem != nil {
-		p.childTree.Delete(c.childItem)
-		c.childItem = nil
-	}
-	bubbleMax(p)
-}
-
 // bubbleMax recomputes subMax at p and propagates changes upward, stopping
-// as soon as an ancestor's value is unaffected.
+// as soon as an ancestor's value is unaffected. It is the single-point
+// (out-of-batch) maintenance path, used by SetVertexValue between batch
+// updates, when childTree and every childItem handle are consistent.
+// Structural updates never bubble: the engine defers rank-tree maintenance
+// to the level-synchronous repair pass in maxrepair.go.
 func bubbleMax(p *Cluster) {
 	for q := p; q != nil; q = q.parent {
 		var nm int64 = negInf

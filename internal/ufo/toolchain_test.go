@@ -1,0 +1,77 @@
+package ufo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAtomicOrAndIntrinsicCanary is the mechanical tripwire for the
+// go1.24.0 atomic.Uint32.Or/And inlined-intrinsic miscompilation (ROADMAP
+// "Toolchain pin"): on that toolchain, the inlined intrinsics in this
+// package's hot paths corrupted the Go heap (reproducible with GOGC=1,
+// "found bad pointer in Go heap"), which is why the flag helpers in
+// cluster.go use Load+CompareAndSwap loops instead.
+//
+// The canary exercises the suspect pattern directly — Or/And on an atomic
+// flag word embedded in a pointer-carrying heap object, inlined into a hot
+// loop, under maximum GC pressure — and verifies both the flag semantics
+// and the pointer integrity of every object afterwards. CI runs it across
+// the Go version matrix (the go.mod pin and latest stable): a crash or
+// failure on a new toolchain means the CAS workaround is still needed
+// there; a clean pass on every matrix version is the signal that the
+// workaround in cluster.go can be re-evaluated.
+func TestAtomicOrAndIntrinsicCanary(t *testing.T) {
+	t.Logf("toolchain %s", runtime.Version())
+	type node struct {
+		flags atomic.Uint32
+		val   *int64
+		next  *node
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(1))
+	const count = 4000
+	nodes := make([]*node, count)
+	var head *node
+	for i := 0; i < count; i++ {
+		v := new(int64)
+		*v = int64(i)
+		n := &node{val: v, next: head}
+		head = n
+		nodes[i] = n
+		// The cluster.go pattern: claim bits with Or, release with And,
+		// interleaved with allocation so GC scans the surrounding object
+		// while the intrinsic is in flight.
+		n.flags.Or(flagInRoots)
+		n.flags.Or(flagTrackMax)
+		if i%3 == 0 {
+			n.flags.And(^flagInRoots)
+		}
+		if i%128 == 0 {
+			runtime.GC()
+		}
+	}
+	runtime.GC()
+	for i, n := range nodes {
+		want := flagTrackMax
+		if i%3 != 0 {
+			want |= flagInRoots
+		}
+		if got := n.flags.Load(); got != want {
+			t.Fatalf("node %d: flags = %b, want %b (atomic Or/And intrinsic misbehaving on %s)",
+				i, got, want, runtime.Version())
+		}
+		if n.val == nil || *n.val != int64(i) {
+			t.Fatalf("node %d: pointer payload corrupted (toolchain %s)", i, runtime.Version())
+		}
+	}
+	// Walk the linked structure so a corrupted pointer graph surfaces here
+	// rather than in a later unrelated GC cycle.
+	seen := 0
+	for n := head; n != nil; n = n.next {
+		seen++
+	}
+	if seen != count {
+		t.Fatalf("linked walk saw %d of %d nodes", seen, count)
+	}
+}

@@ -1,0 +1,317 @@
+package ufo
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+// Tests for the parallel trackMax engine: with the level-synchronous
+// rank-tree repair pass, a SubtreeMax-tracking forest runs every
+// structural phase at the configured worker count. These suites pin the
+// three-way agreement (parallel trackMax == sequential trackMax ==
+// refforest oracle) for every aggregate — SubtreeMax included — after
+// every batch, across worker counts, under chaos scheduling, and across
+// recovered adversarial-batch panics.
+
+// runTrackMaxWorkerDifferential drives identical mixed batches through a
+// parallel trackMax forest (at the given worker count, unit grain), a
+// sequential trackMax forest, and the oracle, checking structure and
+// subtree-max answers after every batch.
+func runTrackMaxWorkerDifferential(t *testing.T, workers int, seed uint64) {
+	t.Helper()
+	old := parGrain
+	parGrain = 1
+	t.Cleanup(func() { parGrain = old })
+	n := 160
+	par := New(n)
+	par.EnableSubtreeMax()
+	par.SetWorkers(workers)
+	if got := par.EffectiveWorkers(); got != workers {
+		t.Fatalf("trackMax EffectiveWorkers = %d, want the configured %d", got, workers)
+	}
+	seqF := New(n)
+	seqF.EnableSubtreeMax()
+	ref := refforest.New(n)
+	r := rng.New(seed)
+	for v := 0; v < n; v++ {
+		val := int64(r.Intn(1000))
+		par.SetVertexValue(v, val)
+		seqF.SetVertexValue(v, val)
+		ref.SetVertexValue(v, val)
+	}
+	var live [][2]int
+	for round := 0; round < 40; round++ {
+		var links []Edge
+		var cuts [][2]int
+		for i, nCut := 0, r.Intn(14); i < nCut && len(live) > 0; i++ {
+			j := r.Intn(len(live))
+			cuts = append(cuts, live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for _, c := range cuts {
+			ref.Cut(c[0], c[1])
+		}
+		for i, nLink := 0, r.Intn(35); i < nLink; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !ref.Connected(u, v) {
+				w := int64(1 + r.Intn(25))
+				ref.Link(u, v, w)
+				links = append(links, Edge{u, v, w})
+				live = append(live, [2]int{u, v})
+			}
+		}
+		par.BatchCut(cuts)
+		par.BatchLink(links)
+		seqF.BatchCut(cuts)
+		seqF.BatchLink(links)
+		mustValidate(t, par, "trackMax parallel worker sweep")
+		mustValidate(t, seqF, "trackMax sequential twin")
+		for q := 0; q < 30 && len(live) > 0; q++ {
+			e := live[r.Intn(len(live))]
+			v, p := e[0], e[1]
+			if r.Intn(2) == 0 {
+				v, p = p, v
+			}
+			want := ref.SubtreeMax(v, p)
+			if got := par.SubtreeMax(v, p); got != want {
+				t.Fatalf("w=%d round %d: parallel SubtreeMax(%d,%d) = %d, oracle %d",
+					workers, round, v, p, got, want)
+			}
+			if got := seqF.SubtreeMax(v, p); got != want {
+				t.Fatalf("w=%d round %d: sequential SubtreeMax(%d,%d) = %d, oracle %d",
+					workers, round, v, p, got, want)
+			}
+		}
+		if len(live) > 0 {
+			u := live[r.Intn(len(live))][0]
+			if got, want := par.ComponentMax(u), seqF.ComponentMax(u); got != want {
+				t.Fatalf("w=%d round %d: ComponentMax(%d) par=%d seq=%d", workers, round, u, got, want)
+			}
+		}
+		// Shift a value so the out-of-batch bubbling path stays covered
+		// between the batched repair passes.
+		v := r.Intn(n)
+		nv := int64(r.Intn(1000))
+		par.SetVertexValue(v, nv)
+		seqF.SetVertexValue(v, nv)
+		ref.SetVertexValue(v, nv)
+	}
+}
+
+// TestTrackMaxWorkerSweep is the acceptance sweep: the trackMax engine must
+// agree with the sequential engine and the oracle at workers 1, 2, and 4.
+func TestTrackMaxWorkerSweep(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		w := workers
+		t.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[w], func(t *testing.T) {
+			runTrackMaxWorkerDifferential(t, w, 7000+uint64(w))
+		})
+	}
+}
+
+// TestTrackMaxBuildDestroyShapes pushes every input shape through the
+// parallel trackMax engine in batches: high-fanout stars and dandelions
+// exercise the superunary rank trees, paths exercise deep repair chains.
+func TestTrackMaxBuildDestroyShapes(t *testing.T) {
+	n := 300
+	shapes := []gen.Tree{
+		gen.Path(n), gen.Binary(n), gen.KAry(n, 64), gen.Star(n),
+		gen.Dandelion(n), gen.RandomAttach(n, 41), gen.PrefAttach(n, 42),
+	}
+	for _, tr := range shapes {
+		f := New(n)
+		f.EnableSubtreeMax()
+		forceParallel(t, f)
+		ref := refforest.New(n)
+		r := rng.New(43)
+		for v := 0; v < n; v++ {
+			val := int64(r.Intn(5000))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		}
+		sh := gen.Shuffled(gen.WithRandomWeights(tr, 60, 44), 45)
+		const batch = 37
+		for lo := 0; lo < len(sh.Edges); lo += batch {
+			hi := lo + batch
+			if hi > len(sh.Edges) {
+				hi = len(sh.Edges)
+			}
+			var edges []Edge
+			for _, e := range sh.Edges[lo:hi] {
+				edges = append(edges, Edge{e.U, e.V, e.W})
+				ref.Link(e.U, e.V, e.W)
+			}
+			f.BatchLink(edges)
+			mustValidate(t, f, tr.Name+" trackMax parallel batch link")
+			for q := 0; q < 20; q++ {
+				e := sh.Edges[r.Intn(hi)]
+				v, p := e.U, e.V
+				if r.Intn(2) == 0 {
+					v, p = p, v
+				}
+				if got, want := f.SubtreeMax(v, p), ref.SubtreeMax(v, p); got != want {
+					t.Fatalf("%s: SubtreeMax(%d,%d) = %d, oracle %d", tr.Name, v, p, got, want)
+				}
+			}
+		}
+		sh2 := gen.Shuffled(tr, 46)
+		for lo := 0; lo < len(sh2.Edges); lo += batch {
+			hi := lo + batch
+			if hi > len(sh2.Edges) {
+				hi = len(sh2.Edges)
+			}
+			var cuts [][2]int
+			for _, e := range sh2.Edges[lo:hi] {
+				cuts = append(cuts, [2]int{e.U, e.V})
+			}
+			f.BatchCut(cuts)
+			mustValidate(t, f, tr.Name+" trackMax parallel batch cut")
+		}
+		if f.EdgeCount() != 0 {
+			t.Fatalf("%s: edges remain after trackMax parallel destroy", tr.Name)
+		}
+	}
+}
+
+// TestTrackMaxChaosStress re-runs the trackMax differential under chaos
+// scheduling (Gosched at every synchronization boundary), widening the
+// interleaving space of the dirty-claim and repair phases on few-core
+// hosts.
+func TestTrackMaxChaosStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos stress skipped in -short")
+	}
+	parChaos = true
+	t.Cleanup(func() { parChaos = false })
+	n := 220
+	for rep := 0; rep < 4; rep++ {
+		f := New(n)
+		f.EnableSubtreeMax()
+		forceParallel(t, f)
+		ref := refforest.New(n)
+		r := rng.New(300 + uint64(rep))
+		for v := 0; v < n; v++ {
+			val := int64(r.Intn(2000))
+			f.SetVertexValue(v, val)
+			ref.SetVertexValue(v, val)
+		}
+		var live [][2]int
+		for round := 0; round < 20; round++ {
+			var links []Edge
+			var cuts [][2]int
+			for i, nCut := 0, r.Intn(15); i < nCut && len(live) > 0; i++ {
+				j := r.Intn(len(live))
+				cuts = append(cuts, live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			for _, c := range cuts {
+				ref.Cut(c[0], c[1])
+			}
+			for i, nLink := 0, r.Intn(40); i < nLink; i++ {
+				u, v := r.Intn(n), r.Intn(n)
+				if u != v && !ref.Connected(u, v) {
+					w := int64(1 + r.Intn(30))
+					ref.Link(u, v, w)
+					links = append(links, Edge{u, v, w})
+					live = append(live, [2]int{u, v})
+				}
+			}
+			f.BatchCut(cuts)
+			f.BatchLink(links)
+			mustValidate(t, f, "trackMax chaos mixed batch")
+			for q := 0; q < 15 && len(live) > 0; q++ {
+				e := live[r.Intn(len(live))]
+				if got, want := f.SubtreeMax(e[0], e[1]), ref.SubtreeMax(e[0], e[1]); got != want {
+					t.Fatalf("rep %d round %d: SubtreeMax(%d,%d) = %d, oracle %d",
+						rep, round, e[0], e[1], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTrackMaxAdversarialBatchesUnmutated extends the PR 2 pre-mutation
+// panic guarantee to trackMax forests at workers > 1: in-batch duplicates
+// (both orientations), self loops, duplicates of live edges, and absent
+// cuts must panic deterministically with the forest — rank trees and
+// subtree-max values included — verifiably unmutated after recovery.
+func TestTrackMaxAdversarialBatchesUnmutated(t *testing.T) {
+	n := 80
+	f := New(n)
+	f.EnableSubtreeMax()
+	forceParallel(t, f)
+	ref := refforest.New(n)
+	r := rng.New(91)
+	for v := 0; v < n; v++ {
+		val := int64(r.Intn(700))
+		f.SetVertexValue(v, val)
+		ref.SetVertexValue(v, val)
+	}
+	tr := gen.Shuffled(gen.WithRandomWeights(gen.PrefAttach(n, 92), 20, 93), 94)
+	var edges []Edge
+	for _, e := range tr.Edges {
+		edges = append(edges, Edge{e.U, e.V, e.W})
+		ref.Link(e.U, e.V, e.W)
+	}
+	f.BatchLink(edges)
+	mustValidate(t, f, "trackMax adversarial build")
+
+	checkUnmutated := func(ctx string) {
+		t.Helper()
+		mustValidate(t, f, ctx)
+		if f.EdgeCount() != len(tr.Edges) {
+			t.Fatalf("%s: EdgeCount = %d, want %d", ctx, f.EdgeCount(), len(tr.Edges))
+		}
+		for q := 0; q < 60; q++ {
+			e := tr.Edges[r.Intn(len(tr.Edges))]
+			v, p := e.U, e.V
+			if r.Intn(2) == 0 {
+				v, p = p, v
+			}
+			if got, want := f.SubtreeMax(v, p), ref.SubtreeMax(v, p); got != want {
+				t.Fatalf("%s: SubtreeMax(%d,%d) = %d, oracle %d", ctx, v, p, got, want)
+			}
+			if got, want := f.SubtreeSum(v, p), ref.SubtreeSum(v, p); got != want {
+				t.Fatalf("%s: SubtreeSum(%d,%d) = %d, oracle %d", ctx, v, p, got, want)
+			}
+		}
+	}
+
+	u, v := tr.Edges[0].U, tr.Edges[0].V
+	mustPanic(t, "self loop", func() {
+		f.BatchLink([]Edge{{7, 7, 1}})
+	})
+	checkUnmutated("post self-loop")
+	mustPanic(t, "repeated in batch link", func() {
+		f.BatchLink([]Edge{{u, n - 1, 1}, {u, n - 1, 2}})
+	})
+	checkUnmutated("post in-batch duplicate")
+	mustPanic(t, "repeated in batch link", func() {
+		f.BatchLink([]Edge{{u, n - 1, 1}, {n - 1, u, 2}})
+	})
+	checkUnmutated("post both-orientation duplicate")
+	mustPanic(t, "duplicate edge", func() {
+		f.BatchLink([]Edge{{u, v, 9}})
+	})
+	checkUnmutated("post duplicate-of-live")
+	mustPanic(t, "repeated in batch cut", func() {
+		f.BatchCut([][2]int{{u, v}, {v, u}})
+	})
+	checkUnmutated("post duplicate cut")
+	absent := -1
+	for w := 0; w < n; w++ {
+		if w != u && !f.HasEdge(u, w) {
+			absent = w
+			break
+		}
+	}
+	mustPanic(t, "cutting absent edge", func() {
+		f.BatchCut([][2]int{{u, v}, {u, absent}})
+	})
+	checkUnmutated("post absent cut")
+}

@@ -29,6 +29,7 @@ type engine struct {
 	roots  [][]*Cluster // roots[l]: parentless clusters at level l awaiting reclustering
 	del    [][]*Cluster // del[l]: level-l clusters to examine for deletion
 	edel   [][]edelEnt  // edel[l]: lazy edge deletions at level l
+	dirty  [][]*Cluster // dirty[l]: level-l clusters claimed for rank-tree repair (trackMax)
 	maxLvl int
 	// recluster scratch
 	hi, lo  []*Cluster // stage-1 (degree ≥ 3) and stage-2 (degree ≤ 2) queues
@@ -50,6 +51,9 @@ func (e *engine) ensureLevel(l int) {
 	}
 	for len(e.edel) <= l {
 		e.edel = append(e.edel, nil)
+	}
+	for len(e.dirty) <= l {
+		e.dirty = append(e.dirty, nil)
 	}
 }
 
@@ -132,7 +136,7 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 	// invalidates its parent's merge unless it is the intact high-degree
 	// center of a superunary merge (UFO mode only; topology trees always
 	// tear down the full ancestor path).
-	if e.par(len(e.roots[0])) && !f.trackMax {
+	if e.par(len(e.roots[0])) {
 		e.disconnectPar()
 	} else {
 		e.disconnectSeq()
@@ -167,7 +171,7 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 		// still the intact center of its parent's merge stays put. In
 		// topology mode every examined cluster is deleted (fanout and
 		// degree are constant-bounded, so this is O(1) per cluster).
-		if e.par(len(e.del[i+1])) && !f.trackMax {
+		if e.par(len(e.del[i+1])) {
 			e.condDeletePar(i)
 		} else {
 			e.condDeleteSeq(i)
@@ -176,6 +180,10 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 
 		// Phase 4: recluster the level-i roots.
 		e.recluster(i)
+
+		// Phase 5 (trackMax only): level-synchronous rank-tree repair of
+		// the dirty level-(i+1) clusters, whose child sets are now final.
+		e.repairMax(i)
 	}
 }
 
@@ -251,6 +259,7 @@ func (e *engine) disconnectSeq() {
 			return true
 		})
 		detach(l)
+		e.markMaxDirty(p, nil)
 	}
 }
 
@@ -309,6 +318,7 @@ func (e *engine) condDeleteSeq(i int) {
 					return true
 				})
 				detach(c)
+				e.markMaxDirty(fp, nil)
 			}
 			e.addRoot(i+1, c)
 		}
@@ -329,9 +339,11 @@ func (e *engine) deleteCluster(c *Cluster) {
 	c.children = nil
 	c.center = nil
 	c.childTree = nil
+	c.rtOrphans, c.rtNew, c.rtStale = nil, nil, nil
 	fp := c.parent
 	if fp != nil {
 		detach(c)
+		e.markMaxDirty(fp, nil)
 		c.parent = fp // former-parent pointer: lets edel entries ride upward
 	}
 	c.adj.forEach(func(er EdgeRef) bool {
@@ -355,6 +367,7 @@ func (e *engine) stealLeaf(y *Cluster, i int) {
 	q := y.parent
 	wasCenter := q.center == y
 	detach(y)
+	e.markMaxDirty(q, nil)
 	switch {
 	case len(q.children) == 0:
 		e.deleteCluster(q)
@@ -468,6 +481,7 @@ func (e *engine) recluster(i int) {
 		p := e.newCluster(i + 1)
 		attach(p, x)
 		p.center = x
+		e.markMaxDirty(p, nil)
 		x.adj.forEach(func(er EdgeRef) bool {
 			y := er.to
 			if y.adj.degree() == 1 {
@@ -522,6 +536,7 @@ func (e *engine) recluster(i int) {
 					p := e.newCluster(i + 1)
 					attach(p, x)
 					attach(p, y)
+					e.markMaxDirty(p, nil)
 					e.proc = append(e.proc, y)
 					merged = true
 					return false
@@ -529,6 +544,7 @@ func (e *engine) recluster(i int) {
 				if len(y.parent.children) == 1 {
 					q := y.parent
 					attach(q, x)
+					e.markMaxDirty(q, nil)
 					e.scheduleAncestors(q)
 					merged = true
 					return false
@@ -547,6 +563,7 @@ func (e *engine) recluster(i int) {
 				}
 				if q.center == y {
 					attach(q, x)
+					e.markMaxDirty(q, nil)
 					e.scheduleAncestors(q)
 					merged = true
 					return false
@@ -557,6 +574,7 @@ func (e *engine) recluster(i int) {
 		if !merged {
 			p := e.newCluster(i + 1)
 			attach(p, x)
+			e.markMaxDirty(p, nil)
 		}
 		e.proc = append(e.proc, x)
 	}

@@ -86,8 +86,12 @@ func (f *Forest) validateCluster(c *Cluster, contents map[*Cluster]map[int32]boo
 	if c.dead() {
 		return fmt.Errorf("level %d: dead cluster reachable", c.level)
 	}
-	if c.has(flagInRoots | flagInDel | flagTouched) {
+	if c.has(flagInRoots | flagInDel | flagTouched | flagMaxDirty) {
 		return fmt.Errorf("level %d: cluster with leftover engine flags %b", c.level, c.flags.Load())
+	}
+	if len(c.rtOrphans) != 0 || len(c.rtNew) != 0 || len(c.rtStale) != 0 {
+		return fmt.Errorf("level %d: cluster with unapplied rank-tree repair buffers (%d orphans, %d new, %d stale)",
+			c.level, len(c.rtOrphans), len(c.rtNew), len(c.rtStale))
 	}
 	if c.prop != nil {
 		return fmt.Errorf("level %d: cluster with leftover matching proposal", c.level)

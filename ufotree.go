@@ -103,12 +103,14 @@ type BatchForest interface {
 	SetWorkers(k int)
 	// Workers reports the effective worker count of the structural update
 	// phases, which can be lower than the last SetWorkers value when a
-	// configuration forces a sequential fallback (e.g. a UFO forest with
-	// subtree-max tracking enabled). UFO and ternarized batch queries
-	// always use the full configured count; ETT query fan-out is further
-	// limited by backend capability (splay backends answer connectivity
-	// serially — they rotate on access) and by component structure
-	// (subtree batches parallelize across, not within, components).
+	// configuration forces a sequential fallback. UFO forests have no such
+	// fallback — subtree-max tracking included, since rank-tree repair is
+	// level-synchronous — so UFO adapters always report the configured
+	// count. UFO and ternarized batch queries likewise use the full count;
+	// ETT query fan-out is further limited by backend capability (splay
+	// backends answer connectivity serially — they rotate on access) and
+	// by component structure (subtree batches parallelize across, not
+	// within, components).
 	Workers() int
 }
 

@@ -338,8 +338,9 @@ func TestBatchQuerierFacade(t *testing.T) {
 }
 
 // TestFacadeWorkersReportsFallback checks the effective-engine reporting
-// satellite at the facade level: a trackMax UFO forest keeps the requested
-// count in the concrete accessor but reports 1 effective worker.
+// at the facade level: with the level-synchronous rank-tree repair pass, a
+// trackMax UFO forest keeps the full configured worker count — there is no
+// sequential structural fallback left to report.
 func TestFacadeWorkersReportsFallback(t *testing.T) {
 	f := ufotree.NewUFO(16)
 	f.SetWorkers(8)
@@ -351,8 +352,8 @@ func TestFacadeWorkersReportsFallback(t *testing.T) {
 	ug, _ := ufotree.UnderlyingUFO(g)
 	ug.EnableSubtreeMax()
 	g.SetWorkers(8)
-	if g.Workers() != 1 {
-		t.Fatalf("trackMax UFO facade Workers() = %d, want 1 (sequential structural fallback)", g.Workers())
+	if g.Workers() != 8 {
+		t.Fatalf("trackMax UFO facade Workers() = %d, want the configured 8", g.Workers())
 	}
 	if ug.Workers() != 8 || uf.Workers() != 8 {
 		t.Fatalf("concrete Workers() should keep the configured count")
