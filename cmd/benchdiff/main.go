@@ -7,7 +7,15 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.30] baseline.json current.json
+//	benchdiff [-threshold 0.30] [-require key ...] baseline.json current.json
+//
+// -require (repeatable) names a benchmark key that must be present in BOTH
+// files for the gate to pass: either a bare value matched against every
+// string field (`-require subtreemax` passes when some record has a field
+// equal to "subtreemax"), or a `field=value` form (`-require kind=lca`).
+// Without it, an experiment that silently stops emitting a kind/phase/row
+// passes the gate — a missing current-side configuration is only a
+// warning, and a missing baseline-side one is invisible.
 //
 // The tool is schema-agnostic across the ufobench experiments (queries,
 // scaling, trackmax, ablation): each file is an array of result records; a
@@ -28,15 +36,19 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
 	threshold := flag.Float64("threshold", 0.30,
 		"maximum tolerated fractional throughput drop (0.30 = fail below 70% of baseline)")
+	var required requireList
+	flag.Var(&required, "require",
+		"benchmark key that must exist in both files (bare value or field=value; repeatable)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.30] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.30] [-require key ...] baseline.json current.json")
 		os.Exit(2)
 	}
 	base, err := loadResults(flag.Arg(0))
@@ -48,6 +60,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
+	}
+	requireFailed := false
+	for _, pair := range []struct {
+		path string
+		recs []map[string]any
+	}{{flag.Arg(0), base}, {flag.Arg(1), cur}} {
+		for _, key := range missingRequired(pair.recs, required) {
+			fmt.Fprintf(os.Stderr, "REQUIRED-MISSING: key %q absent from %s\n", key, pair.path)
+			requireFailed = true
+		}
 	}
 	rep := compare(base, cur, *threshold)
 	for _, w := range rep.warnings {
@@ -68,6 +90,67 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if requireFailed {
+		os.Exit(1)
+	}
+}
+
+// requireList collects repeated -require flags.
+type requireList []string
+
+func (r *requireList) String() string { return strings.Join(*r, ",") }
+
+func (r *requireList) Set(v string) error {
+	v = strings.ToLower(strings.TrimSpace(v))
+	if v == "" {
+		return fmt.Errorf("empty -require key")
+	}
+	*r = append(*r, v)
+	return nil
+}
+
+// missingRequired reports which required keys have no matching record in
+// recs. A bare key matches a record when any string field's value equals
+// it; a "field=value" key matches when the named field holds that value
+// (numeric configuration fields are compared through their plain decimal
+// rendering, so "workers=4" and "n=1000000" both work). Matching is
+// case-insensitive.
+func missingRequired(recs []map[string]any, required []string) []string {
+	var missing []string
+	for _, key := range required {
+		field, want, hasField := strings.Cut(key, "=")
+		found := false
+	scan:
+		for _, rec := range recs {
+			for name, v := range rec {
+				ln := strings.ToLower(name)
+				var val string
+				switch tv := v.(type) {
+				case string:
+					val = strings.ToLower(tv)
+				case float64:
+					// Plain decimal, not %g: "n=1000000" must match a
+					// record's 1e6, paper-scale configs included.
+					val = strconv.FormatFloat(tv, 'f', -1, 64)
+				default:
+					continue
+				}
+				if hasField {
+					if ln == field && val == want {
+						found = true
+						break scan
+					}
+				} else if val == key {
+					found = true
+					break scan
+				}
+			}
+		}
+		if !found {
+			missing = append(missing, key)
+		}
+	}
+	return missing
 }
 
 func loadResults(path string) ([]map[string]any, error) {

@@ -86,3 +86,77 @@ func TestCompareDistinguishesAblationSections(t *testing.T) {
 		t.Fatalf("section collision: %+v", rep)
 	}
 }
+
+func TestMissingRequiredBareKey(t *testing.T) {
+	recs := recs(t, `[
+	  {"input":"path","kind":"update","workers":1,"throughput_ops":100},
+	  {"input":"path","kind":"subtreemax","workers":1,"throughput_ops":200}
+	]`)
+	if got := missingRequired(recs, []string{"update", "subtreemax", "path"}); got != nil {
+		t.Fatalf("present keys reported missing: %v", got)
+	}
+	got := missingRequired(recs, []string{"update", "lca"})
+	if len(got) != 1 || got[0] != "lca" {
+		t.Fatalf("missingRequired = %v, want [lca]", got)
+	}
+}
+
+func TestMissingRequiredFieldForm(t *testing.T) {
+	recs := recs(t, `[
+	  {"input":"star","kind":"lca","workers":4,"throughput_ops":100}
+	]`)
+	if got := missingRequired(recs, []string{"kind=lca", "workers=4"}); got != nil {
+		t.Fatalf("field=value keys reported missing: %v", got)
+	}
+	got := missingRequired(recs, []string{"kind=update", "input=star"})
+	if len(got) != 1 || got[0] != "kind=update" {
+		t.Fatalf("missingRequired = %v, want [kind=update]", got)
+	}
+}
+
+func TestMissingRequiredCaseInsensitive(t *testing.T) {
+	// Untagged schemas marshal capitalized field names and values may be
+	// mixed case; -require keys are lowercased at flag-parse time, so the
+	// matcher must lowercase the record side.
+	recs := recs(t, `[{"Input":"Binary","Workers":2,"Throughput":8000}]`)
+	if got := missingRequired(recs, []string{"binary", "input=binary"}); got != nil {
+		t.Fatalf("case-insensitive match failed: %v", got)
+	}
+}
+
+func TestMissingRequiredEmptyFile(t *testing.T) {
+	// The motivating bug: an experiment that silently emits nothing must
+	// trip every requirement instead of sailing through as warnings.
+	got := missingRequired(nil, []string{"update", "kind=lca"})
+	if len(got) != 2 {
+		t.Fatalf("empty file should miss every key, got %v", got)
+	}
+	if got2 := missingRequired(nil, nil); got2 != nil {
+		t.Fatalf("no requirements should never fail, got %v", got2)
+	}
+}
+
+func TestRequireListFlagParsing(t *testing.T) {
+	var r requireList
+	if err := r.Set(" Update "); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := r.Set("kind=LCA"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := r.Set(""); err == nil {
+		t.Fatal("empty -require key must be rejected")
+	}
+	if len(r) != 2 || r[0] != "update" || r[1] != "kind=lca" {
+		t.Fatalf("requireList = %v, want normalized [update kind=lca]", r)
+	}
+}
+
+func TestMissingRequiredLargeNumericValues(t *testing.T) {
+	// %g would render 1e6 as "1e+06"; the matcher must accept the natural
+	// decimal spelling of paper-scale configuration values.
+	recs := recs(t, `[{"input":"path","n":1000000,"workers":16,"throughput_ops":5}]`)
+	if got := missingRequired(recs, []string{"n=1000000", "workers=16"}); got != nil {
+		t.Fatalf("decimal numeric match failed: %v", got)
+	}
+}

@@ -17,7 +17,13 @@
 //	                        #   GET /path?u=3&v=9     -> sum, max, hops
 //	                        #   GET /lca?u=3&v=9&r=0  -> lowest common ancestor
 //	                        #   POST /paths           -> JSON [[u,v],...] batch
+//	                        #   GET /stats            -> engine phase telemetry
 //	                        # churn keeps mutating the tree in the background
+//
+// /stats exposes the update engine's per-phase telemetry (ufotree
+// PhaseStats): the last churn batch's breakdown plus the cumulative
+// totals since startup, so operators can see where write-side time goes
+// (seeding, conditional deletion, reclustering, ...) without profiling.
 package main
 
 import (
@@ -47,6 +53,26 @@ type server struct {
 	r    *rng.SplitMix64
 	// live tree edges, for generating valid churn batches
 	live [][2]int
+	// stats accumulates the engine's per-batch phase telemetry over every
+	// mutation since startup; lastBatch keeps the most recent *batch*
+	// operation's snapshot (the k-cut churn batch — the engine itself
+	// resets PhaseStats on every run, so after churn's single-edge
+	// relinks the engine's own "last" is a trivial 1-link batch). Both
+	// are guarded by mu's write side like the forest.
+	stats     ufotree.PhaseStats
+	lastBatch ufotree.PhaseStats
+}
+
+// recordStats folds the most recent engine run's telemetry into the
+// cumulative view and, when it was a real batch (not a 1-edge rewire),
+// keeps it as the last-batch snapshot. Callers hold the write lock (or
+// are still single-threaded setup).
+func (s *server) recordStats() {
+	st := s.f.PhaseStats()
+	s.stats.Accumulate(st)
+	if st.Links+st.Cuts > 1 {
+		s.lastBatch = st
+	}
 }
 
 // newServer builds the initial topology; workers <= 0 selects GOMAXPROCS.
@@ -79,6 +105,7 @@ func newServer(n, workers int, seed uint64) *server {
 			hi = len(edges)
 		}
 		f.BatchLink(edges[lo:hi])
+		s.recordStats()
 	}
 	return s
 }
@@ -96,7 +123,11 @@ func (s *server) churn(k int) {
 		s.live = s.live[:len(s.live)-1]
 		cuts = append(cuts, ufotree.Edge{U: e[0], V: e[1]})
 	}
+	if len(cuts) == 0 {
+		return // nothing to rewire; BatchCut(nil) would not run the engine
+	}
 	s.f.BatchCut(cuts)
+	s.recordStats()
 	// Reattach each cut-off side somewhere else (or back) with a fresh
 	// weight. Links apply one at a time: each rewire's cycle check must see
 	// the previous rewires.
@@ -106,6 +137,7 @@ func (s *server) churn(k int) {
 			v := s.r.Intn(s.n)
 			if v != u && !s.f.Connected(u, v) {
 				s.f.Link(u, v, int64(1+s.r.Intn(100)))
+				s.recordStats()
 				s.live = append(s.live, [2]int{u, v})
 				break
 			}
@@ -153,6 +185,20 @@ func simulate(n, workers, batch, q, rounds int) {
 	if qsecs > 0 {
 		fmt.Printf("answered %d path queries in %.3fs (%.0f queries/s, 3 aggregates each)\n",
 			queries, qsecs, float64(queries)/qsecs)
+	}
+	// Write-side attribution: where the churn batches actually spent
+	// their time, phase by phase (the /stats payload of server mode).
+	fmt.Printf("update engine: %d batches, %d links + %d cuts over %d contraction rounds in %v\n",
+		s.stats.Batches, s.stats.Links, s.stats.Cuts, s.stats.Levels, s.stats.Total.Round(time.Microsecond))
+	for _, ph := range s.stats.Phases {
+		if ph.Items == 0 && ph.Time == 0 {
+			continue
+		}
+		share := 0.0
+		if s.stats.Total > 0 {
+			share = 100 * float64(ph.Time) / float64(s.stats.Total)
+		}
+		fmt.Printf("  %-13s %8.1f%%  %9v  %9d items\n", ph.Name, share, ph.Time.Round(time.Microsecond), ph.Items)
 	}
 }
 
@@ -212,6 +258,19 @@ func main() {
 			return
 		}
 		fmt.Fprintf(w, "{\"lca\":%d}\n", l[0])
+	})
+	http.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		s.mu.RLock()
+		// Clone inside the lock: the cumulative view's Phases array is
+		// mutated in place by the churn goroutine's Accumulate.
+		out := struct {
+			Workers    int                `json:"workers"`
+			LastBatch  ufotree.PhaseStats `json:"last_batch"`
+			Cumulative ufotree.PhaseStats `json:"cumulative"`
+		}{s.f.Workers(), s.lastBatch, s.stats.Clone()}
+		s.mu.RUnlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
 	})
 	http.HandleFunc("/paths", func(w http.ResponseWriter, req *http.Request) {
 		var pairs [][2]int

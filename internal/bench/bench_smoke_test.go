@@ -283,3 +283,70 @@ func TestWriteJSONRoundTripAblation(t *testing.T) {
 		t.Fatalf("round trip lost a section: %v", sections)
 	}
 }
+
+// TestPhasesSmoke exercises the phase-telemetry experiment end-to-end:
+// every pipeline phase must appear for every worker column, the seed
+// phases must account for every edge applied, and no record may carry a
+// non-finite throughput (NaN/Inf would break the JSON artifact).
+func TestPhasesSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := Phases(&buf, 400, 100, []int{1, 2}, 1)
+	out := buf.String()
+	for _, want := range []string{"seed_links", "cond_delete", "recluster", "max_repair", "w=1 ms", "w=2 ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("phases experiment missing %q:\n%s", want, out)
+		}
+	}
+	if len(results) == 0 {
+		t.Fatal("phases experiment produced no machine-readable results")
+	}
+	type cfg struct {
+		input   string
+		workers int
+	}
+	seeded := map[cfg]int64{}
+	for _, r := range results {
+		if r.Phase == "" || r.Input == "" || r.Workers == 0 {
+			t.Fatalf("degenerate phase result: %+v", r)
+		}
+		if r.Seconds < 0 || r.Share < 0 || r.Share > 1 {
+			t.Fatalf("phase result out of range: %+v", r)
+		}
+		if r.Throughput != r.Throughput || r.Throughput < 0 { // NaN or negative
+			t.Fatalf("non-finite throughput: %+v", r)
+		}
+		if r.Phase == "seed_links" || r.Phase == "seed_cuts" {
+			seeded[cfg{r.Input, r.Workers}] += r.Items
+		}
+	}
+	for c, items := range seeded {
+		if items != 2*399 { // build + destroy of a 400-vertex tree
+			t.Fatalf("%v: seed phases saw %d items, want %d", c, items, 2*399)
+		}
+	}
+}
+
+// TestWriteJSONRoundTripPhases covers the phases experiment's artifact
+// emission so benchdiff can gate BENCH_phases.json.
+func TestWriteJSONRoundTripPhases(t *testing.T) {
+	var buf bytes.Buffer
+	results := Phases(&buf, 300, 80, []int{1}, 2)
+	path := filepath.Join(t.TempDir(), "BENCH_phases.json")
+	if err := WriteJSON(path, results); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	var back []PhaseResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back), len(results))
+	}
+	if back[0].Phase == "" || back[0].Input == "" || back[0].Workers == 0 {
+		t.Fatalf("round-tripped result lost fields: %+v", back[0])
+	}
+}

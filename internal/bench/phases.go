@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/gen"
+	"repro/internal/ufo"
+)
+
+// PhaseResult is one phase's accumulated cost at one configuration of the
+// phase-telemetry experiment (machine-readable; WriteJSON).
+type PhaseResult struct {
+	Input      string  `json:"input"`
+	Phase      string  `json:"phase"`
+	Workers    int     `json:"workers"`
+	Calls      int     `json:"calls"`
+	Items      int64   `json:"items"`
+	Seconds    float64 `json:"seconds"`
+	Share      float64 `json:"share"`          // fraction of the summed phase time at this configuration
+	Throughput float64 `json:"throughput_ops"` // items per second (0 when the phase never saw work)
+}
+
+// Phases measures where batch-update time goes, phase by phase: per input
+// shape and worker count, a forest is built and destroyed in batches of k
+// with the engine's PhaseStats accumulated across every batch. This is the
+// work/span-style attribution the related batch-dynamic systems report —
+// it shows which Algorithm-4 phase a configuration spends its time in and
+// how each phase's share moves with the worker count.
+func Phases(w io.Writer, n, k int, workers []int, seed uint64) []PhaseResult {
+	if len(workers) == 0 {
+		workers = DefaultWorkerCounts()
+	}
+	inputs := []gen.Tree{gen.Path(n), gen.Star(n), gen.PrefAttach(n, seed+2)}
+	fmt.Fprintf(w, "# Phase telemetry: UFO batch build+destroy per-phase attribution, n=%d, k=%d, GOMAXPROCS=%d\n",
+		n, k, runtime.GOMAXPROCS(0))
+	var out []PhaseResult
+	for _, t := range inputs {
+		t = gen.WithRandomWeights(t, 1000, seed+3)
+		fmt.Fprintf(w, "## input %s (per-phase ms and share of batch time)\n", t.Name)
+		cols := make([]string, 0, 2*len(workers))
+		for _, wk := range workers {
+			cols = append(cols, fmt.Sprintf("w=%d ms", wk), fmt.Sprintf("w=%d %%", wk))
+		}
+		header(w, "phase", cols)
+		// aggs[workerIdx] accumulates the run's stats at that worker count.
+		aggs := make([]ufo.PhaseStats, len(workers))
+		for wi, wk := range workers {
+			f := ufo.New(t.N)
+			f.SetWorkers(wk)
+			ins := gen.Shuffled(t, seed+6)
+			links := make([]ufo.Edge, len(ins.Edges))
+			for i, e := range ins.Edges {
+				links[i] = ufo.Edge{U: e.U, V: e.V, W: e.W}
+			}
+			for lo := 0; lo < len(links); lo += k {
+				f.BatchLink(links[lo:min(lo+k, len(links))])
+				aggs[wi].Accumulate(f.PhaseStats())
+			}
+			del := gen.Shuffled(t, seed+7)
+			cuts := make([][2]int, len(del.Edges))
+			for i, e := range del.Edges {
+				cuts[i] = [2]int{e.U, e.V}
+			}
+			for lo := 0; lo < len(cuts); lo += k {
+				f.BatchCut(cuts[lo:min(lo+k, len(cuts))])
+				aggs[wi].Accumulate(f.PhaseStats())
+			}
+		}
+		// One table row per phase; one result record per (phase, workers).
+		for pi := range aggs[0].Phases {
+			fmt.Fprintf(w, "%-14s", aggs[0].Phases[pi].Name)
+			for wi, wk := range workers {
+				agg := aggs[wi]
+				var phaseSum float64
+				for _, ph := range agg.Phases {
+					phaseSum += ph.Time.Seconds()
+				}
+				ph := agg.Phases[pi]
+				secs := ph.Time.Seconds()
+				share := 0.0
+				if phaseSum > 0 {
+					share = secs / phaseSum
+				}
+				thr := 0.0
+				if secs > 0 {
+					thr = float64(ph.Items) / secs
+				}
+				out = append(out, PhaseResult{
+					Input: t.Name, Phase: ph.Name, Workers: wk,
+					Calls: ph.Calls, Items: ph.Items, Seconds: secs,
+					Share: share, Throughput: thr,
+				})
+				fmt.Fprintf(w, " %12.1f %12.1f", secs*1000, share*100)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "# (ms = phase wall time summed over all batches; % = share of the summed phase time)")
+	return out
+}

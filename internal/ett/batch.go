@@ -30,11 +30,13 @@ func (f *Forest[N, B]) SetParallel(p bool) {
 
 // SetWorkers fixes the worker count used by parallel batch queries and
 // toggles batch-update parallelism (the update path parallelizes across
-// component groups with fork-join, so it has no tunable width). Values
-// below 2 select fully serial operation; oversubscription is allowed.
+// component groups with fork-join, so it has no tunable width). Clamp
+// rules match the facade contract: k <= 0 defaults to GOMAXPROCS (the
+// SetParallel(true) configuration), k == 1 is fully serial, and
+// oversubscribed counts pass through.
 func (f *Forest[N, B]) SetWorkers(k int) {
-	if k < 1 {
-		k = 1
+	if k <= 0 {
+		k = parallel.Procs()
 	}
 	f.workers = k
 	f.par = k > 1

@@ -300,8 +300,8 @@ func (c *Cluster) hasBoundary(v int32) bool {
 // p's ancestors correct. With trackMax the rank-tree insertion is deferred:
 // c is recorded in p's rtNew buffer and applied by the engine's repair pass
 // (callers inside the engine must claim p via markMaxDirty). The only
-// parallel attach site (matchPairsPar) targets freshly created,
-// worker-owned parents, so the rtNew append needs no lock.
+// fanned attach site (matchPairs) targets freshly created, worker-owned
+// parents, so the rtNew append needs no lock.
 func attach(p, c *Cluster) {
 	c.parent = p
 	c.childIdx = int32(len(p.children))
@@ -313,44 +313,6 @@ func attach(p, c *Cluster) {
 	if p.has(flagTrackMax) {
 		p.rtNew = append(p.rtNew, c)
 	}
-}
-
-// detach removes c from its parent, keeping aggregates correct and flagging
-// the parent as damaged when it loses its merge center (its remaining
-// children would be mutually disconnected) or its last child. With trackMax
-// the rank-tree deletion is deferred: c's item handle moves to p's
-// rtOrphans buffer for the engine's repair pass (callers inside the engine
-// must claim p via markMaxDirty). All detach callers are sequential phases;
-// the parallel mutation passes use detachPar.
-func detach(c *Cluster) {
-	p := c.parent
-	if p == nil {
-		return
-	}
-	if p.has(flagTrackMax) && c.childItem != nil {
-		p.rtOrphans = append(p.rtOrphans, c.childItem)
-		c.childItem = nil
-	}
-	last := int32(len(p.children) - 1)
-	moved := p.children[last]
-	p.children[c.childIdx] = moved
-	moved.childIdx = c.childIdx
-	p.children = p.children[:last]
-	for a := p; a != nil; a = a.parent {
-		a.subSum -= c.subSum
-		a.vcnt -= c.vcnt
-	}
-	if p.center == c {
-		p.center = nil
-		if len(p.children) > 0 {
-			p.set(flagDamaged)
-		}
-	}
-	if len(p.children) == 0 {
-		p.set(flagDamaged)
-	}
-	c.parent = nil
-	c.childIdx = -1
 }
 
 // top returns the root cluster of c's component.

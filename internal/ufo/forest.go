@@ -102,29 +102,35 @@ func (f *Forest) SetParallel(p bool) {
 	}
 }
 
-// SetWorkers fixes the number of workers used by batch updates. Values
-// below 2 select the sequential engine. Counts above GOMAXPROCS are allowed
-// (oversubscription), which the tests use to exercise the parallel engine's
+// SetWorkers fixes the number of workers used by batch updates and batch
+// queries. Clamp rules: k <= 0 defaults to runtime.GOMAXPROCS(0), exactly
+// like SetParallel(true); k == 1 runs every pipeline phase inline on the
+// calling goroutine (no locks, no goroutines); k >= 2 fans phases past the
+// fork grain out over k goroutines. Counts above GOMAXPROCS are allowed
+// (oversubscription), which the tests use to exercise the fanned phases'
 // interleavings on machines with few cores.
 func (f *Forest) SetWorkers(k int) {
-	if k < 1 {
-		k = 1
+	if k <= 0 {
+		k = parallel.Procs()
 	}
 	f.workers = k
 }
 
-// Workers reports the configured batch-update worker count (the value set
-// by SetWorkers/SetParallel).
+// Workers reports the configured batch worker count (the value set by
+// SetWorkers/SetParallel, after clamping). Every pipeline phase of every
+// configuration — trackMax forests included — runs at this count; per-batch
+// phase attribution is available from PhaseStats.
 func (f *Forest) Workers() int { return f.workers }
 
-// EffectiveWorkers reports the worker count the structural phases of the
-// next batch update will actually use. Since the trackMax engine moved to
-// level-synchronous rank-tree repair (maxrepair.go) there is no capability
-// fallback left and this always equals Workers(); it remains as the
-// observability hook callers were told to check, and as the place a future
-// configuration-dependent degradation would surface.
-func (f *Forest) EffectiveWorkers() int {
-	return f.workers
+// PhaseStats returns the per-phase telemetry of the most recent batch
+// update (single-edge Link/Cut included): monotonic wall time, item
+// counts, and calls for every pipeline phase, plus the batch shape and
+// contraction rounds processed. The engine resets the stats at the start
+// of each batch; callers tracking a whole run aggregate the snapshots
+// with PhaseStats.Accumulate. The zero value is returned before the first
+// update.
+func (f *Forest) PhaseStats() PhaseStats {
+	return f.eng.stats.snapshot()
 }
 
 // HasEdge reports whether edge (u,v) is present.

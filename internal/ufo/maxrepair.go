@@ -11,8 +11,8 @@ import "repro/internal/ranktree"
 // runs a two-step scheme instead:
 //
 //  1. Dirty mark. Structural phases record child-set changes in the
-//     parent's repair buffers (rtOrphans/rtNew, written by attach, detach,
-//     and detachPar) and claim the parent for repair with a lock-free
+//     parent's repair buffers (rtOrphans/rtNew, written by attach and
+//     engine.detach) and claim the parent for repair with a lock-free
 //     test-and-set on flagMaxDirty, collecting claimed clusters into
 //     per-worker scratch exactly like the roots/del queue claims.
 //  2. Post-phase repair. At the end of contraction round i — after
@@ -21,9 +21,10 @@ import "repro/internal/ranktree"
 //     value updates of each dirty level-(i+1) cluster to its child rank
 //     tree, recomputes subMax, and, when the value changed, schedules a
 //     value update in the parent (rtStale + a dirty claim one level up).
-//     The pass fans out over the dirty set with the engine's worker count;
-//     each dirty cluster is owned by exactly one worker (the flag claim),
-//     so the rank-tree surgery itself needs no locks.
+//     The pass runs over forPhase like every other pipeline phase — inline
+//     when sequential, fanned over the worker count otherwise; each dirty
+//     cluster is owned by exactly one worker (the flag claim), so the
+//     rank-tree surgery itself needs no locks.
 //
 // Per-cluster work is one O(log) rank-tree operation per buffered event —
 // the same work as eager bubbling, now phase-local. Value propagation
@@ -55,8 +56,8 @@ func (e *engine) pushDirty(p *Cluster) {
 }
 
 // drainDirty moves every worker's dirty claims into the engine's per-level
-// queues. Called at the barrier of each phase that can claim clusters from
-// worker context (disconnectPar, condDeletePar, matchPairsPar, repairMax).
+// queues. Called at the barrier of each phase that can claim clusters into
+// worker scratch (disconnect, condDelete, matchPairs, repairMax).
 func (e *engine) drainDirty() {
 	for w := range e.ws {
 		s := &e.ws[w]
@@ -68,30 +69,29 @@ func (e *engine) drainDirty() {
 }
 
 // repairMax runs the post-phase aggregate repair for contraction round i,
-// rebuilding the dirty level-(i+1) clusters' rank trees. At this point the
-// child sets of level i+1 are final for the batch and every child's subMax
-// is final (children were repaired at the end of round i-1, or are leaves,
+// rebuilding the dirty level-(i+1) clusters' rank trees, and reports how
+// many clusters it repaired (phase telemetry). At this point the child
+// sets of level i+1 are final for the batch and every child's subMax is
+// final (children were repaired at the end of round i-1, or are leaves,
 // whose values never change during a batch).
-func (e *engine) repairMax(i int) {
+func (e *engine) repairMax(i int) int {
+	if !e.f.trackMax {
+		return 0
+	}
+	e.drainDirty() // claims from the serial recluster stages (stealLeaf deletions)
 	l := i + 1
-	if !e.f.trackMax || l >= len(e.dirty) || len(e.dirty[l]) == 0 {
-		return
+	if l >= len(e.dirty) || len(e.dirty[l]) == 0 {
+		return 0
 	}
 	d := e.dirty[l]
-	if e.par(len(d)) {
-		e.forWorkers(len(d), func(w, lo, hi int) {
-			s := &e.ws[w]
-			for j := lo; j < hi; j++ {
-				e.repairMaxCluster(d[j], s)
-			}
-		})
-		e.drainDirty()
-	} else {
-		for _, p := range d {
-			e.repairMaxCluster(p, nil)
+	e.forPhase(len(d), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			e.repairMaxCluster(d[j], s)
 		}
-	}
+	})
+	e.drainDirty()
 	e.dirty[l] = d[:0]
+	return len(d)
 }
 
 // repairMaxCluster applies p's buffered rank-tree events and recomputes its
@@ -144,14 +144,10 @@ func (e *engine) repairMaxCluster(p *Cluster, s *wscratch) {
 	}
 	// The parent's stored value for p is stale; schedule the UpdateValue in
 	// the parent's own repair one level up. Siblings repaired by other
-	// workers append to the same buffer, so take the parent's lock stripe.
-	if s != nil {
-		mu := e.mu(q)
-		mu.Lock()
-		q.rtStale = append(q.rtStale, p)
-		mu.Unlock()
-	} else {
-		q.rtStale = append(q.rtStale, p)
-	}
+	// workers append to the same buffer, so take the parent's lock stripe
+	// when the pass is fanned out.
+	e.lockC(q)
+	q.rtStale = append(q.rtStale, p)
+	e.unlockC(q)
 	e.markMaxDirty(q, s)
 }

@@ -297,19 +297,43 @@ func TestParallelSingleEditsUseSequentialPath(t *testing.T) {
 	mustValidate(t, f, "single edits")
 }
 
-// TestSetWorkersClamps checks the facade-level worker knob.
+// TestSetWorkersClamps pins the worker-knob clamp rules: k <= 0 defaults
+// to GOMAXPROCS (the SetParallel(true) configuration, not the silent
+// sequential clamp it used to be), k == 1 is the inline engine, and
+// oversubscribed counts pass through untouched.
 func TestSetWorkersClamps(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
 	f := New(4)
 	f.SetWorkers(0)
+	if f.Workers() != procs {
+		t.Fatalf("SetWorkers(0) → %d, want GOMAXPROCS=%d", f.Workers(), procs)
+	}
+	f.SetWorkers(-3)
+	if f.Workers() != procs {
+		t.Fatalf("SetWorkers(-3) → %d, want GOMAXPROCS=%d", f.Workers(), procs)
+	}
+	f.SetWorkers(1)
 	if f.Workers() != 1 {
-		t.Fatalf("SetWorkers(0) → %d, want 1", f.Workers())
+		t.Fatalf("SetWorkers(1) → %d, want 1", f.Workers())
+	}
+	f.SetWorkers(64) // oversubscription is allowed
+	if f.Workers() != 64 {
+		t.Fatalf("SetWorkers(64) → %d, want 64", f.Workers())
 	}
 	f.SetParallel(true)
-	if f.Workers() < 1 {
-		t.Fatal("SetParallel(true) must pick at least one worker")
+	if f.Workers() != procs {
+		t.Fatalf("SetParallel(true) → %d, want GOMAXPROCS=%d", f.Workers(), procs)
 	}
 	f.SetParallel(false)
 	if f.Workers() != 1 {
 		t.Fatal("SetParallel(false) must restore sequential updates")
 	}
+	// The clamp is usable: a forest configured through the default knob
+	// still applies batches correctly.
+	f.SetWorkers(0)
+	f.BatchLink([]Edge{{0, 1, 2}, {1, 2, 3}})
+	if !f.Connected(0, 2) {
+		t.Fatal("batch after SetWorkers(0) broken")
+	}
+	mustValidate(t, f, "SetWorkers(0) batch")
 }

@@ -1,0 +1,292 @@
+package ufo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+)
+
+// Tests for the unified phase pipeline: one implementation per
+// Algorithm-4 phase, scheduled inline at workers=1 and fanned out above,
+// plus the per-phase telemetry (PhaseStats) the pipeline exports.
+
+// checkStatsInvariants asserts the structural invariants every batch's
+// telemetry must satisfy, independent of worker count or input shape.
+func checkStatsInvariants(t *testing.T, f *Forest, links, cuts int, ctx string) {
+	t.Helper()
+	st := f.PhaseStats()
+	if st.Batches != 1 {
+		t.Fatalf("%s: Batches = %d, want 1 (stats must reset per batch)", ctx, st.Batches)
+	}
+	if st.Links != int64(links) || st.Cuts != int64(cuts) {
+		t.Fatalf("%s: batch shape (%d,%d) recorded as (%d,%d)", ctx, links, cuts, st.Links, st.Cuts)
+	}
+	if len(st.Phases) != int(numPhases) {
+		t.Fatalf("%s: %d phase rows, want %d", ctx, len(st.Phases), numPhases)
+	}
+	// Seed phases account for exactly the batch: their item counts sum to
+	// the batch size.
+	if seeded := st.Phases[phSeedCuts].Items + st.Phases[phSeedLinks].Items; seeded != int64(links+cuts) {
+		t.Fatalf("%s: seed items %d != batch size %d", ctx, seeded, links+cuts)
+	}
+	// Timings are monotonic-clock durations: non-negative per phase, and
+	// the phases are disjoint sub-intervals of the run, so their sum is
+	// bounded by the batch total.
+	var sum time.Duration
+	for i, ph := range st.Phases {
+		if ph.Name != phaseNames[i] {
+			t.Fatalf("%s: phase %d named %q, want %q", ctx, i, ph.Name, phaseNames[i])
+		}
+		if ph.Time < 0 {
+			t.Fatalf("%s: negative phase time %+v", ctx, ph)
+		}
+		if ph.Items > 0 && ph.Calls == 0 {
+			t.Fatalf("%s: phase %q has items without calls: %+v", ctx, ph.Name, ph)
+		}
+		sum += ph.Time
+	}
+	if sum > st.Total {
+		t.Fatalf("%s: phase times %v exceed batch total %v", ctx, sum, st.Total)
+	}
+	if st.Levels < 1 || st.Levels > maxLevels {
+		t.Fatalf("%s: Levels = %d out of range", ctx, st.Levels)
+	}
+	// Level phases run once per contraction round.
+	for _, id := range []phaseID{phMarkParents, phEdel, phCondDelete, phRecluster, phMaxRepair} {
+		if got := st.Phases[id].Calls; got != st.Levels {
+			t.Fatalf("%s: phase %q Calls = %d, want one per round (%d)", ctx, phaseNames[id], got, st.Levels)
+		}
+	}
+	if !f.trackMax && st.Phases[phMaxRepair].Items != 0 {
+		t.Fatalf("%s: plain forest reports max_repair items: %+v", ctx, st.Phases[phMaxRepair])
+	}
+}
+
+// TestPipelineWorkerSweep is the acceptance sweep of the unified engine:
+// identical mixed batches through forests at workers 1, 2, 4, and 8 (unit
+// grain, oversubscribed on small hosts) must all match the refforest
+// oracle on every query after every batch, pass full validation, and
+// satisfy the PhaseStats invariants.
+func TestPipelineWorkerSweep(t *testing.T) {
+	old := parGrain
+	parGrain = 1
+	t.Cleanup(func() { parGrain = old })
+	for _, workers := range []int{1, 2, 4, 8} {
+		w := workers
+		t.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[w], func(t *testing.T) {
+			n := 220
+			f := New(n)
+			f.SetWorkers(w)
+			ref := refforest.New(n)
+			r := rng.New(5000 + uint64(w))
+			var live [][2]int
+			for round := 0; round < 45; round++ {
+				var links []Edge
+				var cuts [][2]int
+				for i, nCut := 0, r.Intn(16); i < nCut && len(live) > 0; i++ {
+					j := r.Intn(len(live))
+					cuts = append(cuts, live[j])
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+				for _, c := range cuts {
+					ref.Cut(c[0], c[1])
+				}
+				for i, nLink := 0, r.Intn(40); i < nLink; i++ {
+					u, v := r.Intn(n), r.Intn(n)
+					if u != v && !ref.Connected(u, v) {
+						wt := int64(1 + r.Intn(30))
+						ref.Link(u, v, wt)
+						links = append(links, Edge{u, v, wt})
+						live = append(live, [2]int{u, v})
+					}
+				}
+				if len(links) == 0 && len(cuts) == 0 {
+					continue
+				}
+				f.eng.run(links, cuts)
+				mustValidate(t, f, "pipeline worker sweep")
+				checkStatsInvariants(t, f, len(links), len(cuts), "pipeline worker sweep")
+				for q := 0; q < 40; q++ {
+					u, v := r.Intn(n), r.Intn(n)
+					if gc, wc := f.Connected(u, v), ref.Connected(u, v); gc != wc {
+						t.Fatalf("w=%d round %d: Connected(%d,%d) = %v, oracle %v", w, round, u, v, gc, wc)
+					}
+					gs, gok := f.PathSum(u, v)
+					ws, wok := ref.PathSum(u, v)
+					if gok != wok || (wok && gs != ws) {
+						t.Fatalf("w=%d round %d: PathSum(%d,%d) = %d,%v oracle %d,%v", w, round, u, v, gs, gok, ws, wok)
+					}
+				}
+				if len(live) > 0 {
+					e := live[r.Intn(len(live))]
+					if gv, wv := f.SubtreeSum(e[0], e[1]), ref.SubtreeSum(e[0], e[1]); gv != wv {
+						t.Fatalf("w=%d round %d: SubtreeSum = %d, oracle %d", w, round, gv, wv)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPhaseStatsResetBetweenBatches pins the reset contract: a snapshot
+// describes exactly the most recent batch, not an accumulation.
+func TestPhaseStatsResetBetweenBatches(t *testing.T) {
+	n := 500
+	f := New(n)
+	tr := gen.Shuffled(gen.PrefAttach(n, 71), 72)
+	var big []Edge
+	for _, e := range tr.Edges[:400] {
+		big = append(big, Edge{e.U, e.V, e.W})
+	}
+	f.BatchLink(big)
+	first := f.PhaseStats()
+	checkStatsInvariants(t, f, len(big), 0, "big batch")
+	small := []Edge{{big[0].U, n - 1, 5}}
+	f.BatchLink(small)
+	second := f.PhaseStats()
+	checkStatsInvariants(t, f, 1, 0, "small batch")
+	if second.Links != 1 || second.Phases[phSeedLinks].Items != 1 {
+		t.Fatalf("second snapshot leaked the first batch: %+v", second)
+	}
+	if first.Phases[phSeedLinks].Items != int64(len(big)) {
+		t.Fatalf("first snapshot mutated by second batch: %+v", first.Phases[phSeedLinks])
+	}
+	// Cuts attribute to seed_cuts, not seed_links.
+	f.BatchCut([][2]int{{big[0].U, big[0].V}})
+	third := f.PhaseStats()
+	checkStatsInvariants(t, f, 0, 1, "cut batch")
+	if third.Phases[phSeedCuts].Items != 1 || third.Phases[phSeedLinks].Items != 0 {
+		t.Fatalf("cut batch misattributed: %+v", third.Phases)
+	}
+}
+
+// TestPhaseStatsAccumulate checks run-level aggregation across batches,
+// including accumulating into a zero value.
+func TestPhaseStatsAccumulate(t *testing.T) {
+	n := 400
+	f := New(n)
+	tr := gen.Shuffled(gen.RandomAttach(n, 81), 82)
+	var agg PhaseStats
+	batches := 0
+	for lo := 0; lo < len(tr.Edges); lo += 90 {
+		hi := lo + 90
+		if hi > len(tr.Edges) {
+			hi = len(tr.Edges)
+		}
+		var edges []Edge
+		for _, e := range tr.Edges[lo:hi] {
+			edges = append(edges, Edge{e.U, e.V, e.W})
+		}
+		f.BatchLink(edges)
+		agg.Accumulate(f.PhaseStats())
+		batches++
+	}
+	if agg.Batches != batches {
+		t.Fatalf("accumulated Batches = %d, want %d", agg.Batches, batches)
+	}
+	if agg.Links != int64(len(tr.Edges)) {
+		t.Fatalf("accumulated Links = %d, want %d", agg.Links, len(tr.Edges))
+	}
+	if seeded := agg.Phases[phSeedLinks].Items; seeded != int64(len(tr.Edges)) {
+		t.Fatalf("accumulated seed_links items = %d, want %d", seeded, len(tr.Edges))
+	}
+	var sum time.Duration
+	for _, ph := range agg.Phases {
+		sum += ph.Time
+	}
+	if sum > agg.Total {
+		t.Fatalf("accumulated phase times %v exceed accumulated total %v", sum, agg.Total)
+	}
+}
+
+// TestPhaseStatsTrackMaxAttribution checks that rank-tree repair work is
+// visible as the max_repair phase on trackMax forests across the worker
+// sweep (the observability EffectiveWorkers used to provide).
+func TestPhaseStatsTrackMaxAttribution(t *testing.T) {
+	old := parGrain
+	parGrain = 1
+	t.Cleanup(func() { parGrain = old })
+	for _, w := range []int{1, 4} {
+		n := 200
+		f := New(n)
+		f.EnableSubtreeMax()
+		f.SetWorkers(w)
+		r := rng.New(95)
+		for v := 0; v < n; v++ {
+			f.SetVertexValue(v, int64(r.Intn(1000)))
+		}
+		tr := gen.Shuffled(gen.KAry(n, 8), 96)
+		var edges []Edge
+		for _, e := range tr.Edges {
+			edges = append(edges, Edge{e.U, e.V, e.W})
+		}
+		f.BatchLink(edges)
+		checkStatsInvariants(t, f, len(edges), 0, "trackMax batch")
+		st := f.PhaseStats()
+		if st.Phases[phMaxRepair].Items == 0 || st.Phases[phMaxRepair].Time < 0 {
+			t.Fatalf("w=%d: max_repair unattributed: %+v", w, st.Phases[phMaxRepair])
+		}
+	}
+}
+
+// TestPipelineChaosWorkerSweep re-runs a short differential under chaos
+// scheduling at workers 2 and 8, exercising the unified bodies' fanned
+// interleavings beyond what natural preemption produces on few-core hosts.
+func TestPipelineChaosWorkerSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos stress skipped in -short")
+	}
+	old := parGrain
+	parGrain = 1
+	t.Cleanup(func() { parGrain = old })
+	parChaos = true
+	t.Cleanup(func() { parChaos = false })
+	for _, w := range []int{2, 8} {
+		n := 180
+		f := New(n)
+		f.SetWorkers(w)
+		ref := refforest.New(n)
+		r := rng.New(600 + uint64(w))
+		var live [][2]int
+		for round := 0; round < 15; round++ {
+			var links []Edge
+			var cuts [][2]int
+			for i, nCut := 0, r.Intn(12); i < nCut && len(live) > 0; i++ {
+				j := r.Intn(len(live))
+				cuts = append(cuts, live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+			for _, c := range cuts {
+				ref.Cut(c[0], c[1])
+			}
+			for i, nLink := 0, r.Intn(35); i < nLink; i++ {
+				u, v := r.Intn(n), r.Intn(n)
+				if u != v && !ref.Connected(u, v) {
+					wt := int64(1 + r.Intn(20))
+					ref.Link(u, v, wt)
+					links = append(links, Edge{u, v, wt})
+					live = append(live, [2]int{u, v})
+				}
+			}
+			if len(links) == 0 && len(cuts) == 0 {
+				continue
+			}
+			f.eng.run(links, cuts)
+			mustValidate(t, f, "pipeline chaos sweep")
+			checkStatsInvariants(t, f, len(links), len(cuts), "pipeline chaos sweep")
+			for q := 0; q < 20; q++ {
+				u, v := r.Intn(n), r.Intn(n)
+				gs, gok := f.PathSum(u, v)
+				ws, wok := ref.PathSum(u, v)
+				if gok != wok || (wok && gs != ws) {
+					t.Fatalf("w=%d round %d: PathSum(%d,%d) = %d,%v oracle %d,%v", w, round, u, v, gs, gok, ws, wok)
+				}
+			}
+		}
+	}
+}

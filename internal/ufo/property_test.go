@@ -8,24 +8,41 @@ import (
 	"repro/internal/rng"
 )
 
-// TestTrackMaxEffectiveWorkers pins the post-repair-pass contract: the
+// TestTrackMaxWorkersContract pins the post-repair-pass contract: the
 // level-synchronous rank-tree repair removed the sequential structural
-// fallback, so EffectiveWorkers always equals the configured count — on
-// trackMax forests too.
-func TestTrackMaxEffectiveWorkers(t *testing.T) {
+// fallback, so Workers always reports the configured count — on trackMax
+// forests too — and per-phase observability comes from PhaseStats (the
+// max_repair phase row) rather than a separate effective-worker hook.
+func TestTrackMaxWorkersContract(t *testing.T) {
 	f := New(8)
 	f.SetWorkers(4)
-	if f.Workers() != 4 || f.EffectiveWorkers() != 4 {
-		t.Fatalf("plain forest: Workers=%d Effective=%d, want 4/4", f.Workers(), f.EffectiveWorkers())
+	if f.Workers() != 4 {
+		t.Fatalf("plain forest: Workers=%d, want 4", f.Workers())
 	}
 	g := New(8)
 	g.EnableSubtreeMax()
 	g.SetWorkers(4)
 	if g.Workers() != 4 {
-		t.Fatalf("trackMax forest: Workers=%d, want the configured 4", g.Workers())
+		t.Fatalf("trackMax forest: Workers=%d, want the configured 4 (no structural fallback)", g.Workers())
 	}
-	if g.EffectiveWorkers() != 4 {
-		t.Fatalf("trackMax forest: EffectiveWorkers=%d, want the configured 4 (no structural fallback)", g.EffectiveWorkers())
+	g.BatchLink([]Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}})
+	st := g.PhaseStats()
+	var repair *PhaseStat
+	for i := range st.Phases {
+		if st.Phases[i].Name == "max_repair" {
+			repair = &st.Phases[i]
+		}
+	}
+	if repair == nil || repair.Items == 0 {
+		t.Fatalf("trackMax batch reported no max_repair work: %+v", st.Phases)
+	}
+	h := New(8)
+	h.SetWorkers(4)
+	h.BatchLink([]Edge{{0, 1, 1}, {1, 2, 1}})
+	for _, ph := range h.PhaseStats().Phases {
+		if ph.Name == "max_repair" && ph.Items != 0 {
+			t.Fatalf("plain forest reported max_repair items: %+v", ph)
+		}
 	}
 }
 

@@ -29,8 +29,8 @@ func runTrackMaxWorkerDifferential(t *testing.T, workers int, seed uint64) {
 	par := New(n)
 	par.EnableSubtreeMax()
 	par.SetWorkers(workers)
-	if got := par.EffectiveWorkers(); got != workers {
-		t.Fatalf("trackMax EffectiveWorkers = %d, want the configured %d", got, workers)
+	if got := par.Workers(); got != workers {
+		t.Fatalf("trackMax Workers = %d, want the configured %d", got, workers)
 	}
 	seqF := New(n)
 	seqF.EnableSubtreeMax()

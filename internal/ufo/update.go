@@ -1,6 +1,9 @@
 package ufo
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // edelEnt schedules the lazy deletion of one original edge's image at a
 // given level: the edge with this key must be removed from the adjacency of
@@ -18,28 +21,30 @@ type edelEnt struct {
 
 // engine runs batch updates over a Forest. It is reused across updates to
 // amortize allocations; a Forest owns exactly one engine (updates are not
-// concurrent).
-//
-// Every level-synchronous phase has a sequential and a parallel
-// implementation (parallel_update.go); run dispatches per phase on the
-// configured worker count and the phase's input size, so the same engine
-// serves the k=1 and the batch-parallel configurations of the paper.
+// concurrent). The phase table, scheduler, and telemetry live in
+// pipeline.go; this file holds the single implementation of each
+// Algorithm-4 phase.
 type engine struct {
-	f      *Forest
-	roots  [][]*Cluster // roots[l]: parentless clusters at level l awaiting reclustering
-	del    [][]*Cluster // del[l]: level-l clusters to examine for deletion
-	edel   [][]edelEnt  // edel[l]: lazy edge deletions at level l
-	dirty  [][]*Cluster // dirty[l]: level-l clusters claimed for rank-tree repair (trackMax)
+	f     *Forest
+	links []Edge       // current batch, set for the duration of run
+	cuts  [][2]int     //
+	roots [][]*Cluster // roots[l]: parentless clusters at level l awaiting reclustering
+	del   [][]*Cluster // del[l]: level-l clusters to examine for deletion
+	edel  [][]edelEnt  // edel[l]: lazy edge deletions at level l
+	dirty [][]*Cluster // dirty[l]: level-l clusters claimed for rank-tree repair (trackMax)
+
 	maxLvl int
 	// recluster scratch
 	hi, lo  []*Cluster // stage-1 (degree ≥ 3) and stage-2 (degree ≤ 2) queues
 	proc    []*Cluster // roots that received parents and need adjacency lift
 	touched []*Cluster // parents whose aggregates must be recomputed
-	// parallel scratch (allocated on first parallel run)
-	ws      []wscratch  // per-worker buffers
+	// scheduler state (pipeline.go)
+	ws      []wscratch  // per-worker buffers (worker 0 serves the inline path)
 	stripes []stripedMu // lock stripes hashed by cluster uid
+	fanned  bool        // a phase is currently running on multiple workers
 	acts    []uint8     // conditional-deletion action per del entry
-	cand    []*Cluster  // pair-matching candidate set
+	cand    []*Cluster  // pair-matching candidate set / disconnect detach list
+	stats   PhaseStats  // per-phase telemetry, reset at each run
 }
 
 func (e *engine) ensureLevel(l int) {
@@ -95,34 +100,87 @@ func (e *engine) newCluster(level int) *Cluster {
 	return c
 }
 
-func (e *engine) markTouched(p *Cluster) {
-	if p.trySet(flagTouched) {
-		e.touched = append(e.touched, p)
-	}
+// seedCuts applies the level-0 half of a cut batch: the affected leaves
+// become the level-0 roots, their (old) parents the level-1 deletion
+// candidates, and removed edges are scheduled for level-1 lazy deletion.
+// Parent pointers are stable during seeding (disconnection runs after), so
+// the only contention is between cuts sharing an endpoint's stripe.
+func (e *engine) seedCuts() {
+	f := e.f
+	cuts := e.cuts
+	e.forPhase(len(cuts), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			c := cuts[j]
+			lu, lv := f.leaves[c[0]], f.leaves[c[1]]
+			key := edgeKey(int32(c[0]), int32(c[1]))
+			e.lockC(lu)
+			ok := lu.adj.remove(key)
+			e.unlockC(lu)
+			if !ok {
+				panic(fmt.Sprintf("ufo: cutting absent edge (%d,%d)", c[0], c[1]))
+			}
+			e.lockC(lv)
+			lv.adj.remove(key)
+			e.unlockC(lv)
+			s.cnt--
+			pu, pv := lu.parent, lv.parent
+			if pu != nil && pv != nil && pu != pv {
+				s.edel = append(s.edel, edelEnt{key, pu, pv})
+			}
+			collectRoot(s, lu)
+			collectRoot(s, lv)
+			collectDel(s, pu)
+			collectDel(s, pv)
+		}
+	})
+	e.drainScratch(0, 0, 1, 1)
 }
 
-// run applies a mixed batch of insertions and deletions.
-func (e *engine) run(links []Edge, cuts [][2]int) {
+// seedLinks applies the level-0 half of a link batch, including the
+// ancestor-chain image insertion (sequential Algorithm 2, line 2): when a
+// chain segment survives — an intact superunary center — its image must
+// exist for degree checks and quotient consistency; segments that are torn
+// down re-derive the image through reclustering. Each original edge is
+// owned by one worker and edge keys are unique, so cross-worker conflicts
+// are only same-cluster adjacency writes, which the stripes serialize.
+func (e *engine) seedLinks() {
 	f := e.f
-	e.maxLvl = 0
-	e.ensureLevel(2)
-	if f.workers > 1 {
-		e.setupPar()
-	}
-
-	// Level-0 adjacency updates and seeds: the affected leaves become the
-	// level-0 roots, their (old) parents the level-1 deletion candidates,
-	// and removed edges are scheduled for level-1 lazy deletion.
-	if e.par(len(cuts)) {
-		e.seedCutsPar(cuts)
-	} else {
-		e.seedCutsSeq(cuts)
-	}
-	if e.par(len(links)) {
-		e.seedLinksPar(links)
-	} else {
-		e.seedLinksSeq(links)
-	}
+	links := e.links
+	e.forPhase(len(links), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			ed := links[j]
+			lu, lv := f.leaves[ed.U], f.leaves[ed.V]
+			key := edgeKey(int32(ed.U), int32(ed.V))
+			e.lockC(lu)
+			ok := lu.adj.insert(EdgeRef{to: lv, key: key, w: ed.W, myV: int32(ed.U), otherV: int32(ed.V)})
+			e.unlockC(lu)
+			if !ok {
+				panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", ed.U, ed.V))
+			}
+			e.lockC(lv)
+			lv.adj.insert(EdgeRef{to: lu, key: key, w: ed.W, myV: int32(ed.V), otherV: int32(ed.U)})
+			e.unlockC(lv)
+			s.cnt++
+			au, av := lu.parent, lv.parent
+			myV, otherV := int32(ed.U), int32(ed.V)
+			for au != nil && av != nil && au != av {
+				e.lockC(au)
+				added := au.adj.insert(EdgeRef{to: av, key: key, w: ed.W, myV: myV, otherV: otherV})
+				e.unlockC(au)
+				if added {
+					e.lockC(av)
+					av.adj.insert(EdgeRef{to: au, key: key, w: ed.W, myV: otherV, otherV: myV})
+					e.unlockC(av)
+				}
+				au, av = au.parent, av.parent
+			}
+			collectRoot(s, lu)
+			collectRoot(s, lv)
+			collectDel(s, lu.parent)
+			collectDel(s, lv.parent)
+		}
+	})
+	e.drainScratch(0, 0, 1, 1)
 	if f.mode != ModeUFO {
 		for _, ed := range links {
 			if f.leaves[ed.U].adj.degree() > 3 || f.leaves[ed.V].adj.degree() > 3 {
@@ -130,211 +188,226 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 			}
 		}
 	}
-
-	// Disconnect affected leaves from stale parents (the level-0 analogue
-	// of Algorithm 1's prev.parent ← null): a leaf whose adjacency changed
-	// invalidates its parent's merge unless it is the intact high-degree
-	// center of a superunary merge (UFO mode only; topology trees always
-	// tear down the full ancestor path).
-	if e.par(len(e.roots[0])) {
-		e.disconnectPar()
-	} else {
-		e.disconnectSeq()
-	}
-
-	for i := 0; i <= e.maxLvl; i++ {
-		if i >= maxLevels {
-			panic("ufo: contraction level overflow (balance bug)")
-		}
-		e.ensureLevel(i + 2)
-
-		// Phase 1: the parents of everything examined at level i+1 are
-		// candidates at level i+2 (their contents transitively changed).
-		if e.par(len(e.del[i+1])) {
-			e.markParentsPar(i)
-		} else {
-			e.markParentsSeq(i)
-		}
-
-		// Phase 2: lazy edge deletions at level i+1, propagating images
-		// one level further while both sides' parent chains persist.
-		if e.par(len(e.edel[i+1])) {
-			e.edelPar(i)
-		} else {
-			e.edelSeq(i)
-		}
-		e.edel[i+1] = e.edel[i+1][:0]
-
-		// Phase 3: conditional deletion (Algorithm 4 lines 11-19). Only
-		// low-degree, low-fanout clusters are deleted; high-fanout ones
-		// are disconnected and reclustered; a high-degree cluster that is
-		// still the intact center of its parent's merge stays put. In
-		// topology mode every examined cluster is deleted (fanout and
-		// degree are constant-bounded, so this is O(1) per cluster).
-		if e.par(len(e.del[i+1])) {
-			e.condDeletePar(i)
-		} else {
-			e.condDeleteSeq(i)
-		}
-		e.del[i+1] = e.del[i+1][:0]
-
-		// Phase 4: recluster the level-i roots.
-		e.recluster(i)
-
-		// Phase 5 (trackMax only): level-synchronous rank-tree repair of
-		// the dirty level-(i+1) clusters, whose child sets are now final.
-		e.repairMax(i)
-	}
 }
 
-// seedCutsSeq applies the level-0 half of a cut batch.
-func (e *engine) seedCutsSeq(cuts [][2]int) {
+// disconnect detaches the level-0 roots from stale parents and schedules
+// the lazy deletion of their stale level-1 edge images (the level-0
+// analogue of Algorithm 1's prev.parent ← null): a leaf whose adjacency
+// changed invalidates its parent's merge unless it is the intact
+// high-degree center of a superunary merge (UFO mode only; topology trees
+// always tear down the full ancestor path). A read-only pass collects the
+// stale-image deletions and the leaves to detach — using pre-detach
+// parents for every edel entry; both endpoints of a doubly-moved edge
+// schedule its image, and edel removals are idempotent — then a mutation
+// pass detaches under the parent's lock stripe.
+func (e *engine) disconnect() {
 	f := e.f
-	for _, c := range cuts {
-		lu, lv := f.leaves[c[0]], f.leaves[c[1]]
-		key := edgeKey(int32(c[0]), int32(c[1]))
-		if !lu.adj.remove(key) {
-			panic(fmt.Sprintf("ufo: cutting absent edge (%d,%d)", c[0], c[1]))
-		}
-		lv.adj.remove(key)
-		f.nEdges--
-		if lu.parent != nil && lv.parent != nil && lu.parent != lv.parent {
-			e.addEdel(1, edelEnt{key, lu.parent, lv.parent})
-		}
-		e.addRoot(0, lu)
-		e.addRoot(0, lv)
-		e.addDel(lu.parent)
-		e.addDel(lv.parent)
-	}
-}
-
-// seedLinksSeq applies the level-0 half of a link batch.
-func (e *engine) seedLinksSeq(links []Edge) {
-	f := e.f
-	for _, ed := range links {
-		lu, lv := f.leaves[ed.U], f.leaves[ed.V]
-		key := edgeKey(int32(ed.U), int32(ed.V))
-		if !lu.adj.insert(EdgeRef{to: lv, key: key, w: ed.W, myV: int32(ed.U), otherV: int32(ed.V)}) {
-			panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", ed.U, ed.V))
-		}
-		lv.adj.insert(EdgeRef{to: lu, key: key, w: ed.W, myV: int32(ed.V), otherV: int32(ed.U)})
-		f.nEdges++
-		// Insert the edge's image at every level along the (old) ancestor
-		// chains (sequential Algorithm 2, line 2): when a chain segment
-		// survives — an intact superunary center — its image must exist
-		// for degree checks and quotient consistency; segments that are
-		// torn down re-derive the image through reclustering.
-		au, av := lu.parent, lv.parent
-		myV, otherV := int32(ed.U), int32(ed.V)
-		for au != nil && av != nil && au != av {
-			if au.adj.insert(EdgeRef{to: av, key: key, w: ed.W, myV: myV, otherV: otherV}) {
-				av.adj.insert(EdgeRef{to: au, key: key, w: ed.W, myV: otherV, otherV: myV})
+	roots0 := e.roots[0]
+	e.forPhase(len(roots0), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			l := roots0[j]
+			p := l.parent
+			if p == nil {
+				continue
 			}
-			au, av = au.parent, av.parent
-		}
-		e.addRoot(0, lu)
-		e.addRoot(0, lv)
-		e.addDel(lu.parent)
-		e.addDel(lv.parent)
-	}
-}
-
-// disconnectSeq detaches the level-0 roots from stale parents and schedules
-// the lazy deletion of their stale level-1 edge images.
-func (e *engine) disconnectSeq() {
-	f := e.f
-	for _, l := range e.roots[0] {
-		p := l.parent
-		if p == nil {
-			continue
-		}
-		if f.mode == ModeUFO && l.adj.degree() >= 3 && p.center == l {
-			continue
-		}
-		l.adj.forEach(func(er EdgeRef) bool {
-			tp := er.to.parent
-			if tp != nil && tp != p {
-				e.addEdel(1, edelEnt{er.key, p, tp})
+			if f.mode == ModeUFO && l.adj.degree() >= 3 && p.center == l {
+				continue
 			}
-			return true
-		})
-		detach(l)
-		e.markMaxDirty(p, nil)
+			l.adj.forEach(func(er EdgeRef) bool {
+				tp := er.to.parent
+				if tp != nil && tp != p {
+					s.edel = append(s.edel, edelEnt{er.key, p, tp})
+				}
+				return true
+			})
+			s.roots2 = append(s.roots2, l) // to detach (not a queue claim)
+		}
+	})
+	// Flatten the detach lists before draining resets them.
+	e.cand = e.cand[:0]
+	for w := range e.ws {
+		s := &e.ws[w]
+		e.cand = append(e.cand, s.roots2...)
+		s.roots2 = s.roots2[:0]
 	}
+	e.drainScratch(0, 0, 0, 1)
+	det := e.cand
+	e.forPhase(len(det), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			e.detach(det[j], s)
+		}
+	})
+	e.drainDirty()
+	e.cand = e.cand[:0]
 }
 
-// markParentsSeq implements phase 1 at round i.
-func (e *engine) markParentsSeq(i int) {
-	for _, c := range e.del[i+1] {
-		if c.parent != nil {
-			e.addDel(c.parent)
+// markParents implements phase 1 at round i: the parents of everything
+// examined at level i+1 are candidates at level i+2 (their contents
+// transitively changed).
+func (e *engine) markParents(i int) {
+	del := e.del[i+1]
+	e.forPhase(len(del), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			collectDel(s, del[j].parent)
 		}
-	}
+	})
+	e.drainScratch(0, 0, i+2, 0)
 }
 
-// edelSeq implements phase 2 at round i.
-func (e *engine) edelSeq(i int) {
-	for _, ent := range e.edel[i+1] {
-		if !ent.a.dead() {
-			ent.a.adj.remove(ent.key)
-		}
-		if !ent.b.dead() {
-			ent.b.adj.remove(ent.key)
-		}
-		pa, pb := ent.a.parent, ent.b.parent
-		if pa != nil && pb != nil && pa != pb {
-			e.addEdel(i+2, edelEnt{ent.key, pa, pb})
-		}
-	}
-}
-
-// condDeleteSeq implements phase 3 at round i.
-func (e *engine) condDeleteSeq(i int) {
-	f := e.f
-	for _, c := range e.del[i+1] {
-		c.clear(flagInDel)
-		if c.dead() {
-			continue
-		}
-		deg := c.adj.degree()
-		fo := len(c.children)
-		switch {
-		case f.mode != ModeUFO || c.has(flagDamaged) || (deg < 3 && fo < 3):
-			e.deleteCluster(c)
-		case deg >= 3 && c.parent != nil && c.parent.center == c:
-			// Intact merge center: remains merged (its siblings'
-			// adjacency to it is unchanged).
-		default:
-			// Contents or degree changed: the parent's merge is
-			// stale. Disconnect and recluster at this level,
-			// scheduling the removal of this cluster's (now stale)
-			// edge images above.
-			if fp := c.parent; fp != nil {
-				c.adj.forEach(func(er EdgeRef) bool {
-					tp := er.to.parent
-					if tp != nil && tp != fp {
-						e.addEdel(i+2, edelEnt{er.key, fp, tp})
-					}
-					return true
-				})
-				detach(c)
-				e.markMaxDirty(fp, nil)
+// edelApply implements phase 2 at round i: remove the scheduled edge
+// images at level i+1 and propagate surviving images one level further
+// while both sides' parent chains persist. Parent pointers and dead flags
+// are stable during this phase.
+func (e *engine) edelApply(i int) {
+	ents := e.edel[i+1]
+	e.forPhase(len(ents), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			ent := ents[j]
+			if !ent.a.dead() {
+				e.lockC(ent.a)
+				ent.a.adj.remove(ent.key)
+				e.unlockC(ent.a)
 			}
-			e.addRoot(i+1, c)
+			if !ent.b.dead() {
+				e.lockC(ent.b)
+				ent.b.adj.remove(ent.key)
+				e.unlockC(ent.b)
+			}
+			pa, pb := ent.a.parent, ent.b.parent
+			if pa != nil && pb != nil && pa != pb {
+				s.edel = append(s.edel, edelEnt{ent.key, pa, pb})
+			}
 		}
-	}
+	})
+	e.drainScratch(0, 0, 0, i+2)
+	e.edel[i+1] = ents[:0]
 }
 
-// deleteCluster removes c entirely: its children become roots one level
-// down, it is detached from its parent (keeping the pointer for lazy edge
-// propagation), and its incident edges are removed with their higher-level
-// images scheduled.
-func (e *engine) deleteCluster(c *Cluster) {
+// Conditional-deletion actions (condDelete classification).
+const (
+	actSkip uint8 = iota
+	actDelete
+	actKeep
+	actRecluster
+)
+
+// condDelete implements phase 3 (Algorithm 4 lines 11-19) as
+// classify-then-mutate: pass 1 decides every cluster's fate and collects
+// the scheduling side effects from the pre-phase state (the paper's
+// data-parallel semantics — every degree and parent is read as of the
+// start of the phase; duplicate E⁻ entries from both endpoints of a
+// doubly-affected edge are benign because image removal is idempotent).
+// Pass 2 executes the structural mutations with lock-striped adjacency
+// surgery and atomic aggregate updates. Only low-degree, low-fanout
+// clusters are deleted; high-fanout ones are disconnected and
+// reclustered; a high-degree cluster that is still the intact center of
+// its parent's merge stays put. In topology mode every examined cluster
+// is deleted (fanout and degree are constant-bounded, so this is O(1) per
+// cluster).
+func (e *engine) condDelete(i int) {
+	f := e.f
+	del := e.del[i+1]
+	n := len(del)
+	if cap(e.acts) < n {
+		e.acts = make([]uint8, n)
+	}
+	acts := e.acts[:n]
+	e.forPhase(n, func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			c := del[j]
+			c.clear(flagInDel)
+			if c.dead() {
+				acts[j] = actSkip
+				continue
+			}
+			deg := c.adj.degree()
+			fo := len(c.children)
+			switch {
+			case f.mode != ModeUFO || c.has(flagDamaged) || (deg < 3 && fo < 3):
+				acts[j] = actDelete
+				e.scheduleDelete(c, s)
+			case deg >= 3 && c.parent != nil && c.parent.center == c:
+				// Intact merge center: remains merged (its siblings'
+				// adjacency to it is unchanged).
+				acts[j] = actKeep
+			default:
+				// Contents or degree changed: the parent's merge is stale.
+				// Disconnect and recluster at this level, scheduling the
+				// removal of this cluster's (now stale) edge images above.
+				acts[j] = actRecluster
+				e.scheduleImages(c, s)
+				if c.trySet(flagInRoots) {
+					s.roots2 = append(s.roots2, c)
+				}
+			}
+		}
+	})
+	e.drainScratch(i, i+1, 0, i+2)
+	e.forPhase(n, func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			c := del[j]
+			switch acts[j] {
+			case actDelete:
+				e.execDelete(c, s)
+			case actRecluster:
+				if c.parent != nil {
+					e.detach(c, s)
+				}
+			}
+		}
+	})
+	e.drainDirty()
+	e.del[i+1] = del[:0]
+}
+
+// scheduleDelete collects the queue side effects of deleting c: its
+// children become roots one level down, and its incident edge images are
+// scheduled for lazy deletion above. s == nil routes directly into the
+// engine queues (serial recluster stages); otherwise entries land in the
+// worker scratch, whose drain levels are fixed by the owning phase.
+func (e *engine) scheduleDelete(c *Cluster, s *wscratch) {
+	for _, y := range c.children {
+		if s == nil {
+			e.addRoot(int(c.level)-1, y)
+		} else {
+			collectRoot(s, y)
+		}
+	}
+	e.scheduleImages(c, s)
+}
+
+// scheduleImages schedules the lazy deletion of c's edge images inside its
+// parent, one level up (they become stale the moment c leaves the merge).
+func (e *engine) scheduleImages(c *Cluster, s *wscratch) {
+	fp := c.parent
+	if fp == nil {
+		return
+	}
+	c.adj.forEach(func(er EdgeRef) bool {
+		tp := er.to.parent
+		if tp != nil && tp != fp {
+			ent := edelEnt{er.key, fp, tp}
+			if s == nil {
+				e.addEdel(int(c.level)+1, ent)
+			} else {
+				s.edel = append(s.edel, ent)
+			}
+		}
+		return true
+	})
+}
+
+// execDelete removes c structurally: the mutation half of a deletion,
+// whose queue side effects (children as roots, E⁻ images) were already
+// collected by scheduleDelete. Children are released, c is detached from
+// its parent (keeping the pointer for lazy edge propagation), and its
+// adjacency is snapshot under c's own stripe and removed from neighbors
+// one stripe at a time (never holding two locks).
+func (e *engine) execDelete(c *Cluster, s *wscratch) {
 	for _, y := range c.children {
 		y.parent = nil
 		y.childIdx = -1
 		y.childItem = nil // the dying cluster's child rank tree goes with it
-		e.addRoot(int(c.level)-1, y)
 	}
 	c.children = nil
 	c.center = nil
@@ -342,42 +415,100 @@ func (e *engine) deleteCluster(c *Cluster) {
 	c.rtOrphans, c.rtNew, c.rtStale = nil, nil, nil
 	fp := c.parent
 	if fp != nil {
-		detach(c)
-		e.markMaxDirty(fp, nil)
+		e.detach(c, s)
 		c.parent = fp // former-parent pointer: lets edel entries ride upward
 	}
+	e.lockC(c)
+	s.snap = s.snap[:0]
 	c.adj.forEach(func(er EdgeRef) bool {
-		er.to.adj.remove(er.key)
-		tp := er.to.parent
-		if fp != nil && tp != nil && tp != fp {
-			e.addEdel(int(c.level)+1, edelEnt{er.key, fp, tp})
-		}
+		s.snap = append(s.snap, er)
 		return true
 	})
 	c.adj.clear()
+	e.unlockC(c)
+	for _, er := range s.snap {
+		e.lockC(er.to)
+		er.to.adj.remove(er.key)
+		e.unlockC(er.to)
+	}
 	c.set(flagDead)
+}
+
+// detach removes c from its parent, keeping subtree aggregates of the
+// ancestor chain correct and flagging the parent as damaged when it loses
+// its merge center (its remaining children would be mutually
+// disconnected) or its last child. Ancestor chains are shared between
+// concurrent detaches of a fanned phase, so aggregates use atomic adds;
+// parent pointers are stable within a phase, and the child-list surgery
+// runs under the parent's stripe. With trackMax the rank-tree deletion is
+// deferred: the child's item handle moves to the parent's rtOrphans
+// buffer (serialized by the same stripe) and the parent is claimed for
+// the post-phase repair pass (s == nil claims directly, serial stages).
+func (e *engine) detach(c *Cluster, s *wscratch) {
+	p := c.parent
+	if p == nil {
+		return
+	}
+	e.lockC(p)
+	if p.has(flagTrackMax) && c.childItem != nil {
+		p.rtOrphans = append(p.rtOrphans, c.childItem)
+		c.childItem = nil
+	}
+	last := int32(len(p.children) - 1)
+	moved := p.children[last]
+	p.children[c.childIdx] = moved
+	moved.childIdx = c.childIdx
+	p.children = p.children[:last]
+	if p.center == c {
+		p.center = nil
+		if len(p.children) > 0 {
+			p.set(flagDamaged)
+		}
+	}
+	if len(p.children) == 0 {
+		p.set(flagDamaged)
+	}
+	e.unlockC(p)
+	if e.fanned {
+		for a := p; a != nil; a = a.parent {
+			atomic.AddInt64(&a.subSum, -c.subSum)
+			atomic.AddInt64(&a.vcnt, -c.vcnt)
+		}
+	} else {
+		// Inline path: plain adds — the atomic ancestor walk is the one
+		// measurable cost of the unified body on deep sequential chains.
+		for a := p; a != nil; a = a.parent {
+			a.subSum -= c.subSum
+			a.vcnt -= c.vcnt
+		}
+	}
+	c.parent = nil
+	c.childIdx = -1
+	e.markMaxDirty(p, s)
 }
 
 // stealLeaf detaches the degree-1 cluster y from its current parent q so a
 // high-degree root can absorb it. If y was q's merge center, q's remaining
 // children would be mutually disconnected; since a degree-1 center bounds
 // q's fanout by 2, we release the lone sibling and delete q (cheap). The
-// released sibling re-enters the recluster queues.
-func (e *engine) stealLeaf(y *Cluster, i int) {
+// released sibling re-enters the recluster queues. Runs only from the
+// serial stage-1 loop, so side effects go directly into the engine queues.
+func (e *engine) stealLeaf(y *Cluster) {
 	q := y.parent
 	wasCenter := q.center == y
-	detach(y)
-	e.markMaxDirty(q, nil)
+	e.detach(y, nil)
 	switch {
 	case len(q.children) == 0:
-		e.deleteCluster(q)
+		e.scheduleDelete(q, nil)
+		e.execDelete(q, &e.ws[0])
 	case wasCenter:
 		for len(q.children) > 0 {
 			z := q.children[0]
-			detach(z)
+			e.detach(z, nil)
 			e.addReclusterItem(z)
 		}
-		e.deleteCluster(q)
+		e.scheduleDelete(q, nil)
+		e.execDelete(q, &e.ws[0])
 	default:
 		e.scheduleAncestors(q)
 	}
@@ -438,11 +569,11 @@ func (e *engine) isAbsorbCenter(z *Cluster) bool {
 //     high-degree families (a degree-1 root joins the superunary merge);
 //  3. adjacency is lifted to level i+1 and parent aggregates recomputed.
 //
-// In the parallel configuration, root classification runs as a parallel
-// pack, the bulk of stage 2 runs as a randomized mutual-proposal maximal
-// matching (matchPairsPar) whose leftovers fall through to the sequential
-// greedy loop, and stages 3's adjacency lift and aggregate refresh are
-// chunked parallel loops.
+// Root classification, the adjacency lift, and the aggregate refresh run
+// over forPhase; when the engine can fan out, the bulk of stage 2 first
+// runs as a randomized mutual-proposal maximal matching (matchPairs) whose
+// leftovers fall through to the greedy loop — pure optimization, the
+// greedy loop alone is the complete stage-2 implementation.
 func (e *engine) recluster(i int) {
 	rts := e.roots[i]
 	if len(rts) == 0 {
@@ -453,16 +584,26 @@ func (e *engine) recluster(i int) {
 	e.proc = e.proc[:0]
 	e.touched = e.touched[:0]
 	topo := e.f.mode == ModeTopology
-	if e.par(len(rts)) {
-		e.classifyRootsPar(rts)
-	} else {
-		for _, x := range rts {
+	e.forPhase(len(rts), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			x := rts[j]
 			x.clear(flagInRoots)
 			if x.dead() || x.parent != nil {
 				continue
 			}
-			e.addReclusterItem(x)
+			if e.isAbsorbCenter(x) {
+				s.roots = append(s.roots, x)
+			} else {
+				s.roots2 = append(s.roots2, x)
+			}
 		}
+	})
+	for w := range e.ws {
+		s := &e.ws[w]
+		e.hi = append(e.hi, s.roots...)
+		e.lo = append(e.lo, s.roots2...)
+		s.roots = s.roots[:0]
+		s.roots2 = s.roots2[:0]
 	}
 	e.roots[i] = e.roots[i][:0]
 
@@ -486,7 +627,7 @@ func (e *engine) recluster(i int) {
 			y := er.to
 			if y.adj.degree() == 1 {
 				if y.parent != nil {
-					e.stealLeaf(y, i)
+					e.stealLeaf(y)
 				}
 				if y.parent == nil {
 					attach(p, y)
@@ -497,11 +638,11 @@ func (e *engine) recluster(i int) {
 		e.proc = append(e.proc, x)
 	}
 
-	// Stage 2a (parallel only): maximal matching over the root-root pair
+	// Stage 2a (fanned only): maximal matching over the root-root pair
 	// merges, which are the bulk of any contraction round. Leftover cases
 	// (adoptions, superunary joins, singletons) fall through to stage 2b.
 	if e.par(len(e.lo)) {
-		e.matchPairsPar(i)
+		e.matchPairs(i)
 	}
 
 	// Stage 2b: greedy maximal matching of degree ≤ 2 roots along chains.
@@ -580,10 +721,122 @@ func (e *engine) recluster(i int) {
 	}
 
 	// Stage 3: lift adjacency to level i+1 and refresh parent aggregates.
-	if e.par(len(e.proc)) {
-		e.liftPar(i)
-	} else {
-		for _, x := range e.proc {
+	e.lift(i)
+	e.pathAgg()
+}
+
+// mixUID is a splitmix64-style hash giving every cluster a fresh random
+// priority each matching round (deterministic for a given forest seed).
+func mixUID(uid uint32, round int, seed uint64) uint64 {
+	z := uint64(uid) + seed + uint64(round)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// maxMatchRounds bounds the mutual-proposal matching fixpoint; the greedy
+// stage-2b loop picks up anything left (termination is guaranteed without
+// the cap — each round matches at least one mutual pair while any eligible
+// pair exists — this is a defensive bound).
+const maxMatchRounds = 64
+
+// matchPairs runs the randomized mutual-proposal maximal matching over the
+// root-root pair merges of stage 2 (the bulk of a contraction round):
+// every unmatched root proposes to its highest-priority eligible neighbor;
+// mutual proposals merge under a fresh parent (created by the smaller-uid
+// side, so exactly one worker touches each pair). While any eligible pair
+// remains, the round's globally highest-priority root always receives a
+// mutual proposal, so every round makes progress and the fixpoint is a
+// maximal matching in O(log) rounds with high probability. Leftovers
+// (adoptions, superunary joins, singletons) are handled by the greedy
+// stage-2b loop that follows.
+func (e *engine) matchPairs(i int) {
+	e.cand = e.cand[:0]
+	for _, x := range e.lo {
+		if x.dead() || x.parent != nil {
+			continue
+		}
+		if d := x.adj.degree(); d >= 1 && d <= 2 {
+			e.cand = append(e.cand, x)
+		}
+	}
+	seed := e.f.seed
+	for round := 0; len(e.cand) > 1 && round < maxMatchRounds; round++ {
+		cand := e.cand
+		e.forPhase(len(cand), func(_ *wscratch, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				x := cand[j]
+				var best *Cluster
+				var bestH uint64
+				x.adj.forEach(func(er EdgeRef) bool {
+					y := er.to
+					if y.parent != nil || y.dead() || y.adj.degree() > 2 {
+						return true
+					}
+					h := mixUID(y.uid, round, seed)
+					if best == nil || h > bestH {
+						best, bestH = y, h
+					}
+					return true
+				})
+				x.prop = best
+			}
+		})
+		e.forPhase(len(cand), func(s *wscratch, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				x := cand[j]
+				y := x.prop
+				if y == nil || y.prop != x || x.uid >= y.uid {
+					continue
+				}
+				p := e.newCluster(i + 1)
+				attach(p, x)
+				attach(p, y)
+				e.markMaxDirty(p, s)
+				s.proc = append(s.proc, x, y)
+				s.matched += 2
+			}
+		})
+		matched := 0
+		for w := range e.ws {
+			s := &e.ws[w]
+			e.proc = append(e.proc, s.proc...)
+			s.proc = s.proc[:0]
+			matched += s.matched
+			s.matched = 0
+		}
+		if matched == 0 {
+			break
+		}
+		out := e.cand[:0]
+		for _, x := range cand {
+			x.prop = nil
+			if x.parent == nil {
+				out = append(out, x)
+			}
+		}
+		e.cand = out
+	}
+	for _, x := range e.cand {
+		x.prop = nil
+	}
+	e.cand = e.cand[:0]
+	e.drainDirty()
+}
+
+// lift is stage 3's adjacency lift: every processed root's level-i edges
+// are imaged into its new parent. When both endpoints lift the same edge
+// concurrently, each side's primary insert succeeds at most once and every
+// successful primary attempts the mirror, so both sides end with exactly
+// one symmetric entry regardless of the interleaving.
+func (e *engine) lift(i int) {
+	proc := e.proc
+	e.forPhase(len(proc), func(s *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			x := proc[j]
 			if x.dead() || x.parent == nil {
 				continue
 			}
@@ -593,23 +846,39 @@ func (e *engine) recluster(i int) {
 				if py == nil || py == p {
 					return true
 				}
-				if p.adj.insert(EdgeRef{to: py, key: er.key, w: er.w, myV: er.myV, otherV: er.otherV}) {
+				e.lockC(p)
+				added := p.adj.insert(EdgeRef{to: py, key: er.key, w: er.w, myV: er.myV, otherV: er.otherV})
+				e.unlockC(p)
+				if added {
+					e.lockC(py)
 					py.adj.insert(EdgeRef{to: p, key: er.key, w: er.w, myV: er.otherV, otherV: er.myV})
+					e.unlockC(py)
 				}
 				return true
 			})
-			e.markTouched(p)
-			e.addRoot(i+1, p)
+			if p.trySet(flagTouched) {
+				s.touched = append(s.touched, p)
+			}
+			if !p.dead() && p.trySet(flagInRoots) {
+				s.roots2 = append(s.roots2, p)
+			}
 		}
-	}
-	if e.par(len(e.touched)) {
-		e.pathAggPar()
-	} else {
-		for _, p := range e.touched {
+	})
+	e.drainScratch(0, i+1, 0, 0)
+}
+
+// pathAgg recomputes the touched parents' cluster-path aggregates: all
+// inputs (adjacency, children) are stable after the lift barrier and every
+// touched parent is visited exactly once, so no locks are needed.
+func (e *engine) pathAgg() {
+	touched := e.touched
+	e.forPhase(len(touched), func(_ *wscratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			p := touched[j]
 			p.clear(flagTouched)
 			e.computePathAgg(p)
 		}
-	}
+	})
 	e.touched = e.touched[:0]
 }
 

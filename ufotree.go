@@ -23,6 +23,8 @@
 package ufotree
 
 import (
+	"time"
+
 	"repro/internal/ett"
 	"repro/internal/linkcut"
 	"repro/internal/seq"
@@ -85,6 +87,71 @@ type SubtreeQuerier interface {
 	SubtreeSum(v, p int) int64
 }
 
+// PhaseStat is the accumulated cost of one batch-update pipeline phase
+// (the facade mirror of ufo.PhaseStat).
+type PhaseStat struct {
+	Name  string        `json:"name"`
+	Calls int           `json:"calls"` // invocations (one per contraction round for level phases)
+	Items int64         `json:"items"` // work items processed (phase-specific unit)
+	Time  time.Duration `json:"time_ns"`
+}
+
+// PhaseStats is the per-phase telemetry of a structure's batch updates:
+// monotonic wall time, item counts, and calls per pipeline phase, plus the
+// batch shape and contraction rounds processed. Snapshots come from
+// BatchForest.PhaseStats; Accumulate aggregates them across batches.
+type PhaseStats struct {
+	Batches int           `json:"batches"` // batches aggregated (1 per snapshot)
+	Links   int64         `json:"links"`
+	Cuts    int64         `json:"cuts"`
+	Levels  int           `json:"levels"` // contraction rounds processed
+	Total   time.Duration `json:"total_ns"`
+	Phases  []PhaseStat   `json:"phases"`
+}
+
+// Accumulate merges o into s, phase by phase, for callers tracking a whole
+// run of batches (servers, benchmark loops).
+func (s *PhaseStats) Accumulate(o PhaseStats) {
+	if len(s.Phases) < len(o.Phases) {
+		ph := make([]PhaseStat, len(o.Phases))
+		for i := range ph {
+			ph[i].Name = o.Phases[i].Name
+		}
+		copy(ph, s.Phases)
+		s.Phases = ph
+	}
+	s.Batches += o.Batches
+	s.Links += o.Links
+	s.Cuts += o.Cuts
+	s.Levels += o.Levels
+	s.Total += o.Total
+	for i := range o.Phases {
+		s.Phases[i].Calls += o.Phases[i].Calls
+		s.Phases[i].Items += o.Phases[i].Items
+		s.Phases[i].Time += o.Phases[i].Time
+	}
+}
+
+// Clone returns a deep copy: the shallow struct copy shares the Phases
+// backing array, which Accumulate mutates in place, so aggregating
+// callers that hand snapshots to another goroutine (e.g. a stats
+// endpoint) must Clone inside their critical section.
+func (s PhaseStats) Clone() PhaseStats {
+	out := s
+	out.Phases = append([]PhaseStat(nil), s.Phases...)
+	return out
+}
+
+// fromUFOStats converts the internal engine telemetry to the facade type.
+func fromUFOStats(s ufo.PhaseStats) PhaseStats {
+	out := PhaseStats{Batches: s.Batches, Links: s.Links, Cuts: s.Cuts, Levels: s.Levels, Total: s.Total}
+	out.Phases = make([]PhaseStat, len(s.Phases))
+	for i, p := range s.Phases {
+		out.Phases[i] = PhaseStat{Name: p.Name, Calls: p.Calls, Items: p.Items, Time: p.Time}
+	}
+	return out
+}
+
 // BatchForest is implemented by the parallel batch-dynamic structures
 // (UFO, topology, RC, ETT).
 type BatchForest interface {
@@ -96,22 +163,26 @@ type BatchForest interface {
 	// SetParallel toggles goroutine parallelism inside batch updates.
 	SetParallel(on bool)
 	// SetWorkers fixes the number of workers used by batch updates and
-	// batch queries; values below 2 select the sequential engine, and
-	// counts above GOMAXPROCS are allowed (oversubscription).
-	// Implementations without a tunable worker count treat any k > 1 as
-	// SetParallel(true).
+	// batch queries. Clamp rules, uniform across adapters: k <= 0 defaults
+	// to runtime.GOMAXPROCS(0) (the SetParallel(true) configuration);
+	// k == 1 runs fully sequentially; counts above GOMAXPROCS are allowed
+	// (oversubscription). Implementations without a tunable worker count
+	// treat any k > 1 as SetParallel(true).
 	SetWorkers(k int)
-	// Workers reports the effective worker count of the structural update
-	// phases, which can be lower than the last SetWorkers value when a
-	// configuration forces a sequential fallback. UFO forests have no such
-	// fallback — subtree-max tracking included, since rank-tree repair is
-	// level-synchronous — so UFO adapters always report the configured
-	// count. UFO and ternarized batch queries likewise use the full count;
-	// ETT query fan-out is further limited by backend capability (splay
-	// backends answer connectivity serially — they rotate on access) and
-	// by component structure (subtree batches parallelize across, not
-	// within, components).
+	// Workers reports the configured batch worker count, after clamping.
+	// Every structural phase of every configuration runs at this count —
+	// subtree-max tracking included, since rank-tree repair is
+	// level-synchronous; per-phase attribution is available from
+	// PhaseStats. ETT query fan-out is further limited by backend
+	// capability (splay backends answer connectivity serially — they
+	// rotate on access) and by component structure (subtree batches
+	// parallelize across, not within, components).
 	Workers() int
+	// PhaseStats reports the per-phase telemetry of the structure's most
+	// recent batch update (engine pipelines reset it at each batch; see
+	// PhaseStats.Accumulate for run-level aggregation). Structures without
+	// a phase pipeline — the Euler-tour trees — return the zero value.
+	PhaseStats() PhaseStats
 }
 
 // BatchQuerier is the read-side twin of BatchForest: batched queries
@@ -205,7 +276,8 @@ func (a *ufoAdapter) SetVertexValue(v int, x int64)  { a.f.SetVertexValue(v, x) 
 func (a *ufoAdapter) SubtreeSum(v, p int) int64      { return a.f.SubtreeSum(v, p) }
 func (a *ufoAdapter) SetParallel(on bool)            { a.f.SetParallel(on) }
 func (a *ufoAdapter) SetWorkers(k int)               { a.f.SetWorkers(k) }
-func (a *ufoAdapter) Workers() int                   { return a.f.EffectiveWorkers() }
+func (a *ufoAdapter) Workers() int                   { return a.f.Workers() }
+func (a *ufoAdapter) PhaseStats() PhaseStats         { return fromUFOStats(a.f.PhaseStats()) }
 
 func (a *ufoAdapter) BatchConnected(pairs [][2]int) []bool   { return a.f.BatchConnected(pairs) }
 func (a *ufoAdapter) BatchSubtreeSum(pairs [][2]int) []int64 { return a.f.BatchSubtreeSum(pairs) }
@@ -271,7 +343,8 @@ func (a *ternAdapter) SetVertexValue(v int, x int64)  { a.f.SetVertexValue(v, x)
 func (a *ternAdapter) SubtreeSum(v, p int) int64      { return a.f.SubtreeSum(v, p) }
 func (a *ternAdapter) SetParallel(on bool)            { a.f.Underlying().SetParallel(on) }
 func (a *ternAdapter) SetWorkers(k int)               { a.f.Underlying().SetWorkers(k) }
-func (a *ternAdapter) Workers() int                   { return a.f.Underlying().EffectiveWorkers() }
+func (a *ternAdapter) Workers() int                   { return a.f.Underlying().Workers() }
+func (a *ternAdapter) PhaseStats() PhaseStats         { return fromUFOStats(a.f.Underlying().PhaseStats()) }
 
 func (a *ternAdapter) BatchConnected(pairs [][2]int) []bool   { return a.f.BatchConnected(pairs) }
 func (a *ternAdapter) BatchSubtreeSum(pairs [][2]int) []int64 { return a.f.BatchSubtreeSum(pairs) }
@@ -313,6 +386,11 @@ func (a *ettAdapter[N, B]) SubtreeSum(v, p int) int64     { return a.f.SubtreeSu
 func (a *ettAdapter[N, B]) SetParallel(on bool)           { a.f.SetParallel(on) }
 func (a *ettAdapter[N, B]) SetWorkers(k int)              { a.f.SetWorkers(k) }
 func (a *ettAdapter[N, B]) Workers() int                  { return a.f.Workers() }
+
+// PhaseStats returns the zero value: Euler-tour batch updates run as
+// component-grouped fork-join, not as a level-synchronous phase pipeline,
+// so there are no phases to attribute.
+func (a *ettAdapter[N, B]) PhaseStats() PhaseStats { return PhaseStats{} }
 
 func (a *ettAdapter[N, B]) BatchConnected(pairs [][2]int) []bool { return a.f.BatchConnected(pairs) }
 func (a *ettAdapter[N, B]) BatchSubtreeSum(pairs [][2]int) []int64 {

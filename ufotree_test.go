@@ -1,8 +1,10 @@
 package ufotree_test
 
 import (
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro"
 	"repro/internal/gen"
@@ -358,4 +360,110 @@ func TestFacadeWorkersReportsFallback(t *testing.T) {
 	if ug.Workers() != 8 || uf.Workers() != 8 {
 		t.Fatalf("concrete Workers() should keep the configured count")
 	}
+}
+
+// TestFacadeSetWorkersClamp pins the uniform facade clamp rules on every
+// batch adapter: k <= 0 defaults to GOMAXPROCS (the SetParallel(true)
+// configuration), and explicit counts — oversubscribed included — pass
+// through untouched.
+func TestFacadeSetWorkersClamp(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	batchers := []ufotree.BatchForest{
+		ufotree.NewUFO(16), ufotree.NewTopology(16), ufotree.NewRC(16),
+		ufotree.NewETTTreap(16, 3), ufotree.NewETTSplay(16), ufotree.NewETTSkipList(16, 4),
+	}
+	for _, f := range batchers {
+		f.SetWorkers(0)
+		if f.Workers() != procs {
+			t.Fatalf("%s: SetWorkers(0) → Workers()=%d, want GOMAXPROCS=%d", f.Name(), f.Workers(), procs)
+		}
+		f.SetWorkers(-1)
+		if f.Workers() != procs {
+			t.Fatalf("%s: SetWorkers(-1) → Workers()=%d, want GOMAXPROCS=%d", f.Name(), f.Workers(), procs)
+		}
+		f.SetWorkers(6)
+		if f.Workers() != 6 {
+			t.Fatalf("%s: SetWorkers(6) → Workers()=%d", f.Name(), f.Workers())
+		}
+		f.BatchLink([]ufotree.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}})
+		if !f.Connected(0, 2) {
+			t.Fatalf("%s: batch after clamped SetWorkers broken", f.Name())
+		}
+	}
+}
+
+// TestFacadePhaseStats checks the telemetry surfaced through the
+// BatchForest facade: engine-pipeline structures report the last batch's
+// per-phase breakdown (seed items summing to the batch size, phase times
+// bounded by the total), ETT adapters report the documented zero value,
+// and Accumulate aggregates snapshots across batches.
+func TestFacadePhaseStats(t *testing.T) {
+	n := 300
+	tr := gen.Shuffled(gen.PrefAttach(n, 2201), 2202)
+	var edges []ufotree.Edge
+	for _, e := range tr.Edges {
+		edges = append(edges, ufotree.Edge{U: e.U, V: e.V, W: e.W})
+	}
+	for _, f := range []ufotree.BatchForest{ufotree.NewUFO(n), ufotree.NewTopology(n), ufotree.NewRC(n)} {
+		if st := f.PhaseStats(); st.Batches != 0 {
+			t.Fatalf("%s: PhaseStats before any batch = %+v, want zero", f.Name(), st)
+		}
+		var agg ufotree.PhaseStats
+		for lo := 0; lo < len(edges); lo += 100 {
+			hi := lo + 100
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			f.BatchLink(edges[lo:hi])
+			st := f.PhaseStats()
+			if st.Batches != 1 {
+				t.Fatalf("%s: snapshot Batches = %d, want 1 (stats must reset per batch)", f.Name(), st.Batches)
+			}
+			// Ternarized adapters route one facade edge through several
+			// internal edges, so compare against the engine's own view.
+			if seeded := phaseItems(st, "seed_cuts") + phaseItems(st, "seed_links"); seeded != st.Links+st.Cuts {
+				t.Fatalf("%s: seed items %d != links+cuts %d", f.Name(), seeded, st.Links+st.Cuts)
+			}
+			var sum time.Duration
+			for _, ph := range st.Phases {
+				if ph.Time < 0 {
+					t.Fatalf("%s: negative phase time %+v", f.Name(), ph)
+				}
+				sum += ph.Time
+			}
+			if sum > st.Total {
+				t.Fatalf("%s: phase times %v exceed batch total %v", f.Name(), sum, st.Total)
+			}
+			if st.Levels < 1 {
+				t.Fatalf("%s: Levels = %d, want >= 1", f.Name(), st.Levels)
+			}
+			agg.Accumulate(st)
+		}
+		wantBatches := (len(edges) + 99) / 100
+		if agg.Batches != wantBatches {
+			t.Fatalf("%s: accumulated Batches = %d, want %d", f.Name(), agg.Batches, wantBatches)
+		}
+		// Clone must not alias the accumulation buffer (stats endpoints
+		// hand clones to other goroutines while Accumulate keeps writing).
+		clone := agg.Clone()
+		before := clone.Phases[0].Calls
+		agg.Accumulate(f.PhaseStats())
+		if clone.Phases[0].Calls != before {
+			t.Fatalf("%s: Clone aliases the accumulated Phases array", f.Name())
+		}
+	}
+	ett := ufotree.NewETTTreap(n, 9)
+	ett.BatchLink(edges)
+	if st := ett.PhaseStats(); st.Batches != 0 || len(st.Phases) != 0 {
+		t.Fatalf("ETT PhaseStats = %+v, want the documented zero value", st)
+	}
+}
+
+func phaseItems(st ufotree.PhaseStats, name string) int64 {
+	for _, ph := range st.Phases {
+		if ph.Name == name {
+			return ph.Items
+		}
+	}
+	return 0
 }
