@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// lintDir parses every non-test .go file in dir and returns one
+// "file:line: identifier" entry per undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string // sorted before returning: ParseDir hands back maps
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		// Exported types, so undocumented methods on unexported receivers
+		// (which godoc never renders) are not flagged.
+		exportedTypes := make(map[string]bool)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+					for _, spec := range gd.Specs {
+						ts := spec.(*ast.TypeSpec)
+						if ts.Name.IsExported() {
+							exportedTypes[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					lintFunc(d, exportedTypes, report)
+				case *ast.GenDecl:
+					lintGen(d, report)
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// lintFunc flags exported functions and exported methods on exported
+// receiver types that lack a doc comment.
+func lintFunc(d *ast.FuncDecl, exportedTypes map[string]bool, report func(token.Pos, string)) {
+	if !d.Name.IsExported() || d.Doc.Text() != "" {
+		return
+	}
+	name := d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		recv := receiverTypeName(d.Recv.List[0].Type)
+		if !exportedTypes[recv] {
+			return
+		}
+		name = recv + "." + name
+	}
+	report(d.Pos(), name)
+}
+
+// lintGen flags exported specs of type/const/var declarations. A doc
+// comment on the grouped declaration documents every spec in the group
+// (the standard const-block idiom); otherwise each exported spec needs
+// its own doc or trailing line comment.
+func lintGen(d *ast.GenDecl, report func(token.Pos, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	groupDoc := d.Doc.Text() != ""
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+				report(s.Pos(), s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc.Text() != "" || s.Comment.Text() != "" {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver type expression (pointers
+// and generic instantiations included) down to its base identifier.
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSrc drops one source file into a fresh package dir and lints it.
+func lintSrc(t *testing.T, src string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := lintDir(dir)
+	if err != nil {
+		t.Fatalf("lintDir: %v", err)
+	}
+	return missing
+}
+
+func TestDocumentedPackagePasses(t *testing.T) {
+	missing := lintSrc(t, `// Package x is documented.
+package x
+
+// Exported is documented.
+func Exported() {}
+
+// T is documented.
+type T struct{}
+
+// M is documented.
+func (T) M() {}
+
+// Group doc covers every const in the block.
+const (
+	A = iota
+	B
+)
+
+// V is documented.
+var V int
+
+func unexported() {}
+
+type hidden struct{}
+
+func (hidden) Undoc() {} // method on unexported type: godoc never renders it
+`)
+	if len(missing) != 0 {
+		t.Fatalf("clean package flagged: %v", missing)
+	}
+}
+
+func TestUndocumentedIdentifiersFlagged(t *testing.T) {
+	missing := lintSrc(t, `package x
+
+func Exported() {}
+
+type T struct{}
+
+// T2 is fine.
+type T2 struct{}
+
+func (T) M() {}
+
+const C = 1
+
+var V int
+`)
+	want := []string{"Exported", "T", "T.M", "C", "V"}
+	if len(missing) != len(want) {
+		t.Fatalf("flagged %d identifiers %v, want %d", len(missing), missing, len(want))
+	}
+	joined := strings.Join(missing, "\n")
+	for _, w := range want {
+		if !strings.Contains(joined, ": "+w) {
+			t.Fatalf("missing expected finding %q in:\n%s", w, joined)
+		}
+	}
+}
+
+func TestGenericReceiverAndTrailingComments(t *testing.T) {
+	missing := lintSrc(t, `package x
+
+// G is documented.
+type G[T any] struct{}
+
+func (*G[T]) Undoc() {}
+
+var (
+	W int // W has a trailing comment, which counts
+	X int
+)
+`)
+	joined := strings.Join(missing, "\n")
+	if !strings.Contains(joined, "G.Undoc") {
+		t.Fatalf("generic-receiver method not flagged: %v", missing)
+	}
+	if strings.Contains(joined, ": W") {
+		t.Fatalf("trailing-commented var flagged: %v", missing)
+	}
+	if !strings.Contains(joined, ": X") {
+		t.Fatalf("undocumented var in group not flagged: %v", missing)
+	}
+}
+
+// TestRepoSurfacesAreClean lints the packages CI gates, from the repo
+// root: the facade and the connectivity layer must stay fully documented.
+func TestRepoSurfacesAreClean(t *testing.T) {
+	for _, dir := range []string{"../..", "../../internal/conn"} {
+		missing, err := lintDir(dir)
+		if err != nil {
+			t.Fatalf("lintDir(%s): %v", dir, err)
+		}
+		if len(missing) != 0 {
+			t.Fatalf("%s has undocumented exported identifiers:\n%s", dir, strings.Join(missing, "\n"))
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Command doclint enforces doc comments on exported identifiers: every
+// exported top-level type, function, method, constant, and variable in
+// the given package directories must carry a doc comment (a grouped
+// const/var/type declaration may be documented as a group). CI runs it
+// over the facade and the connectivity layer, so the godoc surface cannot
+// silently rot as the API grows.
+//
+// Usage:
+//
+//	doclint DIR [DIR...]
+//
+// Exits 1 listing every undocumented exported identifier, 0 when clean.
+// Test files and unexported identifiers (including methods on unexported
+// types, which godoc does not render) are ignored.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint DIR [DIR...]")
+		os.Exit(2)
+	}
+	var all []string
+	for _, dir := range os.Args[1:] {
+		missing, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		all = append(all, missing...)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifiers lack doc comments:\n", len(all))
+		for _, m := range all {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+}

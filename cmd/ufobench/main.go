@@ -9,14 +9,15 @@
 //	ufobench -experiment queries -n 100000 -k 10000 -q 100000 -json
 //	ufobench -experiment trackmax -n 50000 -k 5000 -q 20000 -json
 //	ufobench -experiment phases -n 50000 -k 5000 -json
+//	ufobench -experiment connectivity -n 50000 -k 5000 -q 20000 -json
 //
 // Experiments: table1, table2, fig5, fig6, fig7, fig8, fig9, fig16,
-// scaling, queries, trackmax, phases, ablation, all.
+// scaling, queries, trackmax, phases, connectivity, ablation, all.
 // Sizes default to laptop scale; raise -n / -k to approach the paper's
 // configuration (n=10^7, k=10^6 on a 96-core machine).
 //
 // With -json, the experiments that produce machine-readable results
-// (scaling, queries, trackmax, phases, ablation) additionally write
+// (scaling, queries, trackmax, phases, connectivity, ablation) additionally write
 // BENCH_<experiment>.json into the working directory; CI uploads these as
 // artifacts and gates them against committed baselines with cmd/benchdiff,
 // so the performance trajectory accumulates across commits and regressions
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|trackmax|phases|ablation|all")
+		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|trackmax|phases|connectivity|ablation|all")
 		n        = flag.Int("n", 50000, "input tree size")
 		k        = flag.Int("k", 5000, "batch size for parallel experiments")
 		q        = flag.Int("q", 20000, "query count (diameter sweep, batch-query, and trackmax experiments)")
@@ -92,6 +93,9 @@ func main() {
 	run("phases", func() {
 		writeJSON("phases", bench.Phases(w, *n, *k, nil, *seed))
 	})
+	run("connectivity", func() {
+		writeJSON("connectivity", bench.Connectivity(w, *n, *k, *q, nil, *seed))
+	})
 	run("ablation", func() {
 		results := bench.Ablation(w, *n, *seed)
 		fmt.Fprintln(w)
@@ -101,11 +105,13 @@ func main() {
 
 	valid := map[string]bool{"all": true, "table1": true, "table2": true, "fig5": true,
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig16": true,
-		"scaling": true, "queries": true, "trackmax": true, "phases": true, "ablation": true}
+		"scaling": true, "queries": true, "trackmax": true, "phases": true,
+		"connectivity": true, "ablation": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n", *exp,
 			strings.Join([]string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-				"fig16", "scaling", "queries", "trackmax", "phases", "ablation", "all"}, "|"))
+				"fig16", "scaling", "queries", "trackmax", "phases", "connectivity",
+				"ablation", "all"}, "|"))
 		os.Exit(2)
 	}
 	os.Exit(exitCode)

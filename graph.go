@@ -1,0 +1,126 @@
+package ufotree
+
+import "repro/internal/conn"
+
+// DynamicGraph is a batch-dynamic connectivity structure over an
+// arbitrary undirected graph — the layer above BatchForest: where a
+// BatchForest panics on an edge that would close a cycle, a DynamicGraph
+// keeps it as a non-tree edge, and where a BatchForest cut simply severs,
+// a DynamicGraph searches the severed components for a replacement edge
+// and promotes one back into its internal spanning forest. Connectivity
+// queries and ComponentCount are therefore exact for the full graph at
+// all times.
+//
+// Contracts mirror the batch forests: SetWorkers clamp rules are
+// identical (k <= 0 defaults to GOMAXPROCS, k == 1 is sequential,
+// oversubscription allowed); adversarial batches — self loops, an edge
+// repeated in one batch in either orientation, adding a present edge,
+// deleting an absent edge, out-of-range vertices — panic
+// deterministically before any mutation, so a recovered panic leaves the
+// graph untouched. Batches must not run concurrently with each other or
+// with queries; read-only queries may run concurrently with each other
+// between batches.
+type DynamicGraph interface {
+	// N returns the number of vertices.
+	N() int
+	// BatchAddEdges inserts a batch of edges; edges closing a cycle are
+	// kept as non-tree edges (weights are ignored — connectivity is
+	// unweighted).
+	BatchAddEdges(edges []Edge)
+	// BatchDeleteEdges removes a batch of present edges, running the
+	// replacement-edge search for every severed component.
+	BatchDeleteEdges(edges []Edge)
+	// BatchConnected answers Connected for every (u,v) pair in parallel.
+	BatchConnected(pairs [][2]int) []bool
+	// Connected reports whether u and v are in the same component.
+	Connected(u, v int) bool
+	// HasEdge reports whether edge (u,v) is present (tree or non-tree).
+	HasEdge(u, v int) bool
+	// EdgeCount returns the number of live edges (tree and non-tree).
+	EdgeCount() int
+	// ComponentCount returns the exact number of connected components in
+	// O(1).
+	ComponentCount() int
+	// SetWorkers fixes the worker count for batch operations (forest-layer
+	// clamp rules).
+	SetWorkers(k int)
+	// Workers reports the configured worker count, after clamping.
+	Workers() int
+	// PhaseStats reports the connectivity pipeline's telemetry for the
+	// most recent batch: classify / forest_cut / search / promote /
+	// forest_link / nontree, with adds mapped onto Links, deletes onto
+	// Cuts, and replacement-search sweeps onto Levels. The underlying
+	// forest's own phase telemetry is separate and not included — and
+	// because PhaseStats.Accumulate merges positionally, graph snapshots
+	// must never be accumulated into the same aggregate as forest
+	// snapshots (the two phase vocabularies differ).
+	PhaseStats() PhaseStats
+	// Name identifies the implementation in benchmark output.
+	Name() string
+}
+
+// NewDynamicGraph returns a batch-dynamic connectivity structure over n
+// vertices, keeping its spanning forest in a UFO tree.
+func NewDynamicGraph(n int) DynamicGraph {
+	return &graphAdapter{g: conn.New(n), name: "ufo-conn"}
+}
+
+// UnderlyingConnectivity exposes the concrete connectivity structure
+// behind a DynamicGraph for callers that need the extended API (tree /
+// non-tree counts, single-op convenience methods).
+func UnderlyingConnectivity(d DynamicGraph) (*conn.BatchDynamicConnectivity, bool) {
+	a, ok := d.(*graphAdapter)
+	if !ok {
+		return nil, false
+	}
+	return a.g, true
+}
+
+type graphAdapter struct {
+	g    *conn.BatchDynamicConnectivity
+	name string
+}
+
+func (a *graphAdapter) N() int                  { return a.g.N() }
+func (a *graphAdapter) Connected(u, v int) bool { return a.g.Connected(u, v) }
+func (a *graphAdapter) HasEdge(u, v int) bool   { return a.g.HasEdge(u, v) }
+func (a *graphAdapter) EdgeCount() int          { return a.g.EdgeCount() }
+func (a *graphAdapter) ComponentCount() int     { return a.g.ComponentCount() }
+func (a *graphAdapter) SetWorkers(k int)        { a.g.SetWorkers(k) }
+func (a *graphAdapter) Workers() int            { return a.g.Workers() }
+func (a *graphAdapter) Name() string            { return a.name }
+
+func (a *graphAdapter) BatchConnected(pairs [][2]int) []bool { return a.g.BatchConnected(pairs) }
+
+func (a *graphAdapter) BatchAddEdges(edges []Edge) {
+	a.g.BatchAddEdges(convGraphEdges(edges))
+}
+
+func (a *graphAdapter) BatchDeleteEdges(edges []Edge) {
+	a.g.BatchDeleteEdges(convGraphEdges(edges))
+}
+
+// PhaseStats converts the connectivity layer's telemetry to the facade
+// type: Adds map onto Links, Deletes onto Cuts, and replacement-search
+// sweeps onto Levels (the closest analogue of contraction rounds).
+func (a *graphAdapter) PhaseStats() PhaseStats {
+	s := a.g.PhaseStats()
+	out := PhaseStats{Batches: s.Batches, Links: s.Adds, Cuts: s.Deletes, Levels: s.Rounds, Total: s.Total}
+	out.Phases = make([]PhaseStat, len(s.Phases))
+	for i, p := range s.Phases {
+		out.Phases[i] = PhaseStat{Name: p.Name, Calls: p.Calls, Items: p.Items, Time: p.Time}
+	}
+	return out
+}
+
+// convGraphEdges drops the facade weights: the connectivity layer is
+// unweighted.
+func convGraphEdges(edges []Edge) []conn.Edge {
+	out := make([]conn.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = conn.Edge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+var _ DynamicGraph = (*graphAdapter)(nil)

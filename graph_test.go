@@ -1,0 +1,93 @@
+package ufotree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDynamicGraphFacade drives the connectivity adapter end to end:
+// cycle-closing adds, replacement promotion on delete, batch queries, and
+// the PhaseStats field mapping.
+func TestDynamicGraphFacade(t *testing.T) {
+	g := NewDynamicGraph(6)
+	g.SetWorkers(2)
+	if g.Workers() != 2 || g.N() != 6 || g.Name() != "ufo-conn" {
+		t.Fatalf("facade basics wrong: workers=%d n=%d name=%q", g.Workers(), g.N(), g.Name())
+	}
+	// A 4-cycle plus a pendant: the 4th cycle edge must become non-tree
+	// instead of panicking (the contract difference vs BatchForest).
+	g.BatchAddEdges([]Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}, {U: 3, V: 4}})
+	if g.EdgeCount() != 5 || g.ComponentCount() != 2 {
+		t.Fatalf("after adds: edges=%d comps=%d, want 5/2", g.EdgeCount(), g.ComponentCount())
+	}
+	conn := g.BatchConnected([][2]int{{0, 2}, {0, 4}, {0, 5}})
+	if !conn[0] || !conn[1] || conn[2] {
+		t.Fatalf("BatchConnected = %v, want [true true false]", conn)
+	}
+	st := g.PhaseStats()
+	if st.Links != 5 || st.Cuts != 0 || st.Batches != 1 {
+		t.Fatalf("PhaseStats mapping wrong after add batch: %+v", st)
+	}
+	names := make([]string, len(st.Phases))
+	for i, p := range st.Phases {
+		names[i] = p.Name
+	}
+	if joined := strings.Join(names, ","); joined != "classify,forest_cut,search,promote,forest_link,nontree" {
+		t.Fatalf("connectivity phase table = %s", joined)
+	}
+
+	// Deleting a cycle edge keeps the component connected via promotion.
+	g.BatchDeleteEdges([]Edge{{U: 0, V: 1}})
+	if !g.Connected(0, 1) {
+		t.Fatal("replacement promotion did not keep the cycle connected")
+	}
+	st = g.PhaseStats()
+	if st.Cuts != 1 || st.Links != 0 {
+		t.Fatalf("PhaseStats mapping wrong after delete batch: %+v", st)
+	}
+	if g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("HasEdge wrong after delete")
+	}
+
+	// The concrete structure is reachable for the extended API.
+	c, ok := UnderlyingConnectivity(g)
+	if !ok || c.TreeEdgeCount()+c.NonTreeEdgeCount() != g.EdgeCount() {
+		t.Fatalf("UnderlyingConnectivity inconsistent (ok=%v)", ok)
+	}
+	if _, ok := UnderlyingConnectivity(nil); ok {
+		t.Fatal("UnderlyingConnectivity(nil) reported ok")
+	}
+
+	// Severing the pendant leaves it isolated: component count is exact.
+	g.BatchDeleteEdges([]Edge{{U: 3, V: 4}})
+	if g.Connected(3, 4) || g.ComponentCount() != 3 {
+		t.Fatalf("after pendant cut: comps=%d, want 3", g.ComponentCount())
+	}
+}
+
+// TestDynamicGraphAdversarialPanics pins the facade-level pre-mutation
+// panic contract (the conn package tests the full matrix).
+func TestDynamicGraphAdversarialPanics(t *testing.T) {
+	g := NewDynamicGraph(4)
+	g.BatchAddEdges([]Edge{{U: 0, V: 1}})
+	mustPanic := func(want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("no panic (want %q)", want)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+				t.Fatalf("panic %v does not contain %q", r, want)
+			}
+			if g.EdgeCount() != 1 || g.ComponentCount() != 3 {
+				t.Fatalf("graph mutated across recovered panic %v", r)
+			}
+		}()
+		fn()
+	}
+	mustPanic("self loop", func() { g.BatchAddEdges([]Edge{{U: 2, V: 2}}) })
+	mustPanic("duplicate edge", func() { g.BatchAddEdges([]Edge{{U: 1, V: 0}}) })
+	mustPanic("absent edge", func() { g.BatchDeleteEdges([]Edge{{U: 1, V: 2}}) })
+	mustPanic("repeated in batch", func() { g.BatchAddEdges([]Edge{{U: 2, V: 3}, {U: 3, V: 2}}) })
+}

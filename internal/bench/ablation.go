@@ -24,7 +24,7 @@ type AblationResult struct {
 	HalfDiam   int     `json:"half_diameter,omitempty"` // ceil(D/2) bound (kary-sweep, ufo rows)
 }
 
-// Ablation quantifies the design choices DESIGN.md calls out:
+// Ablation quantifies the library's load-bearing design choices:
 //
 //  1. The unbounded-fanout merge rule. UFO trees handle a degree-d vertex
 //     in one contraction round; pair-merging structures (topology trees)

@@ -1,7 +1,3 @@
-// Package bench regenerates every table and figure of the paper's
-// experimental evaluation (§6, §D.3) at laptop scale. Each experiment
-// prints the same rows/series the paper reports; EXPERIMENTS.md records the
-// expected shapes (who wins, by what factor, where crossovers fall).
 package bench
 
 import (
@@ -59,7 +55,7 @@ func Inputs(n int, seed uint64) []gen.Tree {
 }
 
 // GraphInputs returns the BFS and RIS spanning forests of the four
-// real-world graph stand-ins (Table 2 / DESIGN.md S5).
+// real-world graph stand-ins (Table 2 stand-ins, internal/gen).
 func GraphInputs(n int, seed uint64) []gen.Tree {
 	var out []gen.Tree
 	for _, g := range gen.StandardGraphs(n, seed) {
@@ -321,7 +317,7 @@ func Table1(w io.Writer, n int, seed uint64) {
 
 // Table2 prints the dataset summary of Table 2 for the graph stand-ins.
 func Table2(w io.Writer, n int, seed uint64) {
-	fmt.Fprintf(w, "# Table 2: graph datasets (synthetic stand-ins, see DESIGN.md S5)\n")
+	fmt.Fprintf(w, "# Table 2: graph datasets (synthetic stand-ins, see internal/gen)\n")
 	for _, g := range gen.StandardGraphs(n, seed) {
 		bfs := gen.BFSForest(g, seed+10)
 		fmt.Fprintf(w, "%s  bfs-diam=%-6d\n", gen.Describe(g), gen.Diameter(bfs))

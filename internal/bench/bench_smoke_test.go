@@ -350,3 +350,50 @@ func TestWriteJSONRoundTripPhases(t *testing.T) {
 		t.Fatalf("round-tripped result lost fields: %+v", back[0])
 	}
 }
+
+// TestConnectivitySmoke drives the dynamic-graph experiment end to end at
+// tiny sizes: every input graph must produce every kind row, and the
+// replacement search must actually run (deletes hit tree edges).
+func TestConnectivitySmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := Connectivity(&buf, 300, 60, 150, []int{1, 2}, 2)
+	out := buf.String()
+	for _, want := range []string{"usa-road", "enwiki-web", "twit-social", "add", "delete", "connected"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("connectivity output missing %q:\n%s", want, out)
+		}
+	}
+	if len(results) != 3*len(connKinds)*2 {
+		t.Fatalf("got %d results, want %d", len(results), 3*len(connKinds)*2)
+	}
+	for _, r := range results {
+		if r.Ops <= 0 || r.Seconds <= 0 || r.Throughput <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+	}
+}
+
+// TestWriteJSONRoundTripConnectivity covers the connectivity experiment's
+// artifact emission so benchdiff can gate BENCH_connectivity.json.
+func TestWriteJSONRoundTripConnectivity(t *testing.T) {
+	var buf bytes.Buffer
+	results := Connectivity(&buf, 300, 60, 150, []int{1}, 2)
+	path := filepath.Join(t.TempDir(), "BENCH_connectivity.json")
+	if err := WriteJSON(path, results); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	var back []ConnResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back), len(results))
+	}
+	if back[0].Kind == "" || back[0].Input == "" || back[0].Workers == 0 || back[0].Throughput <= 0 {
+		t.Fatalf("round-tripped result lost fields: %+v", back[0])
+	}
+}

@@ -1,0 +1,13 @@
+// Package bench regenerates every table and figure of the paper's
+// experimental evaluation (§6, §D.3) at laptop scale, plus the
+// repository's own scaling experiments. Each paper experiment prints the
+// same rows/series the paper reports.
+//
+// The machine-readable experiments (Scaling, Queries, TrackMax, Phases,
+// Connectivity, Ablation) also return typed result slices that
+// cmd/ufobench serializes to BENCH_<experiment>.json with WriteJSON; CI
+// uploads those artifacts on every push and gates a subset against the
+// committed bench/baseline files with cmd/benchdiff, so the performance
+// trajectory accumulates across commits. docs/ARCHITECTURE.md explains
+// how to read the JSON schemas.
+package bench

@@ -1,0 +1,15 @@
+package conn
+
+import "runtime"
+
+// parChaos, when true, yields the processor at the entry of every fanned
+// chunk of the classification and replacement-search sweeps (debug hook,
+// mirroring the forest engine's parChaos: widens race windows so the
+// stress tests explore far more interleavings on few-core hosts).
+var parChaos bool
+
+func chaos() {
+	if parChaos {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,537 @@
+package conn
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/ufo"
+)
+
+// Edge is an undirected graph edge in batch add/delete operations. The
+// connectivity layer is unweighted: spanning-forest edges are linked into
+// the underlying forest with weight 1.
+type Edge struct {
+	U, V int
+}
+
+// key normalizes an edge to an orientation-independent map key, so (u,v)
+// and (v,u) name the same edge everywhere in this package.
+func key(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// SimplifyEdges normalizes a raw (possibly multi-)graph edge list into
+// the simple edge list the batch contract requires: self loops dropped
+// and both orientations of an edge deduplicated, keeping first-seen
+// order. Callers feeding generator multigraphs (internal/gen) into
+// BatchAddEdges should pass their edge lists through here first, so the
+// dedup rule can never drift from the validation rule — both use the same
+// edge key.
+func SimplifyEdges(raw [][2]int) []Edge {
+	seen := make(map[uint64]struct{}, len(raw))
+	out := make([]Edge, 0, len(raw))
+	for _, e := range raw {
+		if e[0] == e[1] {
+			continue
+		}
+		k := key(e[0], e[1])
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, Edge{U: e[0], V: e[1]})
+	}
+	return out
+}
+
+// BatchDynamicConnectivity maintains connectivity of an arbitrary
+// undirected graph under batches of edge insertions and deletions: a
+// spanning forest lives in a ufo.Forest, and every edge that would close a
+// cycle is held aside in a per-vertex non-tree incidence structure. Adds
+// that merge components extend the forest; deletes of tree edges trigger a
+// replacement-edge search over the smaller side of the split, promoting a
+// non-tree edge back into the forest whenever one reconnects the severed
+// component (so the forest is always a spanning forest of the current
+// graph, and ComponentCount is exact).
+//
+// The zero value is not usable; construct with New. Batches must not run
+// concurrently with each other or with queries; read-only queries
+// (Connected, BatchConnected, HasEdge, ComponentCount) may run
+// concurrently with each other between batches.
+type BatchDynamicConnectivity struct {
+	n       int
+	f       *ufo.Forest
+	nt      []map[int]struct{} // nt[u]: neighbors of u via non-tree edges
+	ntCount int
+	workers int
+	stats   PhaseStats
+	scratch []int // reused ComponentVertices buffer for the search sweeps
+}
+
+// New returns an empty dynamic graph over n vertices (no edges, n
+// components).
+func New(n int) *BatchDynamicConnectivity {
+	return &BatchDynamicConnectivity{
+		n:       n,
+		f:       ufo.New(n),
+		nt:      make([]map[int]struct{}, n),
+		workers: 1,
+	}
+}
+
+// N returns the number of vertices.
+func (g *BatchDynamicConnectivity) N() int { return g.n }
+
+// SetWorkers fixes the worker count used by batch operations, with the
+// forest layer's clamp rules: k <= 0 defaults to GOMAXPROCS, k == 1 runs
+// fully sequentially, larger counts (oversubscription included) fan the
+// classification, search, and forest phases out over k goroutines. The
+// count propagates to the underlying spanning forest.
+func (g *BatchDynamicConnectivity) SetWorkers(k int) {
+	if k <= 0 {
+		k = parallel.Procs()
+	}
+	g.workers = k
+	g.f.SetWorkers(k)
+}
+
+// Workers reports the configured worker count, after clamping.
+func (g *BatchDynamicConnectivity) Workers() int { return g.workers }
+
+// EdgeCount returns the number of live edges (tree and non-tree).
+func (g *BatchDynamicConnectivity) EdgeCount() int { return g.f.EdgeCount() + g.ntCount }
+
+// TreeEdgeCount returns the number of spanning-forest edges.
+func (g *BatchDynamicConnectivity) TreeEdgeCount() int { return g.f.EdgeCount() }
+
+// NonTreeEdgeCount returns the number of edges currently held outside the
+// spanning forest.
+func (g *BatchDynamicConnectivity) NonTreeEdgeCount() int { return g.ntCount }
+
+// ComponentCount returns the number of connected components. Because the
+// forest is always a spanning forest of the graph, this is exactly
+// n - TreeEdgeCount, in O(1).
+func (g *BatchDynamicConnectivity) ComponentCount() int { return g.n - g.f.EdgeCount() }
+
+// HasEdge reports whether edge (u,v) is present, as a tree or non-tree
+// edge.
+func (g *BatchDynamicConnectivity) HasEdge(u, v int) bool {
+	if g.f.HasEdge(u, v) {
+		return true
+	}
+	_, ok := g.nt[u][v]
+	return ok
+}
+
+// IsTreeEdge reports whether (u,v) is currently a spanning-forest edge.
+// Which of a cycle's edges are tree edges is an implementation detail that
+// may change across batches (replacement promotions); only connectivity is
+// contractual.
+func (g *BatchDynamicConnectivity) IsTreeEdge(u, v int) bool { return g.f.HasEdge(u, v) }
+
+// Connected reports whether u and v are in the same component, in
+// O(min{log n, D}).
+func (g *BatchDynamicConnectivity) Connected(u, v int) bool { return g.f.Connected(u, v) }
+
+// BatchConnected answers Connected for every (u,v) pair, fanned out over
+// the configured worker count (the forest's parallel batch query).
+func (g *BatchDynamicConnectivity) BatchConnected(pairs [][2]int) []bool {
+	return g.f.BatchConnected(pairs)
+}
+
+// PhaseStats returns the per-phase telemetry of the most recent batch
+// (single-edge AddEdge/DeleteEdge included). Like the forest engine's
+// PhaseStats, it is reset at the start of each batch; aggregate run-level
+// views with PhaseStats.Accumulate. The zero value is returned before the
+// first batch.
+func (g *BatchDynamicConnectivity) PhaseStats() PhaseStats { return g.stats.snapshot() }
+
+// AddEdge inserts the single edge (u,v): a one-element BatchAddEdges.
+func (g *BatchDynamicConnectivity) AddEdge(u, v int) { g.BatchAddEdges([]Edge{{u, v}}) }
+
+// DeleteEdge removes the single edge (u,v): a one-element BatchDeleteEdges.
+func (g *BatchDynamicConnectivity) DeleteEdge(u, v int) { g.BatchDeleteEdges([]Edge{{u, v}}) }
+
+// checkVertex panics when v is out of range (part of the pre-mutation
+// validation pass, so the panic is deterministic and leaves the structure
+// untouched).
+func (g *BatchDynamicConnectivity) checkVertex(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("conn: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// validateAddBatch enforces the BatchAddEdges preconditions before any
+// mutation: vertices in range, no self loops, no edge repeated inside the
+// batch (in either orientation), and no edge already present in the graph
+// (tree or non-tree). A recovered panic leaves the graph exactly as it
+// was.
+func (g *BatchDynamicConnectivity) validateAddBatch(edges []Edge) {
+	seen := make(map[uint64]struct{}, len(edges))
+	for _, e := range edges {
+		g.checkVertex(e.U)
+		g.checkVertex(e.V)
+		if e.U == e.V {
+			panic(fmt.Sprintf("conn: self loop %d in batch add", e.U))
+		}
+		k := key(e.U, e.V)
+		if _, dup := seen[k]; dup {
+			panic(fmt.Sprintf("conn: edge (%d,%d) repeated in batch add", e.U, e.V))
+		}
+		seen[k] = struct{}{}
+		if g.HasEdge(e.U, e.V) {
+			panic(fmt.Sprintf("conn: duplicate edge (%d,%d)", e.U, e.V))
+		}
+	}
+}
+
+// validateDeleteBatch enforces the BatchDeleteEdges preconditions before
+// any mutation: vertices in range, no self loops (a self loop can never be
+// present), no edge repeated inside the batch in either orientation, and
+// every edge present in the graph.
+func (g *BatchDynamicConnectivity) validateDeleteBatch(edges []Edge) {
+	seen := make(map[uint64]struct{}, len(edges))
+	for _, e := range edges {
+		g.checkVertex(e.U)
+		g.checkVertex(e.V)
+		if e.U == e.V {
+			panic(fmt.Sprintf("conn: self loop %d in batch delete", e.U))
+		}
+		k := key(e.U, e.V)
+		if _, dup := seen[k]; dup {
+			panic(fmt.Sprintf("conn: edge (%d,%d) repeated in batch delete", e.U, e.V))
+		}
+		seen[k] = struct{}{}
+		if !g.HasEdge(e.U, e.V) {
+			panic(fmt.Sprintf("conn: deleting absent edge (%d,%d)", e.U, e.V))
+		}
+	}
+}
+
+// classifyGrain is the smallest per-worker chunk of the classification and
+// search fan-outs; tests lower it (like the forest's parGrain) to drive
+// the parallel paths on tiny batches.
+var classifyGrain = 64
+
+// BatchAddEdges inserts a batch of edges. Edges that merge two components
+// extend the spanning forest (one parallel BatchLink); edges that would
+// close a cycle — against the current forest or against earlier edges of
+// the same batch — become non-tree edges instead of panicking, which is
+// the contract difference between this graph layer and the forest layer
+// below it.
+//
+// Adversarial batches (self loops, in-batch repeats in either orientation,
+// edges already present) panic deterministically before any mutation; see
+// validateAddBatch.
+func (g *BatchDynamicConnectivity) BatchAddEdges(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	g.validateAddBatch(edges)
+	g.beginStats(len(edges), 0)
+	start := time.Now()
+
+	// Classify: compute every endpoint's component in parallel (read-only
+	// root walks), then build the batch-internal spanning structure with a
+	// sequential union-find over component ids, in batch order, so the
+	// tree/non-tree split is deterministic at every worker count.
+	var treeLinks []ufo.Edge
+	var nonTree []Edge
+	g.timePhase(phClassify, func() int {
+		ends := make([][2]uint64, len(edges))
+		parallel.WorkersForRangeAuto(g.workers, len(edges), classifyGrain, func(_, lo, hi int) {
+			chaos()
+			for i := lo; i < hi; i++ {
+				ends[i] = [2]uint64{g.f.ComponentID(edges[i].U), g.f.ComponentID(edges[i].V)}
+			}
+		})
+		uf := newCompUF(len(edges))
+		for i, e := range edges {
+			if uf.union(ends[i][0], ends[i][1]) {
+				treeLinks = append(treeLinks, ufo.Edge{U: e.U, V: e.V, W: 1})
+			} else {
+				nonTree = append(nonTree, e)
+			}
+		}
+		return len(edges)
+	})
+	g.timePhase(phForestLink, func() int {
+		if len(treeLinks) > 0 {
+			g.f.BatchLink(treeLinks)
+		}
+		return len(treeLinks)
+	})
+	g.timePhase(phNonTree, func() int {
+		for _, e := range nonTree {
+			g.ntInsert(e.U, e.V)
+		}
+		return len(nonTree)
+	})
+	g.stats.Total = time.Since(start)
+}
+
+// BatchDeleteEdges removes a batch of edges. Non-tree deletes only touch
+// the incidence structure; tree deletes cut the spanning forest (one
+// parallel BatchCut) and then run the replacement-edge search: every
+// severed component's non-tree incidence is swept in parallel for an edge
+// leaving the component — the smaller side of each cut first — and every
+// edge found is promoted into the forest, until no severed component has a
+// crossing edge left. The forest is therefore again a spanning forest of
+// the graph when the batch returns, and pairs whose components have no
+// replacement path stay disconnected.
+//
+// Adversarial batches (self loops, in-batch repeats in either orientation,
+// absent edges) panic deterministically before any mutation; see
+// validateDeleteBatch.
+func (g *BatchDynamicConnectivity) BatchDeleteEdges(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	g.validateDeleteBatch(edges)
+	g.beginStats(0, len(edges))
+	start := time.Now()
+
+	// Classify tree vs non-tree deletes (read-only adjacency probes).
+	var treeCuts [][2]int
+	var nonTree []Edge
+	g.timePhase(phClassify, func() int {
+		isTree := make([]bool, len(edges))
+		parallel.WorkersForRangeAuto(g.workers, len(edges), classifyGrain, func(_, lo, hi int) {
+			chaos()
+			for i := lo; i < hi; i++ {
+				isTree[i] = g.f.HasEdge(edges[i].U, edges[i].V)
+			}
+		})
+		for i, e := range edges {
+			if isTree[i] {
+				treeCuts = append(treeCuts, [2]int{e.U, e.V})
+			} else {
+				nonTree = append(nonTree, e)
+			}
+		}
+		return len(edges)
+	})
+	// Non-tree edges leave the candidate pool before the search, so a
+	// deleted edge can never be promoted.
+	g.timePhase(phNonTree, func() int {
+		for _, e := range nonTree {
+			g.ntRemove(e.U, e.V)
+		}
+		return len(nonTree)
+	})
+	// Group the cut edges by pre-batch component, while the components
+	// are still intact (read-only root walks). Non-tree edges never span
+	// two components — an added edge either merged two components or
+	// closed a cycle inside one, promotions keep tree and non-tree edges
+	// inside their component, and at every batch boundary the forest is
+	// maximal — so a replacement edge can only reconnect severed pieces
+	// of the same pre-batch component, and the search runs independently
+	// per group.
+	groupOrder := make([]uint64, 0, 4)
+	groups := make(map[uint64][]int, 4)
+	for _, c := range treeCuts {
+		id := g.f.ComponentID(c[0])
+		if _, seen := groups[id]; !seen {
+			groupOrder = append(groupOrder, id)
+		}
+		groups[id] = append(groups[id], c[0], c[1])
+	}
+	g.timePhase(phForestCut, func() int {
+		if len(treeCuts) > 0 {
+			g.f.BatchCut(treeCuts)
+		}
+		return len(treeCuts)
+	})
+	for _, gid := range groupOrder {
+		g.searchGroup(groups[gid])
+	}
+	g.stats.Total = time.Since(start)
+}
+
+// searchGroup restores maximality among the severed pieces of one
+// pre-batch component, given the cut endpoints that fell inside it. Only
+// components holding a cut endpoint can have lost maximality (everything
+// else was maximal before the batch, and deletions add no crossing
+// edges), so the severed pieces are exactly the witnesses' components.
+// Each round groups the witnesses by current component and sweeps every
+// piece except the group's largest — the generalized smaller-side rule:
+// severed pieces are usually tiny, and the big side never pays a scan,
+// because a piece whose severed peers have all been swept to maximality
+// is maximal by edge symmetry (its crossing edges would also cross a
+// maximal component, which has none). One promotion per piece per round;
+// merged pieces regroup in the next round. Every promotion merges two
+// components, bounding total promotions by the group's cut count, and
+// every non-promoting sweep marks its component maximal, so the loop
+// terminates.
+func (g *BatchDynamicConnectivity) searchGroup(witnesses []int) {
+	maximal := make(map[uint64]bool, len(witnesses))
+	for {
+		// Group witnesses by current component, keeping the smallest
+		// witness vertex per component as its deterministic tiebreak.
+		type comp struct {
+			id            uint64
+			witness, size int
+		}
+		byID := make(map[uint64]int, len(witnesses))
+		var comps []comp
+		for _, wv := range witnesses {
+			id := g.f.ComponentID(wv)
+			if maximal[id] {
+				continue
+			}
+			if i, ok := byID[id]; ok {
+				if wv < comps[i].witness {
+					comps[i].witness = wv
+				}
+				continue
+			}
+			byID[id] = len(comps)
+			comps = append(comps, comp{id: id, witness: wv, size: g.f.ComponentSize(wv)})
+		}
+		if len(comps) <= 1 {
+			break
+		}
+		sort.Slice(comps, func(i, j int) bool {
+			if comps[i].size != comps[j].size {
+				return comps[i].size < comps[j].size
+			}
+			return comps[i].witness < comps[j].witness
+		})
+		for _, c := range comps[:len(comps)-1] {
+			if g.f.ComponentID(c.witness) != c.id {
+				continue // merged earlier this round; regroups next round
+			}
+			var x, y int
+			var found bool
+			g.timePhase(phSearch, func() int {
+				var scanned int
+				x, y, scanned, found = g.searchComponent(c.witness)
+				g.stats.Rounds++
+				return scanned
+			})
+			if !found {
+				maximal[c.id] = true
+				continue
+			}
+			g.timePhase(phPromote, func() int {
+				g.ntRemove(x, y)
+				g.f.Link(x, y, 1)
+				return 1
+			})
+		}
+	}
+}
+
+// ntInsert records (u,v) as a non-tree edge in both endpoints' incidence
+// sets.
+func (g *BatchDynamicConnectivity) ntInsert(u, v int) {
+	if g.nt[u] == nil {
+		g.nt[u] = make(map[int]struct{}, 4)
+	}
+	if g.nt[v] == nil {
+		g.nt[v] = make(map[int]struct{}, 4)
+	}
+	g.nt[u][v] = struct{}{}
+	g.nt[v][u] = struct{}{}
+	g.ntCount++
+}
+
+// ntRemove drops the non-tree edge (u,v) from both incidence sets.
+func (g *BatchDynamicConnectivity) ntRemove(u, v int) {
+	delete(g.nt[u], v)
+	delete(g.nt[v], u)
+	g.ntCount--
+}
+
+// searchComponent sweeps w's component for a non-tree edge leaving it.
+// The sweep enumerates the component's vertices and scans their non-tree
+// incidence, fanned out over the configured worker count with a per-worker
+// running minimum; the minimum edge key wins globally, so the promoted
+// edge is deterministic regardless of worker count and map iteration
+// order. It returns the edge endpoints (x inside the swept component), the
+// number of incident non-tree edges scanned, and whether a crossing edge
+// was found.
+func (g *BatchDynamicConnectivity) searchComponent(src int) (x, y, scanned int, found bool) {
+	g.scratch = g.f.ComponentVertices(src, g.scratch[:0])
+	verts := g.scratch
+	myID := g.f.ComponentID(src)
+
+	type cand struct {
+		key   uint64
+		x, y  int
+		found bool
+	}
+	p := g.workers
+	bests := make([]cand, p)
+	counts := make([]int, p)
+	parallel.WorkersForRangeAuto(p, len(verts), classifyGrain, func(w, lo, hi int) {
+		chaos()
+		b := &bests[w]
+		for i := lo; i < hi; i++ {
+			vx := verts[i]
+			for vy := range g.nt[vx] {
+				counts[w]++
+				if g.f.ComponentID(vy) == myID {
+					continue
+				}
+				k := key(vx, vy)
+				if !b.found || k < b.key {
+					*b = cand{key: k, x: vx, y: vy, found: true}
+				}
+			}
+		}
+	})
+	var best cand
+	for i := range bests {
+		scanned += counts[i]
+		if bests[i].found && (!best.found || bests[i].key < best.key) {
+			best = bests[i]
+		}
+	}
+	return best.x, best.y, scanned, best.found
+}
+
+// compUF is a tiny union-find over component ids, used to build the
+// batch-internal spanning structure of an add batch. Ids are interned into
+// dense indices on first sight, so the arrays stay batch-sized.
+type compUF struct {
+	idx    map[uint64]int
+	parent []int
+}
+
+func newCompUF(capHint int) *compUF {
+	return &compUF{idx: make(map[uint64]int, 2*capHint)}
+}
+
+func (u *compUF) intern(id uint64) int {
+	if i, ok := u.idx[id]; ok {
+		return i
+	}
+	i := len(u.parent)
+	u.idx[id] = i
+	u.parent = append(u.parent, i)
+	return i
+}
+
+func (u *compUF) find(i int) int {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return i
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (u *compUF) union(a, b uint64) bool {
+	ra, rb := u.find(u.intern(a)), u.find(u.intern(b))
+	if ra == rb {
+		return false
+	}
+	u.parent[rb] = ra
+	return true
+}

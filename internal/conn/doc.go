@@ -1,0 +1,55 @@
+// Package conn implements parallel batch-dynamic graph connectivity on
+// top of the UFO forest: the first layer of this repository that maintains
+// an arbitrary undirected graph, not just a forest.
+//
+// The construction follows the shape of "Batch-Parallel Euler Tour Trees"
+// (Tseng, Dhulipala, Blelloch) and the batch-dynamic connectivity systems
+// built on it: a spanning forest of the graph lives in a batch-dynamic
+// tree structure (here a ufo.Forest), and every edge whose insertion would
+// close a cycle is held aside in a per-vertex non-tree incidence
+// structure. Connectivity queries are answered entirely by the forest;
+// the non-tree edges exist to repair it.
+//
+//   - BatchAddEdges classifies the batch in parallel (component ids are
+//     read-only root walks) and builds the batch-internal spanning
+//     structure with a union-find over component ids, so one BatchLink
+//     extends the forest and the remaining edges become non-tree edges —
+//     instead of panicking, which is what the forest layer below does.
+//   - BatchDeleteEdges removes non-tree edges with pure bookkeeping, cuts
+//     tree edges with one BatchCut, and then searches for replacement
+//     edges independently per pre-batch component (non-tree edges never
+//     span components, so no replacement can cross groups): each severed
+//     piece's non-tree incidence is swept in parallel (internal/parallel
+//     fan-out at the configured SetWorkers count, minimum-edge-key
+//     reduction), skipping the group's largest piece — which its peers'
+//     maximality makes maximal for free — and any edge found leaving the
+//     piece is promoted into the forest. Sweeps repeat until no severed
+//     piece has a crossing edge, so the forest is always a spanning
+//     forest of the current graph and ComponentCount is exact in O(1).
+//
+// The tree/non-tree split and every promotion decision reduce over
+// minimum edge keys in deterministic batch order, so the structure —
+// not just the connectivity relation — evolves identically at every
+// worker count.
+//
+// # Contracts
+//
+// Worker-count clamp rules match the forest layer: SetWorkers(k) with
+// k <= 0 defaults to runtime.GOMAXPROCS(0), k == 1 is fully sequential,
+// and counts above GOMAXPROCS are allowed (oversubscription).
+//
+// Adversarial batches panic deterministically before any mutation,
+// mirroring the forest layer's pre-mutation contract: self loops, an edge
+// repeated inside the batch in either orientation, adding an edge already
+// present (tree or non-tree), deleting an absent edge, and out-of-range
+// vertices. A recovered panic leaves the graph exactly as it was.
+//
+// Batches must not run concurrently with each other or with queries;
+// read-only queries may run concurrently with each other between batches
+// (the forest batch-query contract).
+//
+// Per-batch telemetry follows the forest engine's PhaseStats idiom: every
+// pipeline phase (classify, forest_cut, search, promote, forest_link,
+// nontree) is timed on the monotonic clock with item counts, reset per
+// batch, aggregated across a run with Accumulate.
+package conn

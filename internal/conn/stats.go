@@ -1,0 +1,109 @@
+package conn
+
+import "time"
+
+// The connectivity layer mirrors the forest engine's telemetry idiom
+// (ufo.PhaseStats): a fixed phase table, monotonic per-phase wall time,
+// item counts, and calls, reset at the start of every batch and aggregated
+// across a run with Accumulate. The phase set is the connectivity
+// pipeline's, not the forest's — the forest's own phases remain visible
+// through the underlying Forest's PhaseStats.
+
+// phaseID indexes the connectivity pipeline's phases in PhaseStats order.
+type phaseID int
+
+// Connectivity pipeline phases, in PhaseStats reporting order. Execution
+// order depends on the batch kind: add batches run classify →
+// forest_link → nontree, delete batches run classify → nontree →
+// forest_cut → interleaved search/promote rounds.
+const (
+	phClassify   phaseID = iota // partition the batch into tree / non-tree edges
+	phForestCut                 // BatchCut of deleted tree edges
+	phSearch                    // replacement-edge search sweeps over the smaller side
+	phPromote                   // non-tree -> tree promotions (replacement links)
+	phForestLink                // BatchLink of tree-forming additions
+	phNonTree                   // non-tree incidence bookkeeping
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"classify", "forest_cut", "search", "promote", "forest_link", "nontree",
+}
+
+// PhaseStat is the accumulated cost of one connectivity-pipeline phase
+// over a batch.
+type PhaseStat struct {
+	Name  string        `json:"name"`
+	Calls int           `json:"calls"` // invocations (one per search sweep for the search phase)
+	Items int64         `json:"items"` // work items processed (phase-specific unit)
+	Time  time.Duration `json:"time_ns"`
+}
+
+// PhaseStats is the per-phase telemetry of one connectivity batch: how an
+// add or delete batch's time splits between classification, the forest
+// update, and the replacement-edge machinery. Rounds counts replacement
+// search sweeps (the connectivity analogue of contraction levels); the
+// phase times are disjoint sub-intervals of Total.
+type PhaseStats struct {
+	Batches int           `json:"batches"` // batches aggregated (1 per snapshot)
+	Adds    int64         `json:"adds"`
+	Deletes int64         `json:"deletes"`
+	Rounds  int           `json:"rounds"` // replacement search sweeps performed
+	Total   time.Duration `json:"total_ns"`
+	Phases  []PhaseStat   `json:"phases"`
+}
+
+// Accumulate merges o into s, phase by phase, for callers aggregating the
+// per-batch snapshots across a run of batches.
+func (s *PhaseStats) Accumulate(o PhaseStats) {
+	if len(s.Phases) < len(o.Phases) {
+		ph := make([]PhaseStat, len(o.Phases))
+		for i := range ph {
+			ph[i].Name = o.Phases[i].Name
+		}
+		copy(ph, s.Phases)
+		s.Phases = ph
+	}
+	s.Batches += o.Batches
+	s.Adds += o.Adds
+	s.Deletes += o.Deletes
+	s.Rounds += o.Rounds
+	s.Total += o.Total
+	for i := range o.Phases {
+		s.Phases[i].Calls += o.Phases[i].Calls
+		s.Phases[i].Items += o.Phases[i].Items
+		s.Phases[i].Time += o.Phases[i].Time
+	}
+}
+
+// snapshot deep-copies the stats so callers cannot alias the accumulation
+// buffer.
+func (s PhaseStats) snapshot() PhaseStats {
+	out := s
+	out.Phases = append([]PhaseStat(nil), s.Phases...)
+	return out
+}
+
+// beginStats resets the telemetry for a fresh batch, reusing the phase
+// buffer across runs.
+func (g *BatchDynamicConnectivity) beginStats(adds, deletes int) {
+	if g.stats.Phases == nil {
+		g.stats.Phases = make([]PhaseStat, numPhases)
+	}
+	for i := range g.stats.Phases {
+		g.stats.Phases[i] = PhaseStat{Name: phaseNames[i]}
+	}
+	ph := g.stats.Phases
+	g.stats = PhaseStats{Batches: 1, Adds: int64(adds), Deletes: int64(deletes), Phases: ph}
+}
+
+// timePhase runs fn as one call of phase id, charging its wall time and
+// the returned item count.
+func (g *BatchDynamicConnectivity) timePhase(id phaseID, fn func() int) {
+	start := time.Now()
+	items := fn()
+	st := &g.stats.Phases[id]
+	st.Calls++
+	st.Items += int64(items)
+	st.Time += time.Since(start)
+}

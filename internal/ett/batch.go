@@ -10,7 +10,7 @@ import (
 //
 // The paper's batch-parallel ETT (Tseng et al.) uses phase-concurrent skip
 // lists. This implementation takes the component-decomposition route
-// (design decision S4 in DESIGN.md): a batch's updates are partitioned by
+// (component-grouped fork-join): a batch's updates are partitioned by
 // the connected components they touch; updates on disjoint tours commute
 // and run in parallel, while updates sharing a tour are applied serially
 // within their group. Arc-node allocation and edge-map maintenance happen

@@ -1,0 +1,34 @@
+// Package ett implements Euler tour trees (Henzinger–King / Tseng et al.),
+// parameterized over the sequence backend (treap, splay tree, or skip list)
+// exactly as in the paper's evaluation.
+//
+// An Euler tour tree represents each tree of the forest as the Euler tour
+// of the tree stored in a balanced sequence: one node per vertex plus two
+// nodes per edge (the two traversal directions). Links and cuts are O(log n)
+// splits and joins; connectivity compares sequence representatives; subtree
+// aggregates are range aggregates between the two arc nodes of an edge.
+//
+// ETTs support connectivity and subtree queries but not path queries
+// (Table 1 of the paper), which is why the paper introduces UFO trees.
+//
+// # Contracts
+//
+// Weight drop: Euler tour trees are weight-agnostic — Link takes no edge
+// weight and the facade adapter discards the weight argument without
+// panicking, because an Euler tour carries no per-edge aggregate. Callers
+// that need weights must feature-detect a path-querying structure instead;
+// the facade documents this as the uniform weight contract.
+//
+// Worker-count clamp rules match the forest layer: SetWorkers(k) with
+// k <= 0 defaults to runtime.GOMAXPROCS(0), k == 1 is sequential, and
+// oversubscription is allowed. Query fan-out is further limited by backend
+// capability — splay backends answer even read queries serially, because
+// splay access rotates the tree (see seq.Backend.ConcurrentReads) — and by
+// component structure (subtree batches parallelize across, not within,
+// components).
+//
+// Pre-mutation panic contract: adversarial update batches (self loops,
+// in-batch repeats in either orientation, duplicate links, absent cuts)
+// panic deterministically before any mutation, like every batch structure
+// in this repository.
+package ett

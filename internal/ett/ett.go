@@ -1,15 +1,3 @@
-// Package ett implements Euler tour trees (Henzinger–King / Tseng et al.),
-// parameterized over the sequence backend (treap, splay tree, or skip list)
-// exactly as in the paper's evaluation.
-//
-// An Euler tour tree represents each tree of the forest as the Euler tour
-// of the tree stored in a balanced sequence: one node per vertex plus two
-// nodes per edge (the two traversal directions). Links and cuts are O(log n)
-// splits and joins; connectivity compares sequence representatives; subtree
-// aggregates are range aggregates between the two arc nodes of an edge.
-//
-// ETTs support connectivity and subtree queries but not path queries
-// (Table 1 of the paper), which is why the paper introduces UFO trees.
 package ett
 
 import (

@@ -1,0 +1,11 @@
+// Package gen generates the benchmark inputs used in the paper's
+// experimental evaluation (§6): synthetic trees of controlled shape and
+// diameter, graph stand-ins with the structural signature of the paper's
+// four real-world datasets (Table 2), spanning forests of those graphs,
+// and update batches.
+//
+// Trees are returned as edge lists over vertices 0..n-1; graphs may be
+// multigraphs (deduplicate before feeding layers with a simple-graph
+// contract, e.g. internal/conn). Every generator is deterministic given
+// its seed.
+package gen

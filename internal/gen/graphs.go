@@ -10,7 +10,7 @@ import (
 // forests. The paper uses four real-world graphs (Table 2: USA roads,
 // ENWiki, StackOverflow, Twitter); those datasets are unavailable offline,
 // so these generators produce synthetic graphs with the same structural
-// signature (see DESIGN.md S5): diameter regime, degree distribution, and
+// signature: diameter regime, degree distribution, and
 // edge/vertex ratio.
 type Graph struct {
 	Name  string

@@ -1,9 +1,3 @@
-// Package gen generates the benchmark inputs used in the paper's
-// experimental evaluation (§6): synthetic trees of controlled shape and
-// diameter, spanning forests of graph-like inputs, and update batches.
-//
-// Trees are returned as edge lists over vertices 0..n-1. Every generator is
-// deterministic given its seed.
 package gen
 
 import (

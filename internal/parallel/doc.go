@@ -1,0 +1,22 @@
+// Package parallel provides the fork-join style data-parallel primitives
+// that the batch-dynamic tree algorithms in this repository are built on.
+//
+// The paper's C++ implementations use ParlayLib's randomized work-stealing
+// scheduler. Go has no user-level work-stealing fork-join runtime, so this
+// package substitutes chunked parallel loops over a bounded set of
+// goroutines with atomic chunk claiming (dynamic load balancing), which
+// provides the same asymptotic work/depth behaviour for the flat
+// data-parallel loops used by Algorithms 3 and 4 of the paper.
+//
+// Every primitive degrades gracefully to a plain serial loop below a grain
+// threshold, so the same code paths serve the sequential (k=1) and the
+// batch-parallel configurations of the trees.
+//
+// # Panic propagation
+//
+// A panic raised inside any parallel body (WorkersForRange, Do, and the
+// loops built on them) is captured and re-raised on the calling goroutine
+// after all workers have drained, so callers — and tests using recover —
+// observe it like a serial panic instead of a process abort. The
+// pre-mutation panic contracts of the batch structures rely on this.
+package parallel

@@ -1,16 +1,3 @@
-// Package parallel provides the fork-join style data-parallel primitives
-// that the batch-dynamic tree algorithms in this repository are built on.
-//
-// The paper's C++ implementations use ParlayLib's randomized work-stealing
-// scheduler. Go has no user-level work-stealing fork-join runtime, so this
-// package substitutes chunked parallel loops over a bounded set of
-// goroutines with atomic chunk claiming (dynamic load balancing), which
-// provides the same asymptotic work/depth behaviour for the flat
-// data-parallel loops used by Algorithms 3 and 4 of the paper.
-//
-// Every primitive degrades gracefully to a plain serial loop below a grain
-// threshold, so the same code paths serve the sequential (k=1) and the
-// batch-parallel configurations of the trees.
 package parallel
 
 import (

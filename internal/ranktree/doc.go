@@ -1,0 +1,24 @@
+// Package ranktree implements rank trees (Wulff-Nilsen 2013), the
+// weight-biased balanced trees the paper uses to store the child sets of
+// high-fanout UFO clusters (§4.2).
+//
+// A rank tree stores weighted items so that an item of weight w in a tree
+// of total weight W sits at depth O(log(W/w)), and can be inserted or
+// deleted in O(log(W/w)) amortized time. Nesting rank trees inside a UFO
+// tree keeps the total leaf depth O(log n) by a telescoping argument
+// (Lemma C.5), which is what makes non-invertible subtree aggregates
+// (max/min) cost O(log n) per operation — matching the Ω(log n) lower
+// bound of Lemma C.6.
+//
+// The implementation follows the classic rank-pairing scheme: an item of
+// weight w enters as a leaf of rank ⌊log₂ w⌋; two roots of equal rank r
+// pair under a parent of rank r+1. The forest of O(log W) root buckets is
+// summarized left-to-right so aggregate queries read O(log W) roots.
+//
+// The root buckets are a fixed 64-slot array indexed by rank with an
+// occupancy bitmask (a node of rank r has subtree weight ≥ 2^r, so ranks
+// never exceed 63 for int64 weights). Compared to the previous map-backed
+// buckets this makes Aggregate/AggregateExcept allocation-free, iterates
+// roots in deterministic ascending-rank order, and keeps the hot loops of
+// the UFO engine's level-synchronous aggregate-repair pass branch-cheap.
+package ranktree

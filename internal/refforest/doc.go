@@ -1,0 +1,9 @@
+// Package refforest provides a deliberately naive dynamic-forest
+// implementation used as a correctness oracle in tests.
+//
+// Every operation runs in O(n) time via explicit graph traversal, so its
+// behaviour is straightforward to audit. All tree structures in this
+// repository are differentially tested against it on randomized operation
+// sequences (the graph-connectivity layer, internal/conn, uses its own
+// union-find recompute oracle in the same spirit).
+package refforest

@@ -1,0 +1,7 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the library.
+//
+// All randomized components of the library (workload generators, randomized
+// matching, treap priorities, skip-list heights) draw from these generators
+// so that experiments and tests are reproducible from a single seed.
+package rng

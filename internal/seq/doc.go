@@ -1,0 +1,14 @@
+// Package seq provides balanced sequence data structures (treaps, splay
+// trees, and skip lists) behind a single split/join interface.
+//
+// Euler tour trees (package ett) are parameterized over this interface,
+// matching the paper's evaluation of three ETT variants ("ETT (Treap)",
+// "ETT (Splay Tree)", "ETT (Skip List)"). Sequences store two aggregates —
+// a value sum and a count of "vertex" elements — which is what ETT subtree
+// queries need.
+//
+// Backends declare whether reads are safe to run concurrently via
+// Backend.ConcurrentReads: splay trees rotate on every access, so their
+// "queries" are writes and must stay serial; treaps and skip lists answer
+// reads without mutating and may fan out.
+package seq

@@ -1,11 +1,3 @@
-// Package seq provides balanced sequence data structures (treaps, splay
-// trees, and skip lists) behind a single split/join interface.
-//
-// Euler tour trees (package ett) are parameterized over this interface,
-// matching the paper's evaluation of three ETT variants ("ETT (Treap)",
-// "ETT (Splay Tree)", "ETT (Skip List)"). Sequences store two aggregates —
-// a value sum and a count of "vertex" elements — which is what ETT subtree
-// queries need.
 package seq
 
 // Backend is a mutable-sequence implementation over node handles of type N.

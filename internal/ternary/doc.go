@@ -1,0 +1,15 @@
+// Package ternary implements dynamic ternarization (Appendix A.1 of the
+// paper): it maintains a mapping from an arbitrary-degree dynamic forest to
+// an underlying degree ≤ 3 forest, translating each link/cut into a bounded
+// number of underlying updates.
+//
+// Each original vertex owns a path of "slots" in the underlying forest
+// (initially just itself); consecutive slots are joined by weight-0 fake
+// edges, and each real edge is hosted by one slot per endpoint, subject to
+// the underlying degree-3 budget. Inserting at a full vertex expands its
+// path (possibly relocating one hosted edge — the up-to-7-underlying-updates
+// overhead the paper measures); deleting an edge splices empty slots out.
+//
+// This layer is what topology trees and RC trees pay on high-degree inputs
+// (Figures 5-8 of the paper); UFO trees never need it.
+package ternary

@@ -1,26 +1,3 @@
-// Package ufo implements UFO trees (unbounded fan-out trees), the paper's
-// primary contribution: a parallel batch-dynamic trees data structure based
-// on parallel tree contraction that supports input trees of arbitrary
-// degree directly (no ternarization) and answers connectivity, path,
-// subtree, and non-local queries.
-//
-// # Structure
-//
-// A UFO tree represents rounds of tree contraction: level-0 clusters are the
-// input vertices; each round merges clusters along a maximal set of allowed
-// merges (degree-1/degree-1, degree-1/degree-2, degree-2/degree-2, and a
-// high-degree cluster with all of its degree-1 neighbors — the unbounded
-// fan-out rule). Every live cluster acquires a parent each round until its
-// component contracts to a single degree-0 cluster. Theorems 4.1/4.2 of the
-// paper give height O(min{log n, ceil(D/2)}).
-//
-// # Updates
-//
-// Updates use one engine for both the sequential (k=1) and batch-parallel
-// configurations (design decision S1 in DESIGN.md): the batch algorithm of
-// §5.2 with lazy edge-deletion propagation (E⁻ sets), conditional deletion
-// that preserves high-degree and high-fanout clusters, and maximal
-// reclustering level by level.
 package ufo
 
 import (
@@ -174,9 +151,14 @@ type Cluster struct {
 	level    int32
 	leafV    int32 // vertex id for level-0 leaves, else -1
 	childIdx int32
-	// uid is a forest-unique id used for lock striping and as the
-	// symmetry-breaking priority source of the parallel pair matching.
-	uid    uint32
+	// uid is a forest-unique id used for lock striping, as the
+	// symmetry-breaking priority source of the parallel pair matching,
+	// and as the component identity behind Forest.ComponentID. The last
+	// use requires ids to never repeat among live clusters, which is why
+	// uid is 64-bit: a wrapping 32-bit counter could hand a rebuilt
+	// component's root the uid of an untouched live root after a few
+	// thousand large batches at paper scale.
+	uid    uint64
 	flags  atomic.Uint32
 	parent *Cluster
 	// prop is transient engine scratch: the current proposal target during

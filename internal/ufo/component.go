@@ -1,0 +1,50 @@
+package ufo
+
+// Component enumeration for graph layers built on top of the forest.
+//
+// A dynamic-graph structure (internal/conn) keeps a spanning forest in a
+// Forest and needs two read-only primitives the tree queries do not cover:
+// a component identity it can group by inside one batch, and the vertex
+// set of a component so a replacement-edge search can sweep the smaller
+// side of a cut. Both walk the cluster hierarchy without writing a single
+// field, so they follow the batch-query concurrency contract: safe to call
+// concurrently with each other and with any query, but not with updates.
+
+// ComponentID returns an opaque identifier of u's component: equal for two
+// vertices exactly when they are connected. The identifier is only stable
+// between structural updates — any Link/Cut/Batch* may retire it — so
+// callers must treat it as a per-epoch grouping key (e.g. the spanning
+// forest computation inside one connectivity batch), never persist it.
+// Identifiers are never reused within a forest's lifetime (64-bit
+// allocation counter), so a stale id can go dead but never alias a
+// different component. Cost is one root walk, O(min{log n, D}).
+func (f *Forest) ComponentID(u int) uint64 {
+	return top(f.leaves[u]).uid
+}
+
+// ComponentVertices appends the ids of every vertex in u's component to
+// buf and returns the extended slice (buf may be nil; pass a reused buffer
+// to avoid reallocating in search loops). The order is deterministic for a
+// given cluster hierarchy: a depth-first walk over child lists. Cost is
+// linear in the component size.
+func (f *Forest) ComponentVertices(u int, buf []int) []int {
+	r := top(f.leaves[u])
+	if cap(buf)-len(buf) < int(r.vcnt) {
+		grown := make([]int, len(buf), len(buf)+int(r.vcnt))
+		copy(grown, buf)
+		buf = grown
+	}
+	return appendLeaves(buf, r)
+}
+
+// appendLeaves collects the leaf vertices under c depth-first. Recursion
+// depth is bounded by the contraction height (≤ maxLevels).
+func appendLeaves(buf []int, c *Cluster) []int {
+	if c.leafV >= 0 {
+		return append(buf, int(c.leafV))
+	}
+	for _, ch := range c.children {
+		buf = appendLeaves(buf, ch)
+	}
+	return buf
+}

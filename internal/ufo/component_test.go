@@ -1,0 +1,103 @@
+package ufo
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// buildForest links tree's full edge set into a fresh forest at the given
+// worker count.
+func buildForest(t *testing.T, tree gen.Tree, workers int) *Forest {
+	t.Helper()
+	f := New(tree.N)
+	f.SetWorkers(workers)
+	links := make([]Edge, len(tree.Edges))
+	for i, e := range tree.Edges {
+		links[i] = Edge{U: e.U, V: e.V, W: e.W}
+	}
+	f.BatchLink(links)
+	return f
+}
+
+func TestComponentIDMatchesConnected(t *testing.T) {
+	tr := gen.PrefAttach(400, 7)
+	f := buildForest(t, tr, 2)
+	// Shatter into several components.
+	cuts := [][2]int{}
+	for i := 0; i < len(tr.Edges); i += 37 {
+		cuts = append(cuts, [2]int{tr.Edges[i].U, tr.Edges[i].V})
+	}
+	f.BatchCut(cuts)
+	for u := 0; u < tr.N; u += 13 {
+		for v := 0; v < tr.N; v += 17 {
+			want := f.Connected(u, v)
+			got := f.ComponentID(u) == f.ComponentID(v)
+			if want != got {
+				t.Fatalf("ComponentID(%d)==ComponentID(%d) = %v, Connected = %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestComponentVertices(t *testing.T) {
+	tr := gen.PrefAttach(300, 11)
+	f := buildForest(t, tr, 1)
+	cuts := [][2]int{}
+	for i := 0; i < len(tr.Edges); i += 29 {
+		cuts = append(cuts, [2]int{tr.Edges[i].U, tr.Edges[i].V})
+	}
+	f.BatchCut(cuts)
+	seenIn := make(map[int]int) // vertex -> component witness, to check partition
+	for u := 0; u < tr.N; u++ {
+		vs := f.ComponentVertices(u, nil)
+		if len(vs) != f.ComponentSize(u) {
+			t.Fatalf("ComponentVertices(%d) returned %d vertices, ComponentSize = %d",
+				u, len(vs), f.ComponentSize(u))
+		}
+		foundSelf := false
+		for _, v := range vs {
+			if v == u {
+				foundSelf = true
+			}
+			if !f.Connected(u, v) {
+				t.Fatalf("ComponentVertices(%d) contains disconnected vertex %d", u, v)
+			}
+			if w, ok := seenIn[v]; ok && !f.Connected(w, u) {
+				t.Fatalf("vertex %d listed in two distinct components (%d and %d)", v, w, u)
+			}
+			seenIn[v] = u
+		}
+		if !foundSelf {
+			t.Fatalf("ComponentVertices(%d) does not contain %d", u, u)
+		}
+		// Duplicates would break the partition property.
+		sorted := append([]int(nil), vs...)
+		sort.Ints(sorted)
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] == sorted[i-1] {
+				t.Fatalf("ComponentVertices(%d) lists %d twice", u, sorted[i])
+			}
+		}
+	}
+}
+
+func TestComponentVerticesReusesBuffer(t *testing.T) {
+	f := New(8)
+	f.BatchLink([]Edge{{0, 1, 1}, {1, 2, 1}, {4, 5, 1}})
+	buf := make([]int, 0, 64)
+	out := f.ComponentVertices(0, buf)
+	if len(out) != 3 {
+		t.Fatalf("component of 0 has %d vertices, want 3", len(out))
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatalf("ComponentVertices reallocated despite sufficient capacity")
+	}
+	// Appending semantics: extending a non-empty prefix keeps it.
+	prefix := append(buf[:0], -1)
+	out = f.ComponentVertices(4, prefix)
+	if len(out) != 3 || out[0] != -1 {
+		t.Fatalf("ComponentVertices did not append after prefix: %v", out)
+	}
+}

@@ -50,7 +50,7 @@ type Forest struct {
 	trackMax bool
 	mode     Mode
 	seed     uint64
-	uidSrc   atomic.Uint32
+	uidSrc   atomic.Uint64
 	eng      engine
 }
 
@@ -76,9 +76,9 @@ func NewRC(n int) *Forest {
 func newForest(n int, m Mode) *Forest {
 	f := &Forest{n: n, leaves: make([]*Cluster, n), workers: 1, mode: m, seed: 0x9e3779b97f4a7c15}
 	for i := range f.leaves {
-		f.leaves[i] = &Cluster{level: 0, leafV: int32(i), uid: uint32(i), childIdx: -1, vcnt: 1, pathMax: negInf}
+		f.leaves[i] = &Cluster{level: 0, leafV: int32(i), uid: uint64(i), childIdx: -1, vcnt: 1, pathMax: negInf}
 	}
-	f.uidSrc.Store(uint32(n))
+	f.uidSrc.Store(uint64(n))
 	f.eng.f = f
 	return f
 }

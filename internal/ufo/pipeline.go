@@ -276,8 +276,8 @@ func (e *engine) forPhase(n int, body func(s *wscratch, lo, hi int)) {
 
 // mu returns the lock stripe guarding c's adjacency set.
 func (e *engine) mu(c *Cluster) *sync.Mutex {
-	h := c.uid * 0x9E3779B1 // Fibonacci hashing; top bits are well mixed
-	return &e.stripes[h>>(32-stripeShift)].mu
+	h := c.uid * 0x9E3779B97F4A7C15 // Fibonacci hashing; top bits are well mixed
+	return &e.stripes[h>>(64-stripeShift)].mu
 }
 
 // lockC acquires the stripe guarding c during fanned phases; the inline

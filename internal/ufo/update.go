@@ -727,8 +727,8 @@ func (e *engine) recluster(i int) {
 
 // mixUID is a splitmix64-style hash giving every cluster a fresh random
 // priority each matching round (deterministic for a given forest seed).
-func mixUID(uid uint32, round int, seed uint64) uint64 {
-	z := uint64(uid) + seed + uint64(round)*0x9e3779b97f4a7c15
+func mixUID(uid uint64, round int, seed uint64) uint64 {
+	z := uid + seed + uint64(round)*0x9e3779b97f4a7c15
 	z ^= z >> 30
 	z *= 0xbf58476d1ce4e5b9
 	z ^= z >> 27

@@ -17,9 +17,16 @@
 //   - topology trees and rake-compress style trees over dynamic
 //     ternarization (all query types, constant-degree core).
 //
+// On top of the forests sits one graph structure: NewDynamicGraph returns
+// a batch-dynamic connectivity structure (DynamicGraph) that maintains an
+// arbitrary undirected graph — cycle-closing edges are held as non-tree
+// edges, and deleting a spanning-forest edge triggers a parallel
+// replacement-edge search instead of severing the component.
+//
 // Construct a structure with one of the New* functions and drive it
-// through the Forest / BatchForest interfaces, or use the concrete types in
-// internal packages for the full API (extended queries, validation).
+// through the Forest / BatchForest / DynamicGraph interfaces, or use the
+// concrete types in internal packages for the full API (extended queries,
+// validation).
 package ufotree
 
 import (
@@ -110,7 +117,12 @@ type PhaseStats struct {
 }
 
 // Accumulate merges o into s, phase by phase, for callers tracking a whole
-// run of batches (servers, benchmark loops).
+// run of batches (servers, benchmark loops). Phases merge positionally, so
+// an aggregate must only ever accumulate snapshots from one phase
+// vocabulary: forest snapshots (BatchForest.PhaseStats, the eight engine
+// phases) and graph snapshots (DynamicGraph.PhaseStats, the six
+// connectivity phases) share this type but must be aggregated separately —
+// mixing them would silently add unrelated phases together.
 func (s *PhaseStats) Accumulate(o PhaseStats) {
 	if len(s.Phases) < len(o.Phases) {
 		ph := make([]PhaseStat, len(o.Phases))
@@ -157,8 +169,16 @@ func fromUFOStats(s ufo.PhaseStats) PhaseStats {
 type BatchForest interface {
 	Forest
 	// BatchLink inserts a set of edges; the result must remain a forest.
+	//
+	// Pre-mutation panic contract (uniform across adapters): adversarial
+	// batches — self loops, an edge repeated inside the batch in either
+	// orientation, an edge already present — panic deterministically
+	// before any structural change, so a recovered panic leaves the
+	// forest exactly as it was, at every worker count.
 	BatchLink(edges []Edge)
-	// BatchCut removes a set of existing edges.
+	// BatchCut removes a set of existing edges. The pre-mutation panic
+	// contract of BatchLink applies: in-batch repeats in either
+	// orientation and absent edges panic before any mutation.
 	BatchCut(edges []Edge)
 	// SetParallel toggles goroutine parallelism inside batch updates.
 	SetParallel(on bool)
