@@ -1,0 +1,208 @@
+package ufotree
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Batcher is the auto-batching ingest front-end over a BatchForest: any
+// number of goroutines submit single link / cut / query operations; a
+// flusher goroutine coalesces them into engine-sized batches (flushing at
+// batchSize pending operations or maxWait after the first, whichever
+// comes first), validates each window through admission control, runs the
+// mutations as engine batches at the forest's configured worker count,
+// and fans every result back to its caller.
+//
+// Admission control replaces the pre-mutation panic contract with typed
+// errors: operations that are invalid at their serialization point come
+// back as ErrSelfLoop / ErrDuplicateEdge / ErrAbsentCut / ErrWouldCycle /
+// ErrVertexRange, and operations that merely conflict inside one flush
+// window — a cut and a link of the same edge, a link into a component
+// with a pending cut — are sequenced across consecutive engine batches
+// instead of erroring. No engine panic ever reaches a submitter. Same-edge
+// operations commit in arrival order; the commit order across edges is
+// the Seq order in the results (and the journal, with WithJournal).
+//
+// The flusher is the only goroutine touching the forest, so the engine's
+// batch-query concurrency contract holds by construction — but for the
+// same reason the forest must not be used directly while a Batcher is
+// open; use Read for serialized access to extended APIs.
+type Batcher struct {
+	b *serve.Batcher
+	f BatchForest
+
+	mu  sync.Mutex
+	eng PhaseStats // engine telemetry accumulated across all batches
+}
+
+// BatcherOption configures a Batcher; see NewBatcher.
+type BatcherOption = serve.Option
+
+// WithBatchSize sets the flush trigger: a window flushes as soon as n
+// operations are pending (default serve.DefaultBatchSize).
+func WithBatchSize(n int) BatcherOption { return serve.WithBatchSize(n) }
+
+// WithMaxWait bounds latency: a window flushes at most d after its first
+// operation arrived, full or not (default serve.DefaultMaxWait).
+func WithMaxWait(d time.Duration) BatcherOption { return serve.WithMaxWait(d) }
+
+// WithQueueCap sets the submission buffer (default 4 x batch size);
+// submitters block when it fills — backpressure against a saturated
+// flusher.
+func WithQueueCap(n int) BatcherOption { return serve.WithQueueCap(n) }
+
+// WithJournal records every committed mutation in commit order for
+// Batcher.Journal — the replay oracle for tests and a replication feed
+// for servers. Off by default (the journal grows without bound).
+func WithJournal() BatcherOption { return serve.WithJournal() }
+
+// OpResult is the outcome of one submitted operation (alias of the serve
+// layer's Result so the *Async forms interoperate): Err, the commit Seq of
+// a mutation, the query answer (Bool or Val/OK), and the flat Timing
+// trail (enqueue / flush / build / respond offsets).
+type OpResult = serve.Result
+
+// OpTiming is one request's ingest timestamp trail: monotonic offsets
+// from the Batcher's start for enqueue, flush, engine build, and respond.
+type OpTiming = serve.Timing
+
+// IngestStats is the Batcher's ingest telemetry snapshot: flat counters
+// (submitted, committed links/cuts, queries, rejections, deferrals,
+// windows, engine sub-batches, recovered panics), realized mean batch and
+// window sizes, and percentile summaries of queue depth and per-request
+// latency stages.
+type IngestStats = serve.Stats
+
+// AppliedOp is one committed mutation in a Batcher's journal.
+type AppliedOp = serve.AppliedOp
+
+// BatcherStats pairs the ingest-side telemetry with the engine-side
+// telemetry accumulated over every batch the Batcher has run.
+type BatcherStats struct {
+	Ingest IngestStats `json:"ingest"`
+	Engine PhaseStats  `json:"engine"`
+}
+
+// NewBatcher starts a Batcher over f, which must not be mutated or
+// queried directly (except through Read) until Close. Batch sizing comes
+// from opts; the engine worker count is whatever f is configured with
+// (e.g. New(n, WithWorkers(k))). Path queries are enabled when f is a
+// BatchQuerier, and admission's cycle detection uses f's ComponentIDer
+// fast path when present (the UFO forest), falling back to connectivity
+// probes otherwise.
+func NewBatcher(f BatchForest, opts ...BatcherOption) *Batcher {
+	b := &Batcher{f: f}
+	all := make([]serve.Option, 0, len(opts)+3)
+	all = append(all, opts...)
+	all = append(all, serve.WithAfterBatch(func() {
+		s := f.PhaseStats()
+		b.mu.Lock()
+		b.eng.Accumulate(s)
+		b.mu.Unlock()
+	}))
+	if c, ok := f.(ComponentIDer); ok {
+		all = append(all, serve.WithComponentID(c.ComponentID))
+	}
+	if q, ok := f.(BatchQuerier); ok {
+		all = append(all, serve.WithPathQueries(q.BatchPathSum, q.BatchPathMax))
+	}
+	b.b = serve.New(engineShim{f}, all...)
+	return b
+}
+
+// Link inserts edge (u,v,w), blocking until its flush window commits; the
+// result carries the commit sequence number.
+func (b *Batcher) Link(u, v int, w int64) (OpResult, error) { return b.b.Link(u, v, w) }
+
+// Cut removes edge (u,v), blocking until its flush window commits.
+func (b *Batcher) Cut(u, v int) (OpResult, error) { return b.b.Cut(u, v) }
+
+// Connected reports whether u and v are connected, serialized after the
+// mutations of its flush window.
+func (b *Batcher) Connected(u, v int) (bool, error) { return b.b.Connected(u, v) }
+
+// PathSum returns the sum of edge weights on the u..v path (ok false when
+// disconnected); ErrUnsupported when f is not a BatchQuerier.
+func (b *Batcher) PathSum(u, v int) (int64, bool, error) { return b.b.PathSum(u, v) }
+
+// PathMax returns the maximum edge weight on the u..v path (ok false when
+// disconnected or u == v); ErrUnsupported when f is not a BatchQuerier.
+func (b *Batcher) PathMax(u, v int) (int64, bool, error) { return b.b.PathMax(u, v) }
+
+// LinkAsync submits a link without waiting; the buffered channel receives
+// the OpResult when the window commits. One goroutine's submission order
+// is its arrival order, so dependent same-edge operations (cut then
+// relink) can be pipelined and are sequenced correctly.
+func (b *Batcher) LinkAsync(u, v int, w int64) (<-chan OpResult, error) {
+	return b.b.LinkAsync(u, v, w)
+}
+
+// CutAsync submits a cut without waiting; see LinkAsync.
+func (b *Batcher) CutAsync(u, v int) (<-chan OpResult, error) { return b.b.CutAsync(u, v) }
+
+// ConnectedAsync submits a connectivity query without waiting.
+func (b *Batcher) ConnectedAsync(u, v int) (<-chan OpResult, error) {
+	return b.b.ConnectedAsync(u, v)
+}
+
+// Read runs fn on the flusher goroutine, serialized after the mutations
+// of its flush window — the sanctioned way to reach extended engine APIs
+// (UnderlyingUFO, batch queries) while a Batcher owns the forest. fn must
+// not submit to the same Batcher and should be short: it blocks ingest.
+func (b *Batcher) Read(fn func()) error { return b.b.Read(fn) }
+
+// Close stops accepting submissions, flushes everything enqueued, and
+// waits for the flusher to exit; afterwards the forest is safe to use
+// directly again. Idempotent; racing submissions get ErrClosed.
+func (b *Batcher) Close() { b.b.Close() }
+
+// Stats snapshots both telemetry planes: ingest-side (queue depth and
+// latency percentiles, realized batch sizes, rejection/deferral counts)
+// and engine-side (PhaseStats accumulated over every batch this Batcher
+// has run — forest-vocabulary phases only, safe to Accumulate further).
+func (b *Batcher) Stats() BatcherStats {
+	ing := b.b.Stats()
+	b.mu.Lock()
+	eng := b.eng.Clone()
+	b.mu.Unlock()
+	return BatcherStats{Ingest: ing, Engine: eng}
+}
+
+// Journal returns a copy of the committed-mutation journal in commit
+// order (empty unless WithJournal): the authoritative serialization, fit
+// for a sequential replay oracle.
+func (b *Batcher) Journal() []AppliedOp { return b.b.Journal() }
+
+// engineShim adapts a facade BatchForest to the serve layer's Engine,
+// converting edge types at the boundary.
+type engineShim struct{ f BatchForest }
+
+func (s engineShim) N() int                  { return s.f.N() }
+func (s engineShim) HasEdge(u, v int) bool   { return s.f.HasEdge(u, v) }
+func (s engineShim) Connected(u, v int) bool { return s.f.Connected(u, v) }
+
+func (s engineShim) BatchLink(edges []serve.Edge) { s.f.BatchLink(convFacadeEdges(edges)) }
+func (s engineShim) BatchCut(edges []serve.Edge)  { s.f.BatchCut(convFacadeEdges(edges)) }
+
+func (s engineShim) BatchConnected(pairs [][2]int) []bool {
+	if q, ok := s.f.(BatchConnectivityQuerier); ok {
+		return q.BatchConnected(pairs)
+	}
+	out := make([]bool, len(pairs))
+	for i, p := range pairs {
+		out[i] = s.f.Connected(p[0], p[1])
+	}
+	return out
+}
+
+func convFacadeEdges(edges []serve.Edge) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+var _ serve.Engine = engineShim{}

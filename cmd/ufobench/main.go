@@ -10,14 +10,15 @@
 //	ufobench -experiment trackmax -n 50000 -k 5000 -q 20000 -json
 //	ufobench -experiment phases -n 50000 -k 5000 -json
 //	ufobench -experiment connectivity -n 50000 -k 5000 -q 20000 -json
+//	ufobench -experiment ingest -n 20000 -clients 256 -ops 200 -json
 //
 // Experiments: table1, table2, fig5, fig6, fig7, fig8, fig9, fig16,
-// scaling, queries, trackmax, phases, connectivity, ablation, all.
+// scaling, queries, trackmax, phases, connectivity, ingest, ablation, all.
 // Sizes default to laptop scale; raise -n / -k to approach the paper's
 // configuration (n=10^7, k=10^6 on a 96-core machine).
 //
 // With -json, the experiments that produce machine-readable results
-// (scaling, queries, trackmax, phases, connectivity, ablation) additionally write
+// (scaling, queries, trackmax, phases, connectivity, ingest, ablation) additionally write
 // BENCH_<experiment>.json into the working directory; CI uploads these as
 // artifacts and gates them against committed baselines with cmd/benchdiff,
 // so the performance trajectory accumulates across commits and regressions
@@ -35,10 +36,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|trackmax|phases|connectivity|ablation|all")
+		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|trackmax|phases|connectivity|ingest|ablation|all")
 		n        = flag.Int("n", 50000, "input tree size")
 		k        = flag.Int("k", 5000, "batch size for parallel experiments")
 		q        = flag.Int("q", 20000, "query count (diameter sweep, batch-query, and trackmax experiments)")
+		clients  = flag.Int("clients", 256, "concurrent single-op clients (ingest experiment)")
+		ops      = flag.Int("ops", 200, "operations per client (ingest experiment)")
 		seed     = flag.Uint64("seed", 42, "deterministic workload seed")
 		graphs   = flag.Bool("graphs", true, "include BFS/RIS forests of the graph stand-ins")
 		jsonOut  = flag.Bool("json", false, "write machine-readable BENCH_<experiment>.json files")
@@ -96,6 +99,9 @@ func main() {
 	run("connectivity", func() {
 		writeJSON("connectivity", bench.Connectivity(w, *n, *k, *q, nil, *seed))
 	})
+	run("ingest", func() {
+		writeJSON("ingest", bench.Ingest(w, *n, *clients, *ops, nil, *seed))
+	})
 	run("ablation", func() {
 		results := bench.Ablation(w, *n, *seed)
 		fmt.Fprintln(w)
@@ -106,12 +112,12 @@ func main() {
 	valid := map[string]bool{"all": true, "table1": true, "table2": true, "fig5": true,
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig16": true,
 		"scaling": true, "queries": true, "trackmax": true, "phases": true,
-		"connectivity": true, "ablation": true}
+		"connectivity": true, "ingest": true, "ablation": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n", *exp,
 			strings.Join([]string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
 				"fig16", "scaling", "queries", "trackmax", "phases", "connectivity",
-				"ablation", "all"}, "|"))
+				"ingest", "ablation", "all"}, "|"))
 		os.Exit(2)
 	}
 	os.Exit(exitCode)

@@ -2,38 +2,45 @@
 //
 // A fleet of agents (delivery drones, packets, players — anything routed
 // over a tree) keeps asking "what is the cost/bottleneck/hop count between
-// a and b right now?" while the tree itself churns under batched link and
-// cut updates. This example serves that workload from one UFO forest:
-// updates are applied as batches under a write lock, queries are collected
-// into batches and fanned out over the parallel batch-query subsystem
-// under a read lock (queries never block each other — they are read-only
-// between updates).
+// a and b right now?" while the tree itself churns under single link and
+// cut requests arriving from many independent clients. This example serves
+// that workload through ufotree.Batcher: nothing here pre-forms a batch
+// and nothing takes a lock — every handler submits single operations, the
+// Batcher coalesces them into engine-sized batches, sequences same-window
+// conflicts across consecutive batches, and turns invalid requests into
+// typed errors instead of engine panics.
 //
 // Two modes:
 //
-//	pathserver              # self-driving simulation: interleaved batch
-//	                        # links/cuts/queries, prints throughput, exits
+//	pathserver              # self-driving simulation: N concurrent clients
+//	                        # churn and query through one Batcher, prints
+//	                        # realized batch sizes + latency, exits
 //	pathserver -addr :8080  # HTTP server:
-//	                        #   GET /path?u=3&v=9     -> sum, max, hops
-//	                        #   GET /lca?u=3&v=9&r=0  -> lowest common ancestor
-//	                        #   POST /paths           -> JSON [[u,v],...] batch
-//	                        #   GET /stats            -> engine phase telemetry
+//	                        #   GET  /link?u=3&v=9&w=4 -> {"seq":N} or typed error
+//	                        #   GET  /cut?u=3&v=9      -> {"seq":N} or typed error
+//	                        #   GET  /path?u=3&v=9     -> sum, max, hops
+//	                        #   GET  /lca?u=3&v=9&r=0  -> lowest common ancestor
+//	                        #   POST /paths            -> JSON [[u,v],...] batch
+//	                        #   GET  /stats            -> ingest + engine telemetry
 //	                        # churn keeps mutating the tree in the background
 //
-// /stats exposes the update engine's per-phase telemetry (ufotree
-// PhaseStats): the last churn batch's breakdown plus the cumulative
-// totals since startup, so operators can see where write-side time goes
-// (seeding, conditional deletion, reclustering, ...) without profiling.
+// /stats exposes both telemetry planes of the Batcher: the ingest side
+// (queue depth and latency percentiles, realized mean batch size,
+// rejection and conflict-deferral counts) and the engine side (per-phase
+// PhaseStats accumulated over every batch), so operators can see where
+// both queueing and write-side time go without profiling.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -41,53 +48,30 @@ import (
 	"repro/internal/rng"
 )
 
-// server owns the forest. The RWMutex encodes the batch-query concurrency
-// contract: queries (read-only between updates) share the read side,
-// update batches take the write side.
+// server owns the Batcher. There is no lock: the Batcher's flusher is the
+// only goroutine that touches the forest, handlers just submit operations
+// and wait for their results.
 type server struct {
-	mu   sync.RWMutex
-	f    ufotree.BatchForest
+	b    *ufotree.Batcher
 	bq   ufotree.BatchQuerier
 	hops func(pairs [][2]int) ([]int, []bool) // UFO-only extension (see newServer)
 	n    int
-	r    *rng.SplitMix64
-	// live tree edges, for generating valid churn batches
-	live [][2]int
-	// stats accumulates the engine's per-batch phase telemetry over every
-	// mutation since startup; lastBatch keeps the most recent *batch*
-	// operation's snapshot (the k-cut churn batch — the engine itself
-	// resets PhaseStats on every run, so after churn's single-edge
-	// relinks the engine's own "last" is a trivial 1-link batch). Both
-	// are guarded by mu's write side like the forest.
-	stats     ufotree.PhaseStats
-	lastBatch ufotree.PhaseStats
 }
 
-// recordStats folds the most recent engine run's telemetry into the
-// cumulative view and, when it was a real batch (not a 1-edge rewire),
-// keeps it as the last-batch snapshot. Callers hold the write lock (or
-// are still single-threaded setup).
-func (s *server) recordStats() {
-	st := s.f.PhaseStats()
-	s.stats.Accumulate(st)
-	if st.Links+st.Cuts > 1 {
-		s.lastBatch = st
+// newServer builds the initial topology directly (the Batcher is not open
+// yet, so direct BatchLink is allowed and fast), then starts the Batcher
+// that owns the forest from here on. workers <= 0 selects GOMAXPROCS.
+func newServer(n, workers, batchSize int, maxWait time.Duration, seed uint64) *server {
+	if workers < 0 {
+		workers = 0
 	}
-}
-
-// newServer builds the initial topology; workers <= 0 selects GOMAXPROCS.
-func newServer(n, workers int, seed uint64) *server {
-	f := ufotree.NewUFO(n)
-	if workers <= 0 {
-		f.SetParallel(true)
-	} else {
-		f.SetWorkers(workers)
-	}
-	s := &server{f: f, bq: f.(ufotree.BatchQuerier), n: n, r: rng.New(seed)}
+	f := ufotree.New(n, ufotree.WithWorkers(workers))
+	s := &server{bq: f.(ufotree.BatchQuerier), n: n}
 	// Hop counts are a UFO-only extension (the facade's BatchQuerier has no
 	// BatchPathHops — ternarized structures cannot answer it); resolve the
 	// escape hatch once at startup so a future swap to another BatchForest
-	// fails loudly here, not mid-request.
+	// fails loudly here, not mid-request. It is only ever called inside
+	// Batcher.Read, where the forest is quiescent.
 	uf, ok := ufotree.UnderlyingUFO(f)
 	if !ok {
 		log.Fatalf("pathserver needs the UFO structure for hop counts; got %s", f.Name())
@@ -97,7 +81,6 @@ func newServer(n, workers int, seed uint64) *server {
 	edges := make([]ufotree.Edge, len(topo.Edges))
 	for i, e := range topo.Edges {
 		edges[i] = ufotree.Edge{U: e.U, V: e.V, W: e.W}
-		s.live = append(s.live, [2]int{e.U, e.V})
 	}
 	for lo := 0; lo < len(edges); lo += 10000 {
 		hi := lo + 10000
@@ -105,137 +88,317 @@ func newServer(n, workers int, seed uint64) *server {
 			hi = len(edges)
 		}
 		f.BatchLink(edges[lo:hi])
-		s.recordStats()
 	}
+	s.b = ufotree.NewBatcher(f,
+		ufotree.WithBatchSize(batchSize),
+		ufotree.WithMaxWait(maxWait),
+	)
 	return s
 }
 
-// churn applies one batch of k cuts + k links (rewiring random live edges
-// to random new endpoints) under the write lock.
-func (s *server) churn(k int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var cuts []ufotree.Edge
-	for i := 0; i < k && len(s.live) > 0; i++ {
-		j := s.r.Intn(len(s.live))
-		e := s.live[j]
-		s.live[j] = s.live[len(s.live)-1]
-		s.live = s.live[:len(s.live)-1]
-		cuts = append(cuts, ufotree.Edge{U: e[0], V: e[1]})
+// liveEdges returns the initial tree edges, the churn workers' starting
+// inventory of cuttable edges.
+func liveEdges(n int, seed uint64) [][2]int {
+	topo := gen.PrefAttach(n, seed+1)
+	out := make([][2]int, len(topo.Edges))
+	for i, e := range topo.Edges {
+		out[i] = [2]int{e.U, e.V}
 	}
-	if len(cuts) == 0 {
-		return // nothing to rewire; BatchCut(nil) would not run the engine
+	return out
+}
+
+// answerPaths runs one query batch on the flusher via Read: the forest is
+// quiescent there, so the three parallel batch-query fan-outs (sum, max,
+// hops) run back to back against one consistent snapshot.
+func (s *server) answerPaths(pairs [][2]int) (sum []int64, ok []bool, mx []int64, hops []int, err error) {
+	err = s.b.Read(func() {
+		sum, ok = s.bq.BatchPathSum(pairs)
+		mx, _ = s.bq.BatchPathMax(pairs)
+		hops, _ = s.hops(pairs)
+	})
+	return sum, ok, mx, hops, err
+}
+
+// rewire is one churn step over a privately-owned live-edge list: cut a
+// random owned edge through the Batcher, then relink its endpoint
+// somewhere else, treating admission's typed rejections (cycle, duplicate,
+// self loop) as routine and retrying. Returns the updated list, the number
+// of committed mutations, and whether an unexpected error occurred.
+func rewire(b *ufotree.Batcher, live [][2]int, n int, r *rng.SplitMix64) ([][2]int, int, bool) {
+	if len(live) == 0 {
+		return live, 0, false
 	}
-	s.f.BatchCut(cuts)
-	s.recordStats()
-	// Reattach each cut-off side somewhere else (or back) with a fresh
-	// weight. Links apply one at a time: each rewire's cycle check must see
-	// the previous rewires.
-	for _, c := range cuts {
-		u := c.U
-		for try := 0; try < 8; try++ {
-			v := s.r.Intn(s.n)
-			if v != u && !s.f.Connected(u, v) {
-				s.f.Link(u, v, int64(1+s.r.Intn(100)))
-				s.recordStats()
-				s.live = append(s.live, [2]int{u, v})
-				break
+	j := r.Intn(len(live))
+	e := live[j]
+	committed := 0
+	if _, err := b.Cut(e[0], e[1]); err != nil {
+		if errors.Is(err, ufotree.ErrAbsentCut) {
+			// someone else (an HTTP client) cut our edge; just forget it
+			live[j] = live[len(live)-1]
+			return live[:len(live)-1], 0, false
+		}
+		return live, 0, true
+	}
+	committed++
+	for try := 0; try < 8; try++ {
+		v := r.Intn(n)
+		_, err := b.Link(e[0], v, int64(1+r.Intn(100)))
+		switch {
+		case err == nil:
+			live[j] = [2]int{e[0], v}
+			return live, committed + 1, false
+		case errors.Is(err, ufotree.ErrWouldCycle),
+			errors.Is(err, ufotree.ErrDuplicateEdge),
+			errors.Is(err, ufotree.ErrSelfLoop):
+			// routine rejection: v landed in our own component or on an
+			// existing edge; pick another target
+		default:
+			return live, committed, true
+		}
+	}
+	// Every random target cycled (cutting a hub edge leaves the endpoint in
+	// the giant component, where almost any target closes a cycle). Put the
+	// original edge back; if even that cycles, a concurrent client already
+	// reconnected the halves and the edge is simply gone.
+	if _, err := b.Link(e[0], e[1], int64(1+r.Intn(100))); err == nil {
+		return live, committed + 1, false
+	}
+	live[j] = live[len(live)-1]
+	return live[:len(live)-1], committed, false
+}
+
+// simClient is one traffic source in simulation mode: churn rewires,
+// pipelined same-edge conflict pairs (cut+relink of one edge submitted
+// back to back, landing in one flush window and sequenced across batches),
+// and batched path queries — all through the shared Batcher.
+func simClient(s *server, live [][2]int, ops int, r *rng.SplitMix64, muts, queries, unexpected *atomic.Int64) {
+	for i := 0; i < ops; i++ {
+		switch {
+		case i%8 == 3:
+			pairs := make([][2]int, 8)
+			for j := range pairs {
+				pairs[j] = [2]int{r.Intn(s.n), r.Intn(s.n)}
+			}
+			if _, _, _, _, err := s.answerPaths(pairs); err != nil {
+				unexpected.Add(1)
+			}
+			queries.Add(int64(len(pairs)))
+		case i%8 == 6 && len(live) > 0:
+			j := r.Intn(len(live))
+			e := live[j]
+			c1, e1 := s.b.CutAsync(e[0], e[1])
+			c2, e2 := s.b.LinkAsync(e[0], e[1], int64(1+r.Intn(100)))
+			if e1 != nil || e2 != nil {
+				unexpected.Add(1)
+				continue
+			}
+			r1, r2 := <-c1, <-c2
+			if r1.Err != nil {
+				unexpected.Add(1) // we own the edge; the cut must commit
+			} else {
+				muts.Add(1)
+			}
+			if r2.Err != nil {
+				// a concurrent client reconnected the halves inside the
+				// window gap: typed rejection, edge stays gone
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				muts.Add(1)
+			}
+		default:
+			var k int
+			var bad bool
+			live, k, bad = rewire(s.b, live, s.n, r)
+			muts.Add(int64(k))
+			if bad {
+				unexpected.Add(1)
 			}
 		}
 	}
 }
 
-// answerPaths runs one query batch under the read lock.
-func (s *server) answerPaths(pairs [][2]int) (sum []int64, sumOK []bool, mx []int64, hops []int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sum, sumOK = s.bq.BatchPathSum(pairs)
-	mx, _ = s.bq.BatchPathMax(pairs)
-	hops, _ = s.hops(pairs)
-	return sum, sumOK, mx, hops
-}
+// simulate is the self-driving mode: clients goroutines of single-op
+// traffic through one Batcher, then a report of what the ingest layer
+// achieved (coalescing, latency, conflict sequencing) and where the
+// engine spent its time.
+func simulate(n, workers, clients, ops, batchSize int, maxWait time.Duration) {
+	s := newServer(n, workers, batchSize, maxWait, 11)
+	defer s.b.Close()
+	live := liveEdges(n, 11)
+	if clients < 1 {
+		clients = 1
+	}
+	per := len(live) / clients
+	if per < 1 {
+		clients = len(live)
+		per = 1
+	}
+	fmt.Printf("pathserver simulation: n=%d clients=%d ops/client=%d batch-size=%d max-wait=%v\n",
+		n, clients, ops, batchSize, maxWait)
+	var muts, queries, unexpected atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := make([][2]int, per)
+			copy(mine, live[c*per:(c+1)*per])
+			simClient(s, mine, ops, rng.New(uint64(100+c)), &muts, &queries, &unexpected)
+		}(c)
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
 
-// simulate is the self-driving mode: phases of churn followed by query
-// batches, reporting read-side throughput.
-func simulate(n, workers, batch, q, rounds int) {
-	s := newServer(n, workers, 11)
-	fmt.Printf("pathserver simulation: n=%d workers=%d churn-batch=%d query-batch=%d\n",
-		n, s.f.Workers(), batch, q)
-	var queries int
-	var qsecs float64
-	for round := 0; round < rounds; round++ {
-		s.churn(batch)
-		pairs := make([][2]int, q)
-		for i := range pairs {
-			pairs[i] = [2]int{s.r.Intn(n), s.r.Intn(n)}
-		}
-		start := time.Now()
-		sum, ok, mx, hops := s.answerPaths(pairs)
-		qsecs += time.Since(start).Seconds()
-		queries += len(pairs)
-		// Show one sample answer per round so the output means something.
+	// One sample batch so the output means something.
+	pairs := [][2]int{{0, n / 2}, {1, n / 3}, {2, n - 1}}
+	sum, ok, mx, hops, err := s.answerPaths(pairs)
+	if err == nil {
 		for i := range pairs {
 			if ok[i] {
-				fmt.Printf("  round %d sample: route %d->%d cost=%d bottleneck=%d hops=%d\n",
-					round, pairs[i][0], pairs[i][1], sum[i], mx[i], hops[i])
+				fmt.Printf("  sample: route %d->%d cost=%d bottleneck=%d hops=%d\n",
+					pairs[i][0], pairs[i][1], sum[i], mx[i], hops[i])
 				break
 			}
 		}
 	}
-	if qsecs > 0 {
-		fmt.Printf("answered %d path queries in %.3fs (%.0f queries/s, 3 aggregates each)\n",
-			queries, qsecs, float64(queries)/qsecs)
-	}
-	// Write-side attribution: where the churn batches actually spent
-	// their time, phase by phase (the /stats payload of server mode).
+
+	st := s.b.Stats()
+	fmt.Printf("committed %d mutations and %d path queries in %.3fs (%.0f ops/s end to end)\n",
+		muts.Load(), queries.Load(), secs, float64(muts.Load()+queries.Load())/secs)
+	fmt.Printf("ingest: mean batch %.1f muts/engine-batch over %d batches, %d conflicts sequenced, %d typed rejections\n",
+		st.Ingest.MeanBatch, st.Ingest.Batches, st.Ingest.Deferred, st.Ingest.Rejected)
+	fmt.Printf("ingest: latency p50=%.2fms p99=%.2fms, queue depth p99=%.0f, engine panics=%d, unexpected errors=%d\n",
+		st.Ingest.LatencyNs.P50/1e6, st.Ingest.LatencyNs.P99/1e6, st.Ingest.QueueDepth.P99,
+		st.Ingest.EnginePanics, unexpected.Load())
 	fmt.Printf("update engine: %d batches, %d links + %d cuts over %d contraction rounds in %v\n",
-		s.stats.Batches, s.stats.Links, s.stats.Cuts, s.stats.Levels, s.stats.Total.Round(time.Microsecond))
-	for _, ph := range s.stats.Phases {
+		st.Engine.Batches, st.Engine.Links, st.Engine.Cuts, st.Engine.Levels, st.Engine.Total.Round(time.Microsecond))
+	for _, ph := range st.Engine.Phases {
 		if ph.Items == 0 && ph.Time == 0 {
 			continue
 		}
 		share := 0.0
-		if s.stats.Total > 0 {
-			share = 100 * float64(ph.Time) / float64(s.stats.Total)
+		if st.Engine.Total > 0 {
+			share = 100 * float64(ph.Time) / float64(st.Engine.Total)
 		}
 		fmt.Printf("  %-13s %8.1f%%  %9v  %9d items\n", ph.Name, share, ph.Time.Round(time.Microsecond), ph.Items)
 	}
 }
 
+// errStatus maps an admission error to an HTTP status and a stable
+// machine-readable code for the JSON error body.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ufotree.ErrVertexRange):
+		return http.StatusBadRequest, "vertex_range"
+	case errors.Is(err, ufotree.ErrSelfLoop):
+		return http.StatusBadRequest, "self_loop"
+	case errors.Is(err, ufotree.ErrDuplicateEdge):
+		return http.StatusConflict, "duplicate_edge"
+	case errors.Is(err, ufotree.ErrWouldCycle):
+		return http.StatusConflict, "would_cycle"
+	case errors.Is(err, ufotree.ErrAbsentCut):
+		return http.StatusNotFound, "absent_cut"
+	case errors.Is(err, ufotree.ErrClosed):
+		return http.StatusServiceUnavailable, "closed"
+	default:
+		return http.StatusInternalServerError, "engine"
+	}
+}
+
+func writeJSONErr(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "", "listen address; empty runs the self-driving simulation")
-		n       = flag.Int("n", 50000, "vertices")
-		workers = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
-		batch   = flag.Int("batch", 2000, "churn batch size")
-		q       = flag.Int("q", 20000, "queries per batch (simulation mode)")
-		rounds  = flag.Int("rounds", 5, "simulation rounds")
+		addr      = flag.String("addr", "", "listen address; empty runs the self-driving simulation")
+		n         = flag.Int("n", 50000, "vertices")
+		workers   = flag.Int("workers", 0, "batch worker count (0 = GOMAXPROCS)")
+		clients   = flag.Int("clients", 64, "concurrent traffic sources (simulation mode)")
+		ops       = flag.Int("ops", 400, "operations per client (simulation mode)")
+		batchSize = flag.Int("batchsize", 1024, "Batcher flush trigger: pending ops")
+		maxWait   = flag.Duration("maxwait", 2*time.Millisecond, "Batcher flush trigger: latency bound")
 	)
 	flag.Parse()
 
 	if *addr == "" {
-		simulate(*n, *workers, *batch, *q, *rounds)
+		simulate(*n, *workers, *clients, *ops, *batchSize, *maxWait)
 		return
 	}
 
-	s := newServer(*n, *workers, 11)
+	s := newServer(*n, *workers, *batchSize, *maxWait, 11)
+	// Background churn: one goroutine rewiring through the Batcher, exactly
+	// like any other client. Typed rejections (including an HTTP client
+	// cutting an edge first) are routine, not faults.
 	go func() {
-		for range time.Tick(time.Second) {
-			s.churn(*batch)
+		live := liveEdges(*n, 11)
+		r := rng.New(7)
+		for {
+			var bad bool
+			live, _, bad = rewire(s.b, live, s.n, r)
+			if bad {
+				log.Printf("churn: unexpected error, backing off")
+				time.Sleep(time.Second)
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
 	}()
 	arg := func(req *http.Request, k string) (int, bool) {
 		v, err := strconv.Atoi(req.URL.Query().Get(k))
-		return v, err == nil && v >= 0 && v < s.n
+		return v, err == nil
 	}
-	http.HandleFunc("/path", func(w http.ResponseWriter, req *http.Request) {
+	http.HandleFunc("/link", func(w http.ResponseWriter, req *http.Request) {
 		u, okU := arg(req, "u")
 		v, okV := arg(req, "v")
 		if !okU || !okV {
+			http.Error(w, "u and v must be vertex ids", http.StatusBadRequest)
+			return
+		}
+		wt := int64(1)
+		if x, ok := arg(req, "w"); ok {
+			wt = int64(x)
+		}
+		// Admission turns every invalid request into a typed error — a
+		// duplicate edge, a cycle-closing link, an out-of-range vertex all
+		// come back as JSON, never as an engine panic.
+		res, err := s.b.Link(u, v, wt)
+		if err != nil {
+			writeJSONErr(w, err)
+			return
+		}
+		fmt.Fprintf(w, "{\"seq\":%d}\n", res.Seq)
+	})
+	http.HandleFunc("/cut", func(w http.ResponseWriter, req *http.Request) {
+		u, okU := arg(req, "u")
+		v, okV := arg(req, "v")
+		if !okU || !okV {
+			http.Error(w, "u and v must be vertex ids", http.StatusBadRequest)
+			return
+		}
+		res, err := s.b.Cut(u, v)
+		if err != nil {
+			writeJSONErr(w, err)
+			return
+		}
+		fmt.Fprintf(w, "{\"seq\":%d}\n", res.Seq)
+	})
+	http.HandleFunc("/path", func(w http.ResponseWriter, req *http.Request) {
+		u, okU := arg(req, "u")
+		v, okV := arg(req, "v")
+		if !okU || !okV || u < 0 || u >= s.n || v < 0 || v >= s.n {
 			http.Error(w, fmt.Sprintf("u and v must be vertex ids in [0,%d)", s.n), http.StatusBadRequest)
 			return
 		}
-		sum, ok, mx, hops := s.answerPaths([][2]int{{u, v}})
+		sum, ok, mx, hops, err := s.answerPaths([][2]int{{u, v}})
+		if err != nil {
+			writeJSONErr(w, err)
+			return
+		}
 		if !ok[0] {
 			http.Error(w, "disconnected", http.StatusNotFound)
 			return
@@ -246,13 +409,17 @@ func main() {
 		u, okU := arg(req, "u")
 		v, okV := arg(req, "v")
 		root, okR := arg(req, "r")
-		if !okU || !okV || !okR {
+		if !okU || !okV || !okR || u < 0 || u >= s.n || v < 0 || v >= s.n || root < 0 || root >= s.n {
 			http.Error(w, fmt.Sprintf("u, v, r must be vertex ids in [0,%d)", s.n), http.StatusBadRequest)
 			return
 		}
-		s.mu.RLock()
-		l, ok := s.bq.BatchLCA([][3]int{{u, v, root}})
-		s.mu.RUnlock()
+		var l []int
+		var ok []bool
+		err := s.b.Read(func() { l, ok = s.bq.BatchLCA([][3]int{{u, v, root}}) })
+		if err != nil {
+			writeJSONErr(w, err)
+			return
+		}
 		if !ok[0] {
 			http.Error(w, "not in one tree", http.StatusNotFound)
 			return
@@ -260,17 +427,10 @@ func main() {
 		fmt.Fprintf(w, "{\"lca\":%d}\n", l[0])
 	})
 	http.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
-		s.mu.RLock()
-		// Clone inside the lock: the cumulative view's Phases array is
-		// mutated in place by the churn goroutine's Accumulate.
-		out := struct {
-			Workers    int                `json:"workers"`
-			LastBatch  ufotree.PhaseStats `json:"last_batch"`
-			Cumulative ufotree.PhaseStats `json:"cumulative"`
-		}{s.f.Workers(), s.lastBatch, s.stats.Clone()}
-		s.mu.RUnlock()
+		// Both telemetry planes in one snapshot: ingest (queueing,
+		// coalescing, admission) and engine (phase attribution).
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(out)
+		json.NewEncoder(w).Encode(s.b.Stats())
 	})
 	http.HandleFunc("/paths", func(w http.ResponseWriter, req *http.Request) {
 		var pairs [][2]int
@@ -284,7 +444,11 @@ func main() {
 				return
 			}
 		}
-		sum, ok, mx, hops := s.answerPaths(pairs)
+		sum, ok, mx, hops, err := s.answerPaths(pairs)
+		if err != nil {
+			writeJSONErr(w, err)
+			return
+		}
 		type ans struct {
 			Sum  int64 `json:"sum"`
 			Max  int64 `json:"max"`

@@ -60,9 +60,20 @@ type DynamicGraph interface {
 }
 
 // NewDynamicGraph returns a batch-dynamic connectivity structure over n
-// vertices, keeping its spanning forest in a UFO tree.
-func NewDynamicGraph(n int) DynamicGraph {
-	return &graphAdapter{g: conn.New(n), name: "ufo-conn"}
+// vertices, keeping its spanning forest in a UFO tree. It takes the same
+// construction options as New; WithWorkers applies with the usual clamp
+// rules, and options that have no meaning on a graph (WithSubtreeMax — the
+// connectivity layer is unweighted) are ignored.
+func NewDynamicGraph(n int, opts ...Option) DynamicGraph {
+	var o buildOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	g := &graphAdapter{g: conn.New(n), name: "ufo-conn"}
+	if o.workersSet {
+		g.SetWorkers(o.workers)
+	}
+	return g
 }
 
 // UnderlyingConnectivity exposes the concrete connectivity structure

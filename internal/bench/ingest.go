@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+// IngestResult is one configuration's measurement of the auto-batching
+// ingest experiment (machine-readable; WriteJSON). The throughput metric
+// is gated by benchdiff like the other experiments; the batch/latency
+// fields document how much coalescing the Batcher achieved.
+type IngestResult struct {
+	Input          string  `json:"input"`
+	Kind           string  `json:"kind"` // always "ingest"
+	Workers        int     `json:"workers"`
+	Clients        int     `json:"clients"`
+	Ops            int     `json:"ops"`            // completed single-op submissions
+	Seconds        float64 `json:"seconds"`        // wall time, build + churn
+	Throughput     float64 `json:"throughput_ops"` // ops per second end to end
+	MeanBatch      float64 `json:"mean_batch"`     // committed mutations per engine sub-batch
+	MeanWindow     float64 `json:"mean_window"`    // ops per flushed window
+	Batches        int64   `json:"batches"`
+	Flushes        int64   `json:"flushes"`
+	Deferred       int64   `json:"deferred"`          // conflict-sequencing events
+	Rejected       int64   `json:"rejected"`          // typed-error responses (the workload provokes them)
+	EnginePanics   int64   `json:"engine_panics"`     // must be 0
+	Unexpected     int64   `json:"unexpected_errors"` // must be 0
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	QueueDepthP50  float64 `json:"queue_depth_p50"`
+	QueueDepthP99  float64 `json:"queue_depth_p99"`
+}
+
+// Ingest measures the serve layer end to end: clients goroutines each own
+// a disjoint vertex range, build a local path through the Batcher, then
+// run opsPerClient iterations of single-op traffic — cut/relink churn,
+// connectivity queries, pipelined same-edge conflict pairs (exercising
+// cross-batch sequencing), and deliberately invalid operations that must
+// come back as typed errors. Nothing is pre-batched: every engine-sized
+// batch is the Batcher's own coalescing, reported as mean_batch. The same
+// seeded workload runs at every worker count.
+func Ingest(w io.Writer, n, clients, opsPerClient int, workers []int, seed uint64) []IngestResult {
+	if len(workers) == 0 {
+		workers = DefaultWorkerCounts()
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if n/clients < 4 {
+		clients = n / 4 // each client needs a workable vertex range
+	}
+	m := n / clients
+	fmt.Fprintf(w, "# Ingest: %d single-op clients over one Batcher, n=%d, %d ops/client + path build, GOMAXPROCS=%d\n",
+		clients, n, opsPerClient, runtime.GOMAXPROCS(0))
+	header(w, "workers", []string{"ops/s", "mean-batch", "p50-ms", "p99-ms", "deferred", "rejected"})
+	var out []IngestResult
+	for _, wk := range workers {
+		f := ufotree.New(n, ufotree.WithWorkers(wk))
+		b := ufotree.NewBatcher(f,
+			ufotree.WithBatchSize(1024),
+			ufotree.WithMaxWait(2*time.Millisecond),
+		)
+		var total, unexpected atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				ingestClient(b, c*m, m, opsPerClient, rng.New(seed+uint64(1000*wk+c)), &total, &unexpected)
+			}(c)
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		b.Close()
+		st := b.Stats().Ingest
+		res := IngestResult{
+			Input: "rewire", Kind: "ingest", Workers: wk, Clients: clients,
+			Ops: int(total.Load()), Seconds: secs,
+			Throughput:     float64(total.Load()) / secs,
+			MeanBatch:      st.MeanBatch,
+			MeanWindow:     st.MeanWindow,
+			Batches:        st.Batches,
+			Flushes:        st.Flushes,
+			Deferred:       st.Deferred,
+			Rejected:       st.Rejected,
+			EnginePanics:   st.EnginePanics,
+			Unexpected:     unexpected.Load(),
+			LatencyP50Ms:   st.LatencyNs.P50 / 1e6,
+			LatencyP99Ms:   st.LatencyNs.P99 / 1e6,
+			QueueWaitP99Ms: st.QueueWaitNs.P99 / 1e6,
+			QueueDepthP50:  st.QueueDepth.P50,
+			QueueDepthP99:  st.QueueDepth.P99,
+		}
+		out = append(out, res)
+		fmt.Fprintf(w, "%-14d %12.0f %12.1f %12.2f %12.2f %12d %12d\n",
+			wk, res.Throughput, res.MeanBatch, res.LatencyP50Ms, res.LatencyP99Ms, res.Deferred, res.Rejected)
+		if res.EnginePanics != 0 || res.Unexpected != 0 {
+			fmt.Fprintf(w, "# WARNING: %d engine panics, %d unexpected errors\n", res.EnginePanics, res.Unexpected)
+		}
+	}
+	fmt.Fprintln(w, "# (mean-batch = committed mutations per engine batch — the coalescing the Batcher achieved;")
+	fmt.Fprintln(w, "#  deferred = same-window conflicts sequenced across batches; rejected = typed errors, provoked on purpose)")
+	return out
+}
+
+// ingestClient is one traffic source over its private path base..base+m-1.
+// It never pre-forms a batch; all coalescing is the Batcher's. Outside the
+// transient inside a conflict pair, the local path is always fully linked,
+// which makes the deliberately-invalid cases deterministic.
+func ingestClient(b *ufotree.Batcher, base, m, ops int, r *rng.SplitMix64, total, unexpected *atomic.Int64) {
+	for i := 0; i+1 < m; i++ {
+		if _, err := b.Link(base+i, base+i+1, int64(1+i)); err != nil {
+			unexpected.Add(1)
+		}
+		total.Add(1)
+	}
+	for i := 0; i < ops; i++ {
+		j := r.Intn(m - 1)
+		u, v := base+j, base+j+1
+		switch {
+		case i%16 == 5:
+			// Pipelined same-edge conflict pair: lands in one flush window
+			// and must be sequenced across engine batches, both succeeding.
+			c1, e1 := b.CutAsync(u, v)
+			c2, e2 := b.LinkAsync(u, v, int64(1+j))
+			if e1 != nil || e2 != nil {
+				unexpected.Add(1)
+				continue
+			}
+			r1, r2 := <-c1, <-c2
+			total.Add(2)
+			if r1.Err != nil || r2.Err != nil {
+				unexpected.Add(1)
+			}
+		case i%16 == 11:
+			// Deliberately invalid: must come back as exactly the typed
+			// error, never a panic.
+			total.Add(1)
+			switch r.Intn(3) {
+			case 0:
+				if _, err := b.Link(u, v, 1); !errors.Is(err, ufotree.ErrDuplicateEdge) {
+					unexpected.Add(1)
+				}
+			case 1:
+				if _, err := b.Cut(base, base+2); !errors.Is(err, ufotree.ErrAbsentCut) {
+					unexpected.Add(1)
+				}
+			default:
+				if _, err := b.Link(base, base+2, 1); !errors.Is(err, ufotree.ErrWouldCycle) {
+					unexpected.Add(1)
+				}
+			}
+		case i%4 == 2:
+			total.Add(1)
+			if _, err := b.Connected(base, base+r.Intn(m)); err != nil {
+				unexpected.Add(1)
+			}
+		default:
+			// Rewire churn: cut an edge and immediately relink it.
+			total.Add(2)
+			if _, err := b.Cut(u, v); err != nil {
+				unexpected.Add(1)
+			}
+			if _, err := b.Link(u, v, int64(1+j)); err != nil {
+				unexpected.Add(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestIngestSmoke runs the ingest experiment at a tiny size: the workload
+// must complete with zero engine panics and zero unexpected errors (every
+// deliberately-invalid op must come back as exactly its typed error), and
+// the results must round-trip through the JSON artifact schema.
+func TestIngestSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := Ingest(&buf, 2000, 32, 40, []int{1, 2}, 7)
+	if len(results) != 2 {
+		t.Fatalf("want one row per worker count, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.EnginePanics != 0 {
+			t.Fatalf("workers=%d: %d engine panics surfaced", r.Workers, r.EnginePanics)
+		}
+		if r.Unexpected != 0 {
+			t.Fatalf("workers=%d: %d unexpected errors", r.Workers, r.Unexpected)
+		}
+		if r.Ops == 0 || r.Throughput <= 0 || r.MeanBatch <= 0 {
+			t.Fatalf("workers=%d: empty measurement %+v", r.Workers, r)
+		}
+		if r.Deferred == 0 {
+			t.Fatalf("workers=%d: conflict pairs must force deferrals", r.Workers)
+		}
+		if r.Rejected == 0 {
+			t.Fatalf("workers=%d: invalid ops must be rejected with typed errors", r.Workers)
+		}
+		if r.LatencyP99Ms < r.LatencyP50Ms || r.LatencyP50Ms <= 0 {
+			t.Fatalf("workers=%d: malformed latency percentiles %+v", r.Workers, r)
+		}
+	}
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []IngestResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != results[0] {
+		t.Fatal("IngestResult must round-trip through JSON")
+	}
+}
+
+// TestIngestRealizedBatchSize pins the tentpole acceptance criterion: at
+// least 64 concurrent single-op clients must drive a mean realized engine
+// batch of >= 100 mutations through the Batcher.
+func TestIngestRealizedBatchSize(t *testing.T) {
+	skipInShort(t)
+	var buf bytes.Buffer
+	results := Ingest(&buf, 20000, 256, 120, []int{1}, 11)
+	r := results[0]
+	if r.Clients < 64 {
+		t.Fatalf("load test must run >= 64 clients, got %d", r.Clients)
+	}
+	if r.MeanBatch < 100 {
+		t.Fatalf("mean realized batch size %.1f < 100 ops:\n%s", r.MeanBatch, buf.String())
+	}
+}

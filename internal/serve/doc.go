@@ -1,0 +1,55 @@
+// Package serve turns single-operation traffic into engine-sized batches:
+// an auto-batching ingest layer in front of a batch-dynamic forest.
+//
+// The engine's value proposition is batch amortization, but no production
+// client arrives pre-batched — real traffic is a million tiny link / cut /
+// query requests from independent callers. A Batcher closes that gap:
+// callers submit single operations on a channel and block (or pipeline
+// with the *Async forms); a flusher goroutine drains the queue when either
+// batchSize operations are pending or maxWait has elapsed since the first,
+// validates the drained window through admission control, runs the
+// mutations as engine batches at the structure's configured worker count,
+// answers the window's queries through the batch-query fan-out, and sends
+// every result back on its caller's channel.
+//
+// # Admission control
+//
+// The engine's pre-mutation contract panics on adversarial batches
+// (duplicate links, absent cuts, self loops) and corrupts on batches that
+// close a cycle — acceptable for a library caller that formed the batch,
+// fatal for a server whose batch is an accident of arrival timing. The
+// flusher therefore never hands the engine an unvalidated batch. Each
+// flush window is processed in admission rounds: a round scans the
+// remaining operations in arrival order and classifies each as
+//
+//   - admitted — provably safe against the live structure plus the round's
+//     already-admitted operations (edge-key dedup; a component-level
+//     union-find over live component ids catches links that would close a
+//     cycle, including cycles formed only by the round's own links);
+//   - rejected — provably invalid at its serialization point (ErrSelfLoop,
+//     ErrDuplicateEdge, ErrAbsentCut, ErrWouldCycle, ErrVertexRange),
+//     reported back to the caller as a typed error, never a panic;
+//   - deferred — conflicting with an admitted or deferred operation of the
+//     same round (same edge touched, or a link into a component with a
+//     pending cut), so its validity cannot be decided yet. Deferred
+//     operations keep their relative order and re-enter the next round,
+//     after the current round's batch has been applied — conflicts are
+//     sequenced across consecutive engine batches instead of erroring.
+//
+// Operations on the same edge are therefore serialized in arrival order
+// (cut+link of one edge in one window both succeed, in order), while
+// unrelated operations in the same window may commit in a different order
+// than they arrived; the optional journal records the authoritative
+// serialization. Every admitted mutation is assigned a commit sequence
+// number. A round always decides its first pending operation, so windows
+// drain in at most one round per conflict chain.
+//
+// # Telemetry
+//
+// Every request carries a flat timestamp trail (enqueue, flush, build,
+// respond — monotonic offsets from the Batcher's start) returned in its
+// Result; Stats aggregates queue-depth and latency percentiles, realized
+// batch sizes, and rejection/deferral counts in the same spirit as the
+// engine's PhaseStats (which the facade accumulates per engine batch via
+// WithAfterBatch).
+package serve

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// sampleCap bounds every percentile ring buffer: the newest sampleCap
+// observations win, so percentiles track the recent regime instead of the
+// whole history, at fixed memory.
+const sampleCap = 1 << 14
+
+// Percentiles is one summarized sample distribution. Duration-valued
+// distributions are in nanoseconds, queue depths in operations.
+type Percentiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Stats is a snapshot of a Batcher's ingest telemetry: flat counters in
+// the PhaseStats spirit, plus percentile summaries of queue depth and the
+// per-request latency stages.
+type Stats struct {
+	// Submitted counts operations accepted by submit (including those
+	// still queued at snapshot time).
+	Submitted int64 `json:"submitted"`
+	// Links and Cuts count committed mutations; Queries counts answered
+	// queries (including rejected ones); Reads counts Read callbacks run.
+	Links   int64 `json:"links"`
+	Cuts    int64 `json:"cuts"`
+	Queries int64 `json:"queries"`
+	Reads   int64 `json:"reads"`
+	// Rejected counts operations answered with a typed validation error;
+	// Deferred counts deferral events (one per operation per round it was
+	// pushed into — an operation sequenced two rounds later counts twice).
+	Rejected int64 `json:"rejected"`
+	Deferred int64 `json:"deferred"`
+	// Flushes counts drained windows; Batches counts admitted engine
+	// sub-batches (a window with conflicts produces several); EnginePanics
+	// counts recovered engine panics (ErrEngine results).
+	Flushes      int64 `json:"flushes"`
+	Batches      int64 `json:"batches"`
+	EnginePanics int64 `json:"engine_panics"`
+	// MeanBatch is committed mutations per engine sub-batch — the realized
+	// batch size the admission layer achieved; MeanWindow is operations of
+	// any kind per flushed window (the coalescing the collector achieved).
+	MeanBatch  float64 `json:"mean_batch"`
+	MeanWindow float64 `json:"mean_window"`
+	// QueueDepth samples pending operations (window + queued) at each
+	// flush; the *Ns distributions sample every request's latency stages:
+	// Latency = enqueue to respond, QueueWait = enqueue to flush, Build =
+	// flush to engine-build completion.
+	QueueDepth  Percentiles `json:"queue_depth"`
+	LatencyNs   Percentiles `json:"latency_ns"`
+	QueueWaitNs Percentiles `json:"queue_wait_ns"`
+	BuildNs     Percentiles `json:"build_ns"`
+}
+
+// metrics is the mutable telemetry state. submitted is atomic (bumped by
+// submitter goroutines); everything else is flusher-written under the
+// Batcher's mu.
+type metrics struct {
+	submitted atomic.Int64
+
+	links, cuts, queries, reads int64
+	rejected, deferred          int64
+	flushes, batches            int64
+	enginePanics                int64
+	windowOps, batchedMuts      int64
+
+	depthSamples     sampleBuf
+	latencySamples   sampleBuf
+	queueWaitSamples sampleBuf
+	buildSamples     sampleBuf
+}
+
+func (m *metrics) snapshot(submitted int64) Stats {
+	s := Stats{
+		Submitted:    submitted,
+		Links:        m.links,
+		Cuts:         m.cuts,
+		Queries:      m.queries,
+		Reads:        m.reads,
+		Rejected:     m.rejected,
+		Deferred:     m.deferred,
+		Flushes:      m.flushes,
+		Batches:      m.batches,
+		EnginePanics: m.enginePanics,
+		QueueDepth:   m.depthSamples.percentiles(),
+		LatencyNs:    m.latencySamples.percentiles(),
+		QueueWaitNs:  m.queueWaitSamples.percentiles(),
+		BuildNs:      m.buildSamples.percentiles(),
+	}
+	if m.batches > 0 {
+		s.MeanBatch = float64(m.batchedMuts) / float64(m.batches)
+	}
+	if m.flushes > 0 {
+		s.MeanWindow = float64(m.windowOps) / float64(m.flushes)
+	}
+	return s
+}
+
+// sampleBuf is a fixed-capacity ring of float64 observations.
+type sampleBuf struct {
+	buf []float64
+	n   int64 // total observations ever recorded
+}
+
+func (s *sampleBuf) add(v float64) {
+	if len(s.buf) < sampleCap {
+		s.buf = append(s.buf, v)
+	} else {
+		s.buf[s.n%sampleCap] = v
+	}
+	s.n++
+}
+
+// percentiles summarizes the retained window via nearest-rank on a sorted
+// copy (the ring is small enough that a per-snapshot sort is cheap).
+func (s *sampleBuf) percentiles() Percentiles {
+	if len(s.buf) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), s.buf...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(sorted))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return Percentiles{
+		P50: rank(0.50),
+		P90: rank(0.90),
+		P99: rank(0.99),
+		Max: sorted[len(sorted)-1],
+	}
+}

@@ -1,0 +1,443 @@
+// Black-box tests of the ingest layer through the facade Batcher — the
+// same wiring (engine shim, component-id fast path, PhaseStats hook) a
+// real server uses. The chaos test is the conflict-sequencing oracle: N
+// goroutine clients hammer one Batcher with unco-ordinated single
+// operations, and the committed journal replayed into the sequential
+// reference forest must reproduce the engine's final structure exactly.
+package serve_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/refforest"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// wide returns options that keep a whole test scenario in one flush
+// window: a huge batch size and a generous maxWait.
+func wide() []ufotree.BatcherOption {
+	return []ufotree.BatcherOption{
+		ufotree.WithBatchSize(1 << 20),
+		ufotree.WithMaxWait(50 * time.Millisecond),
+		ufotree.WithJournal(),
+	}
+}
+
+// TestCutLinkSameEdgeOneWindow is the headline conflict: a cut and a link
+// of the same edge submitted into one flush window must both succeed, in
+// arrival order, sequenced across consecutive engine batches.
+func TestCutLinkSameEdgeOneWindow(t *testing.T) {
+	f := ufotree.New(8)
+	f.Link(0, 1, 5)
+	b := ufotree.NewBatcher(f, wide()...)
+	cutCh, err := b.CutAsync(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linkCh, err := b.LinkAsync(0, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, link := <-cutCh, <-linkCh
+	if cut.Err != nil || link.Err != nil {
+		t.Fatalf("conflicting ops must both succeed: cut=%v link=%v", cut.Err, link.Err)
+	}
+	if cut.Seq >= link.Seq {
+		t.Fatalf("same-edge ops must commit in arrival order: cut seq %d, link seq %d", cut.Seq, link.Seq)
+	}
+	b.Close()
+	if !f.HasEdge(0, 1) {
+		t.Fatal("edge must be present after cut-then-relink")
+	}
+	st := b.Stats()
+	if st.Ingest.Batches < 2 {
+		t.Fatalf("conflict must be sequenced across >= 2 engine batches, got %d", st.Ingest.Batches)
+	}
+	if st.Ingest.Deferred == 0 {
+		t.Fatal("the link must have been deferred at least once")
+	}
+	j := b.Journal()
+	if len(j) != 2 || j[0].Kind != "cut" || j[1].Kind != "link" || j[1].W != 9 {
+		t.Fatalf("journal must record cut then link, got %+v", j)
+	}
+}
+
+// TestDuplicateSubmitsFromGoroutines races identical links from many
+// goroutines: exactly one must win, the rest must get ErrDuplicateEdge,
+// and nothing may panic.
+func TestDuplicateSubmitsFromGoroutines(t *testing.T) {
+	f := ufotree.New(4)
+	b := ufotree.NewBatcher(f, wide()...)
+	const clients = 8
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Link(2, 3, 1)
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+	wins, dups := 0, 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			wins++
+		case errors.Is(err, ufotree.ErrDuplicateEdge):
+			dups++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if wins != 1 || dups != clients-1 {
+		t.Fatalf("want exactly 1 winner and %d duplicates, got %d and %d", clients-1, wins, dups)
+	}
+	if !f.HasEdge(2, 3) {
+		t.Fatal("edge must exist after the winning link")
+	}
+}
+
+// TestConflictChainSequencing pipelines cut/link/cut/link of one edge in
+// one window: every operation must succeed, each in its own round.
+func TestConflictChainSequencing(t *testing.T) {
+	f := ufotree.New(4)
+	f.Link(0, 1, 1)
+	b := ufotree.NewBatcher(f, wide()...)
+	var chans []<-chan serve.Result
+	for i := 0; i < 2; i++ {
+		ch, err := b.CutAsync(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+		ch, err = b.LinkAsync(0, 1, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	var lastSeq uint64
+	for i, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			t.Fatalf("op %d failed: %v", i, r.Err)
+		}
+		if r.Seq <= lastSeq {
+			t.Fatalf("op %d committed out of order: seq %d after %d", i, r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+	}
+	b.Close()
+	if st := b.Stats(); st.Ingest.Batches < 4 {
+		t.Fatalf("chain of 4 same-edge ops needs 4 rounds, got %d batches", st.Ingest.Batches)
+	}
+	if !f.HasEdge(0, 1) {
+		t.Fatal("edge must be present after the final relink")
+	}
+}
+
+// TestTypedErrorTaxonomy checks that every invalid single op surfaces as
+// its typed error — never as a panic.
+func TestTypedErrorTaxonomy(t *testing.T) {
+	f := ufotree.New(8)
+	b := ufotree.NewBatcher(f, ufotree.WithMaxWait(time.Millisecond))
+	defer b.Close()
+	mustErr := func(name string, err error, want error) {
+		t.Helper()
+		if !errors.Is(err, want) {
+			t.Fatalf("%s: got %v, want %v", name, err, want)
+		}
+	}
+	if _, err := b.Link(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Link(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Link(3, 3, 1)
+	mustErr("self loop", err, ufotree.ErrSelfLoop)
+	_, err = b.Link(1, 0, 2)
+	mustErr("duplicate", err, ufotree.ErrDuplicateEdge)
+	_, err = b.Link(2, 0, 1)
+	mustErr("cycle", err, ufotree.ErrWouldCycle)
+	_, err = b.Cut(4, 5)
+	mustErr("absent cut", err, ufotree.ErrAbsentCut)
+	_, err = b.Link(0, 99, 1)
+	mustErr("link range", err, ufotree.ErrVertexRange)
+	_, err = b.Cut(-2, 0)
+	mustErr("cut range", err, ufotree.ErrVertexRange)
+	if _, err := b.Connected(0, 99); !errors.Is(err, ufotree.ErrVertexRange) {
+		t.Fatalf("query range: got %v", err)
+	}
+}
+
+// TestChaosReplayOracle is the load test: clients goroutines fire
+// unco-ordinated single ops (links, cuts, queries — many invalid, many
+// conflicting) at one Batcher. Afterwards, the journal must replay
+// legally into the sequential reference forest (every committed op valid
+// at its commit point) and reproduce the engine's final structure.
+func TestChaosReplayOracle(t *testing.T) {
+	const (
+		n       = 300
+		clients = 16
+	)
+	ops := 200
+	if testing.Short() {
+		ops = 60
+	}
+	f := ufotree.New(n, ufotree.WithWorkers(2))
+	b := ufotree.NewBatcher(f,
+		ufotree.WithBatchSize(64),
+		ufotree.WithMaxWait(500*time.Microsecond),
+		ufotree.WithJournal(),
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.New(uint64(7000 + c))
+			for i := 0; i < ops; i++ {
+				u, v := r.Intn(n), r.Intn(n)
+				var err error
+				switch r.Intn(5) {
+				case 0, 1:
+					_, err = b.Link(u, v, int64(1+r.Intn(50)))
+				case 2:
+					_, err = b.Cut(u, v)
+				case 3:
+					_, err = b.Connected(u, v)
+				default:
+					// Pipelined same-edge conflict pair.
+					ch1, e1 := b.CutAsync(u, v)
+					ch2, e2 := b.LinkAsync(u, v, 3)
+					if e1 != nil || e2 != nil {
+						t.Errorf("async submit failed: %v %v", e1, e2)
+						return
+					}
+					<-ch1
+					r2 := <-ch2
+					err = r2.Err
+				}
+				if err != nil && errors.Is(err, ufotree.ErrEngine) {
+					t.Errorf("engine panic surfaced: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.Close()
+	st := b.Stats()
+	if st.Ingest.EnginePanics != 0 {
+		t.Fatalf("engine panics recovered: %d", st.Ingest.EnginePanics)
+	}
+
+	// Replay the journal: every committed operation must be valid at its
+	// commit point in the sequential oracle.
+	ref := refforest.New(n)
+	for i, op := range b.Journal() {
+		if op.Seq != uint64(i+1) {
+			t.Fatalf("journal seq gap at %d: %+v", i, op)
+		}
+		switch op.Kind {
+		case "link":
+			if op.U == op.V || ref.HasEdge(op.U, op.V) || ref.Connected(op.U, op.V) {
+				t.Fatalf("journal op %d: illegal link %+v", i, op)
+			}
+			ref.Link(op.U, op.V, op.W)
+		case "cut":
+			if !ref.HasEdge(op.U, op.V) {
+				t.Fatalf("journal op %d: illegal cut %+v", i, op)
+			}
+			ref.Cut(op.U, op.V)
+		default:
+			t.Fatalf("journal op %d: unknown kind %q", i, op.Kind)
+		}
+	}
+
+	// The replayed oracle must agree with the engine's final structure.
+	r := rng.New(99)
+	for i := 0; i < 4000; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if got, want := f.HasEdge(u, v), ref.HasEdge(u, v); got != want {
+			t.Fatalf("HasEdge(%d,%d): engine %v, oracle %v", u, v, got, want)
+		}
+		if got, want := f.Connected(u, v), ref.Connected(u, v); got != want {
+			t.Fatalf("Connected(%d,%d): engine %v, oracle %v", u, v, got, want)
+		}
+		if ref.Connected(u, v) {
+			ws, wok := ref.PathSum(u, v)
+			q := f.(ufotree.PathQuerier)
+			gs, gok := q.PathSum(u, v)
+			if gok != wok || gs != ws {
+				t.Fatalf("PathSum(%d,%d): engine (%d,%v), oracle (%d,%v)", u, v, gs, gok, ws, wok)
+			}
+		}
+	}
+}
+
+// TestFlushTriggers pins both window triggers: maxWait flushes a lone op,
+// batchSize flushes a full window without waiting out a long maxWait.
+func TestFlushTriggers(t *testing.T) {
+	f := ufotree.New(16)
+	b := ufotree.NewBatcher(f, ufotree.WithBatchSize(1<<20), ufotree.WithMaxWait(20*time.Millisecond))
+	if _, err := b.Link(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if st := b.Stats(); st.Ingest.Flushes != 1 || st.Ingest.MeanWindow != 1 {
+		t.Fatalf("lone op must flush on maxWait as one window: %+v", st.Ingest)
+	}
+
+	f2 := ufotree.New(16)
+	b2 := ufotree.NewBatcher(f2, ufotree.WithBatchSize(4), ufotree.WithMaxWait(time.Hour))
+	start := time.Now()
+	var chans []<-chan serve.Result
+	for i := 0; i < 4; i++ {
+		ch, err := b2.LinkAsync(2*i, 2*i+1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("full window must flush on batchSize, not maxWait (took %v)", elapsed)
+	}
+	b2.Close()
+}
+
+// TestCloseSemantics: pending operations flush on Close, later
+// submissions get ErrClosed, Close is idempotent.
+func TestCloseSemantics(t *testing.T) {
+	f := ufotree.New(8)
+	b := ufotree.NewBatcher(f, ufotree.WithBatchSize(1<<20), ufotree.WithMaxWait(time.Hour))
+	ch, err := b.LinkAsync(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if r := <-ch; r.Err != nil {
+		t.Fatalf("pending op must flush on Close: %v", r.Err)
+	}
+	if _, err := b.Link(2, 3, 1); !errors.Is(err, ufotree.ErrClosed) {
+		t.Fatalf("post-Close submit: got %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestPathQueriesAndUnsupported: path queries flow through a UFO-backed
+// Batcher and come back ErrUnsupported on a connectivity-only structure
+// (which also exercises the Connected-probe admission fallback — ETTs
+// have no ComponentIDer).
+func TestPathQueriesAndUnsupported(t *testing.T) {
+	f := ufotree.New(8)
+	b := ufotree.NewBatcher(f, ufotree.WithMaxWait(time.Millisecond))
+	if _, err := b.Link(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Link(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	sum, ok, err := b.PathSum(0, 2)
+	if err != nil || !ok || sum != 12 {
+		t.Fatalf("PathSum: got (%d,%v,%v), want (12,true,nil)", sum, ok, err)
+	}
+	mx, ok, err := b.PathMax(0, 2)
+	if err != nil || !ok || mx != 7 {
+		t.Fatalf("PathMax: got (%d,%v,%v), want (7,true,nil)", mx, ok, err)
+	}
+	b.Close()
+
+	ett := ufotree.NewETTTreap(8, 42)
+	be := ufotree.NewBatcher(ett, ufotree.WithMaxWait(time.Millisecond))
+	defer be.Close()
+	if _, err := be.Link(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if conn, err := be.Connected(0, 1); err != nil || !conn {
+		t.Fatalf("ETT Connected through batcher: (%v,%v)", conn, err)
+	}
+	if _, err := be.Cut(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := be.PathSum(0, 1); !errors.Is(err, ufotree.ErrUnsupported) {
+		t.Fatalf("ETT PathSum: got %v, want ErrUnsupported", err)
+	}
+}
+
+// TestReadEscapeHatch: Read runs serialized with batches and a panicking
+// callback becomes an error without killing the flusher.
+func TestReadEscapeHatch(t *testing.T) {
+	f := ufotree.New(8)
+	b := ufotree.NewBatcher(f, ufotree.WithMaxWait(time.Millisecond))
+	defer b.Close()
+	if _, err := b.Link(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	var hops int
+	err := b.Read(func() {
+		u, _ := ufotree.UnderlyingUFO(f)
+		h, _ := u.BatchPathHops([][2]int{{0, 1}})
+		hops = h[0]
+	})
+	if err != nil || hops != 1 {
+		t.Fatalf("Read: hops=%d err=%v", hops, err)
+	}
+	if err := b.Read(func() { panic("boom") }); !errors.Is(err, ufotree.ErrEngine) {
+		t.Fatalf("panicking Read must surface ErrEngine, got %v", err)
+	}
+	// The flusher must have survived.
+	if _, err := b.Link(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimingAndStats: the flat per-request trail is monotone and the
+// ingest stats expose the queue-depth and latency percentiles.
+func TestTimingAndStats(t *testing.T) {
+	f := ufotree.New(64)
+	b := ufotree.NewBatcher(f, ufotree.WithBatchSize(8), ufotree.WithMaxWait(2*time.Millisecond))
+	res, err := b.Link(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timing
+	if !(tm.Enqueue <= tm.Flush && tm.Flush <= tm.Build && tm.Build <= tm.Respond) {
+		t.Fatalf("timing trail not monotone: %+v", tm)
+	}
+	if tm.Respond == 0 {
+		t.Fatal("timing offsets must be stamped")
+	}
+	for i := 1; i < 32; i++ {
+		if _, err := b.Link(2*i, 2*i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	st := b.Stats()
+	if st.Ingest.Submitted != 32 || st.Ingest.Links != 32 {
+		t.Fatalf("counters: %+v", st.Ingest)
+	}
+	if st.Ingest.Flushes == 0 || st.Ingest.MeanBatch <= 0 || st.Ingest.QueueDepth.Max < 1 {
+		t.Fatalf("stats must be populated: %+v", st.Ingest)
+	}
+	if st.Ingest.LatencyNs.P50 <= 0 || st.Ingest.LatencyNs.Max < st.Ingest.LatencyNs.P99 {
+		t.Fatalf("latency percentiles malformed: %+v", st.Ingest.LatencyNs)
+	}
+	if st.Engine.Batches == 0 || len(st.Engine.Phases) == 0 {
+		t.Fatalf("engine PhaseStats must accumulate through the batcher: %+v", st.Engine)
+	}
+}

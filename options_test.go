@@ -1,0 +1,49 @@
+package ufotree_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro"
+)
+
+func TestNewFunctionalOptions(t *testing.T) {
+	if got := ufotree.New(16).Workers(); got != 1 {
+		t.Fatalf("default construction must be sequential, Workers() = %d", got)
+	}
+	if got := ufotree.New(16, ufotree.WithWorkers(3)).Workers(); got != 3 {
+		t.Fatalf("WithWorkers(3): Workers() = %d", got)
+	}
+	if got, want := ufotree.New(16, ufotree.WithWorkers(0)).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("WithWorkers(0) must clamp to GOMAXPROCS %d, got %d", want, got)
+	}
+
+	// WithSubtreeMax must arm tracking before the first update.
+	f := ufotree.New(8, ufotree.WithSubtreeMax())
+	u, ok := ufotree.UnderlyingUFO(f)
+	if !ok {
+		t.Fatal("New must build a UFO forest")
+	}
+	f.Link(0, 1, 1)
+	f.Link(1, 2, 1)
+	f.(ufotree.SubtreeQuerier).SetVertexValue(2, 41)
+	if got := u.SubtreeMax(1, 0); got != 41 {
+		t.Fatalf("SubtreeMax after WithSubtreeMax: got %d, want 41", got)
+	}
+}
+
+func TestNewDynamicGraphOptions(t *testing.T) {
+	// Zero options: the pre-redesign call shape keeps working.
+	if got := ufotree.NewDynamicGraph(16).Workers(); got != 1 {
+		t.Fatalf("default graph construction must be sequential, Workers() = %d", got)
+	}
+	g := ufotree.NewDynamicGraph(16, ufotree.WithWorkers(2), ufotree.WithSubtreeMax())
+	if got := g.Workers(); got != 2 {
+		t.Fatalf("WithWorkers(2): Workers() = %d", got)
+	}
+	// WithSubtreeMax is documented as ignored; the graph must still work.
+	g.BatchAddEdges([]ufotree.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	if !g.Connected(0, 2) || g.ComponentCount() != 14 {
+		t.Fatal("graph built with options must behave normally")
+	}
+}

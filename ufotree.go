@@ -299,6 +299,10 @@ func (a *ufoAdapter) SetWorkers(k int)               { a.f.SetWorkers(k) }
 func (a *ufoAdapter) Workers() int                   { return a.f.Workers() }
 func (a *ufoAdapter) PhaseStats() PhaseStats         { return fromUFOStats(a.f.PhaseStats()) }
 
+// ComponentID implements ComponentIDer: the root cluster's uid, stable
+// between structural updates and never reused, in O(min{log n, D}).
+func (a *ufoAdapter) ComponentID(u int) uint64 { return a.f.ComponentID(u) }
+
 func (a *ufoAdapter) BatchConnected(pairs [][2]int) []bool   { return a.f.BatchConnected(pairs) }
 func (a *ufoAdapter) BatchSubtreeSum(pairs [][2]int) []int64 { return a.f.BatchSubtreeSum(pairs) }
 func (a *ufoAdapter) BatchPathSum(pairs [][2]int) ([]int64, []bool) {
@@ -434,6 +438,7 @@ func (a *ettAdapter[N, B]) BatchCut(edges []Edge) {
 // Compile-time interface checks.
 var (
 	_ BatchForest              = (*ufoAdapter)(nil)
+	_ ComponentIDer            = (*ufoAdapter)(nil)
 	_ PathQuerier              = (*ufoAdapter)(nil)
 	_ SubtreeQuerier           = (*ufoAdapter)(nil)
 	_ BatchQuerier             = (*ufoAdapter)(nil)

@@ -1,0 +1,74 @@
+package ufotree_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro"
+)
+
+// validationForests returns one structure with the ComponentIDer fast
+// path (UFO) and one without (topology, which validates through
+// Connected probes), each carrying edges (0,1) and (1,2).
+func validationForests(n int) []ufotree.BatchForest {
+	out := []ufotree.BatchForest{ufotree.New(n), ufotree.NewTopology(n)}
+	for _, f := range out {
+		f.BatchLink([]ufotree.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}})
+	}
+	return out
+}
+
+func TestValidateLinksFacade(t *testing.T) {
+	for _, f := range validationForests(10) {
+		cases := []struct {
+			name  string
+			links []ufotree.Edge
+			want  error
+		}{
+			{"valid", []ufotree.Edge{{U: 3, V: 4}, {U: 4, V: 5}, {U: 0, V: 3}}, nil},
+			{"self loop", []ufotree.Edge{{U: 4, V: 4}}, ufotree.ErrSelfLoop},
+			{"range", []ufotree.Edge{{U: 0, V: 10}}, ufotree.ErrVertexRange},
+			{"present", []ufotree.Edge{{U: 2, V: 1}}, ufotree.ErrDuplicateEdge},
+			{"in-batch repeat", []ufotree.Edge{{U: 4, V: 5}, {U: 5, V: 4}}, ufotree.ErrDuplicateEdge},
+			{"cycle live", []ufotree.Edge{{U: 0, V: 2}}, ufotree.ErrWouldCycle},
+			{"cycle in batch", []ufotree.Edge{{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 4}}, ufotree.ErrWouldCycle},
+		}
+		for _, c := range cases {
+			if err := ufotree.ValidateLinks(f, c.links); !errors.Is(err, c.want) {
+				t.Errorf("%s/%s: got %v, want %v", f.Name(), c.name, err, c.want)
+			}
+		}
+		// The contract: a batch that validates clean must not panic.
+		good := []ufotree.Edge{{U: 6, V: 7, W: 1}, {U: 7, V: 8, W: 1}}
+		if err := ufotree.ValidateLinks(f, good); err != nil {
+			t.Fatalf("%s: good batch rejected: %v", f.Name(), err)
+		}
+		f.BatchLink(good)
+	}
+}
+
+func TestValidateCutsFacade(t *testing.T) {
+	for _, f := range validationForests(10) {
+		cases := []struct {
+			name string
+			cuts []ufotree.Edge
+			want error
+		}{
+			{"valid", []ufotree.Edge{{U: 1, V: 0}, {U: 1, V: 2}}, nil},
+			{"self loop", []ufotree.Edge{{U: 2, V: 2}}, ufotree.ErrSelfLoop},
+			{"range", []ufotree.Edge{{U: -1, V: 2}}, ufotree.ErrVertexRange},
+			{"absent", []ufotree.Edge{{U: 0, V: 2}}, ufotree.ErrAbsentCut},
+			{"in-batch repeat", []ufotree.Edge{{U: 0, V: 1}, {U: 1, V: 0}}, ufotree.ErrAbsentCut},
+		}
+		for _, c := range cases {
+			if err := ufotree.ValidateCuts(f, c.cuts); !errors.Is(err, c.want) {
+				t.Errorf("%s/%s: got %v, want %v", f.Name(), c.name, err, c.want)
+			}
+		}
+		good := []ufotree.Edge{{U: 0, V: 1}}
+		if err := ufotree.ValidateCuts(f, good); err != nil {
+			t.Fatalf("%s: good batch rejected: %v", f.Name(), err)
+		}
+		f.BatchCut(good)
+	}
+}
