@@ -43,6 +43,7 @@ func BenchmarkBatchScaling(b *testing.B) {
 			for _, e := range gen.Shuffled(t, 46).Edges {
 				cuts = append(cuts, ufotree.Edge{U: e.U, V: e.V})
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f := ufotree.NewUFO(t.N)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/ufo"
@@ -20,6 +21,15 @@ type PhaseResult struct {
 	Seconds    float64 `json:"seconds"`
 	Share      float64 `json:"share"`          // fraction of the summed phase time at this configuration
 	Throughput float64 `json:"throughput_ops"` // items per second (0 when the phase never saw work)
+
+	// Steady-state allocation telemetry (steady_alloc rows only). The
+	// arena makes stable-working-set batches allocation-free; AllocGuard
+	// turns that into a benchdiff-gated metric — higher is better, and it
+	// collapses if per-batch allocations return — because the gate only
+	// compares numeric fields whose JSON name contains "throughput".
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`          // heap objects per batch update
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`           // heap bytes per batch update
+	AllocGuard  float64 `json:"throughput_alloc_guard,omitempty"` // k / (k/8 + allocs per batch)
 }
 
 // Phases measures where batch-update time goes, phase by phase: per input
@@ -98,5 +108,75 @@ func Phases(w io.Writer, n, k int, workers []int, seed uint64) []PhaseResult {
 		}
 	}
 	fmt.Fprintln(w, "# (ms = phase wall time summed over all batches; % = share of the summed phase time)")
+	out = append(out, steadyAlloc(w, n, k, seed)...)
+	return out
+}
+
+// steadyAlloc measures the allocation cost of a steady-state batch update:
+// a forest whose working set has stabilized, churned by cutting and
+// relinking the same k edges. With the cluster arena recycling slots, the
+// engine's scratch reused across runs, and the phase bodies pre-bound,
+// these batches should allocate (near) zero heap objects; the emitted rows
+// carry allocs/op, bytes/op, and the gated AllocGuard metric so a
+// reintroduced per-batch allocation fails the benchdiff gate instead of
+// landing silently.
+func steadyAlloc(w io.Writer, n, k int, seed uint64) []PhaseResult {
+	const warmCycles, measureCycles = 8, 8
+	inputs := []gen.Tree{gen.Path(n), gen.Star(n), gen.PrefAttach(n, seed+2)}
+	fmt.Fprintf(w, "# Steady-state allocation churn: cut+relink the same %d edges, workers=1\n", k)
+	header(w, "input", []string{"allocs/op", "bytes/op", "edges/s"})
+	var out []PhaseResult
+	for _, t := range inputs {
+		t = gen.WithRandomWeights(t, 1000, seed+3)
+		f := ufo.New(t.N)
+		f.SetWorkers(1)
+		sh := gen.Shuffled(t, seed+6)
+		links := make([]ufo.Edge, len(sh.Edges))
+		for i, e := range sh.Edges {
+			links[i] = ufo.Edge{U: e.U, V: e.V, W: e.W}
+		}
+		for lo := 0; lo < len(links); lo += k {
+			f.BatchLink(links[lo:min(lo+k, len(links))])
+		}
+		churn := links[:min(k, len(links))]
+		cuts := make([][2]int, len(churn))
+		for i, e := range churn {
+			cuts[i] = [2]int{e.U, e.V}
+		}
+		for c := 0; c < warmCycles; c++ {
+			f.BatchCut(cuts)
+			f.BatchLink(churn)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for c := 0; c < measureCycles; c++ {
+			f.BatchCut(cuts)
+			f.BatchLink(churn)
+		}
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		batches := float64(2 * measureCycles)
+		allocsPerOp := float64(after.Mallocs-before.Mallocs) / batches
+		bytesPerOp := float64(after.TotalAlloc-before.TotalAlloc) / batches
+		items := int64(2*measureCycles) * int64(len(churn))
+		thr := 0.0
+		if secs > 0 {
+			thr = float64(items) / secs
+		}
+		out = append(out, PhaseResult{
+			Input: t.Name, Phase: "steady_alloc", Workers: 1,
+			Calls: 2 * measureCycles, Items: items, Seconds: secs,
+			Throughput:  thr,
+			AllocsPerOp: allocsPerOp,
+			BytesPerOp:  bytesPerOp,
+			// The k/8 floor keeps the gated metric insensitive to tens of
+			// allocations of GC/pool jitter while still collapsing by an
+			// order of magnitude if per-edge allocation returns.
+			AllocGuard: float64(len(churn)) / (float64(len(churn))/8 + allocsPerOp),
+		})
+		fmt.Fprintf(w, "%-14s %12.1f %12.1f %12.0f\n", t.Name, allocsPerOp, bytesPerOp, thr)
+	}
+	fmt.Fprintln(w, "# (allocs/op and bytes/op are per batch update, measured via runtime.MemStats deltas)")
 	return out
 }

@@ -42,11 +42,13 @@ func DefaultWorkerCounts() []int {
 // ScalingResult is one configuration's measurement of the self-relative
 // scaling experiment.
 type ScalingResult struct {
-	Input      string
-	Workers    int
-	Edges      int     // edges applied (links + cuts)
-	Seconds    float64 // wall time for the batched build + destroy
-	Throughput float64 // edges per second
+	Input       string
+	Workers     int
+	Edges       int     // edges applied (links + cuts)
+	Seconds     float64 // wall time for the batched build + destroy
+	Throughput  float64 // edges per second
+	AllocsPerOp float64 // heap objects per applied edge
+	BytesPerOp  float64 // heap bytes per applied edge
 }
 
 // Scaling measures batched build+destroy throughput of the UFO tree at
@@ -75,10 +77,15 @@ func Scaling(w io.Writer, n, k int, workers []int, seed uint64) []ScalingResult 
 		for _, wk := range workers {
 			f := ufo.New(t.N)
 			f.SetWorkers(wk)
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			d := buildDestroyBatchUFO(f, t, k, seed+17)
+			runtime.ReadMemStats(&after)
 			edges := 2 * len(t.Edges)
 			thr := float64(edges) / d.Seconds()
-			out = append(out, ScalingResult{t.Name, wk, edges, d.Seconds(), thr})
+			out = append(out, ScalingResult{t.Name, wk, edges, d.Seconds(), thr,
+				float64(after.Mallocs-before.Mallocs) / float64(edges),
+				float64(after.TotalAlloc-before.TotalAlloc) / float64(edges)})
 			if wk == 1 {
 				base = thr
 			}

@@ -1,0 +1,292 @@
+package ufo
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// cref is an arena handle: the index of a cluster's row in its Forest's
+// arena. Handles replace *Cluster throughout the engine — they are half
+// the size of a pointer, the storage they index is a handful of flat
+// chunk allocations instead of one heap object per cluster, and freed
+// slots are recycled across batches so steady-state updates allocate
+// nothing. Handles are only meaningful against the owning Forest's arena
+// and, unlike uid, ARE reused; anything that must survive a cluster's
+// death (ComponentID) uses uid, never cref.
+type cref uint32
+
+// nilRef is the null handle. Note the zero value of cref is a valid
+// handle (leaf 0), so every freshly initialized row must explicitly set
+// its handle fields to nilRef; arena.release and the two row-init sites
+// (newForest, engine.newCluster) are the only places that create rows.
+const nilRef = ^cref(0)
+
+// Arena storage is chunked, not one flat slice: growth appends a new
+// chunk and never moves existing rows, so a worker may hold a *Cluster
+// row pointer (or be mid-walk through handles) while another worker
+// allocates. The one fanned allocation site (matchPairs) still serializes
+// slot handout under arena.mu and pre-reserves spine capacity, so chunk
+// *append* never happens concurrently with readers of the spine slice.
+const (
+	chunkShift = 12
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+type hotChunk [chunkSize]Cluster
+type coldChunk [chunkSize]coldCluster
+
+// arena owns every cluster of one Forest. Rows live in fixed-size chunks
+// addressed by cref; hot rows (Cluster) carry everything the phases and
+// queries touch, cold rows (coldCluster) carry the trackMax rank-tree
+// state and exist only for EnableSubtreeMax forests. Leaves occupy
+// handles 0..n-1 permanently (level-0 clusters are never deleted), so
+// vertex v's leaf is simply cref(v). Slots freed by one batch are pushed
+// onto the free list at the end of the run and recycled by later batches.
+type arena struct {
+	hot  []*hotChunk
+	cold []*coldChunk // nil entries unless trackMax
+
+	next cref   // bump cursor: slots ≥ next have never been handed out
+	free []cref // released slots available for reuse
+
+	allocs   uint64 // lifetime alloc events (bump + reuse)
+	frees    uint64 // lifetime release events
+	trackMax bool
+
+	// mu serializes slot handout when the engine is fanned; inline paths
+	// allocate without it. Row initialization happens outside the lock —
+	// a freshly handed-out slot is owned by its allocator.
+	mu sync.Mutex
+}
+
+// at returns the hot row of r. Row pointers are stable for the life of
+// the arena (chunks never move).
+func (a *arena) at(r cref) *Cluster {
+	return &a.hot[r>>chunkShift][r&chunkMask]
+}
+
+// coldAt returns the cold row of r; only valid on trackMax arenas.
+func (a *arena) coldAt(r cref) *coldCluster {
+	return &a.cold[r>>chunkShift][r&chunkMask]
+}
+
+func (a *arena) grow() {
+	a.hot = append(a.hot, new(hotChunk))
+	if a.trackMax {
+		a.cold = append(a.cold, new(coldChunk))
+	} else {
+		a.cold = append(a.cold, nil)
+	}
+}
+
+// enableCold switches the arena to hot+cold rows (EnableSubtreeMax, which
+// requires an edgeless forest, so all existing rows are leaves).
+func (a *arena) enableCold() {
+	a.trackMax = true
+	for i := range a.cold {
+		if a.cold[i] == nil {
+			a.cold[i] = new(coldChunk)
+		}
+	}
+}
+
+// reserve ensures the chunk spine can absorb n more bump allocations
+// without growing. Called before any fanned phase that allocates
+// (matchPairs), so allocSlot never appends a chunk while other workers
+// read the spine.
+func (a *arena) reserve(n int) {
+	for int(a.next)+n > len(a.hot)*chunkSize {
+		a.grow()
+	}
+}
+
+// allocSlot hands out a slot, preferring the free list. The caller owns
+// the row afterwards and must fully initialize it (handle fields to
+// nilRef — see nilRef). Fanned callers must hold a.mu and must have
+// reserved spine capacity; growing here while fanned would race with
+// concurrent readers, so it panics instead.
+func (a *arena) allocSlot(fanned bool) cref {
+	a.allocs++
+	if k := len(a.free); k > 0 {
+		r := a.free[k-1]
+		a.free = a.free[:k-1]
+		return r
+	}
+	r := a.next
+	if int(r) >= len(a.hot)*chunkSize {
+		if fanned {
+			panic("ufo: arena grew during a fanned phase (missing reserve)")
+		}
+		a.grow()
+	}
+	a.next++
+	return r
+}
+
+// release zeroes a dead cluster's row and pushes the slot onto the free
+// list. Called only between batches (end of engine.run): within a batch,
+// dead clusters must keep their former-parent handles so queued edel
+// entries can still ride them upward. Zeroing is part of the free-list
+// contract checked by the validator — a freed slot retains no handles, no
+// adjacency, no rank-tree pointers, and reads as dead (flagDead) if some
+// stale handle ever dereferences it. The children backing array (plain
+// cref data) is kept for reuse.
+func (a *arena) release(r cref) {
+	h := a.at(r)
+	h.level = 0
+	h.leafV = 0
+	h.childIdx = 0
+	h.pathCnt = 0
+	h.uid = 0
+	h.parent = nilRef
+	h.prop = nilRef
+	h.center = nilRef
+	h.children = h.children[:0]
+	h.adj.clear()
+	h.vcnt = 0
+	h.subSum = 0
+	h.pathSum = 0
+	h.pathMax = 0
+	h.subMax = 0
+	h.flags.Store(flagDead)
+	if a.trackMax {
+		cd := a.coldAt(r)
+		cd.childTree = nil
+		cd.childItem = nil
+		for i := range cd.rtOrphans {
+			cd.rtOrphans[i] = nil
+		}
+		cd.rtOrphans = cd.rtOrphans[:0]
+		cd.rtNew = cd.rtNew[:0]
+		cd.rtStale = cd.rtStale[:0]
+	}
+	a.free = append(a.free, r)
+	a.frees++
+}
+
+// ArenaStats reports the memory shape of a Forest's cluster arena.
+type ArenaStats struct {
+	Slots          int     `json:"slots"`      // high-water slot count (bump cursor)
+	Live           int     `json:"live"`       // slots currently occupied
+	FreeList       int     `json:"free_list"`  // slots awaiting reuse
+	Allocs         uint64  `json:"allocs"`     // lifetime alloc events
+	Frees          uint64  `json:"frees"`      // lifetime release events
+	HotBytes       int64   `json:"hot_bytes"`  // reserved hot-row storage
+	ColdBytes      int64   `json:"cold_bytes"` // reserved cold-row storage
+	BytesPerVertex float64 `json:"bytes_per_vertex"`
+}
+
+func (a *arena) stats(n int) ArenaStats {
+	st := ArenaStats{
+		Slots:    int(a.next),
+		Live:     int(a.next) - len(a.free),
+		FreeList: len(a.free),
+		Allocs:   a.allocs,
+		Frees:    a.frees,
+		HotBytes: int64(len(a.hot)) * chunkSize * int64(unsafe.Sizeof(Cluster{})),
+	}
+	if a.trackMax {
+		st.ColdBytes = int64(len(a.cold)) * chunkSize * int64(unsafe.Sizeof(coldCluster{}))
+	}
+	if n > 0 {
+		st.BytesPerVertex = float64(st.HotBytes+st.ColdBytes) / float64(n)
+	}
+	return st
+}
+
+// ArenaStats reports the arena footprint of the forest: slot counts, free
+// list depth, lifetime alloc/free totals, and reserved bytes (per input
+// vertex). In steady state — a stable working set under churn — Slots
+// stops growing and every batch's allocations come from the free list.
+func (f *Forest) ArenaStats() ArenaStats { return f.a.stats(f.n) }
+
+// validateArena checks the free-list contract: free entries are in-range,
+// unique, and zeroed; live = allocated − freed; and the live set (rows
+// reachable from the leaves, passed in by the validator) accounts for
+// every non-free slot, with none of its handles pointing into the free
+// set. Test-only (called from Forest.Validate).
+func (a *arena) validateArena(reachable map[cref]bool) error {
+	freeSet := make(map[cref]bool, len(a.free))
+	for _, r := range a.free {
+		if r >= a.next {
+			return fmt.Errorf("arena: free slot %d beyond bump cursor %d", r, a.next)
+		}
+		if freeSet[r] {
+			return fmt.Errorf("arena: slot %d on free list twice", r)
+		}
+		freeSet[r] = true
+		h := a.at(r)
+		if h.flags.Load() != flagDead {
+			return fmt.Errorf("arena: freed slot %d flags = %#x, want flagDead only", r, h.flags.Load())
+		}
+		if h.parent != nilRef || h.prop != nilRef || h.center != nilRef {
+			return fmt.Errorf("arena: freed slot %d retains handles", r)
+		}
+		if len(h.children) != 0 || h.adj.degree() != 0 || h.adj.ov != nil {
+			return fmt.Errorf("arena: freed slot %d retains children/adjacency", r)
+		}
+		if h.uid != 0 || h.level != 0 || h.leafV != 0 || h.childIdx != 0 || h.pathCnt != 0 ||
+			h.vcnt != 0 || h.subSum != 0 || h.pathSum != 0 || h.pathMax != 0 || h.subMax != 0 {
+			return fmt.Errorf("arena: freed slot %d not zeroed", r)
+		}
+		if a.trackMax {
+			cd := a.coldAt(r)
+			if cd.childTree != nil || cd.childItem != nil ||
+				len(cd.rtOrphans) != 0 || len(cd.rtNew) != 0 || len(cd.rtStale) != 0 {
+				return fmt.Errorf("arena: freed slot %d retains rank-tree state", r)
+			}
+		}
+	}
+	live := int(a.next) - len(a.free)
+	if a.allocs-a.frees != uint64(live) {
+		return fmt.Errorf("arena: allocs-frees = %d, want live count %d", a.allocs-a.frees, live)
+	}
+	if len(reachable) != live {
+		for r := cref(0); r < a.next; r++ {
+			if freeSet[r] || reachable[r] {
+				continue
+			}
+			h := a.at(r)
+			return fmt.Errorf("arena: %d reachable clusters but %d live slots (leak or dangling free); e.g. slot %d level=%d uid=%d flags=%#x nchildren=%d parent=%d leafV=%d deg=%d",
+				len(reachable), live, r, h.level, h.uid, h.flags.Load(), len(h.children), h.parent, h.leafV, h.adj.degree())
+		}
+		return fmt.Errorf("arena: %d reachable clusters but %d live slots (leak or dangling free)", len(reachable), live)
+	}
+	for r := range reachable {
+		if freeSet[r] {
+			return fmt.Errorf("arena: reachable cluster %d is on the free list", r)
+		}
+		h := a.at(r)
+		check := func(x cref, what string) error {
+			if x != nilRef && freeSet[x] {
+				return fmt.Errorf("arena: live cluster %d (uid %d) %s references freed slot %d", r, h.uid, what, x)
+			}
+			return nil
+		}
+		if err := check(h.parent, "parent"); err != nil {
+			return err
+		}
+		if err := check(h.prop, "prop"); err != nil {
+			return err
+		}
+		if err := check(h.center, "center"); err != nil {
+			return err
+		}
+		for _, c := range h.children {
+			if err := check(c, "child"); err != nil {
+				return err
+			}
+		}
+		var eerr error
+		h.adj.forEach(func(e EdgeRef) bool {
+			eerr = check(e.to, "adjacency")
+			return eerr == nil
+		})
+		if eerr != nil {
+			return eerr
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package ufo
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/ranktree"
@@ -32,11 +33,14 @@ const (
 // EdgeRef is one endpoint's view of a level-i edge. Every level-i edge is
 // the image of a unique original tree edge; myV is the original endpoint
 // inside this cluster, otherV the endpoint inside the neighbor. The weight
-// rides along so path aggregates never need a side table.
+// rides along so path aggregates never need a side table. The neighbor is
+// named by its arena handle, so an EdgeRef contains no pointers at all —
+// adjacency storage (inline array and overflow table alike) is plain
+// pointer-free data the garbage collector never scans.
 type EdgeRef struct {
-	to     *Cluster
 	key    uint64
 	w      int64
+	to     cref
 	myV    int32
 	otherV int32
 }
@@ -49,26 +53,36 @@ func edgeKey(u, v int32) uint64 {
 }
 
 // edgeSet is a cluster's adjacency: a small inline array for the common
-// degree ≤ 4 case plus a hash-map overflow for high-degree clusters. This
-// is the paper's memory optimization (§D.1): low-degree clusters (at least
-// half of any tree) never allocate a map.
+// degree ≤ 4 case plus an open-addressing overflow table for high-degree
+// clusters. This is the paper's memory optimization (§D.1): low-degree
+// clusters (at least half of any tree) never allocate beyond the inline
+// row. The overflow is a flat []EdgeRef with linear probing — no Go map,
+// no per-entry boxing, no pointers — and it is released as soon as it
+// drains: remove migrates overflow entries back into freed inline slots,
+// so a cluster that was only briefly high-degree returns to a zero-heap
+// adjacency instead of keeping an empty table alive forever.
 type edgeSet struct {
 	arr [4]EdgeRef
-	n   int8
-	ov  map[uint64]EdgeRef
+	n   int32
+	ov  *ovTable
 }
 
-func (s *edgeSet) degree() int { return int(s.n) + len(s.ov) }
+func (s *edgeSet) degree() int {
+	d := int(s.n)
+	if s.ov != nil {
+		d += s.ov.n
+	}
+	return d
+}
 
 func (s *edgeSet) get(key uint64) (EdgeRef, bool) {
-	for i := int8(0); i < s.n; i++ {
+	for i := int32(0); i < s.n; i++ {
 		if s.arr[i].key == key {
 			return s.arr[i], true
 		}
 	}
 	if s.ov != nil {
-		e, ok := s.ov[key]
-		return e, ok
+		return s.ov.get(key)
 	}
 	return EdgeRef{}, false
 }
@@ -84,48 +98,77 @@ func (s *edgeSet) insert(e EdgeRef) bool {
 	if s.has(e.key) {
 		return false
 	}
-	if s.n < int8(len(s.arr)) {
+	if s.n < int32(len(s.arr)) {
 		s.arr[s.n] = e
 		s.n++
 		return true
 	}
 	if s.ov == nil {
-		s.ov = make(map[uint64]EdgeRef, 4)
+		s.ov = newOvTable()
 	}
-	s.ov[e.key] = e
+	s.ov.put(e)
 	return true
 }
 
-// remove deletes the entry with the given key, reporting whether it existed.
+// remove deletes the entry with the given key, reporting whether it
+// existed. An inline removal refills the freed slot from the overflow
+// table, and the table is released the moment it empties, so transiently
+// high-degree clusters do not retain overflow storage (and degree ≤ 4
+// clusters never allocate on later inserts).
 func (s *edgeSet) remove(key uint64) bool {
-	for i := int8(0); i < s.n; i++ {
+	for i := int32(0); i < s.n; i++ {
 		if s.arr[i].key == key {
 			s.n--
 			s.arr[i] = s.arr[s.n]
 			s.arr[s.n] = EdgeRef{}
+			s.refill()
 			return true
 		}
 	}
 	if s.ov != nil {
-		if _, ok := s.ov[key]; ok {
-			delete(s.ov, key)
+		if s.ov.remove(key) {
+			if s.ov.n == 0 {
+				putOvTable(s.ov)
+				s.ov = nil
+			}
 			return true
 		}
 	}
 	return false
 }
 
+// refill compacts overflow entries into free inline slots and drops the
+// overflow table once it is empty.
+func (s *edgeSet) refill() {
+	for s.ov != nil && s.n < int32(len(s.arr)) {
+		e, ok := s.ov.takeAny()
+		if !ok {
+			putOvTable(s.ov)
+			s.ov = nil
+			return
+		}
+		s.arr[s.n] = e
+		s.n++
+		if s.ov.n == 0 {
+			putOvTable(s.ov)
+			s.ov = nil
+		}
+	}
+}
+
 // forEach visits every entry; fn returning false stops early. The set must
 // not be mutated during iteration.
 func (s *edgeSet) forEach(fn func(EdgeRef) bool) {
-	for i := int8(0); i < s.n; i++ {
+	for i := int32(0); i < s.n; i++ {
 		if !fn(s.arr[i]) {
 			return
 		}
 	}
-	for _, e := range s.ov {
-		if !fn(e) {
-			return
+	if s.ov != nil {
+		for i := range s.ov.slots {
+			if s.ov.slots[i].key != 0 && !fn(s.ov.slots[i]) {
+				return
+			}
 		}
 	}
 }
@@ -135,62 +178,222 @@ func (s *edgeSet) any() (EdgeRef, bool) {
 	if s.n > 0 {
 		return s.arr[0], true
 	}
-	for _, e := range s.ov {
-		return e, true
+	if s.ov != nil {
+		for i := range s.ov.slots {
+			if s.ov.slots[i].key != 0 {
+				return s.ov.slots[i], true
+			}
+		}
 	}
 	return EdgeRef{}, false
 }
 
 func (s *edgeSet) clear() {
+	if s.ov != nil {
+		putOvTable(s.ov)
+	}
 	*s = edgeSet{}
 }
 
-// Cluster is a node of the UFO tree: a connected set of input vertices
-// formed by one round of contraction.
+// ovTable is the overflow half of an edgeSet: open addressing with linear
+// probing and backward-shift deletion over a power-of-two slot array. Edge
+// keys are never zero (every edge has two distinct endpoints and the
+// normalized key's low half is the larger vertex id, which is ≥ 1), so a
+// zero key marks an empty slot.
+type ovTable struct {
+	slots []EdgeRef
+	n     int
+}
+
+const ovInitSlots = 8
+
+// ovPool recycles overflow tables. High-degree clusters are rebuilt every
+// batch that touches them, and without pooling each rebuild re-allocates a
+// table the previous batch just dropped — the last per-cluster allocation
+// left in a steady-state update. Tables are returned empty (putOvTable
+// zeroes them), so a pooled table is ready for put immediately and keeps
+// whatever slot capacity its previous owner grew to.
+var ovPool = sync.Pool{New: func() any { return new(ovTable) }}
+
+func newOvTable() *ovTable {
+	t := ovPool.Get().(*ovTable)
+	if t.slots == nil {
+		t.slots = make([]EdgeRef, ovInitSlots)
+	}
+	return t
+}
+
+// putOvTable empties t and returns it to the pool. The caller must drop
+// its reference (edgeSet.remove/refill/clear nil the field right after).
+func putOvTable(t *ovTable) {
+	if t.n != 0 {
+		for i := range t.slots {
+			t.slots[i] = EdgeRef{}
+		}
+		t.n = 0
+	}
+	ovPool.Put(t)
+}
+
+// ovHash spreads the edge key over the table (Fibonacci hashing; the top
+// bits are well mixed, and the mask keeps the bottom of the product).
+func ovHash(key uint64) uint64 { return key * 0x9E3779B97F4A7C15 >> 17 }
+
+func (t *ovTable) get(key uint64) (EdgeRef, bool) {
+	mask := uint64(len(t.slots) - 1)
+	for i := ovHash(key) & mask; ; i = (i + 1) & mask {
+		k := t.slots[i].key
+		if k == key {
+			return t.slots[i], true
+		}
+		if k == 0 {
+			return EdgeRef{}, false
+		}
+	}
+}
+
+// put inserts e, whose key must not be present (edgeSet.insert checks).
+func (t *ovTable) put(e EdgeRef) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := ovHash(e.key) & mask
+	for t.slots[i].key != 0 {
+		i = (i + 1) & mask
+	}
+	t.slots[i] = e
+	t.n++
+}
+
+func (t *ovTable) grow() {
+	old := t.slots
+	t.slots = make([]EdgeRef, 2*len(old))
+	mask := uint64(len(t.slots) - 1)
+	for _, e := range old {
+		if e.key == 0 {
+			continue
+		}
+		i := ovHash(e.key) & mask
+		for t.slots[i].key != 0 {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = e
+	}
+}
+
+// remove deletes key with the standard backward-shift compaction, keeping
+// every surviving entry reachable from its home slot without tombstones.
+func (t *ovTable) remove(key uint64) bool {
+	if t.n == 0 {
+		return false
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := ovHash(key) & mask
+	for {
+		k := t.slots[i].key
+		if k == 0 {
+			return false
+		}
+		if k == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		k := t.slots[j].key
+		if k == 0 {
+			break
+		}
+		// Move j's entry into the hole only when its probe distance reaches
+		// past the hole; otherwise it would become unreachable from its home.
+		if (j-ovHash(k))&mask >= (j-i)&mask {
+			t.slots[i] = t.slots[j]
+			i = j
+		}
+	}
+	t.slots[i] = EdgeRef{}
+	t.n--
+	return true
+}
+
+// takeAny removes and returns an arbitrary entry (inline-slot refill).
+func (t *ovTable) takeAny() (EdgeRef, bool) {
+	for i := range t.slots {
+		if t.slots[i].key != 0 {
+			e := t.slots[i]
+			t.remove(e.key)
+			return e, true
+		}
+	}
+	return EdgeRef{}, false
+}
+
+// Cluster is the hot arena row of one node of the UFO tree: a connected
+// set of input vertices formed by one round of contraction. Every
+// cross-cluster reference — parent, merge center, matching proposal,
+// children, adjacency — is a cref handle into the owning Forest's arena,
+// never a pointer, so the whole contraction structure lives in a few flat
+// allocations the collector does not trace through. The rank-tree state of
+// trackMax forests lives in a parallel cold row (coldCluster), touched
+// only by the repair pass, so the hot row stays compact for the phases and
+// queries that dominate.
 type Cluster struct {
 	level    int32
 	leafV    int32 // vertex id for level-0 leaves, else -1
 	childIdx int32
+	pathCnt  int32 // number of edges on the cluster path
 	// uid is a forest-unique id used for lock striping, as the
 	// symmetry-breaking priority source of the parallel pair matching,
 	// and as the component identity behind Forest.ComponentID. The last
 	// use requires ids to never repeat among live clusters, which is why
-	// uid is 64-bit: a wrapping 32-bit counter could hand a rebuilt
-	// component's root the uid of an untouched live root after a few
-	// thousand large batches at paper scale.
+	// uid is 64-bit and never recycled even though the arena slot (the
+	// handle) is: a freed slot's next occupant draws a fresh uid from the
+	// forest counter, so a stale ComponentID can go dead but never alias
+	// a different component.
 	uid    uint64
 	flags  atomic.Uint32
-	parent *Cluster
+	parent cref
 	// prop is transient engine scratch: the current proposal target during
-	// the parallel pair-matching rounds of recluster. Always nil outside an
-	// update.
-	prop *Cluster
+	// the parallel pair-matching rounds of recluster. Always nilRef outside
+	// an update.
+	prop cref
 	// center is the high-degree child of a superunary (unbounded-fanout)
-	// merge; nil for pair and fanout-1 clusters.
-	center   *Cluster
-	children []*Cluster
+	// merge; nilRef for pair and fanout-1 clusters.
+	center   cref
+	children []cref
 	adj      edgeSet
 	// Aggregates over the cluster's contents.
 	vcnt    int64 // number of contained vertices
 	subSum  int64 // sum of contained vertex values (group-invertible)
 	pathSum int64 // sum of edge weights on the cluster path (binary only)
 	pathMax int64 // max edge weight on the cluster path (negInf identity)
-	pathCnt int32 // number of edges on the cluster path
-	// Non-invertible aggregation (present only with EnableSubtreeMax):
-	// subMax is the max vertex value in the cluster; childTree stores the
-	// children's subMax values in a rank tree; childItem is this cluster's
-	// handle inside its parent's childTree.
-	subMax    int64
+	// subMax is the max vertex value in the cluster (EnableSubtreeMax
+	// only). It stays in the hot row because queries read it during every
+	// ascent; the rank-tree machinery that maintains it lives cold.
+	subMax int64
+}
+
+// coldCluster is the cold arena row: rank-tree state and repair buffers of
+// the trackMax engine, stored in a parallel chunk so the default engine and
+// all queries never pull it into cache. Cold chunks are only allocated for
+// EnableSubtreeMax forests.
+//
+// childTree stores the children's subMax values in a rank tree; childItem
+// is this cluster's handle inside its parent's childTree. The rt* buffers
+// are the deferred rank-tree repair state: structural phases record
+// child-set and child-value changes here instead of eagerly rebuilding
+// childTree, and the engine's post-phase repair pass (maxrepair.go) applies
+// them level-synchronously, one level per contraction round. All three are
+// empty between batch updates.
+type coldCluster struct {
 	childTree *ranktree.Tree
 	childItem *ranktree.Item
-	// Deferred rank-tree repair buffers (trackMax engine only). Structural
-	// phases record child-set and child-value changes here instead of
-	// eagerly rebuilding childTree; the engine's post-phase repair pass
-	// (maxrepair.go) applies them level-synchronously, one level per
-	// contraction round. All three are empty between batch updates.
 	rtOrphans []*ranktree.Item // items of departed children awaiting Delete
-	rtNew     []*Cluster       // freshly attached children awaiting Insert
-	rtStale   []*Cluster       // children whose subMax changed (UpdateValue)
+	rtNew     []cref           // freshly attached children awaiting Insert
+	rtStale   []cref           // children whose subMax changed (UpdateValue)
 }
 
 func (c *Cluster) dead() bool { return c.has(flagDead) }
@@ -284,38 +487,53 @@ func (c *Cluster) hasBoundary(v int32) bool {
 // (callers inside the engine must claim p via markMaxDirty). The only
 // fanned attach site (matchPairs) targets freshly created, worker-owned
 // parents, so the rtNew append needs no lock.
-func attach(p, c *Cluster) {
-	c.parent = p
-	c.childIdx = int32(len(p.children))
-	p.children = append(p.children, c)
-	for a := p; a != nil; a = a.parent {
-		a.subSum += c.subSum
-		a.vcnt += c.vcnt
+func (a *arena) attach(p, c cref) {
+	hc, hp := a.at(c), a.at(p)
+	hc.parent = p
+	hc.childIdx = int32(len(hp.children))
+	hp.children = append(hp.children, c)
+	for h := hp; ; {
+		h.subSum += hc.subSum
+		h.vcnt += hc.vcnt
+		if h.parent == nilRef {
+			break
+		}
+		h = a.at(h.parent)
 	}
-	if p.has(flagTrackMax) {
-		p.rtNew = append(p.rtNew, c)
+	if hp.has(flagTrackMax) {
+		cd := a.coldAt(p)
+		cd.rtNew = append(cd.rtNew, c)
 	}
 }
 
 // top returns the root cluster of c's component.
-func top(c *Cluster) *Cluster {
-	for c.parent != nil {
-		c = c.parent
+func (a *arena) top(c cref) cref {
+	// The spine is hoisted to a local so the loop carries exactly two
+	// dependent loads per hop (spine entry, row); reloading a.hot each
+	// iteration costs ~10% on this latency-bound walk (Connected,
+	// ComponentSize, and the rep cache all sit on it).
+	hot := a.hot
+	for {
+		p := hot[c>>chunkShift][c&chunkMask].parent
+		if p == nilRef {
+			return c
+		}
+		c = p
 	}
-	return c
 }
 
-// edgeBetween finds the unique level edge between siblings a and b,
+// edgeBetween finds the unique level edge between siblings x and y,
 // scanning the smaller-degree side (which is always ≤ 2 for siblings of a
 // valid merge, keeping this O(1)).
-func edgeBetween(a, b *Cluster) (EdgeRef, bool) {
-	if a.adj.degree() > b.adj.degree() {
-		// Search from b's side and flip the view.
+func (a *arena) edgeBetween(x, y cref) (EdgeRef, bool) {
+	hx, hy := a.at(x), a.at(y)
+	if hx.adj.degree() > hy.adj.degree() {
+		// Search from y's side and flip the view.
 		var out EdgeRef
 		found := false
-		b.adj.forEach(func(e EdgeRef) bool {
-			if e.to == a {
-				out = EdgeRef{to: b, key: e.key, w: e.w, myV: e.otherV, otherV: e.myV}
+		hy.adj.forEach(func(e EdgeRef) bool {
+			if e.to == x {
+				out = EdgeRef{to: y, key: e.key, w: e.w, myV: e.otherV, otherV: e.myV}
 				found = true
 				return false
 			}
@@ -325,8 +543,8 @@ func edgeBetween(a, b *Cluster) (EdgeRef, bool) {
 	}
 	var out EdgeRef
 	found := false
-	a.adj.forEach(func(e EdgeRef) bool {
-		if e.to == b {
+	hx.adj.forEach(func(e EdgeRef) bool {
+		if e.to == y {
 			out = e
 			found = true
 			return false

@@ -16,10 +16,12 @@ package ufo
 // callers must treat it as a per-epoch grouping key (e.g. the spanning
 // forest computation inside one connectivity batch), never persist it.
 // Identifiers are never reused within a forest's lifetime (64-bit
-// allocation counter), so a stale id can go dead but never alias a
-// different component. Cost is one root walk, O(min{log n, D}).
+// allocation counter — the cluster uid, which is distinct from the arena
+// handle precisely because handles ARE recycled), so a stale id can go
+// dead but never alias a different component. Cost is one root walk,
+// O(min{log n, D}).
 func (f *Forest) ComponentID(u int) uint64 {
-	return top(f.leaves[u]).uid
+	return f.a.at(f.a.top(f.leaf(u))).uid
 }
 
 // ComponentVertices appends the ids of every vertex in u's component to
@@ -28,23 +30,24 @@ func (f *Forest) ComponentID(u int) uint64 {
 // given cluster hierarchy: a depth-first walk over child lists. Cost is
 // linear in the component size.
 func (f *Forest) ComponentVertices(u int, buf []int) []int {
-	r := top(f.leaves[u])
-	if cap(buf)-len(buf) < int(r.vcnt) {
-		grown := make([]int, len(buf), len(buf)+int(r.vcnt))
+	r := f.a.top(f.leaf(u))
+	if cap(buf)-len(buf) < int(f.a.at(r).vcnt) {
+		grown := make([]int, len(buf), len(buf)+int(f.a.at(r).vcnt))
 		copy(grown, buf)
 		buf = grown
 	}
-	return appendLeaves(buf, r)
+	return f.a.appendLeaves(buf, r)
 }
 
 // appendLeaves collects the leaf vertices under c depth-first. Recursion
 // depth is bounded by the contraction height (≤ maxLevels).
-func appendLeaves(buf []int, c *Cluster) []int {
-	if c.leafV >= 0 {
-		return append(buf, int(c.leafV))
+func (a *arena) appendLeaves(buf []int, c cref) []int {
+	h := a.at(c)
+	if h.leafV >= 0 {
+		return append(buf, int(h.leafV))
 	}
-	for _, ch := range c.children {
-		buf = appendLeaves(buf, ch)
+	for _, ch := range h.children {
+		buf = a.appendLeaves(buf, ch)
 	}
 	return buf
 }

@@ -14,6 +14,23 @@
 // component contracts to a single degree-0 cluster. Theorems 4.1/4.2 of the
 // paper give height O(min{log n, ceil(D/2)}).
 //
+// # Memory layout
+//
+// Clusters live in a per-forest arena (arena.go): chunked flat rows
+// addressed by 32-bit handles (cref) instead of pointers. Chunks never
+// move, so row pointers taken by a worker stay valid across growth; slots
+// freed by one batch are recycled by later ones, so batch updates over a
+// stable working set allocate nothing (clusters from the free list,
+// overflow adjacency tables from a pool, engine scratch and pre-bound
+// phase bodies reused across runs). Handles are reused and are therefore
+// not identity — uid, a never-reused 64-bit counter, identifies clusters
+// across deletions (ComponentID, lock striping). Leaves occupy handles
+// 0..n-1 permanently; the zero handle is valid (leaf 0) and the null
+// handle is nilRef. Rank-tree state for EnableSubtreeMax forests lives in
+// a parallel cold row so the hot row stays compact for the phases and
+// queries. Forest.ArenaStats exposes the footprint; Validate enforces the
+// free-list contract in the test suites.
+//
 // # Updates
 //
 // Updates use one engine for both the sequential (k=1) and batch-parallel
@@ -24,7 +41,10 @@
 // (pipeline.go): three seed phases once per batch, five level phases per
 // contraction round, each with exactly one body that runs inline at
 // workers=1 and fans out above the fork grain, and each timed into
-// PhaseStats.
+// PhaseStats. A cluster emptied mid-batch is torn down immediately
+// (deleteEmpty) and cascades upward, so the arena never accumulates
+// unreachable rows the way a garbage-collected representation could
+// simply abandon them.
 //
 // # Contracts
 //

@@ -38,19 +38,25 @@ const (
 // Forest is a contraction-based dynamic forest over vertices 0..n-1 (a UFO
 // tree by default, a topology tree with NewTopology).
 //
+// All cluster storage lives in the forest's arena (arena.go): vertex v's
+// leaf cluster is permanently handle cref(v), interior clusters are
+// allocated above n and recycled through the free list as batches create
+// and delete them.
+//
 // The zero configuration runs updates serially; SetParallel(true) enables
 // goroutine-parallel batch updates with GOMAXPROCS workers, and SetWorkers
 // picks an explicit worker count. All query methods are read-only and may
 // run concurrently with each other (but not with updates).
 type Forest struct {
 	n        int
-	leaves   []*Cluster
+	a        arena
 	nEdges   int
 	workers  int
 	trackMax bool
 	mode     Mode
 	seed     uint64
 	uidSrc   atomic.Uint64
+	valSeen  map[uint64]struct{} // reusable batch-validation scratch
 	eng      engine
 }
 
@@ -74,14 +80,26 @@ func NewRC(n int) *Forest {
 }
 
 func newForest(n int, m Mode) *Forest {
-	f := &Forest{n: n, leaves: make([]*Cluster, n), workers: 1, mode: m, seed: 0x9e3779b97f4a7c15}
-	for i := range f.leaves {
-		f.leaves[i] = &Cluster{level: 0, leafV: int32(i), uid: uint64(i), childIdx: -1, vcnt: 1, pathMax: negInf}
+	f := &Forest{n: n, workers: 1, mode: m, seed: 0x9e3779b97f4a7c15}
+	f.a.reserve(n)
+	for i := 0; i < n; i++ {
+		r := f.a.allocSlot(false)
+		h := f.a.at(r)
+		h.leafV = int32(i)
+		h.childIdx = -1
+		h.uid = uint64(i)
+		h.parent, h.prop, h.center = nilRef, nilRef, nilRef
+		h.vcnt = 1
+		h.pathMax = negInf
 	}
 	f.uidSrc.Store(uint64(n))
 	f.eng.f = f
 	return f
 }
+
+// leaf returns the handle of vertex v's level-0 cluster: leaves occupy
+// arena slots 0..n-1 permanently, in vertex order.
+func (f *Forest) leaf(v int) cref { return cref(v) }
 
 // Mode reports the contraction mode.
 func (f *Forest) Mode() Mode { return f.mode }
@@ -135,7 +153,7 @@ func (f *Forest) PhaseStats() PhaseStats {
 
 // HasEdge reports whether edge (u,v) is present.
 func (f *Forest) HasEdge(u, v int) bool {
-	return f.leaves[u].adj.has(edgeKey(int32(u), int32(v)))
+	return f.a.at(f.leaf(u)).adj.has(edgeKey(int32(u), int32(v)))
 }
 
 // Connected reports whether u and v are in the same tree. Cost is
@@ -144,19 +162,19 @@ func (f *Forest) Connected(u, v int) bool {
 	if u == v {
 		return true
 	}
-	return top(f.leaves[u]) == top(f.leaves[v])
+	return f.a.top(f.leaf(u)) == f.a.top(f.leaf(v))
 }
 
 // ComponentSize returns the number of vertices in u's tree in
 // O(min{log n, D}) time.
 func (f *Forest) ComponentSize(u int) int {
-	return int(top(f.leaves[u]).vcnt)
+	return int(f.a.at(f.a.top(f.leaf(u))).vcnt)
 }
 
 // Height returns the level of u's root cluster (diagnostics; the paper
 // bounds it by min{log_{6/5} n, ceil(D/2)}).
 func (f *Forest) Height(u int) int {
-	return int(top(f.leaves[u]).level)
+	return int(f.a.at(f.a.top(f.leaf(u))).level)
 }
 
 // Link inserts edge (u,v) with weight w. The endpoints must be distinct,
@@ -213,11 +231,22 @@ func (f *Forest) BatchCut(edges [][2]int) {
 	f.eng.run(nil, edges)
 }
 
+// batchSeen returns the deduplication scratch map, cleared. It lives on
+// the Forest so steady-state batches do not allocate a map per call.
+func (f *Forest) batchSeen(n int) map[uint64]struct{} {
+	if f.valSeen == nil {
+		f.valSeen = make(map[uint64]struct{}, n)
+	} else {
+		clear(f.valSeen)
+	}
+	return f.valSeen
+}
+
 // validateLinkBatch enforces the BatchLink preconditions that are checkable
 // before mutation. The orientation-normalized edge key makes (u,v) vs
 // (v,u) duplicates indistinguishable from exact repeats, so both panic.
 func (f *Forest) validateLinkBatch(edges []Edge) {
-	seen := make(map[uint64]struct{}, len(edges))
+	seen := f.batchSeen(len(edges))
 	for _, e := range edges {
 		if e.U == e.V {
 			panic(fmt.Sprintf("ufo: self loop %d in batch link", e.U))
@@ -227,7 +256,7 @@ func (f *Forest) validateLinkBatch(edges []Edge) {
 			panic(fmt.Sprintf("ufo: edge (%d,%d) repeated in batch link", e.U, e.V))
 		}
 		seen[key] = struct{}{}
-		if f.leaves[e.U].adj.has(key) {
+		if f.a.at(f.leaf(e.U)).adj.has(key) {
 			panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", e.U, e.V))
 		}
 	}
@@ -235,7 +264,7 @@ func (f *Forest) validateLinkBatch(edges []Edge) {
 
 // validateCutBatch enforces the BatchCut preconditions before mutation.
 func (f *Forest) validateCutBatch(cuts [][2]int) {
-	seen := make(map[uint64]struct{}, len(cuts))
+	seen := f.batchSeen(len(cuts))
 	for _, c := range cuts {
 		key := edgeKey(int32(c[0]), int32(c[1]))
 		if _, dup := seen[key]; dup {
@@ -251,15 +280,15 @@ func (f *Forest) validateCutBatch(cuts [][2]int) {
 // SetVertexValue assigns the value aggregated by subtree queries,
 // propagating the change along the leaf-to-root path.
 func (f *Forest) SetVertexValue(v int, val int64) {
-	l := f.leaves[v]
-	delta := val - l.subSum
-	for c := l; c != nil; c = c.parent {
-		c.subSum += delta
+	l := f.leaf(v)
+	delta := val - f.a.at(l).subSum
+	for c := l; c != nilRef; c = f.a.at(c).parent {
+		f.a.at(c).subSum += delta
 	}
 	if f.trackMax {
-		bubbleMax(l)
+		f.bubbleMax(l)
 	}
 }
 
 // VertexValue returns v's current value.
-func (f *Forest) VertexValue(v int) int64 { return f.leaves[v].subSum }
+func (f *Forest) VertexValue(v int) int64 { return f.a.at(f.leaf(v)).subSum }

@@ -32,22 +32,23 @@ func (f *Forest) SelectOnPath(u, v, k int) (int, bool) {
 	if k < 0 {
 		return 0, false
 	}
-	cu, cv := f.leaves[u], f.leaves[v]
+	a := &f.a
+	cu, cv := f.leaf(u), f.leaf(v)
 	ru := rep{e: [2]repEntry{{v: int32(u), sum: 0, max: negInf}}, n: 1}
 	rv := rep{e: [2]repEntry{{v: int32(v), sum: 0, max: negInf}}, n: 1}
 	for {
-		pu, pv := cu.parent, cv.parent
-		if pu == nil || pv == nil {
+		pu, pv := a.at(cu).parent, a.at(cv).parent
+		if pu == nilRef || pv == nilRef {
 			return 0, false
 		}
 		if pu == pv {
 			break
 		}
-		ru = stepRep(cu, ru)
-		rv = stepRep(cv, rv)
+		ru = a.stepRep(cu, ru)
+		rv = a.stepRep(cv, rv)
 		cu, cv = pu, pv
 	}
-	if g, found := edgeBetween(cu, cv); found {
+	if g, found := a.edgeBetween(cu, cv); found {
 		eu, _ := ru.get(g.myV)
 		ev, _ := rv.get(g.otherV)
 		total := int(eu.cnt) + 1 + int(ev.cnt)
@@ -61,14 +62,14 @@ func (f *Forest) SelectOnPath(u, v, k int) (int, bool) {
 		}
 	}
 	// Two leaves of one superunary merge: route through the center.
-	eU, _ := cu.adj.any()
-	eV, _ := cv.adj.any()
+	eU, _ := a.at(cu).adj.any()
+	eV, _ := a.at(cv).adj.any()
 	entU, _ := ru.get(eU.myV)
 	entV, _ := rv.get(eV.myV)
 	center := eU.to
 	centerCnt := 0
 	if eU.otherV != eV.otherV {
-		centerCnt = int(center.pathCnt)
+		centerCnt = int(a.at(center).pathCnt)
 	}
 	total := int(entU.cnt) + 1 + centerCnt + 1 + int(entV.cnt)
 	switch {
@@ -87,21 +88,23 @@ func (f *Forest) SelectOnPath(u, v, k int) (int, bool) {
 // findAt returns the vertex at hop j on the path from vertex x to vertex b,
 // both contained in cluster C (the path stays inside C because clusters are
 // connected subgraphs).
-func (f *Forest) findAt(C *Cluster, x, b int32, j int) int32 {
+func (f *Forest) findAt(C cref, x, b int32, j int) int32 {
+	a := &f.a
 	for {
 		if j == 0 {
 			return x
 		}
-		if C.level == 0 {
+		hC := a.at(C)
+		if hC.level == 0 {
 			panic(fmt.Sprintf("ufo: findAt reached a leaf with %d hops left", j))
 		}
-		A := f.ancAtLevel(x, C.level-1)
-		B := f.ancAtLevel(b, C.level-1)
+		A := f.ancAtLevel(x, hC.level-1)
+		B := f.ancAtLevel(b, hC.level-1)
 		if A == B {
 			C = A
 			continue
 		}
-		if g, ok := edgeBetween(A, B); ok {
+		if g, ok := a.edgeBetween(A, B); ok {
 			cA := f.cntWithin(A, x, g.myV)
 			if j <= cA {
 				C, b = A, g.myV
@@ -113,12 +116,12 @@ func (f *Forest) findAt(C *Cluster, x, b int32, j int) int32 {
 			continue
 		}
 		// A and B are both leaves of C's superunary merge: cross the center.
-		m := C.center
-		if m == nil {
+		m := hC.center
+		if m == nilRef {
 			panic("ufo: non-adjacent children without a center")
 		}
-		gA, okA := edgeBetween(A, m)
-		gB, okB := edgeBetween(B, m)
+		gA, okA := a.edgeBetween(A, m)
+		gB, okB := a.edgeBetween(B, m)
 		if !okA || !okB {
 			panic("ufo: superunary leaf not adjacent to the center")
 		}
@@ -149,11 +152,12 @@ func (f *Forest) findAt(C *Cluster, x, b int32, j int) int32 {
 }
 
 // ancAtLevel returns the ancestor cluster of vertex x at the given level.
-func (f *Forest) ancAtLevel(x int32, level int32) *Cluster {
-	c := f.leaves[x]
-	for c.level < level {
-		c = c.parent
-		if c == nil {
+func (f *Forest) ancAtLevel(x int32, level int32) cref {
+	a := &f.a
+	c := f.leaf(int(x))
+	for a.at(c).level < level {
+		c = a.at(c).parent
+		if c == nilRef {
 			panic("ufo: ancestor level out of range")
 		}
 	}
@@ -162,16 +166,17 @@ func (f *Forest) ancAtLevel(x int32, level int32) *Cluster {
 
 // cntWithin returns the number of edges on the path from vertex x to the
 // boundary vertex b inside cluster C.
-func (f *Forest) cntWithin(C *Cluster, x, b int32) int {
+func (f *Forest) cntWithin(C cref, x, b int32) int {
 	if x == b {
 		return 0
 	}
-	c := f.leaves[x]
+	a := &f.a
+	c := f.leaf(int(x))
 	r := rep{e: [2]repEntry{{v: x, sum: 0, max: negInf}}, n: 1}
 	for c != C {
-		r = stepRep(c, r)
-		c = c.parent
-		if c == nil {
+		r = a.stepRep(c, r)
+		c = a.at(c).parent
+		if c == nilRef {
 			panic("ufo: cntWithin walked past the target cluster")
 		}
 	}

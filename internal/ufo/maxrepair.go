@@ -26,6 +26,11 @@ import "repro/internal/ranktree"
 //     cluster is owned by exactly one worker (the flag claim), so the
 //     rank-tree surgery itself needs no locks.
 //
+// All of this state — childTree, childItem, and the three repair buffers —
+// lives in the arena's cold rows (coldCluster), which only exist for
+// trackMax forests and are only dereferenced from this file, attach, and
+// the deletion paths. The hot rows the other phases scan never carry it.
+//
 // Per-cluster work is one O(log) rank-tree operation per buffered event —
 // the same work as eager bubbling, now phase-local. Value propagation
 // still stops as soon as an ancestor's aggregate is unaffected, so the
@@ -35,8 +40,8 @@ import "repro/internal/ranktree"
 // scratch when s is non-nil (drained at the phase barrier) and directly in
 // the engine's per-level dirty queues otherwise. No-op for non-trackMax
 // forests, so callers may invoke it unconditionally after attach/detach.
-func (e *engine) markMaxDirty(p *Cluster, s *wscratch) {
-	if p == nil || !e.f.trackMax || !p.trySet(flagMaxDirty) {
+func (e *engine) markMaxDirty(p cref, s *wscratch) {
+	if p == nilRef || !e.f.trackMax || !e.f.a.at(p).trySet(flagMaxDirty) {
 		return
 	}
 	if s != nil {
@@ -49,8 +54,8 @@ func (e *engine) markMaxDirty(p *Cluster, s *wscratch) {
 // pushDirty enqueues a claimed cluster into its level's dirty queue,
 // extending the main loop so the level is still repaired (repair of level
 // l runs at the end of round l-1, which bumpLevel(l) guarantees).
-func (e *engine) pushDirty(p *Cluster) {
-	l := int(p.level)
+func (e *engine) pushDirty(p cref) {
+	l := int(e.f.a.at(p).level)
 	e.bumpLevel(l)
 	e.dirty[l] = append(e.dirty[l], p)
 }
@@ -83,15 +88,12 @@ func (e *engine) repairMax(i int) int {
 	if l >= len(e.dirty) || len(e.dirty[l]) == 0 {
 		return 0
 	}
-	d := e.dirty[l]
-	e.forPhase(len(d), func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			e.repairMaxCluster(d[j], s)
-		}
-	})
+	n := len(e.dirty[l])
+	e.round = i
+	e.forPhase(n, e.bRepairMax)
 	e.drainDirty()
-	e.dirty[l] = d[:0]
-	return len(d)
+	e.dirty[l] = e.dirty[l][:0]
+	return n
 }
 
 // repairMaxCluster applies p's buffered rank-tree events and recomputes its
@@ -99,55 +101,72 @@ func (e *engine) repairMax(i int) int {
 // child that was re-detached after being recorded, died, or moved to a
 // different parent is simply skipped (its departure was captured as an
 // orphaned item or by the new parent's own buffers).
-func (e *engine) repairMaxCluster(p *Cluster, s *wscratch) {
-	p.clear(flagMaxDirty)
-	if p.dead() {
-		p.rtOrphans, p.rtNew, p.rtStale = nil, nil, nil
+func (e *engine) repairMaxCluster(p cref, s *wscratch) {
+	ar := &e.f.a
+	hp := ar.at(p)
+	cd := ar.coldAt(p)
+	hp.clear(flagMaxDirty)
+	if hp.dead() {
+		for i := range cd.rtOrphans {
+			cd.rtOrphans[i] = nil
+		}
+		cd.rtOrphans = cd.rtOrphans[:0]
+		cd.rtNew = cd.rtNew[:0]
+		cd.rtStale = cd.rtStale[:0]
 		return
 	}
-	t := p.childTree
-	for _, it := range p.rtOrphans {
+	t := cd.childTree
+	for i, it := range cd.rtOrphans {
 		t.Delete(it)
+		cd.rtOrphans[i] = nil
 	}
-	p.rtOrphans = p.rtOrphans[:0]
-	for _, c := range p.rtNew {
-		if c.dead() || c.parent != p || c.childItem != nil {
+	cd.rtOrphans = cd.rtOrphans[:0]
+	for _, c := range cd.rtNew {
+		hc := ar.at(c)
+		ccd := ar.coldAt(c)
+		if hc.dead() || hc.parent != p || ccd.childItem != nil {
 			continue
 		}
 		if t == nil {
 			t = ranktree.New(max2)
-			p.childTree = t
+			cd.childTree = t
 		}
-		c.childItem = t.Insert(c.subMax, max2(c.vcnt, 1))
+		ccd.childItem = t.Insert(hc.subMax, max2(hc.vcnt, 1))
 	}
-	p.rtNew = p.rtNew[:0]
-	for _, c := range p.rtStale {
-		if c.parent != p || c.childItem == nil {
+	cd.rtNew = cd.rtNew[:0]
+	for _, c := range cd.rtStale {
+		hc := ar.at(c)
+		ccd := ar.coldAt(c)
+		if hc.parent != p || ccd.childItem == nil {
 			continue
 		}
-		t.UpdateValue(c.childItem, c.subMax)
+		t.UpdateValue(ccd.childItem, hc.subMax)
 	}
-	p.rtStale = p.rtStale[:0]
+	cd.rtStale = cd.rtStale[:0]
 	var nm int64 = negInf
 	if t != nil {
 		if agg, ok := t.Aggregate(); ok {
 			nm = agg
 		}
 	}
-	if nm == p.subMax {
+	if nm == hp.subMax {
 		return
 	}
-	p.subMax = nm
-	q := p.parent
-	if q == nil || q.dead() {
+	hp.subMax = nm
+	q := hp.parent
+	if q == nilRef {
+		return
+	}
+	hq := ar.at(q)
+	if hq.dead() {
 		return
 	}
 	// The parent's stored value for p is stale; schedule the UpdateValue in
 	// the parent's own repair one level up. Siblings repaired by other
 	// workers append to the same buffer, so take the parent's lock stripe
 	// when the pass is fanned out.
-	e.lockC(q)
-	q.rtStale = append(q.rtStale, p)
-	e.unlockC(q)
+	e.lockC(hq)
+	ar.coldAt(q).rtStale = append(ar.coldAt(q).rtStale, p)
+	e.unlockC(hq)
 	e.markMaxDirty(q, s)
 }

@@ -32,6 +32,14 @@ import (
 //     in a second mutation pass, matching the snapshot semantics of the
 //     paper's data-parallel loops. Subtree aggregates on shared ancestor
 //     chains are updated with atomic adds.
+//   - Clusters are arena rows addressed by cref handles (arena.go). The
+//     phases pass handles; row pointers are only materialized locally and
+//     are stable (chunked storage never moves rows). The one phase that
+//     allocates while fanned (matchPairs) reserves spine capacity up
+//     front and serializes slot handout under the arena mutex. Slots of
+//     clusters deleted by the batch are recycled into the free list at
+//     the end of the run — not earlier, because queued edel entries ride
+//     dead clusters' former-parent handles until their level is reached.
 //
 // The cluster hierarchy a fanned run builds can differ from a sequential
 // run's (both are valid UFO trees), but the represented forest — and
@@ -146,8 +154,13 @@ var levelPhases = [...]phaseSpec{
 }
 
 // run applies a mixed batch of insertions and deletions by driving the
-// phase table, timing every phase into the engine's PhaseStats.
+// phase table, timing every phase into the engine's PhaseStats. Slots of
+// clusters the batch deleted are released to the arena free list after
+// the last round, when no queue can still reference them.
 func (e *engine) run(links []Edge, cuts [][2]int) {
+	if e.bMarkParents == nil {
+		e.bindPhases()
+	}
 	e.links, e.cuts = links, cuts
 	e.maxLvl = 0
 	e.ensureLevel(2)
@@ -167,6 +180,7 @@ func (e *engine) run(links []Edge, cuts [][2]int) {
 			e.runPhase(ph, i)
 		}
 	}
+	e.recycleDead()
 	e.stats.Levels = e.maxLvl + 1
 	e.stats.Total = time.Since(start)
 	e.links, e.cuts = nil, nil
@@ -179,6 +193,22 @@ func (e *engine) runPhase(ph phaseSpec, i int) {
 	st.Calls++
 	st.Items += int64(items)
 	st.Time += time.Since(start)
+}
+
+// recycleDead drains the workers' dead-slot collections and releases every
+// slot the batch killed back to the arena free list.
+func (e *engine) recycleDead() {
+	for w := range e.ws {
+		s := &e.ws[w]
+		if len(s.dead) > 0 {
+			e.dead = append(e.dead, s.dead...)
+			s.dead = s.dead[:0]
+		}
+	}
+	for _, r := range e.dead {
+		e.f.a.release(r)
+	}
+	e.dead = e.dead[:0]
 }
 
 // beginStats resets the telemetry for a fresh batch (the accumulation
@@ -221,17 +251,18 @@ type stripedMu struct {
 // worker 0's scratch, so one collection protocol serves both
 // configurations.
 type wscratch struct {
-	roots   []*Cluster // addRoot collector (phase-dependent level)
-	roots2  []*Cluster // secondary addRoot collector (second level / lo queue)
-	del     []*Cluster // addDel collector
-	proc    []*Cluster // recluster: merged roots needing adjacency lift
-	touched []*Cluster // recluster: parents needing aggregate recomputation
-	dirty   []*Cluster // markMaxDirty collector (rank-tree repair claims)
-	edel    []edelEnt  // addEdel collector
-	snap    []EdgeRef  // adjacency snapshot (execDelete)
-	cnt     int        // nEdges delta
-	matched int        // pair-matching merge count this round
-	_       [48]byte   // pads the struct to 256 bytes (a cache-line multiple)
+	roots   []cref    // addRoot collector (phase-dependent level)
+	roots2  []cref    // secondary addRoot collector (second level / lo queue)
+	del     []cref    // addDel collector
+	proc    []cref    // recluster: merged roots needing adjacency lift
+	touched []cref    // recluster: parents needing aggregate recomputation
+	dirty   []cref    // markMaxDirty collector (rank-tree repair claims)
+	dead    []cref    // execDelete collector: slots to recycle after the run
+	edel    []edelEnt // addEdel collector
+	snap    []EdgeRef // adjacency snapshot (execDelete)
+	cnt     int       // nEdges delta
+	matched int       // pair-matching merge count this round
+	_       [24]byte  // pads the struct to 256 bytes (a cache-line multiple)
 }
 
 // setup sizes the per-worker scratch for the configured worker count (the
@@ -311,6 +342,8 @@ func chaos() {
 // drainScratch moves every worker's buffers into the engine's queues at a
 // phase barrier. Level arguments say where this phase's collections land;
 // phases that do not use a buffer leave it empty, making its level moot.
+// Dead-slot collections are NOT drained here — they accumulate in the
+// worker scratch until recycleDead at the end of the run.
 func (e *engine) drainScratch(rootsLvl, roots2Lvl, delLvl, edelLvl int) {
 	for w := range e.ws {
 		s := &e.ws[w]
@@ -349,8 +382,12 @@ func (e *engine) drainScratch(rootsLvl, roots2Lvl, delLvl, edelLvl int) {
 }
 
 // collectRoot claims c for the roots queue into the worker buffer.
-func collectRoot(s *wscratch, c *Cluster) {
-	if c == nil || c.dead() || !c.trySet(flagInRoots) {
+func (e *engine) collectRoot(s *wscratch, c cref) {
+	if c == nilRef {
+		return
+	}
+	h := e.f.a.at(c)
+	if h.dead() || !h.trySet(flagInRoots) {
 		return
 	}
 	s.roots = append(s.roots, c)
@@ -358,8 +395,17 @@ func collectRoot(s *wscratch, c *Cluster) {
 
 // collectDel claims c for the deletion-candidate queue into the worker
 // buffer (the caller guarantees all collected clusters share one level).
-func collectDel(s *wscratch, c *Cluster) {
-	if c == nil || c.dead() || !c.trySet(flagInDel) {
+// Dead clusters are claimed too: a cluster emptied by the teardown cascade
+// (deleteEmpty) dies levels above the round that emptied it, and markParents
+// must still walk through it — via its kept former-parent handle — to reach
+// the first surviving ancestor, whose contents changed. condDelete skips
+// dead entries after the walk.
+func (e *engine) collectDel(s *wscratch, c cref) {
+	if c == nilRef {
+		return
+	}
+	h := e.f.a.at(c)
+	if !h.trySet(flagInDel) {
 		return
 	}
 	s.del = append(s.del, c)

@@ -44,17 +44,19 @@ func (r *rep) set(ent repEntry) {
 // formulation: for each boundary b of the parent, either b lies inside c
 // (copy), or the path continues through the merge edge g into the sibling's
 // cluster path.
-func stepRep(c *Cluster, r rep) rep {
-	p := c.parent
-	if len(p.children) == 1 {
+func (a *arena) stepRep(c cref, r rep) rep {
+	hc := a.at(c)
+	p := hc.parent
+	hp := a.at(p)
+	if len(hp.children) == 1 {
 		return r
 	}
-	pb, pn := p.boundaries()
+	pb, pn := hp.boundaries()
 	var out rep
 	if pn == 0 {
 		return out
 	}
-	if p.center == c {
+	if hp.center == c {
 		// All of p's crossing edges are c's (leaves contribute none).
 		for i := 0; i < pn; i++ {
 			ent, ok := r.get(pb[i])
@@ -67,21 +69,22 @@ func stepRep(c *Cluster, r rep) rep {
 	}
 	// c attaches to exactly one sibling: the merge center, or its pair
 	// partner.
-	s := p.center
-	if s == nil {
-		if p.children[0] == c {
-			s = p.children[1]
+	s := hp.center
+	if s == nilRef {
+		if hp.children[0] == c {
+			s = hp.children[1]
 		} else {
-			s = p.children[0]
+			s = hp.children[0]
 		}
 	}
-	g, ok := edgeBetween(c, s)
+	g, ok := a.edgeBetween(c, s)
 	if !ok {
 		panic("ufo: merge edge missing between siblings")
 	}
+	hs := a.at(s)
 	for i := 0; i < pn; i++ {
 		b := pb[i]
-		if c.hasBoundary(b) {
+		if hc.hasBoundary(b) {
 			ent, ok := r.get(b)
 			if !ok {
 				panic("ufo: representative path missing a boundary")
@@ -98,9 +101,9 @@ func stepRep(c *Cluster, r rep) rep {
 		cnt := base.cnt + 1
 		if b != g.otherV {
 			// The path crosses the sibling's whole cluster path.
-			sum += s.pathSum
-			mx = max64(mx, s.pathMax)
-			cnt += s.pathCnt
+			sum += hs.pathSum
+			mx = max64(mx, hs.pathMax)
+			cnt += hs.pathCnt
 		}
 		out.set(repEntry{v: b, sum: sum, max: mx, cnt: cnt})
 	}
@@ -115,22 +118,23 @@ func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
 	if u == v {
 		return 0, negInf, 0, true
 	}
-	cu, cv := f.leaves[u], f.leaves[v]
+	a := &f.a
+	cu, cv := f.leaf(u), f.leaf(v)
 	ru := rep{e: [2]repEntry{{v: int32(u), sum: 0, max: negInf}}, n: 1}
 	rv := rep{e: [2]repEntry{{v: int32(v), sum: 0, max: negInf}}, n: 1}
 	for {
-		pu, pv := cu.parent, cv.parent
-		if pu == nil || pv == nil {
+		pu, pv := a.at(cu).parent, a.at(cv).parent
+		if pu == nilRef || pv == nilRef {
 			return 0, 0, 0, false
 		}
 		if pu == pv {
 			break
 		}
-		ru = stepRep(cu, ru)
-		rv = stepRep(cv, rv)
+		ru = a.stepRep(cu, ru)
+		rv = a.stepRep(cv, rv)
 		cu, cv = pu, pv
 	}
-	if g, found := edgeBetween(cu, cv); found {
+	if g, found := a.edgeBetween(cu, cv); found {
 		eu, okU := ru.get(g.myV)
 		ev, okV := rv.get(g.otherV)
 		if !okU || !okV {
@@ -144,8 +148,8 @@ func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
 	// the center path is empty; RC rake centers may have two boundary
 	// vertices, in which case the center's cluster path joins the two
 	// attachment points.
-	eU, okU := cu.adj.any()
-	eV, okV := cv.adj.any()
+	eU, okU := a.at(cu).adj.any()
+	eV, okV := a.at(cv).adj.any()
 	if !okU || !okV {
 		panic("ufo: superunary leaves without edges")
 	}
@@ -158,10 +162,10 @@ func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
 	mx = max64(max64(entU.max, eU.w), max64(entV.max, eV.w))
 	cnt = entU.cnt + 2 + entV.cnt
 	if eU.otherV != eV.otherV {
-		center := eU.to
-		sum += center.pathSum
-		mx = max64(mx, center.pathMax)
-		cnt += center.pathCnt
+		hcen := a.at(eU.to)
+		sum += hcen.pathSum
+		mx = max64(mx, hcen.pathMax)
+		cnt += hcen.pathCnt
 	}
 	return sum, mx, cnt, true
 }
@@ -193,7 +197,7 @@ func (f *Forest) PathHops(u, v int) (int, bool) {
 // ComponentSum returns the sum of vertex values in u's tree in
 // O(min{log n, D}) time.
 func (f *Forest) ComponentSum(u int) int64 {
-	return top(f.leaves[u]).subSum
+	return f.a.at(f.a.top(f.leaf(u))).subSum
 }
 
 // frontier is the set of boundary vertices (≤ 2) of the current cluster
@@ -236,48 +240,52 @@ func (f *Forest) SubtreeSize(v, p int) int {
 }
 
 // subtreeAgg implements the frontier ascent shared by all invertible
-// subtree aggregates; val extracts the aggregate being queried.
+// subtree aggregates; val extracts the aggregate being queried (it reads
+// hot-row fields only, so taking a row pointer is safe and convenient).
 func (f *Forest) subtreeAgg(v, p int, val func(*Cluster) int64) int64 {
+	a := &f.a
 	key := edgeKey(int32(v), int32(p))
-	if !f.leaves[v].adj.has(key) {
+	if !a.at(f.leaf(v)).adj.has(key) {
 		panic(fmt.Sprintf("ufo: subtree query with non-adjacent (%d,%d)", v, p))
 	}
-	cv, cp := f.leaves[v], f.leaves[p]
-	for cv.parent != cp.parent {
-		cv, cp = cv.parent, cp.parent
-		if cv == nil || cp == nil {
+	cv, cp := f.leaf(v), f.leaf(p)
+	for a.at(cv).parent != a.at(cp).parent {
+		cv, cp = a.at(cv).parent, a.at(cp).parent
+		if cv == nilRef || cp == nilRef {
 			panic("ufo: adjacent vertices with no common ancestor")
 		}
 	}
 	V, U := cv, cp
-	lca := V.parent
-	if lca == nil {
+	hV := a.at(V)
+	lca := hV.parent
+	if lca == nilRef {
 		panic("ufo: adjacent vertices without an LCA cluster")
 	}
+	hlca := a.at(lca)
 	var sum int64
 	var fr frontier
 	switch {
-	case lca.center == V:
+	case hlca.center == V:
 		// v's side is the superunary center: every sibling except U (the
 		// p side) hangs off V's boundary and is inside the subtree.
-		sum = val(lca) - val(U)
-		b, n := lca.boundaries()
+		sum = val(hlca) - val(a.at(U))
+		b, n := hlca.boundaries()
 		for i := 0; i < n; i++ {
 			fr.add(b[i])
 		}
-	case lca.center == U:
+	case hlca.center == U:
 		// v's side is a degree-1 leaf of the superunary merge: the
 		// subtree is exactly V.
-		return val(V)
+		return val(hV)
 	default:
 		// Pair merge: the subtree within the LCA is V; it extends through
 		// V's crossing edges other than the (p,v) edge itself.
-		sum = val(V)
-		epv, ok := V.adj.get(key)
+		sum = val(hV)
+		epv, ok := hV.adj.get(key)
 		if !ok {
 			panic("ufo: (p,v) edge missing at the LCA level")
 		}
-		bs, n := V.boundaries()
+		bs, n := hV.boundaries()
 		for i := 0; i < n; i++ {
 			b := bs[i]
 			if b != epv.myV {
@@ -287,10 +295,10 @@ func (f *Forest) subtreeAgg(v, p int, val func(*Cluster) int64) int64 {
 			// Keep the (p,v) boundary only if another crossing edge of V
 			// lands there.
 			others := 0
-			if V.adj.degree() >= 3 {
+			if hV.adj.degree() >= 3 {
 				others = 1 // single-boundary invariant: all edges at b
 			} else {
-				V.adj.forEach(func(er EdgeRef) bool {
+				hV.adj.forEach(func(er EdgeRef) bool {
 					if er.key != key && er.myV == b {
 						others++
 						return false
@@ -307,54 +315,56 @@ func (f *Forest) subtreeAgg(v, p int, val func(*Cluster) int64) int64 {
 	// vertex; if that vertex is on the subtree frontier, all siblings lie
 	// inside the subtree.
 	X := lca
-	for fr.n > 0 && X.parent != nil {
-		P := X.parent
-		if len(P.children) > 1 {
-			if P.center == X {
-				_, xn := X.boundaries()
+	for fr.n > 0 && a.at(X).parent != nilRef {
+		hX := a.at(X)
+		P := hX.parent
+		hP := a.at(P)
+		if len(hP.children) > 1 {
+			if hP.center == X {
+				_, xn := hX.boundaries()
 				if xn == 0 {
 					break
 				}
 				if xn == 1 {
 					// All siblings attach at the single boundary, which
 					// must be the frontier (F ⊆ boundaries(X)).
-					sum += val(P) - val(X)
+					sum += val(hP) - val(hX)
 				} else {
 					// RC-mode rake center with two boundary vertices:
 					// include each leaf sibling individually by its
 					// attachment vertex (fanout is degree-bounded here).
-					for _, s := range P.children {
+					for _, s := range hP.children {
 						if s == X {
 							continue
 						}
-						g, ok := edgeBetween(s, X)
+						g, ok := a.edgeBetween(s, X)
 						if !ok {
 							panic("ufo: rake leaf not adjacent to center")
 						}
 						if fr.has(g.otherV) {
-							sum += val(s)
+							sum += val(a.at(s))
 						}
 					}
 				}
-				fr = liftFrontier(P, X, fr)
+				fr = a.liftFrontier(P, X, fr)
 				X = P
 				continue
 			}
-			s := P.center
-			if s == nil {
-				if P.children[0] == X {
-					s = P.children[1]
+			s := hP.center
+			if s == nilRef {
+				if hP.children[0] == X {
+					s = hP.children[1]
 				} else {
-					s = P.children[0]
+					s = hP.children[0]
 				}
 			}
-			g, ok := edgeBetween(X, s)
+			g, ok := a.edgeBetween(X, s)
 			if !ok {
 				panic("ufo: merge edge missing during subtree ascent")
 			}
 			if fr.has(g.myV) {
-				sum += val(P) - val(X)
-				fr = liftFrontier(P, X, fr)
+				sum += val(hP) - val(hX)
+				fr = a.liftFrontier(P, X, fr)
 			}
 		}
 		X = P
@@ -364,8 +374,8 @@ func (f *Forest) subtreeAgg(v, p int, val func(*Cluster) int64) int64 {
 
 // liftFrontier maps the frontier of X to its parent P: P's boundary
 // vertices minus those boundaries of X that were not on the frontier.
-func liftFrontier(P, X *Cluster, fr frontier) frontier {
-	xb, xn := X.boundaries()
+func (a *arena) liftFrontier(P, X cref, fr frontier) frontier {
+	xb, xn := a.at(X).boundaries()
 	var ex [2]int32
 	nex := 0
 	for i := 0; i < xn; i++ {
@@ -374,7 +384,7 @@ func liftFrontier(P, X *Cluster, fr frontier) frontier {
 			nex++
 		}
 	}
-	pb, pn := P.boundaries()
+	pb, pn := a.at(P).boundaries()
 	var out frontier
 	for i := 0; i < pn; i++ {
 		excluded := false

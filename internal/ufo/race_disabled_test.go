@@ -1,0 +1,5 @@
+//go:build !race
+
+package ufo
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package ufo
+
+// raceEnabled gates allocation-count assertions: the race runtime
+// instruments allocations and sync.Pool, so AllocsPerRun numbers are
+// meaningless under -race.
+const raceEnabled = true

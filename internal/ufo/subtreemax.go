@@ -16,6 +16,8 @@ import "fmt"
 // Tracking is opt-in (EnableSubtreeMax) so that the default update paths
 // carry no rank-tree cost; this mirrors the paper's presentation of the
 // rank-tree machinery as an add-on for the non-invertible query family.
+// The rank-tree state itself lives in the arena's cold rows, which only
+// exist once tracking is enabled (arena.enableCold).
 
 func max2(a, b int64) int64 {
 	if a > b {
@@ -38,7 +40,9 @@ func (f *Forest) EnableSubtreeMax() {
 		panic("ufo: EnableSubtreeMax requires an empty forest")
 	}
 	f.trackMax = true
-	for _, l := range f.leaves {
+	f.a.enableCold()
+	for v := 0; v < f.n; v++ {
+		l := f.a.at(f.leaf(v))
 		l.set(flagTrackMax)
 		l.subMax = l.subSum
 	}
@@ -50,22 +54,25 @@ func (f *Forest) EnableSubtreeMax() {
 // updates, when childTree and every childItem handle are consistent.
 // Structural updates never bubble: the engine defers rank-tree maintenance
 // to the level-synchronous repair pass in maxrepair.go.
-func bubbleMax(p *Cluster) {
-	for q := p; q != nil; q = q.parent {
+func (f *Forest) bubbleMax(p cref) {
+	a := &f.a
+	for q := p; q != nilRef; q = a.at(q).parent {
+		hq := a.at(q)
+		qd := a.coldAt(q)
 		var nm int64 = negInf
-		if q.level == 0 {
-			nm = q.subSum // a leaf's max is its own value
-		} else if q.childTree != nil {
-			if agg, ok := q.childTree.Aggregate(); ok {
+		if hq.level == 0 {
+			nm = hq.subSum // a leaf's max is its own value
+		} else if qd.childTree != nil {
+			if agg, ok := qd.childTree.Aggregate(); ok {
 				nm = agg
 			}
 		}
-		if nm == q.subMax && q != p {
+		if nm == hq.subMax && q != p {
 			return
 		}
-		q.subMax = nm
-		if q.parent != nil && q.childItem != nil {
-			q.parent.childTree.UpdateValue(q.childItem, nm)
+		hq.subMax = nm
+		if hq.parent != nilRef && qd.childItem != nil {
+			a.coldAt(hq.parent).childTree.UpdateValue(qd.childItem, nm)
 		}
 	}
 }
@@ -77,44 +84,47 @@ func (f *Forest) SubtreeMax(v, p int) int64 {
 	if !f.trackMax {
 		panic("ufo: SubtreeMax requires EnableSubtreeMax before building")
 	}
+	a := &f.a
 	key := edgeKey(int32(v), int32(p))
-	if !f.leaves[v].adj.has(key) {
+	if !a.at(f.leaf(v)).adj.has(key) {
 		panic(fmt.Sprintf("ufo: subtree query with non-adjacent (%d,%d)", v, p))
 	}
-	cv, cp := f.leaves[v], f.leaves[p]
-	for cv.parent != cp.parent {
-		cv, cp = cv.parent, cp.parent
-		if cv == nil || cp == nil {
+	cv, cp := f.leaf(v), f.leaf(p)
+	for a.at(cv).parent != a.at(cp).parent {
+		cv, cp = a.at(cv).parent, a.at(cp).parent
+		if cv == nilRef || cp == nilRef {
 			panic("ufo: adjacent vertices with no common ancestor")
 		}
 	}
 	V, U := cv, cp
-	lca := V.parent
-	if lca == nil {
+	hV := a.at(V)
+	lca := hV.parent
+	if lca == nilRef {
 		panic("ufo: adjacent vertices without an LCA cluster")
 	}
+	hlca := a.at(lca)
 	var acc int64 = negInf
 	var fr frontier
 	switch {
-	case lca.center == V:
+	case hlca.center == V:
 		// Everything in the LCA except the p side: O(log) via the rank
 		// tree's aggregate-except-one.
-		if ex, ok := lca.childTree.AggregateExcept(U.childItem); ok {
+		if ex, ok := a.coldAt(lca).childTree.AggregateExcept(a.coldAt(U).childItem); ok {
 			acc = ex
 		}
-		b, n := lca.boundaries()
+		b, n := hlca.boundaries()
 		for i := 0; i < n; i++ {
 			fr.add(b[i])
 		}
-	case lca.center == U:
-		return V.subMax
+	case hlca.center == U:
+		return hV.subMax
 	default:
-		acc = V.subMax
-		epv, ok := V.adj.get(key)
+		acc = hV.subMax
+		epv, ok := hV.adj.get(key)
 		if !ok {
 			panic("ufo: (p,v) edge missing at the LCA level")
 		}
-		bs, n := V.boundaries()
+		bs, n := hV.boundaries()
 		for i := 0; i < n; i++ {
 			b := bs[i]
 			if b != epv.myV {
@@ -122,10 +132,10 @@ func (f *Forest) SubtreeMax(v, p int) int64 {
 				continue
 			}
 			others := 0
-			if V.adj.degree() >= 3 {
+			if hV.adj.degree() >= 3 {
 				others = 1
 			} else {
-				V.adj.forEach(func(er EdgeRef) bool {
+				hV.adj.forEach(func(er EdgeRef) bool {
 					if er.key != key && er.myV == b {
 						others++
 						return false
@@ -139,55 +149,57 @@ func (f *Forest) SubtreeMax(v, p int) int64 {
 		}
 	}
 	X := lca
-	for fr.n > 0 && X.parent != nil {
-		P := X.parent
-		if len(P.children) > 1 {
-			if P.center == X {
-				_, xn := X.boundaries()
+	for fr.n > 0 && a.at(X).parent != nilRef {
+		hX := a.at(X)
+		P := hX.parent
+		hP := a.at(P)
+		if len(hP.children) > 1 {
+			if hP.center == X {
+				_, xn := hX.boundaries()
 				if xn == 0 {
 					break
 				}
 				if xn == 1 {
-					if ex, ok := P.childTree.AggregateExcept(X.childItem); ok {
+					if ex, ok := a.coldAt(P).childTree.AggregateExcept(a.coldAt(X).childItem); ok {
 						acc = max2(acc, ex)
 					}
 				} else {
 					// RC-mode two-boundary rake center: per-leaf
 					// attachment split (fanout is degree-bounded here).
-					for _, s := range P.children {
+					for _, s := range hP.children {
 						if s == X {
 							continue
 						}
-						g, ok := edgeBetween(s, X)
+						g, ok := a.edgeBetween(s, X)
 						if !ok {
 							panic("ufo: rake leaf not adjacent to center")
 						}
 						if fr.has(g.otherV) {
-							acc = max2(acc, s.subMax)
+							acc = max2(acc, a.at(s).subMax)
 						}
 					}
 				}
-				fr = liftFrontier(P, X, fr)
+				fr = a.liftFrontier(P, X, fr)
 				X = P
 				continue
 			}
-			s := P.center
-			if s == nil {
-				if P.children[0] == X {
-					s = P.children[1]
+			s := hP.center
+			if s == nilRef {
+				if hP.children[0] == X {
+					s = hP.children[1]
 				} else {
-					s = P.children[0]
+					s = hP.children[0]
 				}
 			}
-			g, ok := edgeBetween(X, s)
+			g, ok := a.edgeBetween(X, s)
 			if !ok {
 				panic("ufo: merge edge missing during subtree ascent")
 			}
 			if fr.has(g.myV) {
-				if ex, ok := P.childTree.AggregateExcept(X.childItem); ok {
+				if ex, ok := a.coldAt(P).childTree.AggregateExcept(a.coldAt(X).childItem); ok {
 					acc = max2(acc, ex)
 				}
-				fr = liftFrontier(P, X, fr)
+				fr = a.liftFrontier(P, X, fr)
 			}
 		}
 		X = P
@@ -201,5 +213,5 @@ func (f *Forest) ComponentMax(u int) int64 {
 	if !f.trackMax {
 		panic("ufo: ComponentMax requires EnableSubtreeMax before building")
 	}
-	return top(f.leaves[u]).subMax
+	return f.a.at(f.a.top(f.leaf(u))).subMax
 }

@@ -8,7 +8,8 @@ import (
 // edelEnt schedules the lazy deletion of one original edge's image at a
 // given level: the edge with this key must be removed from the adjacency of
 // clusters a and b (either of which may have died by processing time; dead
-// clusters keep their former parent pointer so propagation can continue).
+// clusters keep their former parent handle so propagation can continue —
+// which is also why the arena recycles dead slots only after the run).
 //
 // This implements the E⁻ sets of Algorithm 4 ("Challenge 2"): edges are
 // deleted level by level, one level ahead of the reclustering frontier,
@@ -16,35 +17,61 @@ import (
 // degrees.
 type edelEnt struct {
 	key  uint64
-	a, b *Cluster
+	a, b cref
 }
 
 // engine runs batch updates over a Forest. It is reused across updates to
 // amortize allocations; a Forest owns exactly one engine (updates are not
 // concurrent). The phase table, scheduler, and telemetry live in
 // pipeline.go; this file holds the single implementation of each
-// Algorithm-4 phase.
+// Algorithm-4 phase. All queues hold arena handles.
 type engine struct {
 	f     *Forest
-	links []Edge       // current batch, set for the duration of run
-	cuts  [][2]int     //
-	roots [][]*Cluster // roots[l]: parentless clusters at level l awaiting reclustering
-	del   [][]*Cluster // del[l]: level-l clusters to examine for deletion
-	edel  [][]edelEnt  // edel[l]: lazy edge deletions at level l
-	dirty [][]*Cluster // dirty[l]: level-l clusters claimed for rank-tree repair (trackMax)
+	links []Edge      // current batch, set for the duration of run
+	cuts  [][2]int    //
+	roots [][]cref    // roots[l]: parentless clusters at level l awaiting reclustering
+	del   [][]cref    // del[l]: level-l clusters to examine for deletion
+	edel  [][]edelEnt // edel[l]: lazy edge deletions at level l
+	dirty [][]cref    // dirty[l]: level-l clusters claimed for rank-tree repair (trackMax)
 
 	maxLvl int
 	// recluster scratch
-	hi, lo  []*Cluster // stage-1 (degree ≥ 3) and stage-2 (degree ≤ 2) queues
-	proc    []*Cluster // roots that received parents and need adjacency lift
-	touched []*Cluster // parents whose aggregates must be recomputed
+	hi, lo  []cref // stage-1 (degree ≥ 3) and stage-2 (degree ≤ 2) queues
+	proc    []cref // roots that received parents and need adjacency lift
+	touched []cref // parents whose aggregates must be recomputed
 	// scheduler state (pipeline.go)
 	ws      []wscratch  // per-worker buffers (worker 0 serves the inline path)
 	stripes []stripedMu // lock stripes hashed by cluster uid
 	fanned  bool        // a phase is currently running on multiple workers
 	acts    []uint8     // conditional-deletion action per del entry
-	cand    []*Cluster  // pair-matching candidate set / disconnect detach list
+	cand    []cref      // pair-matching candidate set / disconnect detach list
+	dead    []cref      // slots killed this batch, recycled by recycleDead
 	stats   PhaseStats  // per-phase telemetry, reset at each run
+
+	// Pre-bound per-round phase bodies (bindPhases). A closure literal at a
+	// forPhase call site escapes into the fan-out and so heap-allocates on
+	// every invocation; the per-round phases run O(levels) times per batch,
+	// which would be the last remaining steady-state allocations once the
+	// arena recycles slots. The bodies below are bound once and read their
+	// per-round inputs from `round`/`mround` (set immediately before the
+	// forPhase call, stable while it runs) instead of capturing locals.
+	round  int // level round i of the per-round phase currently running
+	mround int // matchPairs proposal round
+
+	bSeedCuts    func(s *wscratch, lo, hi int)
+	bSeedLinks   func(s *wscratch, lo, hi int)
+	bDisconnect  func(s *wscratch, lo, hi int)
+	bDetach      func(s *wscratch, lo, hi int)
+	bMarkParents func(s *wscratch, lo, hi int)
+	bEdelApply   func(s *wscratch, lo, hi int)
+	bClassify    func(s *wscratch, lo, hi int)
+	bMutate      func(s *wscratch, lo, hi int)
+	bRootSplit   func(s *wscratch, lo, hi int)
+	bPropose     func(s *wscratch, lo, hi int)
+	bMerge       func(s *wscratch, lo, hi int)
+	bLift        func(s *wscratch, lo, hi int)
+	bPathAgg     func(s *wscratch, lo, hi int)
+	bRepairMax   func(s *wscratch, lo, hi int)
 }
 
 func (e *engine) ensureLevel(l int) {
@@ -69,19 +96,27 @@ func (e *engine) bumpLevel(l int) {
 	}
 }
 
-func (e *engine) addRoot(l int, c *Cluster) {
-	if c == nil || c.dead() || !c.trySet(flagInRoots) {
+func (e *engine) addRoot(l int, c cref) {
+	if c == nilRef {
+		return
+	}
+	h := e.f.a.at(c)
+	if h.dead() || !h.trySet(flagInRoots) {
 		return
 	}
 	e.bumpLevel(l)
 	e.roots[l] = append(e.roots[l], c)
 }
 
-func (e *engine) addDel(c *Cluster) {
-	if c == nil || c.dead() || !c.trySet(flagInDel) {
+func (e *engine) addDel(c cref) {
+	if c == nilRef {
 		return
 	}
-	l := int(c.level)
+	h := e.f.a.at(c)
+	if h.dead() || !h.trySet(flagInDel) {
+		return
+	}
+	l := int(h.level)
 	e.bumpLevel(l)
 	e.del[l] = append(e.del[l], c)
 }
@@ -91,27 +126,54 @@ func (e *engine) addEdel(l int, ent edelEnt) {
 	e.edel[l] = append(e.edel[l], ent)
 }
 
-func (e *engine) newCluster(level int) *Cluster {
-	c := &Cluster{level: int32(level), uid: e.f.uidSrc.Add(1) - 1, leafV: -1, childIdx: -1, pathMax: negInf}
+// newCluster allocates and initializes a fresh interior cluster row. The
+// slot may be recycled (its row was zeroed at release), so every field is
+// (re)written here; handle fields start at nilRef because the zero cref is
+// a valid handle. Fanned callers (matchPairs only) serialize slot handout
+// under the arena mutex; the uid counter is atomic either way.
+func (e *engine) newCluster(level int) cref {
+	ar := &e.f.a
+	if e.fanned {
+		ar.mu.Lock()
+	}
+	c := ar.allocSlot(e.fanned)
+	if e.fanned {
+		ar.mu.Unlock()
+	}
+	h := ar.at(c)
+	h.level = int32(level)
+	h.leafV = -1
+	h.childIdx = -1
+	h.pathCnt = 0
+	h.uid = e.f.uidSrc.Add(1) - 1
+	h.parent, h.prop, h.center = nilRef, nilRef, nilRef
+	h.children = h.children[:0]
+	h.vcnt, h.subSum, h.pathSum = 0, 0, 0
+	h.pathMax = negInf
 	if e.f.trackMax {
-		c.flags.Store(flagTrackMax)
-		c.subMax = negInf
+		h.flags.Store(flagTrackMax)
+		h.subMax = negInf
+	} else {
+		h.flags.Store(0)
+		h.subMax = 0
 	}
 	return c
 }
 
-// seedCuts applies the level-0 half of a cut batch: the affected leaves
-// become the level-0 roots, their (old) parents the level-1 deletion
-// candidates, and removed edges are scheduled for level-1 lazy deletion.
-// Parent pointers are stable during seeding (disconnection runs after), so
-// the only contention is between cuts sharing an endpoint's stripe.
-func (e *engine) seedCuts() {
+// bindPhases builds the reusable per-round phase bodies (see the engine
+// struct comment). Each body re-reads its inputs from the engine so the
+// closure can be allocated once per engine instead of once per phase
+// invocation. Bound lazily on the first run.
+func (e *engine) bindPhases() {
+	ar := &e.f.a
 	f := e.f
-	cuts := e.cuts
-	e.forPhase(len(cuts), func(s *wscratch, lo, hi int) {
+
+	e.bSeedCuts = func(s *wscratch, lo, hi int) {
+		cuts := e.cuts
 		for j := lo; j < hi; j++ {
 			c := cuts[j]
-			lu, lv := f.leaves[c[0]], f.leaves[c[1]]
+			ru, rv := f.leaf(c[0]), f.leaf(c[1])
+			lu, lv := ar.at(ru), ar.at(rv)
 			key := edgeKey(int32(c[0]), int32(c[1]))
 			e.lockC(lu)
 			ok := lu.adj.remove(key)
@@ -124,15 +186,283 @@ func (e *engine) seedCuts() {
 			e.unlockC(lv)
 			s.cnt--
 			pu, pv := lu.parent, lv.parent
-			if pu != nil && pv != nil && pu != pv {
+			if pu != nilRef && pv != nilRef && pu != pv {
 				s.edel = append(s.edel, edelEnt{key, pu, pv})
 			}
-			collectRoot(s, lu)
-			collectRoot(s, lv)
-			collectDel(s, pu)
-			collectDel(s, pv)
+			e.collectRoot(s, ru)
+			e.collectRoot(s, rv)
+			e.collectDel(s, pu)
+			e.collectDel(s, pv)
 		}
-	})
+	}
+
+	e.bSeedLinks = func(s *wscratch, lo, hi int) {
+		links := e.links
+		for j := lo; j < hi; j++ {
+			ed := links[j]
+			ru, rv := f.leaf(ed.U), f.leaf(ed.V)
+			lu, lv := ar.at(ru), ar.at(rv)
+			key := edgeKey(int32(ed.U), int32(ed.V))
+			e.lockC(lu)
+			ok := lu.adj.insert(EdgeRef{to: rv, key: key, w: ed.W, myV: int32(ed.U), otherV: int32(ed.V)})
+			e.unlockC(lu)
+			if !ok {
+				panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", ed.U, ed.V))
+			}
+			e.lockC(lv)
+			lv.adj.insert(EdgeRef{to: ru, key: key, w: ed.W, myV: int32(ed.V), otherV: int32(ed.U)})
+			e.unlockC(lv)
+			s.cnt++
+			au, av := lu.parent, lv.parent
+			myV, otherV := int32(ed.U), int32(ed.V)
+			for au != nilRef && av != nilRef && au != av {
+				ha, hb := ar.at(au), ar.at(av)
+				e.lockC(ha)
+				added := ha.adj.insert(EdgeRef{to: av, key: key, w: ed.W, myV: myV, otherV: otherV})
+				e.unlockC(ha)
+				if added {
+					e.lockC(hb)
+					hb.adj.insert(EdgeRef{to: au, key: key, w: ed.W, myV: otherV, otherV: myV})
+					e.unlockC(hb)
+				}
+				au, av = ha.parent, hb.parent
+			}
+			e.collectRoot(s, ru)
+			e.collectRoot(s, rv)
+			e.collectDel(s, lu.parent)
+			e.collectDel(s, lv.parent)
+		}
+	}
+
+	e.bDisconnect = func(s *wscratch, lo, hi int) {
+		roots0 := e.roots[0]
+		for j := lo; j < hi; j++ {
+			l := roots0[j]
+			hl := ar.at(l)
+			p := hl.parent
+			if p == nilRef {
+				continue
+			}
+			if f.mode == ModeUFO && hl.adj.degree() >= 3 && ar.at(p).center == l {
+				continue
+			}
+			hl.adj.forEach(func(er EdgeRef) bool {
+				tp := ar.at(er.to).parent
+				if tp != nilRef && tp != p {
+					s.edel = append(s.edel, edelEnt{er.key, p, tp})
+				}
+				return true
+			})
+			s.roots2 = append(s.roots2, l) // to detach (not a queue claim)
+		}
+	}
+
+	e.bDetach = func(s *wscratch, lo, hi int) {
+		det := e.cand
+		for j := lo; j < hi; j++ {
+			e.detach(det[j], s)
+		}
+	}
+
+	e.bMarkParents = func(s *wscratch, lo, hi int) {
+		del := e.del[e.round+1]
+		for j := lo; j < hi; j++ {
+			e.collectDel(s, ar.at(del[j]).parent)
+		}
+	}
+
+	e.bEdelApply = func(s *wscratch, lo, hi int) {
+		ents := e.edel[e.round+1]
+		for j := lo; j < hi; j++ {
+			ent := ents[j]
+			ha, hb := ar.at(ent.a), ar.at(ent.b)
+			if !ha.dead() {
+				e.lockC(ha)
+				ha.adj.remove(ent.key)
+				e.unlockC(ha)
+			}
+			if !hb.dead() {
+				e.lockC(hb)
+				hb.adj.remove(ent.key)
+				e.unlockC(hb)
+			}
+			pa, pb := ha.parent, hb.parent
+			if pa != nilRef && pb != nilRef && pa != pb {
+				s.edel = append(s.edel, edelEnt{ent.key, pa, pb})
+			}
+		}
+	}
+
+	e.bClassify = func(s *wscratch, lo, hi int) {
+		del := e.del[e.round+1]
+		for j := lo; j < hi; j++ {
+			c := del[j]
+			hc := ar.at(c)
+			hc.clear(flagInDel)
+			if hc.dead() {
+				e.acts[j] = actSkip
+				continue
+			}
+			deg := hc.adj.degree()
+			fo := len(hc.children)
+			switch {
+			case f.mode != ModeUFO || hc.has(flagDamaged) || (deg < 3 && fo < 3):
+				e.acts[j] = actDelete
+				e.scheduleDelete(c, s)
+			case deg >= 3 && hc.parent != nilRef && ar.at(hc.parent).center == c:
+				// Intact merge center: remains merged (its siblings'
+				// adjacency to it is unchanged).
+				e.acts[j] = actKeep
+			default:
+				// Contents or degree changed: the parent's merge is stale.
+				// Disconnect and recluster at this level, scheduling the
+				// removal of this cluster's (now stale) edge images above.
+				e.acts[j] = actRecluster
+				e.scheduleImages(c, s)
+				if hc.trySet(flagInRoots) {
+					s.roots2 = append(s.roots2, c)
+				}
+			}
+		}
+	}
+
+	e.bMutate = func(s *wscratch, lo, hi int) {
+		del := e.del[e.round+1]
+		for j := lo; j < hi; j++ {
+			c := del[j]
+			switch e.acts[j] {
+			case actDelete:
+				e.execDelete(c, s)
+			case actRecluster:
+				if ar.at(c).parent != nilRef {
+					e.detach(c, s)
+				}
+			}
+		}
+	}
+
+	e.bRootSplit = func(s *wscratch, lo, hi int) {
+		rts := e.roots[e.round]
+		for j := lo; j < hi; j++ {
+			x := rts[j]
+			hx := ar.at(x)
+			hx.clear(flagInRoots)
+			if hx.dead() || hx.parent != nilRef {
+				continue
+			}
+			if e.isAbsorbCenter(x) {
+				s.roots = append(s.roots, x)
+			} else {
+				s.roots2 = append(s.roots2, x)
+			}
+		}
+	}
+
+	e.bPropose = func(_ *wscratch, lo, hi int) {
+		cand := e.cand
+		round, seed := e.mround, f.seed
+		for j := lo; j < hi; j++ {
+			x := cand[j]
+			hx := ar.at(x)
+			best := nilRef
+			var bestH uint64
+			hx.adj.forEach(func(er EdgeRef) bool {
+				y := er.to
+				hy := ar.at(y)
+				if hy.parent != nilRef || hy.dead() || hy.adj.degree() > 2 {
+					return true
+				}
+				h := mixUID(hy.uid, round, seed)
+				if best == nilRef || h > bestH {
+					best, bestH = y, h
+				}
+				return true
+			})
+			hx.prop = best
+		}
+	}
+
+	e.bMerge = func(s *wscratch, lo, hi int) {
+		cand := e.cand
+		for j := lo; j < hi; j++ {
+			x := cand[j]
+			hx := ar.at(x)
+			y := hx.prop
+			if y == nilRef {
+				continue
+			}
+			hy := ar.at(y)
+			if hy.prop != x || hx.uid >= hy.uid {
+				continue
+			}
+			p := e.newCluster(e.round + 1)
+			ar.attach(p, x)
+			ar.attach(p, y)
+			e.markMaxDirty(p, s)
+			s.proc = append(s.proc, x, y)
+			s.matched += 2
+		}
+	}
+
+	e.bLift = func(s *wscratch, lo, hi int) {
+		proc := e.proc
+		for j := lo; j < hi; j++ {
+			x := proc[j]
+			hx := ar.at(x)
+			if hx.dead() || hx.parent == nilRef {
+				continue
+			}
+			p := hx.parent
+			hp := ar.at(p)
+			hx.adj.forEach(func(er EdgeRef) bool {
+				py := ar.at(er.to).parent
+				if py == nilRef || py == p {
+					return true
+				}
+				hpy := ar.at(py)
+				e.lockC(hp)
+				added := hp.adj.insert(EdgeRef{to: py, key: er.key, w: er.w, myV: er.myV, otherV: er.otherV})
+				e.unlockC(hp)
+				if added {
+					e.lockC(hpy)
+					hpy.adj.insert(EdgeRef{to: p, key: er.key, w: er.w, myV: er.otherV, otherV: er.myV})
+					e.unlockC(hpy)
+				}
+				return true
+			})
+			if hp.trySet(flagTouched) {
+				s.touched = append(s.touched, p)
+			}
+			if !hp.dead() && hp.trySet(flagInRoots) {
+				s.roots2 = append(s.roots2, p)
+			}
+		}
+	}
+
+	e.bPathAgg = func(_ *wscratch, lo, hi int) {
+		touched := e.touched
+		for j := lo; j < hi; j++ {
+			p := touched[j]
+			ar.at(p).clear(flagTouched)
+			e.computePathAgg(p)
+		}
+	}
+
+	e.bRepairMax = func(s *wscratch, lo, hi int) {
+		d := e.dirty[e.round+1]
+		for j := lo; j < hi; j++ {
+			e.repairMaxCluster(d[j], s)
+		}
+	}
+}
+
+// seedCuts applies the level-0 half of a cut batch: the affected leaves
+// become the level-0 roots, their (old) parents the level-1 deletion
+// candidates, and removed edges are scheduled for level-1 lazy deletion.
+// Parent handles are stable during seeding (disconnection runs after), so
+// the only contention is between cuts sharing an endpoint's stripe.
+func (e *engine) seedCuts() {
+	e.forPhase(len(e.cuts), e.bSeedCuts)
 	e.drainScratch(0, 0, 1, 1)
 }
 
@@ -145,45 +475,13 @@ func (e *engine) seedCuts() {
 // are only same-cluster adjacency writes, which the stripes serialize.
 func (e *engine) seedLinks() {
 	f := e.f
+	ar := &f.a
 	links := e.links
-	e.forPhase(len(links), func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			ed := links[j]
-			lu, lv := f.leaves[ed.U], f.leaves[ed.V]
-			key := edgeKey(int32(ed.U), int32(ed.V))
-			e.lockC(lu)
-			ok := lu.adj.insert(EdgeRef{to: lv, key: key, w: ed.W, myV: int32(ed.U), otherV: int32(ed.V)})
-			e.unlockC(lu)
-			if !ok {
-				panic(fmt.Sprintf("ufo: duplicate edge (%d,%d)", ed.U, ed.V))
-			}
-			e.lockC(lv)
-			lv.adj.insert(EdgeRef{to: lu, key: key, w: ed.W, myV: int32(ed.V), otherV: int32(ed.U)})
-			e.unlockC(lv)
-			s.cnt++
-			au, av := lu.parent, lv.parent
-			myV, otherV := int32(ed.U), int32(ed.V)
-			for au != nil && av != nil && au != av {
-				e.lockC(au)
-				added := au.adj.insert(EdgeRef{to: av, key: key, w: ed.W, myV: myV, otherV: otherV})
-				e.unlockC(au)
-				if added {
-					e.lockC(av)
-					av.adj.insert(EdgeRef{to: au, key: key, w: ed.W, myV: otherV, otherV: myV})
-					e.unlockC(av)
-				}
-				au, av = au.parent, av.parent
-			}
-			collectRoot(s, lu)
-			collectRoot(s, lv)
-			collectDel(s, lu.parent)
-			collectDel(s, lv.parent)
-		}
-	})
+	e.forPhase(len(links), e.bSeedLinks)
 	e.drainScratch(0, 0, 1, 1)
 	if f.mode != ModeUFO {
 		for _, ed := range links {
-			if f.leaves[ed.U].adj.degree() > 3 || f.leaves[ed.V].adj.degree() > 3 {
+			if ar.at(f.leaf(ed.U)).adj.degree() > 3 || ar.at(f.leaf(ed.V)).adj.degree() > 3 {
 				panic(fmt.Sprintf("ufo: topology/RC modes require degree <= 3 (edge %d,%d)", ed.U, ed.V))
 			}
 		}
@@ -201,28 +499,7 @@ func (e *engine) seedLinks() {
 // schedule its image, and edel removals are idempotent — then a mutation
 // pass detaches under the parent's lock stripe.
 func (e *engine) disconnect() {
-	f := e.f
-	roots0 := e.roots[0]
-	e.forPhase(len(roots0), func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			l := roots0[j]
-			p := l.parent
-			if p == nil {
-				continue
-			}
-			if f.mode == ModeUFO && l.adj.degree() >= 3 && p.center == l {
-				continue
-			}
-			l.adj.forEach(func(er EdgeRef) bool {
-				tp := er.to.parent
-				if tp != nil && tp != p {
-					s.edel = append(s.edel, edelEnt{er.key, p, tp})
-				}
-				return true
-			})
-			s.roots2 = append(s.roots2, l) // to detach (not a queue claim)
-		}
-	})
+	e.forPhase(len(e.roots[0]), e.bDisconnect)
 	// Flatten the detach lists before draining resets them.
 	e.cand = e.cand[:0]
 	for w := range e.ws {
@@ -231,12 +508,7 @@ func (e *engine) disconnect() {
 		s.roots2 = s.roots2[:0]
 	}
 	e.drainScratch(0, 0, 0, 1)
-	det := e.cand
-	e.forPhase(len(det), func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			e.detach(det[j], s)
-		}
-	})
+	e.forPhase(len(e.cand), e.bDetach)
 	e.drainDirty()
 	e.cand = e.cand[:0]
 }
@@ -245,42 +517,20 @@ func (e *engine) disconnect() {
 // examined at level i+1 are candidates at level i+2 (their contents
 // transitively changed).
 func (e *engine) markParents(i int) {
-	del := e.del[i+1]
-	e.forPhase(len(del), func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			collectDel(s, del[j].parent)
-		}
-	})
+	e.round = i
+	e.forPhase(len(e.del[i+1]), e.bMarkParents)
 	e.drainScratch(0, 0, i+2, 0)
 }
 
 // edelApply implements phase 2 at round i: remove the scheduled edge
 // images at level i+1 and propagate surviving images one level further
-// while both sides' parent chains persist. Parent pointers and dead flags
+// while both sides' parent chains persist. Parent handles and dead flags
 // are stable during this phase.
 func (e *engine) edelApply(i int) {
-	ents := e.edel[i+1]
-	e.forPhase(len(ents), func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			ent := ents[j]
-			if !ent.a.dead() {
-				e.lockC(ent.a)
-				ent.a.adj.remove(ent.key)
-				e.unlockC(ent.a)
-			}
-			if !ent.b.dead() {
-				e.lockC(ent.b)
-				ent.b.adj.remove(ent.key)
-				e.unlockC(ent.b)
-			}
-			pa, pb := ent.a.parent, ent.b.parent
-			if pa != nil && pb != nil && pa != pb {
-				s.edel = append(s.edel, edelEnt{ent.key, pa, pb})
-			}
-		}
-	})
+	e.round = i
+	e.forPhase(len(e.edel[i+1]), e.bEdelApply)
 	e.drainScratch(0, 0, 0, i+2)
-	e.edel[i+1] = ents[:0]
+	e.edel[i+1] = e.edel[i+1][:0]
 }
 
 // Conditional-deletion actions (condDelete classification).
@@ -305,59 +555,18 @@ const (
 // is deleted (fanout and degree are constant-bounded, so this is O(1) per
 // cluster).
 func (e *engine) condDelete(i int) {
-	f := e.f
-	del := e.del[i+1]
-	n := len(del)
+	n := len(e.del[i+1])
 	if cap(e.acts) < n {
 		e.acts = make([]uint8, n)
+	} else {
+		e.acts = e.acts[:n]
 	}
-	acts := e.acts[:n]
-	e.forPhase(n, func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			c := del[j]
-			c.clear(flagInDel)
-			if c.dead() {
-				acts[j] = actSkip
-				continue
-			}
-			deg := c.adj.degree()
-			fo := len(c.children)
-			switch {
-			case f.mode != ModeUFO || c.has(flagDamaged) || (deg < 3 && fo < 3):
-				acts[j] = actDelete
-				e.scheduleDelete(c, s)
-			case deg >= 3 && c.parent != nil && c.parent.center == c:
-				// Intact merge center: remains merged (its siblings'
-				// adjacency to it is unchanged).
-				acts[j] = actKeep
-			default:
-				// Contents or degree changed: the parent's merge is stale.
-				// Disconnect and recluster at this level, scheduling the
-				// removal of this cluster's (now stale) edge images above.
-				acts[j] = actRecluster
-				e.scheduleImages(c, s)
-				if c.trySet(flagInRoots) {
-					s.roots2 = append(s.roots2, c)
-				}
-			}
-		}
-	})
+	e.round = i
+	e.forPhase(n, e.bClassify)
 	e.drainScratch(i, i+1, 0, i+2)
-	e.forPhase(n, func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			c := del[j]
-			switch acts[j] {
-			case actDelete:
-				e.execDelete(c, s)
-			case actRecluster:
-				if c.parent != nil {
-					e.detach(c, s)
-				}
-			}
-		}
-	})
+	e.forPhase(n, e.bMutate)
 	e.drainDirty()
-	e.del[i+1] = del[:0]
+	e.del[i+1] = e.del[i+1][:0]
 }
 
 // scheduleDelete collects the queue side effects of deleting c: its
@@ -365,12 +574,13 @@ func (e *engine) condDelete(i int) {
 // scheduled for lazy deletion above. s == nil routes directly into the
 // engine queues (serial recluster stages); otherwise entries land in the
 // worker scratch, whose drain levels are fixed by the owning phase.
-func (e *engine) scheduleDelete(c *Cluster, s *wscratch) {
-	for _, y := range c.children {
+func (e *engine) scheduleDelete(c cref, s *wscratch) {
+	hc := e.f.a.at(c)
+	for _, y := range hc.children {
 		if s == nil {
-			e.addRoot(int(c.level)-1, y)
+			e.addRoot(int(hc.level)-1, y)
 		} else {
-			collectRoot(s, y)
+			e.collectRoot(s, y)
 		}
 	}
 	e.scheduleImages(c, s)
@@ -378,17 +588,19 @@ func (e *engine) scheduleDelete(c *Cluster, s *wscratch) {
 
 // scheduleImages schedules the lazy deletion of c's edge images inside its
 // parent, one level up (they become stale the moment c leaves the merge).
-func (e *engine) scheduleImages(c *Cluster, s *wscratch) {
-	fp := c.parent
-	if fp == nil {
+func (e *engine) scheduleImages(c cref, s *wscratch) {
+	ar := &e.f.a
+	hc := ar.at(c)
+	fp := hc.parent
+	if fp == nilRef {
 		return
 	}
-	c.adj.forEach(func(er EdgeRef) bool {
-		tp := er.to.parent
-		if tp != nil && tp != fp {
+	hc.adj.forEach(func(er EdgeRef) bool {
+		tp := ar.at(er.to).parent
+		if tp != nilRef && tp != fp {
 			ent := edelEnt{er.key, fp, tp}
 			if s == nil {
-				e.addEdel(int(c.level)+1, ent)
+				e.addEdel(int(hc.level)+1, ent)
 			} else {
 				s.edel = append(s.edel, ent)
 			}
@@ -400,38 +612,56 @@ func (e *engine) scheduleImages(c *Cluster, s *wscratch) {
 // execDelete removes c structurally: the mutation half of a deletion,
 // whose queue side effects (children as roots, E⁻ images) were already
 // collected by scheduleDelete. Children are released, c is detached from
-// its parent (keeping the pointer for lazy edge propagation), and its
+// its parent (keeping the handle for lazy edge propagation), and its
 // adjacency is snapshot under c's own stripe and removed from neighbors
-// one stripe at a time (never holding two locks).
-func (e *engine) execDelete(c *Cluster, s *wscratch) {
-	for _, y := range c.children {
-		y.parent = nil
-		y.childIdx = -1
-		y.childItem = nil // the dying cluster's child rank tree goes with it
+// one stripe at a time (never holding two locks). The slot itself is
+// recycled only after the run (recycleDead), because the kept former-parent
+// handle is still read by later edel rounds.
+func (e *engine) execDelete(c cref, s *wscratch) {
+	ar := &e.f.a
+	hc := ar.at(c)
+	for _, y := range hc.children {
+		hy := ar.at(y)
+		hy.parent = nilRef
+		hy.childIdx = -1
+		if ar.trackMax {
+			// The dying cluster's child rank tree goes with it.
+			ar.coldAt(y).childItem = nil
+		}
 	}
-	c.children = nil
-	c.center = nil
-	c.childTree = nil
-	c.rtOrphans, c.rtNew, c.rtStale = nil, nil, nil
-	fp := c.parent
-	if fp != nil {
+	hc.children = hc.children[:0]
+	hc.center = nilRef
+	if ar.trackMax {
+		cd := ar.coldAt(c)
+		cd.childTree = nil
+		for i := range cd.rtOrphans {
+			cd.rtOrphans[i] = nil
+		}
+		cd.rtOrphans = cd.rtOrphans[:0]
+		cd.rtNew = cd.rtNew[:0]
+		cd.rtStale = cd.rtStale[:0]
+	}
+	fp := hc.parent
+	if fp != nilRef {
 		e.detach(c, s)
-		c.parent = fp // former-parent pointer: lets edel entries ride upward
+		hc.parent = fp // former-parent handle: lets edel entries ride upward
 	}
-	e.lockC(c)
+	e.lockC(hc)
 	s.snap = s.snap[:0]
-	c.adj.forEach(func(er EdgeRef) bool {
+	hc.adj.forEach(func(er EdgeRef) bool {
 		s.snap = append(s.snap, er)
 		return true
 	})
-	c.adj.clear()
-	e.unlockC(c)
+	hc.adj.clear()
+	e.unlockC(hc)
 	for _, er := range s.snap {
-		e.lockC(er.to)
-		er.to.adj.remove(er.key)
-		e.unlockC(er.to)
+		ht := ar.at(er.to)
+		e.lockC(ht)
+		ht.adj.remove(er.key)
+		e.unlockC(ht)
 	}
-	c.set(flagDead)
+	hc.set(flagDead)
+	s.dead = append(s.dead, c)
 }
 
 // detach removes c from its parent, keeping subtree aggregates of the
@@ -439,52 +669,88 @@ func (e *engine) execDelete(c *Cluster, s *wscratch) {
 // its merge center (its remaining children would be mutually
 // disconnected) or its last child. Ancestor chains are shared between
 // concurrent detaches of a fanned phase, so aggregates use atomic adds;
-// parent pointers are stable within a phase, and the child-list surgery
+// parent handles are stable within a phase, and the child-list surgery
 // runs under the parent's stripe. With trackMax the rank-tree deletion is
 // deferred: the child's item handle moves to the parent's rtOrphans
 // buffer (serialized by the same stripe) and the parent is claimed for
 // the post-phase repair pass (s == nil claims directly, serial stages).
-func (e *engine) detach(c *Cluster, s *wscratch) {
-	p := c.parent
-	if p == nil {
+func (e *engine) detach(c cref, s *wscratch) {
+	ar := &e.f.a
+	hc := ar.at(c)
+	p := hc.parent
+	if p == nilRef {
 		return
 	}
-	e.lockC(p)
-	if p.has(flagTrackMax) && c.childItem != nil {
-		p.rtOrphans = append(p.rtOrphans, c.childItem)
-		c.childItem = nil
-	}
-	last := int32(len(p.children) - 1)
-	moved := p.children[last]
-	p.children[c.childIdx] = moved
-	moved.childIdx = c.childIdx
-	p.children = p.children[:last]
-	if p.center == c {
-		p.center = nil
-		if len(p.children) > 0 {
-			p.set(flagDamaged)
+	hp := ar.at(p)
+	e.lockC(hp)
+	if hp.has(flagTrackMax) {
+		cd := ar.coldAt(c)
+		if cd.childItem != nil {
+			pcd := ar.coldAt(p)
+			pcd.rtOrphans = append(pcd.rtOrphans, cd.childItem)
+			cd.childItem = nil
 		}
 	}
-	if len(p.children) == 0 {
-		p.set(flagDamaged)
+	last := int32(len(hp.children) - 1)
+	moved := hp.children[last]
+	hp.children[hc.childIdx] = moved
+	ar.at(moved).childIdx = hc.childIdx
+	hp.children = hp.children[:last]
+	if hp.center == c {
+		hp.center = nilRef
+		if len(hp.children) > 0 {
+			hp.set(flagDamaged)
+		}
 	}
-	e.unlockC(p)
+	emptied := len(hp.children) == 0
+	if emptied {
+		hp.set(flagDamaged)
+	}
+	e.unlockC(hp)
 	if e.fanned {
-		for a := p; a != nil; a = a.parent {
-			atomic.AddInt64(&a.subSum, -c.subSum)
-			atomic.AddInt64(&a.vcnt, -c.vcnt)
+		for q := p; q != nilRef; {
+			hq := ar.at(q)
+			atomic.AddInt64(&hq.subSum, -hc.subSum)
+			atomic.AddInt64(&hq.vcnt, -hc.vcnt)
+			q = hq.parent
 		}
 	} else {
 		// Inline path: plain adds — the atomic ancestor walk is the one
 		// measurable cost of the unified body on deep sequential chains.
-		for a := p; a != nil; a = a.parent {
-			a.subSum -= c.subSum
-			a.vcnt -= c.vcnt
+		for q := p; q != nilRef; {
+			hq := ar.at(q)
+			hq.subSum -= hc.subSum
+			hq.vcnt -= hc.vcnt
+			q = hq.parent
 		}
 	}
-	c.parent = nil
-	c.childIdx = -1
+	hc.parent = nilRef
+	hc.childIdx = -1
 	e.markMaxDirty(p, s)
+	if emptied {
+		e.deleteEmpty(p, s)
+	}
+}
+
+// deleteEmpty tears down a cluster that just lost its last child. The
+// pointer engine abandoned such clusters to the garbage collector (they
+// are unreachable from every leaf, so nothing ever examined them again);
+// with arena storage the slot must be flagged dead explicitly so
+// recycleDead can recycle it. Any residual adjacency is stale by
+// definition — an empty cluster contains no vertices — and is torn down
+// symmetrically by execDelete; the matching stale images one level up
+// were already scheduled by the departing children, exactly as before.
+// The caller observed the 1→0 child transition under p's stripe, so only
+// one worker reaches this for a given p. Cascades upward when removing p
+// empties its own parent in turn.
+func (e *engine) deleteEmpty(p cref, s *wscratch) {
+	if e.f.a.at(p).dead() {
+		return
+	}
+	if s == nil {
+		s = &e.ws[0]
+	}
+	e.execDelete(p, s)
 }
 
 // stealLeaf detaches the degree-1 cluster y from its current parent q so a
@@ -493,22 +759,27 @@ func (e *engine) detach(c *Cluster, s *wscratch) {
 // q's fanout by 2, we release the lone sibling and delete q (cheap). The
 // released sibling re-enters the recluster queues. Runs only from the
 // serial stage-1 loop, so side effects go directly into the engine queues.
-func (e *engine) stealLeaf(y *Cluster) {
-	q := y.parent
-	wasCenter := q.center == y
+func (e *engine) stealLeaf(y cref) {
+	ar := &e.f.a
+	q := ar.at(y).parent
+	hq := ar.at(q)
+	wasCenter := hq.center == y
+	if wasCenter || len(hq.children) == 1 {
+		// q will not survive the steal; schedule its stale edge images
+		// before the teardown cascade inside detach clears its adjacency.
+		e.scheduleImages(q, nil)
+	}
 	e.detach(y, nil)
 	switch {
-	case len(q.children) == 0:
-		e.scheduleDelete(q, nil)
-		e.execDelete(q, &e.ws[0])
+	case hq.dead():
+		// y was q's last child: detach tore q down already.
 	case wasCenter:
-		for len(q.children) > 0 {
-			z := q.children[0]
+		// Releasing the siblings empties q; the final detach tears q down.
+		for len(hq.children) > 0 {
+			z := hq.children[0]
 			e.detach(z, nil)
 			e.addReclusterItem(z)
 		}
-		e.scheduleDelete(q, nil)
-		e.execDelete(q, &e.ws[0])
 	default:
 		e.scheduleAncestors(q)
 	}
@@ -517,11 +788,12 @@ func (e *engine) stealLeaf(y *Cluster) {
 // scheduleAncestors marks q's parent chain stale after q's membership
 // changed: q's parent is examined at the next level, and if q has no parent
 // it must recluster at its own level.
-func (e *engine) scheduleAncestors(q *Cluster) {
-	if q.parent != nil {
-		e.addDel(q.parent)
+func (e *engine) scheduleAncestors(q cref) {
+	hq := e.f.a.at(q)
+	if hq.parent != nilRef {
+		e.addDel(hq.parent)
 	} else {
-		e.addRoot(int(q.level), q)
+		e.addRoot(int(hq.level), q)
 	}
 }
 
@@ -529,7 +801,7 @@ func (e *engine) scheduleAncestors(q *Cluster) {
 // the chain-matching stage (lo) according to the mode's rake rule: UFO
 // absorbs around degree ≥ 3 clusters, RC rakes around any cluster of degree
 // ≥ 2 with a degree-1 neighbor, and topology trees only pair.
-func (e *engine) addReclusterItem(z *Cluster) {
+func (e *engine) addReclusterItem(z cref) {
 	if e.isAbsorbCenter(z) {
 		e.hi = append(e.hi, z)
 	} else {
@@ -537,17 +809,19 @@ func (e *engine) addReclusterItem(z *Cluster) {
 	}
 }
 
-func (e *engine) isAbsorbCenter(z *Cluster) bool {
+func (e *engine) isAbsorbCenter(z cref) bool {
+	ar := &e.f.a
+	hz := ar.at(z)
 	switch e.f.mode {
 	case ModeUFO:
-		return z.adj.degree() >= 3
+		return hz.adj.degree() >= 3
 	case ModeRC:
-		if z.adj.degree() < 2 {
+		if hz.adj.degree() < 2 {
 			return false
 		}
 		hasLeaf := false
-		z.adj.forEach(func(er EdgeRef) bool {
-			if er.to.adj.degree() == 1 {
+		hz.adj.forEach(func(er EdgeRef) bool {
+			if ar.at(er.to).adj.degree() == 1 {
 				hasLeaf = true
 				return false
 			}
@@ -575,6 +849,7 @@ func (e *engine) isAbsorbCenter(z *Cluster) bool {
 // leftovers fall through to the greedy loop — pure optimization, the
 // greedy loop alone is the complete stage-2 implementation.
 func (e *engine) recluster(i int) {
+	ar := &e.f.a
 	rts := e.roots[i]
 	if len(rts) == 0 {
 		return
@@ -584,20 +859,8 @@ func (e *engine) recluster(i int) {
 	e.proc = e.proc[:0]
 	e.touched = e.touched[:0]
 	topo := e.f.mode == ModeTopology
-	e.forPhase(len(rts), func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			x := rts[j]
-			x.clear(flagInRoots)
-			if x.dead() || x.parent != nil {
-				continue
-			}
-			if e.isAbsorbCenter(x) {
-				s.roots = append(s.roots, x)
-			} else {
-				s.roots2 = append(s.roots2, x)
-			}
-		}
-	})
+	e.round = i
+	e.forPhase(len(rts), e.bRootSplit)
 	for w := range e.ws {
 		s := &e.ws[w]
 		e.hi = append(e.hi, s.roots...)
@@ -612,7 +875,8 @@ func (e *engine) recluster(i int) {
 	// neighbors — holds before pair matching can capture those leaves).
 	for k := 0; k < len(e.hi); k++ {
 		x := e.hi[k]
-		if x.dead() || x.parent != nil {
+		hx := ar.at(x)
+		if hx.dead() || hx.parent != nilRef {
 			continue
 		}
 		if !e.isAbsorbCenter(x) {
@@ -620,17 +884,18 @@ func (e *engine) recluster(i int) {
 			continue
 		}
 		p := e.newCluster(i + 1)
-		attach(p, x)
-		p.center = x
+		ar.attach(p, x)
+		ar.at(p).center = x
 		e.markMaxDirty(p, nil)
-		x.adj.forEach(func(er EdgeRef) bool {
+		hx.adj.forEach(func(er EdgeRef) bool {
 			y := er.to
-			if y.adj.degree() == 1 {
-				if y.parent != nil {
+			hy := ar.at(y)
+			if hy.adj.degree() == 1 {
+				if hy.parent != nilRef {
 					e.stealLeaf(y)
 				}
-				if y.parent == nil {
-					attach(p, y)
+				if hy.parent == nilRef {
+					ar.attach(p, y)
 				}
 			}
 			return true
@@ -648,17 +913,19 @@ func (e *engine) recluster(i int) {
 	// Stage 2b: greedy maximal matching of degree ≤ 2 roots along chains.
 	for k := 0; k < len(e.lo); k++ {
 		x := e.lo[k]
-		if x.dead() || x.parent != nil {
+		hx := ar.at(x)
+		if hx.dead() || hx.parent != nilRef {
 			continue
 		}
-		dx := x.adj.degree()
+		dx := hx.adj.degree()
 		if dx == 0 {
 			continue // fully contracted component root
 		}
 		merged := false
-		x.adj.forEach(func(er EdgeRef) bool {
+		hx.adj.forEach(func(er EdgeRef) bool {
 			y := er.to
-			dy := y.adj.degree()
+			hy := ar.at(y)
+			dy := hy.adj.degree()
 			// Pairwise-mergeable neighbors: any two degree ≤ 2 clusters;
 			// topology mode additionally allows the degree-1/degree-3
 			// pair; RC compress never involves degree ≥ 3 clusters (in
@@ -673,18 +940,18 @@ func (e *engine) recluster(i int) {
 				pairable = dy <= 2
 			}
 			if pairable {
-				if y.parent == nil {
+				if hy.parent == nilRef {
 					p := e.newCluster(i + 1)
-					attach(p, x)
-					attach(p, y)
+					ar.attach(p, x)
+					ar.attach(p, y)
 					e.markMaxDirty(p, nil)
 					e.proc = append(e.proc, y)
 					merged = true
 					return false
 				}
-				if len(y.parent.children) == 1 {
-					q := y.parent
-					attach(q, x)
+				if len(ar.at(hy.parent).children) == 1 {
+					q := hy.parent
+					ar.attach(q, x)
 					e.markMaxDirty(q, nil)
 					e.scheduleAncestors(q)
 					merged = true
@@ -695,15 +962,16 @@ func (e *engine) recluster(i int) {
 			// UFO mode, dy >= 3: only a degree-1 root may join the
 			// high-degree cluster's superunary family.
 			if !topo && dx == 1 && dy >= 3 {
-				q := y.parent
-				if q == nil {
+				q := hy.parent
+				if q == nilRef {
 					return true // defensive; stage 1 parents all high-degree roots
 				}
-				if q.center == nil && len(q.children) == 1 {
-					q.center = y
+				hq := ar.at(q)
+				if hq.center == nilRef && len(hq.children) == 1 {
+					hq.center = y
 				}
-				if q.center == y {
-					attach(q, x)
+				if hq.center == y {
+					ar.attach(q, x)
 					e.markMaxDirty(q, nil)
 					e.scheduleAncestors(q)
 					merged = true
@@ -714,7 +982,7 @@ func (e *engine) recluster(i int) {
 		})
 		if !merged {
 			p := e.newCluster(i + 1)
-			attach(p, x)
+			ar.attach(p, x)
 			e.markMaxDirty(p, nil)
 		}
 		e.proc = append(e.proc, x)
@@ -753,53 +1021,30 @@ const maxMatchRounds = 64
 // maximal matching in O(log) rounds with high probability. Leftovers
 // (adoptions, superunary joins, singletons) are handled by the greedy
 // stage-2b loop that follows.
+//
+// This is the one phase that allocates clusters while fanned: each merge
+// round reserves arena spine capacity for its worst case up front (growing
+// the chunk spine concurrently with readers would race) and slot handout
+// itself is serialized by the arena mutex inside newCluster.
 func (e *engine) matchPairs(i int) {
+	ar := &e.f.a
 	e.cand = e.cand[:0]
 	for _, x := range e.lo {
-		if x.dead() || x.parent != nil {
+		hx := ar.at(x)
+		if hx.dead() || hx.parent != nilRef {
 			continue
 		}
-		if d := x.adj.degree(); d >= 1 && d <= 2 {
+		if d := hx.adj.degree(); d >= 1 && d <= 2 {
 			e.cand = append(e.cand, x)
 		}
 	}
-	seed := e.f.seed
+	e.round = i
 	for round := 0; len(e.cand) > 1 && round < maxMatchRounds; round++ {
 		cand := e.cand
-		e.forPhase(len(cand), func(_ *wscratch, lo, hi int) {
-			for j := lo; j < hi; j++ {
-				x := cand[j]
-				var best *Cluster
-				var bestH uint64
-				x.adj.forEach(func(er EdgeRef) bool {
-					y := er.to
-					if y.parent != nil || y.dead() || y.adj.degree() > 2 {
-						return true
-					}
-					h := mixUID(y.uid, round, seed)
-					if best == nil || h > bestH {
-						best, bestH = y, h
-					}
-					return true
-				})
-				x.prop = best
-			}
-		})
-		e.forPhase(len(cand), func(s *wscratch, lo, hi int) {
-			for j := lo; j < hi; j++ {
-				x := cand[j]
-				y := x.prop
-				if y == nil || y.prop != x || x.uid >= y.uid {
-					continue
-				}
-				p := e.newCluster(i + 1)
-				attach(p, x)
-				attach(p, y)
-				e.markMaxDirty(p, s)
-				s.proc = append(s.proc, x, y)
-				s.matched += 2
-			}
-		})
+		ar.reserve(len(cand)/2 + 1)
+		e.mround = round
+		e.forPhase(len(cand), e.bPropose)
+		e.forPhase(len(cand), e.bMerge)
 		matched := 0
 		for w := range e.ws {
 			s := &e.ws[w]
@@ -813,15 +1058,16 @@ func (e *engine) matchPairs(i int) {
 		}
 		out := e.cand[:0]
 		for _, x := range cand {
-			x.prop = nil
-			if x.parent == nil {
+			hx := ar.at(x)
+			hx.prop = nilRef
+			if hx.parent == nilRef {
 				out = append(out, x)
 			}
 		}
 		e.cand = out
 	}
 	for _, x := range e.cand {
-		x.prop = nil
+		ar.at(x).prop = nilRef
 	}
 	e.cand = e.cand[:0]
 	e.drainDirty()
@@ -833,37 +1079,8 @@ func (e *engine) matchPairs(i int) {
 // successful primary attempts the mirror, so both sides end with exactly
 // one symmetric entry regardless of the interleaving.
 func (e *engine) lift(i int) {
-	proc := e.proc
-	e.forPhase(len(proc), func(s *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			x := proc[j]
-			if x.dead() || x.parent == nil {
-				continue
-			}
-			p := x.parent
-			x.adj.forEach(func(er EdgeRef) bool {
-				py := er.to.parent
-				if py == nil || py == p {
-					return true
-				}
-				e.lockC(p)
-				added := p.adj.insert(EdgeRef{to: py, key: er.key, w: er.w, myV: er.myV, otherV: er.otherV})
-				e.unlockC(p)
-				if added {
-					e.lockC(py)
-					py.adj.insert(EdgeRef{to: p, key: er.key, w: er.w, myV: er.otherV, otherV: er.myV})
-					e.unlockC(py)
-				}
-				return true
-			})
-			if p.trySet(flagTouched) {
-				s.touched = append(s.touched, p)
-			}
-			if !p.dead() && p.trySet(flagInRoots) {
-				s.roots2 = append(s.roots2, p)
-			}
-		}
-	})
+	e.round = i
+	e.forPhase(len(e.proc), e.bLift)
 	e.drainScratch(0, i+1, 0, 0)
 }
 
@@ -871,14 +1088,7 @@ func (e *engine) lift(i int) {
 // inputs (adjacency, children) are stable after the lift barrier and every
 // touched parent is visited exactly once, so no locks are needed.
 func (e *engine) pathAgg() {
-	touched := e.touched
-	e.forPhase(len(touched), func(_ *wscratch, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			p := touched[j]
-			p.clear(flagTouched)
-			e.computePathAgg(p)
-		}
-	})
+	e.forPhase(len(e.touched), e.bPathAgg)
 	e.touched = e.touched[:0]
 }
 
@@ -886,16 +1096,18 @@ func (e *engine) pathAgg() {
 // children and its (freshly lifted) adjacency. Only binary clusters whose
 // two crossing edges land at distinct boundary vertices carry a non-trivial
 // cluster path; they always have fanout ≤ 2, so this is O(1).
-func (e *engine) computePathAgg(p *Cluster) {
-	p.pathSum = 0
-	p.pathMax = negInf
-	p.pathCnt = 0
-	if p.adj.degree() != 2 {
+func (e *engine) computePathAgg(p cref) {
+	ar := &e.f.a
+	hp := ar.at(p)
+	hp.pathSum = 0
+	hp.pathMax = negInf
+	hp.pathCnt = 0
+	if hp.adj.degree() != 2 {
 		return
 	}
 	var es [2]EdgeRef
 	idx := 0
-	p.adj.forEach(func(er EdgeRef) bool {
+	hp.adj.forEach(func(er EdgeRef) bool {
 		es[idx] = er
 		idx++
 		return true
@@ -903,42 +1115,44 @@ func (e *engine) computePathAgg(p *Cluster) {
 	if es[0].myV == es[1].myV {
 		return
 	}
-	switch len(p.children) {
+	switch len(hp.children) {
 	case 1:
-		c := p.children[0]
-		p.pathSum = c.pathSum
-		p.pathMax = c.pathMax
-		p.pathCnt = c.pathCnt
+		hc := ar.at(hp.children[0])
+		hp.pathSum = hc.pathSum
+		hp.pathMax = hc.pathMax
+		hp.pathCnt = hc.pathCnt
 	case 2:
-		a, b := p.children[0], p.children[1]
-		g, ok := edgeBetween(a, b)
+		a, b := hp.children[0], hp.children[1]
+		g, ok := ar.edgeBetween(a, b)
 		if !ok {
 			panic("ufo: pair merge without a connecting edge")
 		}
 		// Each child holds exactly one of the two crossing edges (both
 		// children have degree ≤ 2 in a pair merge).
-		if !a.adj.has(es[0].key) {
+		if !ar.at(a).adj.has(es[0].key) {
 			a, b = b, a
 			g = EdgeRef{to: a, key: g.key, w: g.w, myV: g.otherV, otherV: g.myV}
 		}
-		p.pathSum = a.pathSum + g.w + b.pathSum
-		p.pathMax = max64(max64(a.pathMax, g.w), b.pathMax)
-		p.pathCnt = a.pathCnt + 1 + b.pathCnt
+		ha, hb := ar.at(a), ar.at(b)
+		hp.pathSum = ha.pathSum + g.w + hb.pathSum
+		hp.pathMax = max64(max64(ha.pathMax, g.w), hb.pathMax)
+		hp.pathCnt = ha.pathCnt + 1 + hb.pathCnt
 	default:
 		// UFO-mode superunary clusters have a single boundary vertex, so
 		// this is unreachable there; in RC mode a rake center may have
 		// degree 2, in which case both crossing edges are the center's
 		// and the cluster path is the center's own path (leaves hang off
 		// it).
-		if p.center == nil {
+		if hp.center == nilRef {
 			panic("ufo: fanout >= 3 without a center")
 		}
-		if !p.center.adj.has(es[0].key) || !p.center.adj.has(es[1].key) {
+		hc := ar.at(hp.center)
+		if !hc.adj.has(es[0].key) || !hc.adj.has(es[1].key) {
 			panic("ufo: superunary cluster with crossing edges outside its center")
 		}
-		p.pathSum = p.center.pathSum
-		p.pathMax = p.center.pathMax
-		p.pathCnt = p.center.pathCnt
+		hp.pathSum = hc.pathSum
+		hp.pathMax = hc.pathMax
+		hp.pathCnt = hc.pathCnt
 	}
 }
 

@@ -9,6 +9,9 @@ import "fmt"
 // Checked invariants:
 //   - parent/child symmetry and childIdx consistency; strictly increasing
 //     levels along parent edges; no dead clusters reachable;
+//   - arena integrity: every slot is either reachable from a leaf or on the
+//     free list, freed slots are fully zeroed, and no live cluster holds a
+//     handle to a freed slot (validateArena in arena.go);
 //   - adjacency symmetry: every entry has a mirror with swapped endpoints,
 //     equal keys/weights, at the same level; entry endpoints actually lie
 //     inside the owning clusters;
@@ -26,29 +29,38 @@ import "fmt"
 //   - height: every root cluster sits at level ≤ ceil(D/2)+1 and
 //     ≤ log_{6/5} n + 2 for its component.
 func (f *Forest) Validate() error {
+	a := &f.a
 	// Gather all live clusters level by level by walking up from leaves.
-	byLevel := map[int32]map[*Cluster]bool{}
-	addAll := func(c *Cluster) {
-		for ; c != nil; c = c.parent {
-			m := byLevel[c.level]
-			if m == nil {
-				m = map[*Cluster]bool{}
-				byLevel[c.level] = m
-			}
-			if m[c] {
+	byLevel := map[int32]map[cref]bool{}
+	reachable := map[cref]bool{}
+	addAll := func(c cref) {
+		for ; c != nilRef; c = a.at(c).parent {
+			if reachable[c] {
 				return
+			}
+			reachable[c] = true
+			l := a.at(c).level
+			m := byLevel[l]
+			if m == nil {
+				m = map[cref]bool{}
+				byLevel[l] = m
 			}
 			m[c] = true
 		}
 	}
-	for _, l := range f.leaves {
-		addAll(l)
+	for v := 0; v < f.n; v++ {
+		addAll(f.leaf(v))
+	}
+
+	// Every slot is either reachable above or sits zeroed on the free list.
+	if err := a.validateArena(reachable); err != nil {
+		return err
 	}
 
 	// Map each cluster to its contained vertices for membership checks.
-	contents := map[*Cluster]map[int32]bool{}
-	for v, l := range f.leaves {
-		for c := l; c != nil; c = c.parent {
+	contents := map[cref]map[int32]bool{}
+	for v := 0; v < f.n; v++ {
+		for c := f.leaf(v); c != nilRef; c = a.at(c).parent {
 			m := contents[c]
 			if m == nil {
 				m = map[int32]bool{}
@@ -82,107 +94,115 @@ func (f *Forest) Validate() error {
 	return nil
 }
 
-func (f *Forest) validateCluster(c *Cluster, contents map[*Cluster]map[int32]bool) error {
-	if c.dead() {
-		return fmt.Errorf("level %d: dead cluster reachable", c.level)
+func (f *Forest) validateCluster(c cref, contents map[cref]map[int32]bool) error {
+	a := &f.a
+	hc := a.at(c)
+	if hc.dead() {
+		return fmt.Errorf("level %d: dead cluster reachable", hc.level)
 	}
-	if c.has(flagInRoots | flagInDel | flagTouched | flagMaxDirty) {
-		return fmt.Errorf("level %d: cluster with leftover engine flags %b", c.level, c.flags.Load())
+	if hc.has(flagInRoots | flagInDel | flagTouched | flagMaxDirty) {
+		return fmt.Errorf("level %d: cluster with leftover engine flags %b", hc.level, hc.flags.Load())
 	}
-	if len(c.rtOrphans) != 0 || len(c.rtNew) != 0 || len(c.rtStale) != 0 {
-		return fmt.Errorf("level %d: cluster with unapplied rank-tree repair buffers (%d orphans, %d new, %d stale)",
-			c.level, len(c.rtOrphans), len(c.rtNew), len(c.rtStale))
+	if f.trackMax {
+		cd := a.coldAt(c)
+		if len(cd.rtOrphans) != 0 || len(cd.rtNew) != 0 || len(cd.rtStale) != 0 {
+			return fmt.Errorf("level %d: cluster with unapplied rank-tree repair buffers (%d orphans, %d new, %d stale)",
+				hc.level, len(cd.rtOrphans), len(cd.rtNew), len(cd.rtStale))
+		}
 	}
-	if c.prop != nil {
-		return fmt.Errorf("level %d: cluster with leftover matching proposal", c.level)
+	if hc.prop != nilRef {
+		return fmt.Errorf("level %d: cluster with leftover matching proposal", hc.level)
 	}
-	if c.parent != nil && c.parent.level != c.level+1 {
-		return fmt.Errorf("level %d: parent at level %d", c.level, c.parent.level)
+	if hc.parent != nilRef && a.at(hc.parent).level != hc.level+1 {
+		return fmt.Errorf("level %d: parent at level %d", hc.level, a.at(hc.parent).level)
 	}
-	if c.parent != nil {
-		if int(c.childIdx) >= len(c.parent.children) || c.parent.children[c.childIdx] != c {
-			return fmt.Errorf("level %d: childIdx inconsistent", c.level)
+	if hc.parent != nilRef {
+		hp := a.at(hc.parent)
+		if int(hc.childIdx) >= len(hp.children) || hp.children[hc.childIdx] != c {
+			return fmt.Errorf("level %d: childIdx inconsistent", hc.level)
 		}
 	}
 	// Children.
-	if c.level == 0 {
-		if len(c.children) != 0 || c.leafV < 0 {
+	if hc.level == 0 {
+		if len(hc.children) != 0 || hc.leafV < 0 {
 			return fmt.Errorf("leaf cluster malformed")
 		}
-	} else if len(c.children) == 0 {
-		return fmt.Errorf("level %d: internal cluster with no children", c.level)
+	} else if len(hc.children) == 0 {
+		return fmt.Errorf("level %d: internal cluster with no children", hc.level)
 	}
 	var vcnt, subSum int64
-	if c.level == 0 {
+	if hc.level == 0 {
 		vcnt = 1
-		subSum = c.subSum // leaf value is its own ground truth
+		subSum = hc.subSum // leaf value is its own ground truth
 	}
-	for _, ch := range c.children {
-		if ch.parent != c {
-			return fmt.Errorf("level %d: child does not point back", c.level)
+	for _, ch := range hc.children {
+		hch := a.at(ch)
+		if hch.parent != c {
+			return fmt.Errorf("level %d: child does not point back", hc.level)
 		}
-		if ch.level != c.level-1 {
-			return fmt.Errorf("level %d: child at level %d", c.level, ch.level)
+		if hch.level != hc.level-1 {
+			return fmt.Errorf("level %d: child at level %d", hc.level, hch.level)
 		}
-		vcnt += ch.vcnt
-		subSum += ch.subSum
+		vcnt += hch.vcnt
+		subSum += hch.subSum
 	}
-	if c.level > 0 {
-		if c.vcnt != vcnt {
-			return fmt.Errorf("level %d: vcnt %d != sum of children %d", c.level, c.vcnt, vcnt)
+	if hc.level > 0 {
+		if hc.vcnt != vcnt {
+			return fmt.Errorf("level %d: vcnt %d != sum of children %d", hc.level, hc.vcnt, vcnt)
 		}
-		if c.subSum != subSum {
-			return fmt.Errorf("level %d: subSum %d != sum of children %d", c.level, c.subSum, subSum)
+		if hc.subSum != subSum {
+			return fmt.Errorf("level %d: subSum %d != sum of children %d", hc.level, hc.subSum, subSum)
 		}
 	}
 	if f.trackMax {
 		wantMax := int64(negInf)
-		if c.level == 0 {
-			wantMax = c.subSum
+		if hc.level == 0 {
+			wantMax = hc.subSum
 		} else {
-			for _, ch := range c.children {
-				if ch.subMax > wantMax {
-					wantMax = ch.subMax
+			for _, ch := range hc.children {
+				if a.at(ch).subMax > wantMax {
+					wantMax = a.at(ch).subMax
 				}
 			}
 		}
-		if c.subMax != wantMax {
-			return fmt.Errorf("level %d: subMax %d != recomputed %d", c.level, c.subMax, wantMax)
+		if hc.subMax != wantMax {
+			return fmt.Errorf("level %d: subMax %d != recomputed %d", hc.level, hc.subMax, wantMax)
 		}
-		if c.level > 0 && (c.childTree == nil || c.childTree.Len() != len(c.children)) {
-			return fmt.Errorf("level %d: child rank tree out of sync", c.level)
+		cd := a.coldAt(c)
+		if hc.level > 0 && (cd.childTree == nil || cd.childTree.Len() != len(hc.children)) {
+			return fmt.Errorf("level %d: child rank tree out of sync", hc.level)
 		}
 	}
 	// Children connectivity and merge shape.
-	if c.level > 0 && len(c.children) > 1 {
-		if err := validateMergeShape(c); err != nil {
+	if hc.level > 0 && len(hc.children) > 1 {
+		if err := a.validateMergeShape(c); err != nil {
 			return err
 		}
 	}
 	if f.mode == ModeTopology {
-		if len(c.children) > 2 {
-			return fmt.Errorf("level %d: topology cluster with fanout %d", c.level, len(c.children))
+		if len(hc.children) > 2 {
+			return fmt.Errorf("level %d: topology cluster with fanout %d", hc.level, len(hc.children))
 		}
-		if c.adj.degree() > 3 {
-			return fmt.Errorf("level %d: topology cluster with degree %d", c.level, c.adj.degree())
+		if hc.adj.degree() > 3 {
+			return fmt.Errorf("level %d: topology cluster with degree %d", hc.level, hc.adj.degree())
 		}
-		if c.center != nil {
-			return fmt.Errorf("level %d: topology cluster with a superunary center", c.level)
+		if hc.center != nilRef {
+			return fmt.Errorf("level %d: topology cluster with a superunary center", hc.level)
 		}
 	}
 	if f.mode == ModeRC {
-		if len(c.children) > 4 {
-			return fmt.Errorf("level %d: RC cluster with fanout %d", c.level, len(c.children))
+		if len(hc.children) > 4 {
+			return fmt.Errorf("level %d: RC cluster with fanout %d", hc.level, len(hc.children))
 		}
-		if c.adj.degree() > 3 {
-			return fmt.Errorf("level %d: RC cluster with degree %d", c.level, c.adj.degree())
+		if hc.adj.degree() > 3 {
+			return fmt.Errorf("level %d: RC cluster with degree %d", hc.level, hc.adj.degree())
 		}
 	}
-	if len(c.children) >= 3 && c.center == nil {
-		return fmt.Errorf("level %d: fanout %d without a center", c.level, len(c.children))
+	if len(hc.children) >= 3 && hc.center == nilRef {
+		return fmt.Errorf("level %d: fanout %d without a center", hc.level, len(hc.children))
 	}
-	if c.center != nil && c.center.parent != c {
-		return fmt.Errorf("level %d: center is not a child", c.level)
+	if hc.center != nilRef && a.at(hc.center).parent != c {
+		return fmt.Errorf("level %d: center is not a child", hc.level)
 	}
 	// Adjacency.
 	own := contents[c]
@@ -190,39 +210,40 @@ func (f *Forest) validateCluster(c *Cluster, contents map[*Cluster]map[int32]boo
 	var firstBoundary int32 = -1
 	multiBoundary := false
 	var adjErr error
-	c.adj.forEach(func(er EdgeRef) bool {
+	hc.adj.forEach(func(er EdgeRef) bool {
 		if seenKeys[er.key] {
-			adjErr = fmt.Errorf("level %d: duplicate adjacency key", c.level)
+			adjErr = fmt.Errorf("level %d: duplicate adjacency key", hc.level)
 			return false
 		}
 		seenKeys[er.key] = true
 		if er.to == c {
-			adjErr = fmt.Errorf("level %d: self edge", c.level)
+			adjErr = fmt.Errorf("level %d: self edge", hc.level)
 			return false
 		}
-		if er.to.dead() {
-			adjErr = fmt.Errorf("level %d: edge to dead cluster", c.level)
+		ht := a.at(er.to)
+		if ht.dead() {
+			adjErr = fmt.Errorf("level %d: edge to dead cluster", hc.level)
 			return false
 		}
-		if er.to.level != c.level {
-			adjErr = fmt.Errorf("level %d: edge to level %d", c.level, er.to.level)
+		if ht.level != hc.level {
+			adjErr = fmt.Errorf("level %d: edge to level %d", hc.level, ht.level)
 			return false
 		}
 		if er.key != edgeKey(er.myV, er.otherV) {
-			adjErr = fmt.Errorf("level %d: edge key does not match endpoints", c.level)
+			adjErr = fmt.Errorf("level %d: edge key does not match endpoints", hc.level)
 			return false
 		}
 		if !own[er.myV] {
-			adjErr = fmt.Errorf("level %d: edge endpoint %d not inside cluster", c.level, er.myV)
+			adjErr = fmt.Errorf("level %d: edge endpoint %d not inside cluster", hc.level, er.myV)
 			return false
 		}
 		if !contents[er.to][er.otherV] {
-			adjErr = fmt.Errorf("level %d: edge far endpoint %d not inside neighbor", c.level, er.otherV)
+			adjErr = fmt.Errorf("level %d: edge far endpoint %d not inside neighbor", hc.level, er.otherV)
 			return false
 		}
-		mirror, ok := er.to.adj.get(er.key)
+		mirror, ok := ht.adj.get(er.key)
 		if !ok || mirror.to != c || mirror.myV != er.otherV || mirror.otherV != er.myV || mirror.w != er.w {
-			adjErr = fmt.Errorf("level %d: missing or inconsistent mirror entry", c.level)
+			adjErr = fmt.Errorf("level %d: missing or inconsistent mirror entry", hc.level)
 			return false
 		}
 		if firstBoundary == -1 {
@@ -235,8 +256,8 @@ func (f *Forest) validateCluster(c *Cluster, contents map[*Cluster]map[int32]boo
 	if adjErr != nil {
 		return adjErr
 	}
-	if c.adj.degree() >= 3 && multiBoundary {
-		return fmt.Errorf("level %d: degree-%d cluster with multiple boundary vertices", c.level, c.adj.degree())
+	if hc.adj.degree() >= 3 && multiBoundary {
+		return fmt.Errorf("level %d: degree-%d cluster with multiple boundary vertices", hc.level, hc.adj.degree())
 	}
 	// Path aggregates.
 	if err := f.validatePathAgg(c); err != nil {
@@ -247,18 +268,19 @@ func (f *Forest) validateCluster(c *Cluster, contents map[*Cluster]map[int32]boo
 
 // validateMergeShape checks that c's children form a connected subgraph of
 // the level below, and that superunary merges are stars around the center.
-func validateMergeShape(c *Cluster) error {
-	kids := map[*Cluster]bool{}
-	for _, ch := range c.children {
+func (a *arena) validateMergeShape(c cref) error {
+	hc := a.at(c)
+	kids := map[cref]bool{}
+	for _, ch := range hc.children {
 		kids[ch] = true
 	}
 	// BFS over children using level edges restricted to siblings.
-	visited := map[*Cluster]bool{c.children[0]: true}
-	queue := []*Cluster{c.children[0]}
+	visited := map[cref]bool{hc.children[0]: true}
+	queue := []cref{hc.children[0]}
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
-		x.adj.forEach(func(er EdgeRef) bool {
+		a.at(x).adj.forEach(func(er EdgeRef) bool {
 			if kids[er.to] && !visited[er.to] {
 				visited[er.to] = true
 				queue = append(queue, er.to)
@@ -266,17 +288,17 @@ func validateMergeShape(c *Cluster) error {
 			return true
 		})
 	}
-	if len(visited) != len(c.children) {
+	if len(visited) != len(hc.children) {
 		return fmt.Errorf("level %d: children of a cluster are disconnected (%d of %d reachable)",
-			c.level, len(visited), len(c.children))
+			hc.level, len(visited), len(hc.children))
 	}
-	if c.center != nil {
-		for _, ch := range c.children {
-			if ch == c.center {
+	if hc.center != nilRef {
+		for _, ch := range hc.children {
+			if ch == hc.center {
 				continue
 			}
-			if _, ok := edgeBetween(ch, c.center); !ok {
-				return fmt.Errorf("level %d: superunary child not adjacent to center", c.level)
+			if _, ok := a.edgeBetween(ch, hc.center); !ok {
+				return fmt.Errorf("level %d: superunary child not adjacent to center", hc.level)
 			}
 		}
 	}
@@ -285,20 +307,22 @@ func validateMergeShape(c *Cluster) error {
 
 // validatePathAgg recomputes c's cluster-path aggregates by walking the
 // actual vertex path between its boundary vertices in the input forest.
-func (f *Forest) validatePathAgg(c *Cluster) error {
-	b, n := c.boundaries()
+func (f *Forest) validatePathAgg(c cref) error {
+	hc := f.a.at(c)
+	b, n := hc.boundaries()
 	wantSum, wantMax, wantCnt := int64(0), int64(negInf), int32(0)
 	if n == 2 {
 		// Walk the path b[0]..b[1] in the input forest (edges at level 0).
 		sum, mx, cnt, ok := f.refPath(b[0], b[1])
 		if !ok {
-			return fmt.Errorf("level %d: boundary vertices disconnected", c.level)
+			return fmt.Errorf("level %d: boundary vertices disconnected", hc.level)
 		}
 		wantSum, wantMax, wantCnt = sum, mx, cnt
 	}
-	if c.pathSum != wantSum || c.pathMax != wantMax || c.pathCnt != wantCnt {
-		return fmt.Errorf("level %d: pathAgg (%d,%d,%d) != recomputed (%d,%d,%d)",
-			c.level, c.pathSum, c.pathMax, c.pathCnt, wantSum, wantMax, wantCnt)
+	if hc.pathSum != wantSum || hc.pathMax != wantMax || hc.pathCnt != wantCnt {
+		return fmt.Errorf("level %d: pathAgg (%d,%d,%d) != recomputed (%d,%d,%d) [slot=%d uid=%d deg=%d nb=%d bounds=%v nchild=%d children=%v flags=%#x]",
+			hc.level, hc.pathSum, hc.pathMax, hc.pathCnt, wantSum, wantMax, wantCnt,
+			c, hc.uid, hc.adj.degree(), n, b, len(hc.children), hc.children, hc.flags.Load())
 	}
 	return nil
 }
@@ -322,7 +346,7 @@ func (f *Forest) refPath(a, b int32) (sum, mx int64, cnt int32, ok bool) {
 		queue = queue[1:]
 		found := st{}
 		done := false
-		f.leaves[x.v].adj.forEach(func(er EdgeRef) bool {
+		f.a.at(f.leaf(int(x.v))).adj.forEach(func(er EdgeRef) bool {
 			y := er.otherV
 			if prev[y] {
 				return true
@@ -346,16 +370,18 @@ func (f *Forest) refPath(a, b int32) (sum, mx int64, cnt int32, ok bool) {
 
 // validateQuotient checks that level l+1 edges are exactly the images of
 // level-l edges between clusters with distinct parents.
-func (f *Forest) validateQuotient(level map[*Cluster]bool, l int32) error {
+func (f *Forest) validateQuotient(level map[cref]bool, l int32) error {
+	a := &f.a
 	type img struct {
-		p, q *Cluster
+		p, q cref
 	}
 	want := map[uint64]img{}
 	for c := range level {
 		var err error
-		c.adj.forEach(func(er EdgeRef) bool {
-			p, q := c.parent, er.to.parent
-			if p == nil || q == nil || p == q {
+		p := a.at(c).parent
+		a.at(c).adj.forEach(func(er EdgeRef) bool {
+			q := a.at(er.to).parent
+			if p == nilRef || q == nilRef || p == q {
 				return true
 			}
 			if prev, ok := want[er.key]; ok {
@@ -375,15 +401,15 @@ func (f *Forest) validateQuotient(level map[*Cluster]bool, l int32) error {
 	// Every expected image must exist; every existing upper edge must be
 	// expected.
 	found := map[uint64]bool{}
-	seen := map[*Cluster]bool{}
+	seen := map[cref]bool{}
 	for c := range level {
-		p := c.parent
-		if p == nil || seen[p] {
+		p := a.at(c).parent
+		if p == nilRef || seen[p] {
 			continue
 		}
 		seen[p] = true
 		var err error
-		p.adj.forEach(func(er EdgeRef) bool {
+		a.at(p).adj.forEach(func(er EdgeRef) bool {
 			w, ok := want[er.key]
 			if !ok {
 				err = fmt.Errorf("level %d: stale edge (key %x) with no level-%d preimage", l+1, er.key, l)
@@ -409,23 +435,26 @@ func (f *Forest) validateQuotient(level map[*Cluster]bool, l int32) error {
 }
 
 // validateMaximality enforces the contraction maximality invariants.
-func (f *Forest) validateMaximality(byLevel map[int32]map[*Cluster]bool, maxLevel int32) error {
+func (f *Forest) validateMaximality(byLevel map[int32]map[cref]bool, maxLevel int32) error {
+	a := &f.a
 	for l := int32(0); l <= maxLevel; l++ {
 		for c := range byLevel[l] {
-			if c.parent == nil {
-				if c.adj.degree() != 0 {
+			hc := a.at(c)
+			if hc.parent == nilRef {
+				if hc.adj.degree() != 0 {
 					return fmt.Errorf("level %d: root cluster with remaining edges", l)
 				}
 				continue
 			}
-			merged := len(c.parent.children) > 1
-			deg := c.adj.degree()
+			merged := len(a.at(hc.parent).children) > 1
+			deg := hc.adj.degree()
 			if f.mode == ModeUFO && deg >= 3 {
 				// Strong maximality: every degree-1 neighbor must be in
 				// the same merge.
 				var err error
-				c.adj.forEach(func(er EdgeRef) bool {
-					if er.to.adj.degree() == 1 && er.to.parent != c.parent {
+				hc.adj.forEach(func(er EdgeRef) bool {
+					ht := a.at(er.to)
+					if ht.adj.degree() == 1 && ht.parent != hc.parent {
 						err = fmt.Errorf("level %d: degree-1 neighbor of a high-degree cluster not absorbed", l)
 						return false
 					}
@@ -442,10 +471,10 @@ func (f *Forest) validateMaximality(byLevel map[int32]map[*Cluster]bool, maxLeve
 			// Unmerged cluster: no neighbor may be unmerged and pairable
 			// with it under the mode's merge rules.
 			var err error
-			c.adj.forEach(func(er EdgeRef) bool {
-				y := er.to
-				ydeg := y.adj.degree()
-				ymerged := y.parent != nil && len(y.parent.children) > 1
+			hc.adj.forEach(func(er EdgeRef) bool {
+				hy := a.at(er.to)
+				ydeg := hy.adj.degree()
+				ymerged := hy.parent != nilRef && len(a.at(hy.parent).children) > 1
 				pairable := false
 				switch f.mode {
 				case ModeUFO, ModeRC:
