@@ -1,62 +1,85 @@
-// Incremental spanning forest: stream the edges of a graph through a UFO
-// tree, keeping exactly the edges that connect new components (the paper's
-// "random incremental spanning forest" workload), and answer connectivity
-// queries on the fly.
+// Dynamic connectivity over a streamed graph: feed the edges of a graph
+// through the batch-dynamic connectivity layer (spanning forest + non-tree
+// pool + multi-level replacement search), then churn it with deletes and
+// watch connectivity repair itself.
 //
-// This is the building block the paper's introduction motivates: dynamic
+// This is the workload the paper's introduction motivates: dynamic
 // connectivity, minimum spanning forests, and clustering algorithms all
-// maintain spanning forests under edge updates.
+// maintain spanning forests under edge updates. Where the quickstart
+// drives a raw forest (and must route around cycle-closing edges itself),
+// the DynamicGraph layer accepts arbitrary batches and reports malformed
+// input as typed errors instead of panicking.
 package main
 
 import (
+	"errors"
 	"fmt"
+	"log"
 
 	"repro"
+	"repro/internal/conn"
 	"repro/internal/gen"
 )
 
 func main() {
 	const n = 100000
-	// A power-law "web" graph stand-in; edges arrive in generation order.
+	// A power-law "web" graph stand-in, deduplicated to a simple graph.
 	g := gen.WebGraph(n, 4, 1)
-	f := ufotree.NewUFO(n)
-
-	kept, skipped := 0, 0
-	for _, e := range g.Edges {
-		u, v := e[0], e[1]
-		if u == v || f.Connected(u, v) {
-			skipped++ // would close a cycle: not part of the forest
-			continue
-		}
-		f.Link(u, v, 1)
-		kept++
+	simple := conn.SimplifyEdges(g.Edges)
+	edges := make([]ufotree.Edge, len(simple))
+	for i, e := range simple {
+		edges[i] = ufotree.Edge{U: e.U, V: e.V}
 	}
-	fmt.Printf("streamed %d edges: kept %d, skipped %d\n", len(g.Edges), kept, skipped)
 
-	// Connectivity queries are O(min{log n, D}) walks to the component root.
+	dg := ufotree.NewDynamicGraph(n, ufotree.WithWorkers(0))
+	if err := dg.AddEdges(edges); err != nil {
+		log.Fatalf("add batch rejected: %v", err)
+	}
+	fmt.Printf("streamed %d edges: %d components, %d levels\n",
+		len(edges), dg.ComponentCount(), dg.Levels())
+
+	// Malformed input comes back as a typed error, pre-mutation — the
+	// batch above is already live, so re-adding its first edge is a
+	// duplicate.
+	if err := dg.AddEdges(edges[:1]); !errors.Is(err, ufotree.ErrDuplicateEdge) {
+		log.Fatalf("duplicate add: got %v, want ErrDuplicateEdge", err)
+	} else {
+		fmt.Printf("duplicate add rejected: %v\n", err)
+	}
+
+	// Batch connectivity queries: one consistent component snapshot.
 	pairs := [][2]int{{0, n - 1}, {1, n / 2}, {2, 3}}
-	for _, p := range pairs {
-		fmt.Printf("connected(%d,%d) = %v\n", p[0], p[1], f.Connected(p[0], p[1]))
+	for i, ok := range dg.BatchConnectedPairs(pairs) {
+		fmt.Printf("connected(%d,%d) = %v\n", pairs[i][0], pairs[i][1], ok)
+	}
+	// Component representatives are stable between updates: ideal as
+	// grouping keys.
+	reprs := dg.BatchFindRepr([]int{0, 1, 2, 3})
+	fmt.Printf("representatives of 0..3: %v\n", reprs)
+
+	// Churn: delete a batch of present edges — spanning-forest cuts
+	// trigger the replacement search, which promotes non-tree edges to
+	// keep connectivity exact.
+	before := dg.ComponentCount()
+	churn := edges[:2000]
+	if err := dg.DeleteEdges(churn); err != nil {
+		log.Fatalf("delete batch rejected: %v", err)
+	}
+	fmt.Printf("deleted %d edges: components %d -> %d\n", len(churn), before, dg.ComponentCount())
+	st := dg.PhaseStats()
+	fmt.Printf("replacement search: %d sweeps across a depth-%d level structure\n",
+		st.SearchRounds, st.Depth)
+
+	// Deleting the same batch again is absent — typed error, no mutation.
+	if err := dg.DeleteEdges(churn[:1]); !errors.Is(err, ufotree.ErrAbsentCut) {
+		log.Fatalf("absent delete: got %v, want ErrAbsentCut", err)
+	} else {
+		fmt.Printf("absent delete rejected: %v\n", err)
 	}
 
-	// Churn: delete a spanning edge and verify the forest splits, then
-	// repair connectivity with a replacement edge.
-	var cutU, cutV int
-	for _, e := range g.Edges {
-		if f.HasEdge(e[0], e[1]) {
-			cutU, cutV = e[0], e[1]
-			break
-		}
+	// Re-adding the churn restores the original components.
+	if err := dg.AddEdges(churn); err != nil {
+		log.Fatalf("re-add batch rejected: %v", err)
 	}
-	f.Cut(cutU, cutV)
-	fmt.Printf("after cutting (%d,%d): connected = %v\n", cutU, cutV, f.Connected(cutU, cutV))
-	// Scan for a replacement among the skipped edges.
-	for _, e := range g.Edges {
-		if e[0] != e[1] && !f.HasEdge(e[0], e[1]) && !f.Connected(e[0], e[1]) {
-			f.Link(e[0], e[1], 1)
-			fmt.Printf("replacement edge (%d,%d) restores connectivity: %v\n",
-				e[0], e[1], f.Connected(cutU, cutV))
-			break
-		}
-	}
+	fmt.Printf("re-added: %d components\n", dg.ComponentCount())
 }

@@ -14,6 +14,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro"
 	"repro/internal/conn"
@@ -37,17 +38,20 @@ func main() {
 		edges[i] = ufotree.Edge{U: e.U, V: e.V}
 	}
 
-	g := ufotree.NewDynamicGraph(raw.N)
-	g.SetWorkers(0) // 0 = GOMAXPROCS, the SetParallel(true) configuration
-	fmt.Printf("social graph: %d users, %d friend edges, %d workers\n",
-		raw.N, len(edges), g.Workers())
+	// WithWorkers(0) = GOMAXPROCS, the SetParallel(true) configuration.
+	g := ufotree.NewDynamicGraph(raw.N, ufotree.WithWorkers(0))
+	fmt.Printf("social graph: %d users, %d friend edges, %d workers, %d levels\n",
+		raw.N, len(edges), g.Workers(), g.Levels())
 
 	// Bootstrap the network in add batches; edges closing cycles become
-	// non-tree edges instead of panicking.
+	// non-tree edges, and a malformed batch comes back as a typed error
+	// instead of a panic.
 	var agg ufotree.PhaseStats
 	for lo := 0; lo < len(edges); lo += batch {
 		hi := min(lo+batch, len(edges))
-		g.BatchAddEdges(edges[lo:hi])
+		if err := g.AddEdges(edges[lo:hi]); err != nil {
+			log.Fatalf("friend batch rejected: %v", err)
+		}
 		agg.Accumulate(g.PhaseStats())
 	}
 	fmt.Printf("bootstrap: %d edges live, %d components\n", g.EdgeCount(), g.ComponentCount())
@@ -67,7 +71,9 @@ func main() {
 			picked[i] = true
 			churn = append(churn, edges[i])
 		}
-		g.BatchDeleteEdges(churn)
+		if err := g.DeleteEdges(churn); err != nil {
+			log.Fatalf("unfriend batch rejected: %v", err)
+		}
 		agg.Accumulate(g.PhaseStats())
 		comps := g.ComponentCount()
 
@@ -81,7 +87,9 @@ func main() {
 				connected++
 			}
 		}
-		g.BatchAddEdges(churn)
+		if err := g.AddEdges(churn); err != nil {
+			log.Fatalf("refriend batch rejected: %v", err)
+		}
 		agg.Accumulate(g.PhaseStats())
 		fmt.Printf("round %2d: unfriended %d -> %d components, %d/%d query pairs connected, refriended\n",
 			round, len(churn), comps, connected, len(pairs))
@@ -90,8 +98,8 @@ func main() {
 	// Where did batch time go? The search/promote rows are the
 	// connectivity layer's own cost; forest_link/forest_cut is the UFO
 	// engine underneath.
-	fmt.Printf("\nconnectivity pipeline over %d batches (%d adds, %d deletes, %d search sweeps):\n",
-		agg.Batches, agg.Links, agg.Cuts, agg.Levels)
+	fmt.Printf("\nconnectivity pipeline over %d batches (%d adds, %d deletes, %d search sweeps, %d levels):\n",
+		agg.Batches, agg.Links, agg.Cuts, agg.SearchRounds, agg.Depth)
 	for _, ph := range agg.Phases {
 		if ph.Calls == 0 {
 			continue

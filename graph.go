@@ -1,6 +1,11 @@
 package ufotree
 
-import "repro/internal/conn"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/conn"
+)
 
 // DynamicGraph is a batch-dynamic connectivity structure over an
 // arbitrary undirected graph — the layer above BatchForest: where a
@@ -11,27 +16,54 @@ import "repro/internal/conn"
 // queries and ComponentCount are therefore exact for the full graph at
 // all times.
 //
-// Contracts mirror the batch forests: SetWorkers clamp rules are
-// identical (k <= 0 defaults to GOMAXPROCS, k == 1 is sequential,
-// oversubscription allowed); adversarial batches — self loops, an edge
-// repeated in one batch in either orientation, adding a present edge,
-// deleting an absent edge, out-of-range vertices — panic
-// deterministically before any mutation, so a recovered panic leaves the
-// graph untouched. Batches must not run concurrently with each other or
-// with queries; read-only queries may run concurrently with each other
-// between batches.
+// Updates follow the Batcher admission idiom: AddEdges and DeleteEdges
+// reject an invalid batch with a typed error (ErrSelfLoop,
+// ErrDuplicateEdge, ErrAbsentCut, ErrVertexRange — match with errors.Is)
+// before any mutation, so an error return leaves the graph untouched. The
+// Must forms keep the forests' panic contract for callers whose input is
+// trusted by construction. SetWorkers clamp rules are identical to the
+// forests (k <= 0 defaults to GOMAXPROCS, k == 1 is sequential,
+// oversubscription allowed). Batches must not run concurrently with each
+// other or with queries; read-only queries may run concurrently with each
+// other between batches.
 type DynamicGraph interface {
 	// N returns the number of vertices.
 	N() int
-	// BatchAddEdges inserts a batch of edges; edges closing a cycle are
-	// kept as non-tree edges (weights are ignored — connectivity is
-	// unweighted).
-	BatchAddEdges(edges []Edge)
-	// BatchDeleteEdges removes a batch of present edges, running the
-	// replacement-edge search for every severed component.
-	BatchDeleteEdges(edges []Edge)
+	// AddEdges inserts a batch of edges; edges closing a cycle are kept
+	// as non-tree edges (weights are ignored — connectivity is
+	// unweighted). A self loop, an edge repeated in the batch in either
+	// orientation, an already-present edge, or an out-of-range endpoint
+	// rejects the whole batch with a typed error naming the first
+	// offending edge, before any mutation.
+	AddEdges(edges []Edge) error
+	// DeleteEdges removes a batch of present edges, running the
+	// replacement-edge search for every severed component. An absent
+	// edge, an edge repeated in the batch, a self loop, or an
+	// out-of-range endpoint rejects the whole batch with a typed error
+	// naming the first offending edge, before any mutation.
+	DeleteEdges(edges []Edge) error
+	// MustAddEdges is AddEdges with the forests' panic contract: an
+	// invalid batch panics deterministically before any mutation.
+	MustAddEdges(edges []Edge)
+	// MustDeleteEdges is DeleteEdges with the forests' panic contract.
+	MustDeleteEdges(edges []Edge)
 	// BatchConnected answers Connected for every (u,v) pair in parallel.
 	BatchConnected(pairs [][2]int) []bool
+	// BatchFindRepr returns one representative vertex per component for
+	// every queried vertex: two vertices get the same representative
+	// exactly when they are connected. Representatives are stable within
+	// a batch epoch — across any number of queries between two updates,
+	// a component keeps the same representative — and any update may
+	// retire them. Backed by the component-identifier fast path, fanned
+	// out at the configured worker count.
+	BatchFindRepr(vs []int) []int
+	// BatchConnectedPairs answers Connected for every (u,v) pair against
+	// one consistent component snapshot, via the component-identifier
+	// fast path (one parallel identifier pass over the endpoints, then
+	// pairwise comparison). Semantically identical to BatchConnected;
+	// preferable when the same epoch's identifiers also feed
+	// BatchFindRepr groupings.
+	BatchConnectedPairs(pairs [][2]int) []bool
 	// Connected reports whether u and v are in the same component.
 	Connected(u, v int) bool
 	// HasEdge reports whether edge (u,v) is present (tree or non-tree).
@@ -41,16 +73,22 @@ type DynamicGraph interface {
 	// ComponentCount returns the exact number of connected components in
 	// O(1).
 	ComponentCount() int
+	// Levels returns the depth of the internal level structure (the
+	// construction-time WithLevels value after clamping, or the ~log n
+	// default).
+	Levels() int
 	// SetWorkers fixes the worker count for batch operations (forest-layer
 	// clamp rules).
 	SetWorkers(k int)
 	// Workers reports the configured worker count, after clamping.
 	Workers() int
 	// PhaseStats reports the connectivity pipeline's telemetry for the
-	// most recent batch: classify / forest_cut / search / promote /
-	// forest_link / nontree, with adds mapped onto Links, deletes onto
-	// Cuts, and replacement-search sweeps onto Levels. The underlying
-	// forest's own phase telemetry is separate and not included — and
+	// most recent batch: classify / forest_cut / search / push_down /
+	// promote / forest_link / nontree, with adds mapped onto Links,
+	// deletes onto Cuts, the level-structure depth onto Depth, and
+	// replacement-search sweeps onto SearchRounds (Levels — contraction
+	// rounds — is a forest-engine concept and stays zero). The underlying
+	// forests' own phase telemetry is separate and not included — and
 	// because PhaseStats.Accumulate merges positionally, graph snapshots
 	// must never be accumulated into the same aggregate as forest
 	// snapshots (the two phase vocabularies differ).
@@ -60,16 +98,17 @@ type DynamicGraph interface {
 }
 
 // NewDynamicGraph returns a batch-dynamic connectivity structure over n
-// vertices, keeping its spanning forest in a UFO tree. It takes the same
+// vertices, keeping its spanning forests in UFO trees. It takes the same
 // construction options as New; WithWorkers applies with the usual clamp
-// rules, and options that have no meaning on a graph (WithSubtreeMax — the
-// connectivity layer is unweighted) are ignored.
+// rules, WithLevels fixes the level-structure depth (clamped to the ~log n
+// default), and options that have no meaning on a graph (WithSubtreeMax —
+// the connectivity layer is unweighted) are ignored.
 func NewDynamicGraph(n int, opts ...Option) DynamicGraph {
 	var o buildOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	g := &graphAdapter{g: conn.New(n), name: "ufo-conn"}
+	g := &graphAdapter{g: conn.NewWithLevels(n, o.levels), name: "ufo-conn"}
 	if o.workersSet {
 		g.SetWorkers(o.workers)
 	}
@@ -78,7 +117,7 @@ func NewDynamicGraph(n int, opts ...Option) DynamicGraph {
 
 // UnderlyingConnectivity exposes the concrete connectivity structure
 // behind a DynamicGraph for callers that need the extended API (tree /
-// non-tree counts, single-op convenience methods).
+// non-tree counts, per-level telemetry, single-op convenience methods).
 func UnderlyingConnectivity(d DynamicGraph) (*conn.BatchDynamicConnectivity, bool) {
 	a, ok := d.(*graphAdapter)
 	if !ok {
@@ -90,6 +129,14 @@ func UnderlyingConnectivity(d DynamicGraph) (*conn.BatchDynamicConnectivity, boo
 type graphAdapter struct {
 	g    *conn.BatchDynamicConnectivity
 	name string
+
+	// reprMu guards repr, the epoch-local component-id → representative
+	// cache behind BatchFindRepr (read-only queries may run concurrently,
+	// and the first query of a component elects its representative).
+	// Every successful update clears it: the underlying ids are only
+	// stable between batches.
+	reprMu sync.Mutex
+	repr   map[uint64]int
 }
 
 func (a *graphAdapter) N() int                  { return a.g.N() }
@@ -97,26 +144,167 @@ func (a *graphAdapter) Connected(u, v int) bool { return a.g.Connected(u, v) }
 func (a *graphAdapter) HasEdge(u, v int) bool   { return a.g.HasEdge(u, v) }
 func (a *graphAdapter) EdgeCount() int          { return a.g.EdgeCount() }
 func (a *graphAdapter) ComponentCount() int     { return a.g.ComponentCount() }
+func (a *graphAdapter) Levels() int             { return a.g.Levels() }
 func (a *graphAdapter) SetWorkers(k int)        { a.g.SetWorkers(k) }
 func (a *graphAdapter) Workers() int            { return a.g.Workers() }
 func (a *graphAdapter) Name() string            { return a.name }
 
 func (a *graphAdapter) BatchConnected(pairs [][2]int) []bool { return a.g.BatchConnected(pairs) }
 
-func (a *graphAdapter) BatchAddEdges(edges []Edge) {
-	a.g.BatchAddEdges(convGraphEdges(edges))
+// AddEdges validates the batch against the admission rules and applies it;
+// a typed-error return means nothing was mutated.
+func (a *graphAdapter) AddEdges(edges []Edge) error {
+	if err := a.validateAdds(edges); err != nil {
+		return err
+	}
+	a.MustAddEdges(edges)
+	return nil
 }
 
-func (a *graphAdapter) BatchDeleteEdges(edges []Edge) {
+// DeleteEdges validates the batch against the admission rules and applies
+// it; a typed-error return means nothing was mutated.
+func (a *graphAdapter) DeleteEdges(edges []Edge) error {
+	if err := a.validateDeletes(edges); err != nil {
+		return err
+	}
+	a.MustDeleteEdges(edges)
+	return nil
+}
+
+func (a *graphAdapter) MustAddEdges(edges []Edge) {
+	a.g.BatchAddEdges(convGraphEdges(edges))
+	a.clearRepr()
+}
+
+func (a *graphAdapter) MustDeleteEdges(edges []Edge) {
 	a.g.BatchDeleteEdges(convGraphEdges(edges))
+	a.clearRepr()
+}
+
+// validateAdds reports the first admission violation of an add batch as a
+// typed error: ErrSelfLoop, ErrVertexRange, or ErrDuplicateEdge (repeated
+// inside the batch in either orientation, or already present). The checks
+// mirror the connectivity layer's panic validation, so a nil return
+// guarantees the underlying batch cannot panic.
+func (a *graphAdapter) validateAdds(edges []Edge) error {
+	n := a.g.N()
+	seen := make(map[[2]int]struct{}, len(edges))
+	for _, e := range edges {
+		if err := checkRange(e, n); err != nil {
+			return err
+		}
+		if e.U == e.V {
+			return fmt.Errorf("ufotree: add edge (%d,%d): %w", e.U, e.V, ErrSelfLoop)
+		}
+		k := normEdge(e)
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("ufotree: add edge (%d,%d): %w", e.U, e.V, ErrDuplicateEdge)
+		}
+		seen[k] = struct{}{}
+		if a.g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("ufotree: add edge (%d,%d): %w", e.U, e.V, ErrDuplicateEdge)
+		}
+	}
+	return nil
+}
+
+// validateDeletes reports the first admission violation of a delete batch
+// as a typed error: ErrSelfLoop, ErrVertexRange, or ErrAbsentCut (absent
+// from the graph, or repeated inside the batch in either orientation).
+func (a *graphAdapter) validateDeletes(edges []Edge) error {
+	n := a.g.N()
+	seen := make(map[[2]int]struct{}, len(edges))
+	for _, e := range edges {
+		if err := checkRange(e, n); err != nil {
+			return err
+		}
+		if e.U == e.V {
+			return fmt.Errorf("ufotree: delete edge (%d,%d): %w", e.U, e.V, ErrSelfLoop)
+		}
+		k := normEdge(e)
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("ufotree: delete edge (%d,%d): %w", e.U, e.V, ErrAbsentCut)
+		}
+		seen[k] = struct{}{}
+		if !a.g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("ufotree: delete edge (%d,%d): %w", e.U, e.V, ErrAbsentCut)
+		}
+	}
+	return nil
+}
+
+func checkRange(e Edge, n int) error {
+	for _, v := range [2]int{e.U, e.V} {
+		if v < 0 || v >= n {
+			return fmt.Errorf("ufotree: vertex %d out of range [0,%d): %w", v, n, ErrVertexRange)
+		}
+	}
+	return nil
+}
+
+// normEdge orients an edge canonically for batch-duplicate detection.
+func normEdge(e Edge) [2]int {
+	if e.U <= e.V {
+		return [2]int{e.U, e.V}
+	}
+	return [2]int{e.V, e.U}
+}
+
+// BatchFindRepr elects the first queried vertex of each component as its
+// representative and answers from the epoch-local cache from then on, so
+// representatives are stable across queries until the next update.
+func (a *graphAdapter) BatchFindRepr(vs []int) []int {
+	ids := a.g.BatchComponentIDs(vs)
+	out := make([]int, len(vs))
+	a.reprMu.Lock()
+	if a.repr == nil {
+		a.repr = make(map[uint64]int, len(vs))
+	}
+	for i, id := range ids {
+		r, ok := a.repr[id]
+		if !ok {
+			r = vs[i]
+			a.repr[id] = r
+		}
+		out[i] = r
+	}
+	a.reprMu.Unlock()
+	return out
+}
+
+// BatchConnectedPairs compares component identifiers gathered in one
+// parallel pass over the pair endpoints.
+func (a *graphAdapter) BatchConnectedPairs(pairs [][2]int) []bool {
+	flat := make([]int, 2*len(pairs))
+	for i, p := range pairs {
+		flat[2*i], flat[2*i+1] = p[0], p[1]
+	}
+	ids := a.g.BatchComponentIDs(flat)
+	out := make([]bool, len(pairs))
+	for i := range pairs {
+		out[i] = ids[2*i] == ids[2*i+1]
+	}
+	return out
+}
+
+func (a *graphAdapter) clearRepr() {
+	a.reprMu.Lock()
+	a.repr = nil
+	a.reprMu.Unlock()
 }
 
 // PhaseStats converts the connectivity layer's telemetry to the facade
-// type: Adds map onto Links, Deletes onto Cuts, and replacement-search
-// sweeps onto Levels (the closest analogue of contraction rounds).
+// type: Adds map onto Links, Deletes onto Cuts, the level-structure depth
+// onto Depth, and replacement-search sweeps onto SearchRounds. Levels
+// (contraction rounds) is a forest-engine counter and stays zero for graph
+// snapshots. The per-level search breakdown is available on the concrete
+// structure via UnderlyingConnectivity.
 func (a *graphAdapter) PhaseStats() PhaseStats {
 	s := a.g.PhaseStats()
-	out := PhaseStats{Batches: s.Batches, Links: s.Adds, Cuts: s.Deletes, Levels: s.Rounds, Total: s.Total}
+	out := PhaseStats{
+		Batches: s.Batches, Links: s.Adds, Cuts: s.Deletes,
+		Depth: s.Depth, SearchRounds: s.Rounds, Total: s.Total,
+	}
 	out.Phases = make([]PhaseStat, len(s.Phases))
 	for i, p := range s.Phases {
 		out.Phases[i] = PhaseStat{Name: p.Name, Calls: p.Calls, Items: p.Items, Time: p.Time}

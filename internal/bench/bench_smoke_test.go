@@ -358,18 +358,42 @@ func TestConnectivitySmoke(t *testing.T) {
 	var buf bytes.Buffer
 	results := Connectivity(&buf, 300, 60, 150, []int{1, 2}, 2)
 	out := buf.String()
-	for _, want := range []string{"usa-road", "enwiki-web", "twit-social", "add", "delete", "connected"} {
+	for _, want := range []string{"usa-road", "enwiki-web", "twit-social", "add", "delete", "connected", "# level 0 w=1"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("connectivity output missing %q:\n%s", want, out)
 		}
 	}
-	if len(results) != 3*len(connKinds)*2 {
-		t.Fatalf("got %d results, want %d", len(results), 3*len(connKinds)*2)
-	}
+	kindRows, levelRows := 0, map[string]int{}
 	for _, r := range results {
+		if r.Kind == "level" {
+			if r.Level == "" || r.Throughput != 0 {
+				t.Fatalf("malformed level row %+v", r)
+			}
+			levelRows[r.Input]++
+			continue
+		}
+		kindRows++
 		if r.Ops <= 0 || r.Seconds <= 0 || r.Throughput <= 0 {
 			t.Fatalf("degenerate result %+v", r)
 		}
+	}
+	if kindRows != 3*len(connKinds)*2 {
+		t.Fatalf("got %d kind rows, want %d", kindRows, 3*len(connKinds)*2)
+	}
+	for _, input := range []string{"usa-road", "enwiki-web", "twit-social"} {
+		if levelRows[input] < 2 { // at least level 0 at both worker counts
+			t.Fatalf("input %s has %d level rows, want >= 2", input, levelRows[input])
+		}
+	}
+	// The road workload must actually drive the replacement search.
+	var roadSweeps int64
+	for _, r := range results {
+		if r.Kind == "level" && r.Input == "usa-road" {
+			roadSweeps += r.Sweeps
+		}
+	}
+	if roadSweeps == 0 {
+		t.Fatal("road delete batches recorded no search sweeps")
 	}
 }
 

@@ -13,14 +13,28 @@ import (
 )
 
 // ConnResult is one configuration's measurement of the dynamic-graph
-// connectivity experiment (machine-readable; WriteJSON).
+// connectivity experiment (machine-readable; WriteJSON). kind=level rows
+// carry the delete batches' per-level replacement-search telemetry instead
+// of a throughput: their Level tags the level index (a string so benchdiff
+// keys configurations by it), the counter fields hold the accumulated
+// sweep accounting, and Throughput stays zero, which benchdiff's compare
+// skips — the rows are presence-gated (-require kind=level), not
+// threshold-gated.
 type ConnResult struct {
 	Input      string  `json:"input"`
-	Kind       string  `json:"kind"` // add | delete | connected
+	Kind       string  `json:"kind"` // add | delete | connected | level
 	Workers    int     `json:"workers"`
 	Ops        int     `json:"ops"`            // edges applied or queries answered
 	Seconds    float64 `json:"seconds"`        // wall time for those ops
 	Throughput float64 `json:"throughput_ops"` // ops per second
+
+	// Per-level search telemetry (kind=level rows only).
+	Level         string `json:"level,omitempty"`
+	Sweeps        int64  `json:"sweeps,omitempty"`
+	Scanned       int64  `json:"scanned,omitempty"`
+	TreePushed    int64  `json:"tree_pushed,omitempty"`
+	NontreePushed int64  `json:"nontree_pushed,omitempty"`
+	Promoted      int64  `json:"promoted,omitempty"`
 }
 
 // connKinds is the reporting order of the per-kind rows.
@@ -61,10 +75,12 @@ func Connectivity(w io.Writer, n, k, q int, workers []int, seed uint64) []ConnRe
 		for _, kind := range connKinds {
 			secs[kind] = make([]float64, len(workers))
 		}
+		var levelRows []ConnResult
 		for wi, wk := range workers {
 			g := conn.New(gr.N)
 			g.SetWorkers(wk)
 			r := rng.New(seed + 5) // identical workload at every worker count
+			var delStats conn.PhaseStats
 			start := time.Now()
 			for lo := 0; lo < len(edges); lo += k {
 				g.BatchAddEdges(edges[lo:min(lo+k, len(edges))])
@@ -79,6 +95,7 @@ func Connectivity(w io.Writer, n, k, q int, workers []int, seed uint64) []ConnRe
 				g.BatchDeleteEdges(churn)
 				secs["delete"][wi] += time.Since(start).Seconds()
 				ops["delete"] += len(churn)
+				delStats.Accumulate(g.PhaseStats())
 
 				pairs := make([][2]int, q)
 				for i := range pairs {
@@ -93,6 +110,23 @@ func Connectivity(w io.Writer, n, k, q int, workers []int, seed uint64) []ConnRe
 				g.BatchAddEdges(churn)
 				secs["add"][wi] += time.Since(start).Seconds()
 				ops["add"] += len(churn)
+			}
+			// Per-level replacement-search accounting across the delete
+			// batches: how deep push-downs reached and where the sweep
+			// work went. Always at least the level-0 row, so the kind is
+			// never silently absent on replacement-free runs.
+			pl := delStats.PerLevel
+			if len(pl) == 0 {
+				pl = []conn.LevelStat{{Level: 0}}
+			}
+			for _, ls := range pl {
+				levelRows = append(levelRows, ConnResult{
+					Input: gr.Name, Kind: "level", Workers: wk,
+					Level:  fmt.Sprintf("%d", ls.Level),
+					Sweeps: ls.Sweeps, Scanned: ls.Scanned,
+					TreePushed: ls.TreePushed, NontreePushed: ls.NontreePushed,
+					Promoted: ls.Promoted,
+				})
 			}
 		}
 		for _, kind := range connKinds {
@@ -121,6 +155,11 @@ func Connectivity(w io.Writer, n, k, q int, workers []int, seed uint64) []ConnRe
 			}
 			fmt.Fprintln(w)
 		}
+		for _, lr := range levelRows {
+			fmt.Fprintf(w, "# level %s w=%d: sweeps=%d scanned=%d tree_pushed=%d nontree_pushed=%d promoted=%d\n",
+				lr.Level, lr.Workers, lr.Sweeps, lr.Scanned, lr.TreePushed, lr.NontreePushed, lr.Promoted)
+		}
+		out = append(out, levelRows...)
 	}
 	fmt.Fprintln(w, "# (columns: ops/second at each worker count; speedup = highest worker count / workers=1)")
 	return out

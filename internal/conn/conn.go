@@ -2,7 +2,7 @@ package conn
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"time"
 
 	"repro/internal/parallel"
@@ -11,7 +11,7 @@ import (
 
 // Edge is an undirected graph edge in batch add/delete operations. The
 // connectivity layer is unweighted: spanning-forest edges are linked into
-// the underlying forest with weight 1.
+// the underlying forests with weight 1.
 type Edge struct {
 	U, V int
 }
@@ -49,82 +49,172 @@ func SimplifyEdges(raw [][2]int) []Edge {
 	return out
 }
 
+// edgeRec is the central per-edge record: the edge's current level and
+// whether it is a spanning-forest (tree) edge. Levels only ever increase
+// while an edge is present (push-downs); a deleted and re-added edge
+// restarts at level 0.
+type edgeRec struct {
+	level int32
+	tree  bool
+}
+
+// level is one rung of the HDT-style level structure. Level 0 always holds
+// the full spanning forest; higher levels materialize lazily, the first
+// time a failed replacement search pushes an edge down to them.
+type level struct {
+	f  *ufo.Forest        // spanning forest of edges with level >= this one; nil until materialized
+	te []map[int]struct{} // te[u]: neighbors of u via tree edges at exactly this level
+	nt []map[int]struct{} // nt[u]: neighbors of u via non-tree edges at exactly this level
+}
+
+// DefaultLevels returns the level-structure depth New configures for n
+// vertices: floor(log2 n) + 1, the classic HDT bound — a component at
+// level i holds at most n >> i vertices, so the bottom level's components
+// are single vertices and every failed scan can be charged to a level
+// increase.
+func DefaultLevels(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n-1)) + 1
+}
+
 // BatchDynamicConnectivity maintains connectivity of an arbitrary
-// undirected graph under batches of edge insertions and deletions: a
-// spanning forest lives in a ufo.Forest, and every edge that would close a
-// cycle is held aside in a per-vertex non-tree incidence structure. Adds
-// that merge components extend the forest; deletes of tree edges trigger a
-// replacement-edge search over the smaller side of the split, promoting a
-// non-tree edge back into the forest whenever one reconnects the severed
-// component (so the forest is always a spanning forest of the current
-// graph, and ComponentCount is exact).
+// undirected graph under batches of edge insertions and deletions, with
+// HDT-style multi-level amortization of the replacement-edge search: a
+// spanning forest of the graph lives in the level-0 ufo.Forest, every edge
+// that would close a cycle is held in a per-vertex non-tree incidence
+// structure bucketed by level, and higher levels maintain nested spanning
+// forests (level-i forest ⊆ level-(i-1) forest) restricted to edges whose
+// failed scans pushed them down. Adds classify at the top (level 0);
+// deletes cut a tree edge out of every forest holding it and repair
+// maximality level by level, sweeping the smaller severed pieces and
+// pushing every scanned-but-useless edge down one level so no edge is ever
+// rescanned at the same level.
 //
-// The zero value is not usable; construct with New. Batches must not run
-// concurrently with each other or with queries; read-only queries
-// (Connected, BatchConnected, HasEdge, ComponentCount) may run
-// concurrently with each other between batches.
+// The zero value is not usable; construct with New or NewWithLevels.
+// Batches must not run concurrently with each other or with queries;
+// read-only queries (Connected, BatchConnected, BatchComponentIDs,
+// HasEdge, ComponentCount) may run concurrently with each other between
+// batches.
 type BatchDynamicConnectivity struct {
 	n       int
-	f       *ufo.Forest
-	nt      []map[int]struct{} // nt[u]: neighbors of u via non-tree edges
+	lv      []level
+	maxUsed int                // highest materialized level index
+	rec     map[uint64]edgeRec // every live edge: level + tree flag
 	ntCount int
 	workers int
 	stats   PhaseStats
 	scratch []int // reused ComponentVertices buffer for the search sweeps
+
+	// Delete-batch transients: per-level pending BatchLink payloads (each
+	// level's forest stays static during its own search; links flush just
+	// before the level is searched, or at batch end), and the shadow
+	// union-find over top-level component ids that guards deferred
+	// promotions against cycles. Both live only inside BatchDeleteEdges.
+	pend    [][]ufo.Edge
+	shadow0 *compUF
 }
 
 // New returns an empty dynamic graph over n vertices (no edges, n
-// components).
-func New(n int) *BatchDynamicConnectivity {
-	return &BatchDynamicConnectivity{
+// components) with the default level-structure depth (DefaultLevels).
+func New(n int) *BatchDynamicConnectivity { return NewWithLevels(n, 0) }
+
+// NewWithLevels returns an empty dynamic graph over n vertices with a
+// level structure of depth levels. levels <= 0 selects the default
+// (DefaultLevels(n)); values above the default are clamped down to it —
+// deeper levels could never hold an edge under the size invariant — and
+// values below it trade amortization for memory: push-downs stop at the
+// bottom level, so scans there are no longer charged to level decreases
+// (levels == 1 reproduces the single-level search).
+func NewWithLevels(n, levels int) *BatchDynamicConnectivity {
+	max := DefaultLevels(n)
+	if levels <= 0 || levels > max {
+		levels = max
+	}
+	g := &BatchDynamicConnectivity{
 		n:       n,
-		f:       ufo.New(n),
-		nt:      make([]map[int]struct{}, n),
+		lv:      make([]level, levels),
+		rec:     make(map[uint64]edgeRec),
 		workers: 1,
+	}
+	g.lv[0].f = ufo.New(n)
+	g.lv[0].te = make([]map[int]struct{}, n)
+	g.lv[0].nt = make([]map[int]struct{}, n)
+	return g
+}
+
+// f0 returns the level-0 forest: the full spanning forest answering all
+// connectivity queries.
+func (g *BatchDynamicConnectivity) f0() *ufo.Forest { return g.lv[0].f }
+
+// ensure materializes level i (forest + incidence buckets). Levels are
+// materialized bottom-up one at a time by push-downs, so i <= maxUsed+1.
+func (g *BatchDynamicConnectivity) ensure(i int) {
+	if g.lv[i].f != nil {
+		return
+	}
+	g.lv[i].f = ufo.New(g.n)
+	g.lv[i].f.SetWorkers(g.workers)
+	g.lv[i].te = make([]map[int]struct{}, g.n)
+	g.lv[i].nt = make([]map[int]struct{}, g.n)
+	if i > g.maxUsed {
+		g.maxUsed = i
 	}
 }
 
 // N returns the number of vertices.
 func (g *BatchDynamicConnectivity) N() int { return g.n }
 
+// Levels returns the configured depth of the level structure.
+func (g *BatchDynamicConnectivity) Levels() int { return len(g.lv) }
+
+// MaxLevelUsed returns the highest level index holding (or having held) a
+// materialized forest — how deep push-downs have reached so far.
+func (g *BatchDynamicConnectivity) MaxLevelUsed() int { return g.maxUsed }
+
 // SetWorkers fixes the worker count used by batch operations, with the
 // forest layer's clamp rules: k <= 0 defaults to GOMAXPROCS, k == 1 runs
 // fully sequentially, larger counts (oversubscription included) fan the
 // classification, search, and forest phases out over k goroutines. The
-// count propagates to the underlying spanning forest.
+// count propagates to every materialized level forest.
 func (g *BatchDynamicConnectivity) SetWorkers(k int) {
 	if k <= 0 {
 		k = parallel.Procs()
 	}
 	g.workers = k
-	g.f.SetWorkers(k)
+	for i := range g.lv {
+		if g.lv[i].f != nil {
+			g.lv[i].f.SetWorkers(k)
+		}
+	}
 }
 
 // Workers reports the configured worker count, after clamping.
 func (g *BatchDynamicConnectivity) Workers() int { return g.workers }
 
 // EdgeCount returns the number of live edges (tree and non-tree).
-func (g *BatchDynamicConnectivity) EdgeCount() int { return g.f.EdgeCount() + g.ntCount }
+func (g *BatchDynamicConnectivity) EdgeCount() int { return g.f0().EdgeCount() + g.ntCount }
 
 // TreeEdgeCount returns the number of spanning-forest edges.
-func (g *BatchDynamicConnectivity) TreeEdgeCount() int { return g.f.EdgeCount() }
+func (g *BatchDynamicConnectivity) TreeEdgeCount() int { return g.f0().EdgeCount() }
 
 // NonTreeEdgeCount returns the number of edges currently held outside the
 // spanning forest.
 func (g *BatchDynamicConnectivity) NonTreeEdgeCount() int { return g.ntCount }
 
 // ComponentCount returns the number of connected components. Because the
-// forest is always a spanning forest of the graph, this is exactly
+// level-0 forest is always a spanning forest of the graph, this is exactly
 // n - TreeEdgeCount, in O(1).
-func (g *BatchDynamicConnectivity) ComponentCount() int { return g.n - g.f.EdgeCount() }
+func (g *BatchDynamicConnectivity) ComponentCount() int { return g.n - g.f0().EdgeCount() }
 
 // HasEdge reports whether edge (u,v) is present, as a tree or non-tree
-// edge.
+// edge, in O(1) (one lookup in the central edge record).
 func (g *BatchDynamicConnectivity) HasEdge(u, v int) bool {
-	if g.f.HasEdge(u, v) {
-		return true
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
 	}
-	_, ok := g.nt[u][v]
+	_, ok := g.rec[key(u, v)]
 	return ok
 }
 
@@ -132,16 +222,51 @@ func (g *BatchDynamicConnectivity) HasEdge(u, v int) bool {
 // Which of a cycle's edges are tree edges is an implementation detail that
 // may change across batches (replacement promotions); only connectivity is
 // contractual.
-func (g *BatchDynamicConnectivity) IsTreeEdge(u, v int) bool { return g.f.HasEdge(u, v) }
+func (g *BatchDynamicConnectivity) IsTreeEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	r, ok := g.rec[key(u, v)]
+	return ok && r.tree
+}
+
+// EdgeLevel returns the current level of edge (u,v) and whether the edge
+// is present (diagnostics and tests; levels only increase while the edge
+// stays present).
+func (g *BatchDynamicConnectivity) EdgeLevel(u, v int) (int, bool) {
+	r, ok := g.rec[key(u, v)]
+	return int(r.level), ok
+}
 
 // Connected reports whether u and v are in the same component, in
 // O(min{log n, D}).
-func (g *BatchDynamicConnectivity) Connected(u, v int) bool { return g.f.Connected(u, v) }
+func (g *BatchDynamicConnectivity) Connected(u, v int) bool { return g.f0().Connected(u, v) }
 
 // BatchConnected answers Connected for every (u,v) pair, fanned out over
 // the configured worker count (the forest's parallel batch query).
 func (g *BatchDynamicConnectivity) BatchConnected(pairs [][2]int) []bool {
-	return g.f.BatchConnected(pairs)
+	return g.f0().BatchConnected(pairs)
+}
+
+// ComponentID returns an opaque identifier of u's component: equal for
+// two vertices exactly when they are connected, stable between batches,
+// never reused (the level-0 forest's root-cluster uid).
+func (g *BatchDynamicConnectivity) ComponentID(u int) uint64 { return g.f0().ComponentID(u) }
+
+// BatchComponentIDs answers ComponentID for every vertex, fanned out over
+// the configured worker count. Identifiers are stable between batches and
+// never reused, so callers can use one batch's result as a grouping key —
+// the fast path behind the facade's BatchFindRepr and BatchConnectedPairs.
+func (g *BatchDynamicConnectivity) BatchComponentIDs(vs []int) []uint64 {
+	out := make([]uint64, len(vs))
+	f := g.f0()
+	parallel.WorkersForRangeAuto(g.workers, len(vs), classifyGrain, func(_, lo, hi int) {
+		chaos()
+		for i := lo; i < hi; i++ {
+			out[i] = f.ComponentID(vs[i])
+		}
+	})
+	return out
 }
 
 // PhaseStats returns the per-phase telemetry of the most recent batch
@@ -184,7 +309,7 @@ func (g *BatchDynamicConnectivity) validateAddBatch(edges []Edge) {
 			panic(fmt.Sprintf("conn: edge (%d,%d) repeated in batch add", e.U, e.V))
 		}
 		seen[k] = struct{}{}
-		if g.HasEdge(e.U, e.V) {
+		if _, present := g.rec[k]; present {
 			panic(fmt.Sprintf("conn: duplicate edge (%d,%d)", e.U, e.V))
 		}
 	}
@@ -207,7 +332,7 @@ func (g *BatchDynamicConnectivity) validateDeleteBatch(edges []Edge) {
 			panic(fmt.Sprintf("conn: edge (%d,%d) repeated in batch delete", e.U, e.V))
 		}
 		seen[k] = struct{}{}
-		if !g.HasEdge(e.U, e.V) {
+		if _, present := g.rec[k]; !present {
 			panic(fmt.Sprintf("conn: deleting absent edge (%d,%d)", e.U, e.V))
 		}
 	}
@@ -218,11 +343,12 @@ func (g *BatchDynamicConnectivity) validateDeleteBatch(edges []Edge) {
 // the parallel paths on tiny batches.
 var classifyGrain = 64
 
-// BatchAddEdges inserts a batch of edges. Edges that merge two components
-// extend the spanning forest (one parallel BatchLink); edges that would
-// close a cycle — against the current forest or against earlier edges of
-// the same batch — become non-tree edges instead of panicking, which is
-// the contract difference between this graph layer and the forest layer
+// BatchAddEdges inserts a batch of edges at level 0 (the top of the level
+// structure). Edges that merge two components extend the spanning forest
+// (one parallel BatchLink into the level-0 forest); edges that would close
+// a cycle — against the current forest or against earlier edges of the
+// same batch — become level-0 non-tree edges instead of panicking, which
+// is the contract difference between this graph layer and the forest layer
 // below it.
 //
 // Adversarial batches (self loops, in-batch repeats in either orientation,
@@ -242,12 +368,13 @@ func (g *BatchDynamicConnectivity) BatchAddEdges(edges []Edge) {
 	// tree/non-tree split is deterministic at every worker count.
 	var treeLinks []ufo.Edge
 	var nonTree []Edge
+	f := g.f0()
 	g.timePhase(phClassify, func() int {
 		ends := make([][2]uint64, len(edges))
 		parallel.WorkersForRangeAuto(g.workers, len(edges), classifyGrain, func(_, lo, hi int) {
 			chaos()
 			for i := lo; i < hi; i++ {
-				ends[i] = [2]uint64{g.f.ComponentID(edges[i].U), g.f.ComponentID(edges[i].V)}
+				ends[i] = [2]uint64{f.ComponentID(edges[i].U), f.ComponentID(edges[i].V)}
 			}
 		})
 		uf := newCompUF(len(edges))
@@ -262,243 +389,71 @@ func (g *BatchDynamicConnectivity) BatchAddEdges(edges []Edge) {
 	})
 	g.timePhase(phForestLink, func() int {
 		if len(treeLinks) > 0 {
-			g.f.BatchLink(treeLinks)
+			f.BatchLink(treeLinks)
+		}
+		for _, e := range treeLinks {
+			g.teInsert(0, e.U, e.V)
+			g.rec[key(e.U, e.V)] = edgeRec{level: 0, tree: true}
 		}
 		return len(treeLinks)
 	})
 	g.timePhase(phNonTree, func() int {
 		for _, e := range nonTree {
-			g.ntInsert(e.U, e.V)
+			g.ntInsert(0, e.U, e.V)
+			g.rec[key(e.U, e.V)] = edgeRec{level: 0, tree: false}
 		}
 		return len(nonTree)
 	})
 	g.stats.Total = time.Since(start)
 }
 
-// BatchDeleteEdges removes a batch of edges. Non-tree deletes only touch
-// the incidence structure; tree deletes cut the spanning forest (one
-// parallel BatchCut) and then run the replacement-edge search: every
-// severed component's non-tree incidence is swept in parallel for an edge
-// leaving the component — the smaller side of each cut first — and every
-// edge found is promoted into the forest, until no severed component has a
-// crossing edge left. The forest is therefore again a spanning forest of
-// the graph when the batch returns, and pairs whose components have no
-// replacement path stay disconnected.
-//
-// Adversarial batches (self loops, in-batch repeats in either orientation,
-// absent edges) panic deterministically before any mutation; see
-// validateDeleteBatch.
-func (g *BatchDynamicConnectivity) BatchDeleteEdges(edges []Edge) {
-	if len(edges) == 0 {
-		return
+// ntInsert records (u,v) as a non-tree edge at level i in both endpoints'
+// incidence sets.
+func (g *BatchDynamicConnectivity) ntInsert(i, u, v int) {
+	nt := g.lv[i].nt
+	if nt[u] == nil {
+		nt[u] = make(map[int]struct{}, 4)
 	}
-	g.validateDeleteBatch(edges)
-	g.beginStats(0, len(edges))
-	start := time.Now()
-
-	// Classify tree vs non-tree deletes (read-only adjacency probes).
-	var treeCuts [][2]int
-	var nonTree []Edge
-	g.timePhase(phClassify, func() int {
-		isTree := make([]bool, len(edges))
-		parallel.WorkersForRangeAuto(g.workers, len(edges), classifyGrain, func(_, lo, hi int) {
-			chaos()
-			for i := lo; i < hi; i++ {
-				isTree[i] = g.f.HasEdge(edges[i].U, edges[i].V)
-			}
-		})
-		for i, e := range edges {
-			if isTree[i] {
-				treeCuts = append(treeCuts, [2]int{e.U, e.V})
-			} else {
-				nonTree = append(nonTree, e)
-			}
-		}
-		return len(edges)
-	})
-	// Non-tree edges leave the candidate pool before the search, so a
-	// deleted edge can never be promoted.
-	g.timePhase(phNonTree, func() int {
-		for _, e := range nonTree {
-			g.ntRemove(e.U, e.V)
-		}
-		return len(nonTree)
-	})
-	// Group the cut edges by pre-batch component, while the components
-	// are still intact (read-only root walks). Non-tree edges never span
-	// two components — an added edge either merged two components or
-	// closed a cycle inside one, promotions keep tree and non-tree edges
-	// inside their component, and at every batch boundary the forest is
-	// maximal — so a replacement edge can only reconnect severed pieces
-	// of the same pre-batch component, and the search runs independently
-	// per group.
-	groupOrder := make([]uint64, 0, 4)
-	groups := make(map[uint64][]int, 4)
-	for _, c := range treeCuts {
-		id := g.f.ComponentID(c[0])
-		if _, seen := groups[id]; !seen {
-			groupOrder = append(groupOrder, id)
-		}
-		groups[id] = append(groups[id], c[0], c[1])
+	if nt[v] == nil {
+		nt[v] = make(map[int]struct{}, 4)
 	}
-	g.timePhase(phForestCut, func() int {
-		if len(treeCuts) > 0 {
-			g.f.BatchCut(treeCuts)
-		}
-		return len(treeCuts)
-	})
-	for _, gid := range groupOrder {
-		g.searchGroup(groups[gid])
-	}
-	g.stats.Total = time.Since(start)
-}
-
-// searchGroup restores maximality among the severed pieces of one
-// pre-batch component, given the cut endpoints that fell inside it. Only
-// components holding a cut endpoint can have lost maximality (everything
-// else was maximal before the batch, and deletions add no crossing
-// edges), so the severed pieces are exactly the witnesses' components.
-// Each round groups the witnesses by current component and sweeps every
-// piece except the group's largest — the generalized smaller-side rule:
-// severed pieces are usually tiny, and the big side never pays a scan,
-// because a piece whose severed peers have all been swept to maximality
-// is maximal by edge symmetry (its crossing edges would also cross a
-// maximal component, which has none). One promotion per piece per round;
-// merged pieces regroup in the next round. Every promotion merges two
-// components, bounding total promotions by the group's cut count, and
-// every non-promoting sweep marks its component maximal, so the loop
-// terminates.
-func (g *BatchDynamicConnectivity) searchGroup(witnesses []int) {
-	maximal := make(map[uint64]bool, len(witnesses))
-	for {
-		// Group witnesses by current component, keeping the smallest
-		// witness vertex per component as its deterministic tiebreak.
-		type comp struct {
-			id            uint64
-			witness, size int
-		}
-		byID := make(map[uint64]int, len(witnesses))
-		var comps []comp
-		for _, wv := range witnesses {
-			id := g.f.ComponentID(wv)
-			if maximal[id] {
-				continue
-			}
-			if i, ok := byID[id]; ok {
-				if wv < comps[i].witness {
-					comps[i].witness = wv
-				}
-				continue
-			}
-			byID[id] = len(comps)
-			comps = append(comps, comp{id: id, witness: wv, size: g.f.ComponentSize(wv)})
-		}
-		if len(comps) <= 1 {
-			break
-		}
-		sort.Slice(comps, func(i, j int) bool {
-			if comps[i].size != comps[j].size {
-				return comps[i].size < comps[j].size
-			}
-			return comps[i].witness < comps[j].witness
-		})
-		for _, c := range comps[:len(comps)-1] {
-			if g.f.ComponentID(c.witness) != c.id {
-				continue // merged earlier this round; regroups next round
-			}
-			var x, y int
-			var found bool
-			g.timePhase(phSearch, func() int {
-				var scanned int
-				x, y, scanned, found = g.searchComponent(c.witness)
-				g.stats.Rounds++
-				return scanned
-			})
-			if !found {
-				maximal[c.id] = true
-				continue
-			}
-			g.timePhase(phPromote, func() int {
-				g.ntRemove(x, y)
-				g.f.Link(x, y, 1)
-				return 1
-			})
-		}
-	}
-}
-
-// ntInsert records (u,v) as a non-tree edge in both endpoints' incidence
-// sets.
-func (g *BatchDynamicConnectivity) ntInsert(u, v int) {
-	if g.nt[u] == nil {
-		g.nt[u] = make(map[int]struct{}, 4)
-	}
-	if g.nt[v] == nil {
-		g.nt[v] = make(map[int]struct{}, 4)
-	}
-	g.nt[u][v] = struct{}{}
-	g.nt[v][u] = struct{}{}
+	nt[u][v] = struct{}{}
+	nt[v][u] = struct{}{}
 	g.ntCount++
 }
 
-// ntRemove drops the non-tree edge (u,v) from both incidence sets.
-func (g *BatchDynamicConnectivity) ntRemove(u, v int) {
-	delete(g.nt[u], v)
-	delete(g.nt[v], u)
+// ntRemove drops the non-tree edge (u,v) from both level-i incidence sets.
+func (g *BatchDynamicConnectivity) ntRemove(i, u, v int) {
+	delete(g.lv[i].nt[u], v)
+	delete(g.lv[i].nt[v], u)
 	g.ntCount--
 }
 
-// searchComponent sweeps w's component for a non-tree edge leaving it.
-// The sweep enumerates the component's vertices and scans their non-tree
-// incidence, fanned out over the configured worker count with a per-worker
-// running minimum; the minimum edge key wins globally, so the promoted
-// edge is deterministic regardless of worker count and map iteration
-// order. It returns the edge endpoints (x inside the swept component), the
-// number of incident non-tree edges scanned, and whether a crossing edge
-// was found.
-func (g *BatchDynamicConnectivity) searchComponent(src int) (x, y, scanned int, found bool) {
-	g.scratch = g.f.ComponentVertices(src, g.scratch[:0])
-	verts := g.scratch
-	myID := g.f.ComponentID(src)
+// teInsert records (u,v) as a tree edge at level i in both endpoints'
+// tree-incidence sets.
+func (g *BatchDynamicConnectivity) teInsert(i, u, v int) {
+	te := g.lv[i].te
+	if te[u] == nil {
+		te[u] = make(map[int]struct{}, 4)
+	}
+	if te[v] == nil {
+		te[v] = make(map[int]struct{}, 4)
+	}
+	te[u][v] = struct{}{}
+	te[v][u] = struct{}{}
+}
 
-	type cand struct {
-		key   uint64
-		x, y  int
-		found bool
-	}
-	p := g.workers
-	bests := make([]cand, p)
-	counts := make([]int, p)
-	parallel.WorkersForRangeAuto(p, len(verts), classifyGrain, func(w, lo, hi int) {
-		chaos()
-		b := &bests[w]
-		for i := lo; i < hi; i++ {
-			vx := verts[i]
-			for vy := range g.nt[vx] {
-				counts[w]++
-				if g.f.ComponentID(vy) == myID {
-					continue
-				}
-				k := key(vx, vy)
-				if !b.found || k < b.key {
-					*b = cand{key: k, x: vx, y: vy, found: true}
-				}
-			}
-		}
-	})
-	var best cand
-	for i := range bests {
-		scanned += counts[i]
-		if bests[i].found && (!best.found || bests[i].key < best.key) {
-			best = bests[i]
-		}
-	}
-	return best.x, best.y, scanned, best.found
+// teRemove drops the tree edge (u,v) from both level-i tree-incidence
+// sets.
+func (g *BatchDynamicConnectivity) teRemove(i, u, v int) {
+	delete(g.lv[i].te[u], v)
+	delete(g.lv[i].te[v], u)
 }
 
 // compUF is a tiny union-find over component ids, used to build the
-// batch-internal spanning structure of an add batch. Ids are interned into
-// dense indices on first sight, so the arrays stay batch-sized.
+// batch-internal spanning structure of an add batch and the per-sweep
+// promotion set of the replacement search. Ids are interned into dense
+// indices on first sight, so the arrays stay batch-sized.
 type compUF struct {
 	idx    map[uint64]int
 	parent []int
@@ -526,6 +481,11 @@ func (u *compUF) find(i int) int {
 	return i
 }
 
+// same reports whether a and b are in the same set.
+func (u *compUF) same(a, b uint64) bool {
+	return u.find(u.intern(a)) == u.find(u.intern(b))
+}
+
 // union merges the sets of a and b, reporting whether they were distinct.
 func (u *compUF) union(a, b uint64) bool {
 	ra, rb := u.find(u.intern(a)), u.find(u.intern(b))
@@ -534,4 +494,15 @@ func (u *compUF) union(a, b uint64) bool {
 	}
 	u.parent[rb] = ra
 	return true
+}
+
+// unionIdx merges two sets given by already-interned indices and returns
+// the surviving root (the search overlay keys its class table by root, so
+// the caller needs to know which one won).
+func (u *compUF) unionIdx(a, b int) int {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+	return ra
 }

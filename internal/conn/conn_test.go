@@ -299,7 +299,10 @@ func TestPhaseStatsInvariants(t *testing.T) {
 	if st.Batches != 1 || st.Adds != int64(len(adds)) || st.Deletes != 0 {
 		t.Fatalf("add batch stats shape wrong: %+v", st)
 	}
-	want := []string{"classify", "forest_cut", "search", "promote", "forest_link", "nontree"}
+	want := []string{"classify", "forest_cut", "search", "push_down", "promote", "forest_link", "nontree"}
+	if st.Depth != DefaultLevels(50) {
+		t.Fatalf("add batch depth %d, want %d", st.Depth, DefaultLevels(50))
+	}
 	if len(st.Phases) != len(want) {
 		t.Fatalf("got %d phases, want %d", len(st.Phases), len(want))
 	}

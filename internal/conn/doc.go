@@ -3,53 +3,75 @@
 // an arbitrary undirected graph, not just a forest.
 //
 // The construction follows the shape of "Batch-Parallel Euler Tour Trees"
-// (Tseng, Dhulipala, Blelloch) and the batch-dynamic connectivity systems
-// built on it: a spanning forest of the graph lives in a batch-dynamic
-// tree structure (here a ufo.Forest), and every edge whose insertion would
-// close a cycle is held aside in a per-vertex non-tree incidence
-// structure. Connectivity queries are answered entirely by the forest;
-// the non-tree edges exist to repair it.
+// (Tseng, Dhulipala, Blelloch) and the multi-level
+// Holm/de Lichtenberg/Thorup connectivity structures built on such
+// forests. Every edge carries a level in [0, Levels()); level 0 is the
+// top. Level i owns a ufo.Forest f[i] that is a spanning forest of the
+// subgraph of edges at level i or deeper, so f[0] spans the whole graph
+// and f[0] ⊇ f[1] ⊇ ... edge-wise: a tree edge at level ℓ is linked in
+// every f[0..ℓ]. Non-tree edges are bucketed per (vertex, level).
+// Connectivity queries are answered entirely by f[0]; everything deeper
+// exists to make replacement search cheap. Levels are materialized
+// lazily: a fresh structure is exactly the old single-forest design
+// until churn pushes an edge down, and NewWithLevels(n, 1) pins that
+// degenerate shape permanently.
 //
 //   - BatchAddEdges classifies the batch in parallel (component ids are
 //     read-only root walks) and builds the batch-internal spanning
 //     structure with a union-find over component ids, so one BatchLink
-//     extends the forest and the remaining edges become non-tree edges —
+//     extends f[0] and the remaining edges become non-tree edges —
 //     instead of panicking, which is what the forest layer below does.
+//     New edges always enter at level 0.
 //   - BatchDeleteEdges removes non-tree edges with pure bookkeeping, cuts
-//     tree edges with one BatchCut, and then searches for replacement
-//     edges independently per pre-batch component (non-tree edges never
-//     span components, so no replacement can cross groups): each severed
-//     piece's non-tree incidence is swept in parallel (internal/parallel
-//     fan-out at the configured SetWorkers count, minimum-edge-key
-//     reduction), skipping the group's largest piece — which its peers'
-//     maximality makes maximal for free — and any edge found leaving the
-//     piece is promoted into the forest. Sweeps repeat until no severed
-//     piece has a crossing edge, so the forest is always a spanning
-//     forest of the current graph and ComponentCount is exact in O(1).
+//     each tree edge out of every forest that holds it (one BatchCut per
+//     level), and then runs the replacement search level by level from
+//     the deepest cut upward. At level i each severed piece of f[i] is
+//     swept through its level-i non-tree buckets in parallel
+//     (internal/parallel fan-out at the configured SetWorkers count),
+//     skipping the group's largest piece; the first crossing edge found
+//     is promoted: it leaves the non-tree buckets and is linked into
+//     every f[0..i]. Edges a sweep scanned without finding a crossing
+//     are pushed down one level — tree edges of the swept piece to
+//     f[i+1], scanned-but-internal non-tree edges to the level-(i+1)
+//     buckets — provided the piece is small enough (a level-i component
+//     never exceeds n>>i vertices), so no sweep ever rescans an edge at
+//     the same level within one insertion epoch. Forest links discovered
+//     during the search are deferred into per-level pending batches and
+//     flushed as one BatchLink per level, keeping every forest static
+//     while it is being swept.
 //
-// The tree/non-tree split and every promotion decision reduce over
-// minimum edge keys in deterministic batch order, so the structure —
-// not just the connectivity relation — evolves identically at every
-// worker count.
+// The tree/non-tree split, every promotion decision, and every push-down
+// reduce over minimum edge keys in deterministic batch order with
+// deterministic sweep-chunk boundaries, so the structure — levels,
+// forests, and buckets, not just the connectivity relation — evolves
+// identically at every worker count.
 //
 // # Contracts
 //
 // Worker-count clamp rules match the forest layer: SetWorkers(k) with
 // k <= 0 defaults to runtime.GOMAXPROCS(0), k == 1 is fully sequential,
 // and counts above GOMAXPROCS are allowed (oversubscription).
+// NewWithLevels clamps its depth to [1, DefaultLevels(n)].
 //
 // Adversarial batches panic deterministically before any mutation,
 // mirroring the forest layer's pre-mutation contract: self loops, an edge
 // repeated inside the batch in either orientation, adding an edge already
 // present (tree or non-tree), deleting an absent edge, and out-of-range
-// vertices. A recovered panic leaves the graph exactly as it was.
+// vertices. A recovered panic leaves the graph exactly as it was. (The
+// facade's DynamicGraph wraps the same checks as typed errors.)
 //
 // Batches must not run concurrently with each other or with queries;
 // read-only queries may run concurrently with each other between batches
 // (the forest batch-query contract).
 //
 // Per-batch telemetry follows the forest engine's PhaseStats idiom: every
-// pipeline phase (classify, forest_cut, search, promote, forest_link,
-// nontree) is timed on the monotonic clock with item counts, reset per
-// batch, aggregated across a run with Accumulate.
+// pipeline phase (classify, forest_cut, search, push_down, promote,
+// forest_link, nontree) is timed on the monotonic clock with item counts,
+// reset per batch, aggregated across a run with Accumulate. Delete
+// batches additionally report Depth (configured levels), Rounds (sweep
+// rounds run), Demotions, and PerLevel rows (sweeps, scanned edges,
+// push-down and promotion counts per level). Validate checks the full
+// level-structure invariant set on demand: per-forest structural
+// validation, level agreement between records and forests, bucket
+// membership, counter consistency, and the n>>i component-size bound.
 package conn

@@ -1,0 +1,67 @@
+package conn
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TestRoadDeleteProfile is a diagnostics probe, not an assertion: it
+// drives the road-shaped churn the connectivity benchmark uses and logs
+// the delete-phase breakdown. Enabled with CONN_PROFILE=1.
+func TestRoadDeleteProfile(t *testing.T) {
+	if os.Getenv("CONN_PROFILE") == "" {
+		t.Skip("set CONN_PROFILE=1 to run the delete-phase probe")
+	}
+	side := 142
+	n := side * side
+	id := func(x, y int) int { return x*side + y }
+	var raw [][2]int
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			if x+1 < side {
+				raw = append(raw, [2]int{id(x, y), id(x+1, y)})
+			}
+			if y+1 < side {
+				raw = append(raw, [2]int{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	edges := SimplifyEdges(raw)
+	g := New(n)
+	g.SetWorkers(1)
+	for lo := 0; lo < len(edges); lo += 2000 {
+		hi := lo + 2000
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		g.BatchAddEdges(edges[lo:hi])
+	}
+	r := rng.New(99)
+	var agg PhaseStats
+	totalDel := 0
+	start := time.Now()
+	for round := 0; round < 3; round++ {
+		perm := r.Perm(len(edges))
+		churn := make([]Edge, 2000)
+		for i := range churn {
+			churn[i] = edges[perm[i]]
+		}
+		g.BatchDeleteEdges(churn)
+		agg.Accumulate(g.PhaseStats())
+		totalDel += len(churn)
+		g.BatchAddEdges(churn)
+	}
+	el := time.Since(start)
+	t.Logf("deletes: %d in %v (%.0f del/s incl re-adds)", totalDel, el, float64(totalDel)/el.Seconds())
+	t.Logf("rounds=%d demotions=%d maxUsed=%d", agg.Rounds, agg.Demotions, g.MaxLevelUsed())
+	for _, ph := range agg.Phases {
+		t.Logf("phase %-12s calls=%6d items=%8d time=%v", ph.Name, ph.Calls, ph.Items, ph.Time)
+	}
+	for _, ls := range agg.PerLevel {
+		t.Logf("level %2d sweeps=%6d scanned=%8d tePush=%6d ntPush=%6d promoted=%6d",
+			ls.Level, ls.Sweeps, ls.Scanned, ls.TreePushed, ls.NontreePushed, ls.Promoted)
+	}
+}

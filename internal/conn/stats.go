@@ -7,7 +7,7 @@ import "time"
 // item counts, and calls, reset at the start of every batch and aggregated
 // across a run with Accumulate. The phase set is the connectivity
 // pipeline's, not the forest's — the forest's own phases remain visible
-// through the underlying Forest's PhaseStats.
+// through the underlying Forests' PhaseStats.
 
 // phaseID indexes the connectivity pipeline's phases in PhaseStats order.
 type phaseID int
@@ -15,11 +15,12 @@ type phaseID int
 // Connectivity pipeline phases, in PhaseStats reporting order. Execution
 // order depends on the batch kind: add batches run classify →
 // forest_link → nontree, delete batches run classify → nontree →
-// forest_cut → interleaved search/promote rounds.
+// forest_cut → interleaved search/push_down/promote rounds.
 const (
 	phClassify   phaseID = iota // partition the batch into tree / non-tree edges
-	phForestCut                 // BatchCut of deleted tree edges
+	phForestCut                 // BatchCut of deleted tree edges, per affected level
 	phSearch                    // replacement-edge search sweeps over the smaller side
+	phPushDown                  // scanned-but-useless edges moved one level down
 	phPromote                   // non-tree -> tree promotions (replacement links)
 	phForestLink                // BatchLink of tree-forming additions
 	phNonTree                   // non-tree incidence bookkeeping
@@ -27,7 +28,7 @@ const (
 )
 
 var phaseNames = [numPhases]string{
-	"classify", "forest_cut", "search", "promote", "forest_link", "nontree",
+	"classify", "forest_cut", "search", "push_down", "promote", "forest_link", "nontree",
 }
 
 // PhaseStat is the accumulated cost of one connectivity-pipeline phase
@@ -39,22 +40,46 @@ type PhaseStat struct {
 	Time  time.Duration `json:"time_ns"`
 }
 
-// PhaseStats is the per-phase telemetry of one connectivity batch: how an
-// add or delete batch's time splits between classification, the forest
-// update, and the replacement-edge machinery. Rounds counts replacement
-// search sweeps (the connectivity analogue of contraction levels); the
-// phase times are disjoint sub-intervals of Total.
-type PhaseStats struct {
-	Batches int           `json:"batches"` // batches aggregated (1 per snapshot)
-	Adds    int64         `json:"adds"`
-	Deletes int64         `json:"deletes"`
-	Rounds  int           `json:"rounds"` // replacement search sweeps performed
-	Total   time.Duration `json:"total_ns"`
-	Phases  []PhaseStat   `json:"phases"`
+// LevelStat is the replacement-search telemetry of one level of the HDT
+// structure within a batch (or an Accumulate aggregate): how many sweeps
+// ran at the level, how many incidence entries they scanned, and where the
+// scanned edges went — pushed down (tree / non-tree) or promoted into the
+// spanning forests. The no-rescan amortization is directly auditable here:
+// across a run, Scanned at a level is bounded by the edges that entered it.
+type LevelStat struct {
+	Level         int   `json:"level"`
+	Sweeps        int64 `json:"sweeps"`
+	Scanned       int64 `json:"scanned"`
+	TreePushed    int64 `json:"tree_pushed"`
+	NontreePushed int64 `json:"nontree_pushed"`
+	Promoted      int64 `json:"promoted"`
 }
 
-// Accumulate merges o into s, phase by phase, for callers aggregating the
-// per-batch snapshots across a run of batches.
+// PhaseStats is the per-phase telemetry of one connectivity batch: how an
+// add or delete batch's time splits between classification, the forest
+// updates, and the replacement-edge machinery. Depth is the configured
+// level-structure depth (constant across batches); Rounds counts
+// replacement search sweeps; PerLevel breaks the search work down by
+// level, indexed by level number, present only for levels the batch
+// touched. Demotions counts the defensive level decreases of the batch
+// promotion guard (expected zero; see the promoteCands documentation).
+// The phase times are disjoint sub-intervals of Total.
+type PhaseStats struct {
+	Batches   int           `json:"batches"` // batches aggregated (1 per snapshot)
+	Adds      int64         `json:"adds"`
+	Deletes   int64         `json:"deletes"`
+	Depth     int           `json:"depth"`  // configured level-structure depth
+	Rounds    int           `json:"rounds"` // replacement search sweeps performed
+	Demotions int64         `json:"demotions,omitempty"`
+	Total     time.Duration `json:"total_ns"`
+	Phases    []PhaseStat   `json:"phases"`
+	PerLevel  []LevelStat   `json:"per_level,omitempty"`
+}
+
+// Accumulate merges o into s, phase by phase and level by level, for
+// callers aggregating the per-batch snapshots across a run of batches.
+// Depth is carried over rather than summed (it is a configuration, not a
+// counter).
 func (s *PhaseStats) Accumulate(o PhaseStats) {
 	if len(s.Phases) < len(o.Phases) {
 		ph := make([]PhaseStat, len(o.Phases))
@@ -67,25 +92,45 @@ func (s *PhaseStats) Accumulate(o PhaseStats) {
 	s.Batches += o.Batches
 	s.Adds += o.Adds
 	s.Deletes += o.Deletes
+	if o.Depth > s.Depth {
+		s.Depth = o.Depth
+	}
 	s.Rounds += o.Rounds
+	s.Demotions += o.Demotions
 	s.Total += o.Total
 	for i := range o.Phases {
 		s.Phases[i].Calls += o.Phases[i].Calls
 		s.Phases[i].Items += o.Phases[i].Items
 		s.Phases[i].Time += o.Phases[i].Time
 	}
+	if len(s.PerLevel) < len(o.PerLevel) {
+		pl := make([]LevelStat, len(o.PerLevel))
+		copy(pl, s.PerLevel)
+		for i := len(s.PerLevel); i < len(pl); i++ {
+			pl[i].Level = i
+		}
+		s.PerLevel = pl
+	}
+	for i := range o.PerLevel {
+		s.PerLevel[i].Sweeps += o.PerLevel[i].Sweeps
+		s.PerLevel[i].Scanned += o.PerLevel[i].Scanned
+		s.PerLevel[i].TreePushed += o.PerLevel[i].TreePushed
+		s.PerLevel[i].NontreePushed += o.PerLevel[i].NontreePushed
+		s.PerLevel[i].Promoted += o.PerLevel[i].Promoted
+	}
 }
 
 // snapshot deep-copies the stats so callers cannot alias the accumulation
-// buffer.
+// buffers.
 func (s PhaseStats) snapshot() PhaseStats {
 	out := s
 	out.Phases = append([]PhaseStat(nil), s.Phases...)
+	out.PerLevel = append([]LevelStat(nil), s.PerLevel...)
 	return out
 }
 
-// beginStats resets the telemetry for a fresh batch, reusing the phase
-// buffer across runs.
+// beginStats resets the telemetry for a fresh batch, reusing the phase and
+// level buffers across runs.
 func (g *BatchDynamicConnectivity) beginStats(adds, deletes int) {
 	if g.stats.Phases == nil {
 		g.stats.Phases = make([]PhaseStat, numPhases)
@@ -94,7 +139,25 @@ func (g *BatchDynamicConnectivity) beginStats(adds, deletes int) {
 		g.stats.Phases[i] = PhaseStat{Name: phaseNames[i]}
 	}
 	ph := g.stats.Phases
-	g.stats = PhaseStats{Batches: 1, Adds: int64(adds), Deletes: int64(deletes), Phases: ph}
+	pl := g.stats.PerLevel[:0]
+	g.stats = PhaseStats{
+		Batches:  1,
+		Adds:     int64(adds),
+		Deletes:  int64(deletes),
+		Depth:    len(g.lv),
+		Phases:   ph,
+		PerLevel: pl,
+	}
+}
+
+// perLevel returns the batch's LevelStat row for level i, growing the
+// per-level slice on first touch (rows for untouched shallower levels are
+// zero apart from their Level tag).
+func (g *BatchDynamicConnectivity) perLevel(i int) *LevelStat {
+	for len(g.stats.PerLevel) <= i {
+		g.stats.PerLevel = append(g.stats.PerLevel, LevelStat{Level: len(g.stats.PerLevel)})
+	}
+	return &g.stats.PerLevel[i]
 }
 
 // timePhase runs fn as one call of phase id, charging its wall time and
@@ -102,8 +165,15 @@ func (g *BatchDynamicConnectivity) beginStats(adds, deletes int) {
 func (g *BatchDynamicConnectivity) timePhase(id phaseID, fn func() int) {
 	start := time.Now()
 	items := fn()
+	g.addPhase(id, time.Since(start), items)
+}
+
+// addPhase charges one call of phase id with d wall time and items work
+// items (the fine-grained form used inside the search sweeps, where one
+// sweep interleaves search, push_down, and promote work).
+func (g *BatchDynamicConnectivity) addPhase(id phaseID, d time.Duration, items int) {
 	st := &g.stats.Phases[id]
 	st.Calls++
 	st.Items += int64(items)
-	st.Time += time.Since(start)
+	st.Time += d
 }

@@ -51,3 +51,42 @@ func (a *arena) appendLeaves(buf []int, c cref) []int {
 	}
 	return buf
 }
+
+// ComponentWalker enumerates a component's vertices incrementally, in the
+// same deterministic depth-first order as ComponentVertices, without
+// walking the whole component up front. Connectivity replacement searches
+// use it to scan a severed piece in doubling chunks and stop as soon as a
+// crossing edge appears — on large pieces the early exit skips most of the
+// walk. Like the other component helpers it is read-only: valid until the
+// next structural update, and usable concurrently with queries.
+type ComponentWalker struct {
+	a     *arena
+	stack []cref
+}
+
+// ComponentWalk returns a walker over u's component.
+func (f *Forest) ComponentWalk(u int) *ComponentWalker {
+	return &ComponentWalker{a: &f.a, stack: []cref{f.a.top(f.leaf(u))}}
+}
+
+// Next appends up to max further vertices of the component to buf and
+// returns the extended slice; when the walk is exhausted it appends
+// nothing. Successive calls partition the component in ComponentVertices
+// order.
+func (w *ComponentWalker) Next(buf []int, max int) []int {
+	a := w.a
+	for len(w.stack) > 0 && max > 0 {
+		c := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		h := a.at(c)
+		if h.leafV >= 0 {
+			buf = append(buf, int(h.leafV))
+			max--
+			continue
+		}
+		for k := len(h.children) - 1; k >= 0; k-- {
+			w.stack = append(w.stack, h.children[k])
+		}
+	}
+	return buf
+}

@@ -12,6 +12,7 @@ type buildOptions struct {
 	workers    int
 	workersSet bool
 	subtreeMax bool
+	levels     int
 }
 
 // WithWorkers fixes the batch worker count at construction, with the
@@ -31,6 +32,16 @@ func WithWorkers(k int) Option {
 // connectivity layer is unweighted).
 func WithSubtreeMax() Option {
 	return func(o *buildOptions) { o.subtreeMax = true }
+}
+
+// WithLevels fixes the depth of the level structure NewDynamicGraph builds
+// for its HDT-style replacement search. l <= 0 selects the ~log n default;
+// larger values are clamped down to it (deeper levels could never hold an
+// edge under the size invariant); smaller values trade amortization for
+// memory — l == 1 reproduces a single-level search. New ignores it (plain
+// forests have no connectivity level structure).
+func WithLevels(l int) Option {
+	return func(o *buildOptions) { o.levels = l }
 }
 
 // New returns the library's primary structure — a UFO-tree forest over n

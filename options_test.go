@@ -42,8 +42,24 @@ func TestNewDynamicGraphOptions(t *testing.T) {
 		t.Fatalf("WithWorkers(2): Workers() = %d", got)
 	}
 	// WithSubtreeMax is documented as ignored; the graph must still work.
-	g.BatchAddEdges([]ufotree.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	g.MustAddEdges([]ufotree.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
 	if !g.Connected(0, 2) || g.ComponentCount() != 14 {
 		t.Fatal("graph built with options must behave normally")
+	}
+
+	// WithLevels: clamped to [1, default]; 1 reproduces the single-level
+	// search, huge values fall back to the ~log n default.
+	def := ufotree.NewDynamicGraph(1 << 10).Levels()
+	if def < 2 {
+		t.Fatalf("default Levels() = %d, want a multi-level structure", def)
+	}
+	if got := ufotree.NewDynamicGraph(1<<10, ufotree.WithLevels(1)).Levels(); got != 1 {
+		t.Fatalf("WithLevels(1): Levels() = %d", got)
+	}
+	if got := ufotree.NewDynamicGraph(1<<10, ufotree.WithLevels(999)).Levels(); got != def {
+		t.Fatalf("WithLevels(999) must clamp to the default %d, got %d", def, got)
+	}
+	if got := ufotree.NewDynamicGraph(1<<10, ufotree.WithLevels(0)).Levels(); got != def {
+		t.Fatalf("WithLevels(0) must select the default %d, got %d", def, got)
 	}
 }

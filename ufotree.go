@@ -108,12 +108,20 @@ type PhaseStat struct {
 // batch shape and contraction rounds processed. Snapshots come from
 // BatchForest.PhaseStats; Accumulate aggregates them across batches.
 type PhaseStats struct {
-	Batches int           `json:"batches"` // batches aggregated (1 per snapshot)
-	Links   int64         `json:"links"`
-	Cuts    int64         `json:"cuts"`
-	Levels  int           `json:"levels"` // contraction rounds processed
-	Total   time.Duration `json:"total_ns"`
-	Phases  []PhaseStat   `json:"phases"`
+	Batches int   `json:"batches"` // batches aggregated (1 per snapshot)
+	Links   int64 `json:"links"`
+	Cuts    int64 `json:"cuts"`
+	Levels  int   `json:"levels"` // contraction rounds processed (forest snapshots)
+	// Depth and SearchRounds belong to graph snapshots
+	// (DynamicGraph.PhaseStats): the connectivity level-structure depth (a
+	// configuration, carried not summed) and the replacement-search sweeps
+	// performed. Forest snapshots leave them zero, as graph snapshots leave
+	// Levels zero — the fields are separate precisely so the one Levels
+	// counter is never overloaded with both meanings.
+	Depth        int           `json:"depth,omitempty"`
+	SearchRounds int           `json:"search_rounds,omitempty"`
+	Total        time.Duration `json:"total_ns"`
+	Phases       []PhaseStat   `json:"phases"`
 }
 
 // Accumulate merges o into s, phase by phase, for callers tracking a whole
@@ -136,6 +144,10 @@ func (s *PhaseStats) Accumulate(o PhaseStats) {
 	s.Links += o.Links
 	s.Cuts += o.Cuts
 	s.Levels += o.Levels
+	if o.Depth > s.Depth {
+		s.Depth = o.Depth
+	}
+	s.SearchRounds += o.SearchRounds
 	s.Total += o.Total
 	for i := range o.Phases {
 		s.Phases[i].Calls += o.Phases[i].Calls
