@@ -83,6 +83,11 @@ type AppliedOp = serve.AppliedOp
 type BatcherStats struct {
 	Ingest IngestStats `json:"ingest"`
 	Engine PhaseStats  `json:"engine"`
+	// Queries is the batch-query engine telemetry (zero unless the forest
+	// implements QueryEngine): every flush window's read fan-out —
+	// connectivity and path queries alike — is answered as one engine
+	// batch, so the walk-mode split of the serve traffic shows up here.
+	Queries QueryStats `json:"queries"`
 }
 
 // NewBatcher starts a Batcher over f, which must not be mutated or
@@ -167,7 +172,11 @@ func (b *Batcher) Stats() BatcherStats {
 	b.mu.Lock()
 	eng := b.eng.Clone()
 	b.mu.Unlock()
-	return BatcherStats{Ingest: ing, Engine: eng}
+	st := BatcherStats{Ingest: ing, Engine: eng}
+	if qe, ok := b.f.(QueryEngine); ok {
+		st.Queries = qe.QueryStats() // atomic counters: safe beside the flusher
+	}
+	return st
 }
 
 // Journal returns a copy of the committed-mutation journal in commit

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -22,6 +23,12 @@ type QueryResult struct {
 	Ops        int     `json:"ops"`            // queries answered (or edges applied, for update)
 	Seconds    float64 `json:"seconds"`        // wall time for those ops
 	Throughput float64 `json:"throughput_ops"` // ops per second
+	// Dist and Mode are set only by the query-distribution sub-experiment
+	// (omitted from the scaling rows so their config keys are unchanged):
+	// the endpoint distribution (uniform | zipf) and the forced walk mode
+	// (independent | shared).
+	Dist string `json:"dist,omitempty"`
+	Mode string `json:"mode,omitempty"`
 }
 
 // queryKinds is the reporting order of the per-kind rows.
@@ -151,7 +158,155 @@ func Queries(w io.Writer, n, k, q int, workers []int, seed uint64) []QueryResult
 		}
 	}
 	fmt.Fprintln(w, "# (columns: ops/second at each worker count; speedup = highest worker count / workers=1)")
+	out = append(out, queryDistributions(w, n, k, q, workers, seed)...)
 	return out
+}
+
+// distKinds is the query kinds measured by the distribution sub-experiment
+// (the two the serve read path issues: connectivity probes and path sums).
+var distKinds = []string{"connected", "pathsum"}
+
+// queryDistributions measures the shared-traversal walker against the
+// independent walker under uniform and Zipf (hot-vertex) endpoint
+// distributions: the same seeded query batches run under both forced walk
+// modes at every worker count, so each dist's shared/independent row pair
+// isolates what cooperative walking buys. Under zipf a handful of hot
+// vertices absorb most endpoint mentions — the regime where the shared
+// walker's chain memo collapses q root walks into O(unique clusters).
+func queryDistributions(w io.Writer, n, k, q int, workers []int, seed uint64) []QueryResult {
+	const (
+		rounds = 3
+		alpha  = 1.2 // endpoint popularity skew: rank r drawn ∝ (r+1)^-alpha
+	)
+	t := gen.WithRandomWeights(gen.PrefAttach(n, seed+7), 1000, seed+8)
+	fmt.Fprintf(w, "## query distributions: input %s, forced walk modes (ops/s per kind)\n", t.Name)
+	cols := make([]string, 0, len(workers))
+	for _, wk := range workers {
+		cols = append(cols, fmt.Sprintf("w=%d", wk))
+	}
+	fmt.Fprintf(w, "%-28s", "kind/dist/mode")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+
+	// The same seeded endpoint batches at every worker count and mode.
+	pairsFor := func(dist string) [][2]int {
+		r := rng.New(seed + 11)
+		pairs := make([][2]int, q)
+		if dist == "uniform" {
+			for i := range pairs {
+				pairs[i] = [2]int{r.Intn(n), r.Intn(n)}
+			}
+			return pairs
+		}
+		z := newZipfSampler(n, alpha, r)
+		for i := range pairs {
+			pairs[i] = [2]int{z.sample(), z.sample()}
+		}
+		return pairs
+	}
+	dists := map[string][][2]int{"uniform": pairsFor("uniform"), "zipf": pairsFor("zipf")}
+	modes := []struct {
+		name string
+		mode ufo.QueryMode
+	}{{"independent", ufo.QueryIndependent}, {"shared", ufo.QueryShared}}
+
+	// secs[kind/dist/mode][workerIdx]; queries never mutate the forest, so
+	// one build per worker count serves every dist x mode cell.
+	secs := map[string][]float64{}
+	rowKey := func(kind, dist, mode string) string { return kind + "/" + dist + "/" + mode }
+	for wi, wk := range workers {
+		f := ufo.New(t.N)
+		f.SetWorkers(wk)
+		links := make([]ufo.Edge, len(t.Edges))
+		for i, e := range t.Edges {
+			links[i] = ufo.Edge{U: e.U, V: e.V, W: e.W}
+		}
+		for lo := 0; lo < len(links); lo += k {
+			f.BatchLink(links[lo:min(lo+k, len(links))])
+		}
+		r := rng.New(seed + 12)
+		for v := 0; v < t.N; v++ {
+			f.SetVertexValue(v, int64(r.Intn(1000)))
+		}
+		for _, dist := range []string{"uniform", "zipf"} {
+			pairs := dists[dist]
+			for _, m := range modes {
+				f.SetQueryMode(m.mode)
+				for _, kind := range []struct {
+					name string
+					run  func()
+				}{
+					{"connected", func() { f.BatchConnected(pairs) }},
+					{"pathsum", func() { f.BatchPathSum(pairs) }},
+				} {
+					key := rowKey(kind.name, dist, m.name)
+					if secs[key] == nil {
+						secs[key] = make([]float64, len(workers))
+					}
+					for round := 0; round < rounds; round++ {
+						start := time.Now()
+						kind.run()
+						secs[key][wi] += time.Since(start).Seconds()
+					}
+				}
+			}
+		}
+	}
+	var out []QueryResult
+	for _, kind := range distKinds {
+		for _, dist := range []string{"uniform", "zipf"} {
+			for _, m := range modes {
+				key := rowKey(kind, dist, m.name)
+				fmt.Fprintf(w, "%-28s", key)
+				for wi, wk := range workers {
+					thr := float64(rounds*q) / secs[key][wi]
+					out = append(out, QueryResult{
+						Input: t.Name, Kind: kind, Workers: wk,
+						Ops: rounds * q, Seconds: secs[key][wi], Throughput: thr,
+						Dist: dist, Mode: m.name,
+					})
+					fmt.Fprintf(w, " %12.0f", thr)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	fmt.Fprintln(w, "# (dist=zipf rows: shared vs independent at equal workers is the cooperative-walk win)")
+	return out
+}
+
+// zipfSampler draws vertex ids with Zipf-distributed popularity: rank r is
+// sampled with probability proportional to (r+1)^-alpha (inversion over a
+// prefix table, as gen.Zipf does) and mapped through a random vertex
+// permutation so the hot set carries no id structure.
+type zipfSampler struct {
+	cum  []float64
+	perm []int
+	r    *rng.SplitMix64
+}
+
+func newZipfSampler(n int, alpha float64, r *rng.SplitMix64) *zipfSampler {
+	cum := make([]float64, n+1)
+	for j := 0; j < n; j++ {
+		cum[j+1] = cum[j] + math.Pow(float64(j+1), -alpha)
+	}
+	return &zipfSampler{cum: cum, perm: r.Perm(n), r: r}
+}
+
+func (z *zipfSampler) sample() int {
+	x := z.r.Float64() * z.cum[len(z.perm)]
+	lo, hi := 0, len(z.perm)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid+1] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return z.perm[lo]
 }
 
 // WriteJSON writes v as indented JSON to path (the ufobench -json flag;

@@ -240,6 +240,9 @@ func (g *BatchDynamicConnectivity) EdgeLevel(u, v int) (int, bool) {
 
 // Connected reports whether u and v are in the same component, in
 // O(min{log n, D}).
+// The probe is two root walks over the forest's packed parent column
+// (4 bytes per hop) — the same walk the replacement search and admission
+// layers lean on, so its latency is load-bearing here.
 func (g *BatchDynamicConnectivity) Connected(u, v int) bool { return g.f0().Connected(u, v) }
 
 // BatchConnected answers Connected for every (u,v) pair, fanned out over

@@ -34,7 +34,10 @@ type Engine interface {
 	BatchLink(edges []Edge)
 	// BatchCut removes a set of existing edges.
 	BatchCut(edges []Edge)
-	// BatchConnected answers Connected for every pair.
+	// BatchConnected answers Connected for every pair. The flusher hands
+	// over each window's connectivity queries as one batch, so engines
+	// with a cooperative batch-query mode (the UFO shared traversal) see
+	// the whole window at once and can deduplicate hot endpoints.
 	BatchConnected(pairs [][2]int) []bool
 }
 

@@ -48,6 +48,17 @@ type arena struct {
 	hot  []*hotChunk
 	cold []*coldChunk // nil entries unless trackMax
 
+	// par is the packed parent column: par[r] mirrors the hot row's parent
+	// handle for every slot, kept in lockstep by setParent (the single
+	// parent-write path). Root-path walks (top, pathAgg, the shared query
+	// walker) hop through these 4-byte entries instead of loading the
+	// ~256-byte hot row, which undoes the extra dependent load per hop the
+	// arena move cost the read path. Unlike the chunked rows it is one flat
+	// slice — it only ever grows inside grow(), which never runs while a
+	// phase is fanned (see reserve), so the backing array never moves under
+	// a concurrent reader.
+	par []cref
+
 	next cref   // bump cursor: slots ≥ next have never been handed out
 	free []cref // released slots available for reuse
 
@@ -79,6 +90,21 @@ func (a *arena) grow() {
 	} else {
 		a.cold = append(a.cold, nil)
 	}
+	par := make([]cref, len(a.hot)*chunkSize)
+	copy(par, a.par)
+	for i := len(a.par); i < len(par); i++ {
+		par[i] = nilRef
+	}
+	a.par = par
+}
+
+// setParent is the single parent-write path: it keeps the packed parent
+// column in lockstep with the hot row. h must be the row of c. Fanned
+// callers target distinct rows (hence distinct column entries), exactly
+// like direct hot-row writes, so no extra synchronization is needed.
+func (a *arena) setParent(h *Cluster, c, p cref) {
+	h.parent = p
+	a.par[c] = p
 }
 
 // enableCold switches the arena to hot+cold rows (EnableSubtreeMax, which
@@ -140,7 +166,7 @@ func (a *arena) release(r cref) {
 	h.childIdx = 0
 	h.pathCnt = 0
 	h.uid = 0
-	h.parent = nilRef
+	a.setParent(h, r, nilRef)
 	h.prop = nilRef
 	h.center = nilRef
 	h.children = h.children[:0]
@@ -168,13 +194,14 @@ func (a *arena) release(r cref) {
 
 // ArenaStats reports the memory shape of a Forest's cluster arena.
 type ArenaStats struct {
-	Slots          int     `json:"slots"`      // high-water slot count (bump cursor)
-	Live           int     `json:"live"`       // slots currently occupied
-	FreeList       int     `json:"free_list"`  // slots awaiting reuse
-	Allocs         uint64  `json:"allocs"`     // lifetime alloc events
-	Frees          uint64  `json:"frees"`      // lifetime release events
-	HotBytes       int64   `json:"hot_bytes"`  // reserved hot-row storage
-	ColdBytes      int64   `json:"cold_bytes"` // reserved cold-row storage
+	Slots          int     `json:"slots"`            // high-water slot count (bump cursor)
+	Live           int     `json:"live"`             // slots currently occupied
+	FreeList       int     `json:"free_list"`        // slots awaiting reuse
+	Allocs         uint64  `json:"allocs"`           // lifetime alloc events
+	Frees          uint64  `json:"frees"`            // lifetime release events
+	HotBytes       int64   `json:"hot_bytes"`        // reserved hot-row storage
+	ColdBytes      int64   `json:"cold_bytes"`       // reserved cold-row storage
+	ParentColBytes int64   `json:"parent_col_bytes"` // packed parent column
 	BytesPerVertex float64 `json:"bytes_per_vertex"`
 }
 
@@ -190,8 +217,9 @@ func (a *arena) stats(n int) ArenaStats {
 	if a.trackMax {
 		st.ColdBytes = int64(len(a.cold)) * chunkSize * int64(unsafe.Sizeof(coldCluster{}))
 	}
+	st.ParentColBytes = int64(len(a.par)) * int64(unsafe.Sizeof(cref(0)))
 	if n > 0 {
-		st.BytesPerVertex = float64(st.HotBytes+st.ColdBytes) / float64(n)
+		st.BytesPerVertex = float64(st.HotBytes+st.ColdBytes+st.ParentColBytes) / float64(n)
 	}
 	return st
 }
@@ -208,6 +236,14 @@ func (f *Forest) ArenaStats() ArenaStats { return f.a.stats(f.n) }
 // every non-free slot, with none of its handles pointing into the free
 // set. Test-only (called from Forest.Validate).
 func (a *arena) validateArena(reachable map[cref]bool) error {
+	if len(a.par) != len(a.hot)*chunkSize {
+		return fmt.Errorf("arena: parent column has %d entries for %d hot slots", len(a.par), len(a.hot)*chunkSize)
+	}
+	for r := cref(0); r < a.next; r++ {
+		if a.par[r] != a.at(r).parent {
+			return fmt.Errorf("arena: packed parent column disagrees at slot %d: column %d, hot row %d", r, a.par[r], a.at(r).parent)
+		}
+	}
 	freeSet := make(map[cref]bool, len(a.free))
 	for _, r := range a.free {
 		if r >= a.next {

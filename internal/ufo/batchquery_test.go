@@ -11,13 +11,12 @@ import (
 
 // forceParallelQueries drives the parallel batch-query fan-out on tiny
 // batches (oversubscribed workers + unit grain), mirroring forceParallel
-// for the update engine.
+// for the update engine. The grain is a per-forest field, so parallel
+// tests cannot race on it.
 func forceParallelQueries(t *testing.T, f *Forest) {
 	t.Helper()
 	forceParallel(t, f)
-	old := queryGrain
-	queryGrain = 1
-	t.Cleanup(func() { queryGrain = old })
+	f.queryGrain = 1
 }
 
 // checkBatchQueriesAgainstSingleOps asserts that every batch query result
@@ -93,10 +92,13 @@ func checkBatchQueriesAgainstSingleOps(t *testing.T, ctx string, f *Forest, ref 
 
 // runBatchQueryDifferential applies random mixed batch updates and, after
 // every batch, validates every batch-query kind against the single-op
-// queries and the oracle.
-func runBatchQueryDifferential(t *testing.T, parallelMode bool, rounds, q int, seed uint64) {
+// queries and the oracle. mode pins the batch walk mode: forcing
+// QueryShared and QueryIndependent through the same harness pins
+// shared-traversal == independent-walk == single-op == oracle.
+func runBatchQueryDifferential(t *testing.T, parallelMode bool, mode QueryMode, rounds, q int, seed uint64) {
 	n := 300
 	f := New(n)
+	f.SetQueryMode(mode)
 	if parallelMode {
 		forceParallelQueries(t, f)
 	}
@@ -137,11 +139,23 @@ func runBatchQueryDifferential(t *testing.T, parallelMode bool, rounds, q int, s
 }
 
 func TestBatchQueriesSequentialEngine(t *testing.T) {
-	runBatchQueryDifferential(t, false, 30, 40, 51)
+	runBatchQueryDifferential(t, false, QueryAuto, 30, 40, 51)
 }
 
 func TestBatchQueriesParallelEngine(t *testing.T) {
-	runBatchQueryDifferential(t, true, 30, 40, 52)
+	runBatchQueryDifferential(t, true, QueryAuto, 30, 40, 52)
+}
+
+func TestBatchQueriesSharedMode(t *testing.T) {
+	runBatchQueryDifferential(t, false, QueryShared, 30, 40, 53)
+}
+
+func TestBatchQueriesSharedModeParallel(t *testing.T) {
+	runBatchQueryDifferential(t, true, QueryShared, 30, 40, 54)
+}
+
+func TestBatchQueriesIndependentMode(t *testing.T) {
+	runBatchQueryDifferential(t, true, QueryIndependent, 30, 40, 55)
 }
 
 // TestBatchQueriesShapes validates the batch queries on adversarial tree
@@ -191,8 +205,11 @@ func TestBatchQueriesChaosStress(t *testing.T) {
 	parChaos = true
 	t.Cleanup(func() { parChaos = false })
 	for rep := 0; rep < 3; rep++ {
-		runBatchQueryDifferential(t, true, 12, 25, 70+uint64(rep))
+		runBatchQueryDifferential(t, true, QueryAuto, 12, 25, 70+uint64(rep))
 	}
+	// The shared walker has its own scratch handoffs: chaos both modes.
+	runBatchQueryDifferential(t, true, QueryShared, 12, 25, 75)
+	runBatchQueryDifferential(t, true, QueryIndependent, 12, 25, 76)
 }
 
 // TestBatchQueriesEmptyAndTiny covers the degenerate inputs: empty batches

@@ -489,7 +489,7 @@ func (c *Cluster) hasBoundary(v int32) bool {
 // parents, so the rtNew append needs no lock.
 func (a *arena) attach(p, c cref) {
 	hc, hp := a.at(c), a.at(p)
-	hc.parent = p
+	a.setParent(hc, c, p)
 	hc.childIdx = int32(len(hp.children))
 	hp.children = append(hp.children, c)
 	for h := hp; ; {
@@ -506,15 +506,14 @@ func (a *arena) attach(p, c cref) {
 	}
 }
 
-// top returns the root cluster of c's component.
+// top returns the root cluster of c's component. The walk rides the
+// packed parent column: one dependent 4-byte load per hop, against a
+// column small enough to stay cache-resident across repeated walks
+// (Connected, ComponentSize, and the shared query walker all sit on it).
 func (a *arena) top(c cref) cref {
-	// The spine is hoisted to a local so the loop carries exactly two
-	// dependent loads per hop (spine entry, row); reloading a.hot each
-	// iteration costs ~10% on this latency-bound walk (Connected,
-	// ComponentSize, and the rep cache all sit on it).
-	hot := a.hot
+	par := a.par
 	for {
-		p := hot[c>>chunkShift][c&chunkMask].parent
+		p := par[c]
 		if p == nilRef {
 			return c
 		}

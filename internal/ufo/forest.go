@@ -2,6 +2,7 @@ package ufo
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/parallel"
@@ -58,6 +59,13 @@ type Forest struct {
 	uidSrc   atomic.Uint64
 	valSeen  map[uint64]struct{} // reusable batch-validation scratch
 	eng      engine
+
+	// Batch-query engine state (batchquery.go / sharedquery.go). The
+	// scratch pool and counters are safe under concurrent batch queries.
+	queryGrain int       // min queries per worker chunk (default 64)
+	queryMode  QueryMode // forced walk mode, or QueryAuto
+	qc         queryCounters
+	qsPool     sync.Pool // *qscratch
 }
 
 // New returns an empty UFO-tree forest over n vertices.
@@ -80,7 +88,7 @@ func NewRC(n int) *Forest {
 }
 
 func newForest(n int, m Mode) *Forest {
-	f := &Forest{n: n, workers: 1, mode: m, seed: 0x9e3779b97f4a7c15}
+	f := &Forest{n: n, workers: 1, mode: m, seed: 0x9e3779b97f4a7c15, queryGrain: 64}
 	f.a.reserve(n)
 	for i := 0; i < n; i++ {
 		r := f.a.allocSlot(false)
@@ -88,7 +96,8 @@ func newForest(n int, m Mode) *Forest {
 		h.leafV = int32(i)
 		h.childIdx = -1
 		h.uid = uint64(i)
-		h.parent, h.prop, h.center = nilRef, nilRef, nilRef
+		f.a.setParent(h, r, nilRef)
+		h.prop, h.center = nilRef, nilRef
 		h.vcnt = 1
 		h.pathMax = negInf
 	}

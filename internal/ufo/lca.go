@@ -37,7 +37,7 @@ func (f *Forest) SelectOnPath(u, v, k int) (int, bool) {
 	ru := rep{e: [2]repEntry{{v: int32(u), sum: 0, max: negInf}}, n: 1}
 	rv := rep{e: [2]repEntry{{v: int32(v), sum: 0, max: negInf}}, n: 1}
 	for {
-		pu, pv := a.at(cu).parent, a.at(cv).parent
+		pu, pv := a.par[cu], a.par[cv]
 		if pu == nilRef || pv == nilRef {
 			return 0, false
 		}
@@ -156,7 +156,7 @@ func (f *Forest) ancAtLevel(x int32, level int32) cref {
 	a := &f.a
 	c := f.leaf(int(x))
 	for a.at(c).level < level {
-		c = a.at(c).parent
+		c = a.par[c]
 		if c == nilRef {
 			panic("ufo: ancestor level out of range")
 		}
@@ -175,7 +175,7 @@ func (f *Forest) cntWithin(C cref, x, b int32) int {
 	r := rep{e: [2]repEntry{{v: x, sum: 0, max: negInf}}, n: 1}
 	for c != C {
 		r = a.stepRep(c, r)
-		c = a.at(c).parent
+		c = a.par[c]
 		if c == nilRef {
 			panic("ufo: cntWithin walked past the target cluster")
 		}

@@ -123,7 +123,7 @@ func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
 	ru := rep{e: [2]repEntry{{v: int32(u), sum: 0, max: negInf}}, n: 1}
 	rv := rep{e: [2]repEntry{{v: int32(v), sum: 0, max: negInf}}, n: 1}
 	for {
-		pu, pv := a.at(cu).parent, a.at(cv).parent
+		pu, pv := a.par[cu], a.par[cv]
 		if pu == nilRef || pv == nilRef {
 			return 0, 0, 0, false
 		}
@@ -134,6 +134,14 @@ func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
 		rv = a.stepRep(cv, rv)
 		cu, cv = pu, pv
 	}
+	return a.combinePaths(cu, cv, &ru, &rv)
+}
+
+// combinePaths joins two representative paths at their LCA cluster: cu and
+// cv are distinct siblings (children of the walks' first common ancestor)
+// carrying the reps of the two query endpoints. Shared verbatim by the
+// independent lockstep walk above and the shared-traversal batch walker.
+func (a *arena) combinePaths(cu, cv cref, ru, rv *rep) (sum, mx int64, cnt int32, ok bool) {
 	if g, found := a.edgeBetween(cu, cv); found {
 		eu, okU := ru.get(g.myV)
 		ev, okV := rv.get(g.otherV)
@@ -249,8 +257,8 @@ func (f *Forest) subtreeAgg(v, p int, val func(*Cluster) int64) int64 {
 		panic(fmt.Sprintf("ufo: subtree query with non-adjacent (%d,%d)", v, p))
 	}
 	cv, cp := f.leaf(v), f.leaf(p)
-	for a.at(cv).parent != a.at(cp).parent {
-		cv, cp = a.at(cv).parent, a.at(cp).parent
+	for a.par[cv] != a.par[cp] {
+		cv, cp = a.par[cv], a.par[cp]
 		if cv == nilRef || cp == nilRef {
 			panic("ufo: adjacent vertices with no common ancestor")
 		}

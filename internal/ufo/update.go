@@ -146,7 +146,8 @@ func (e *engine) newCluster(level int) cref {
 	h.childIdx = -1
 	h.pathCnt = 0
 	h.uid = e.f.uidSrc.Add(1) - 1
-	h.parent, h.prop, h.center = nilRef, nilRef, nilRef
+	ar.setParent(h, c, nilRef)
+	h.prop, h.center = nilRef, nilRef
 	h.children = h.children[:0]
 	h.vcnt, h.subSum, h.pathSum = 0, 0, 0
 	h.pathMax = negInf
@@ -622,7 +623,7 @@ func (e *engine) execDelete(c cref, s *wscratch) {
 	hc := ar.at(c)
 	for _, y := range hc.children {
 		hy := ar.at(y)
-		hy.parent = nilRef
+		ar.setParent(hy, y, nilRef)
 		hy.childIdx = -1
 		if ar.trackMax {
 			// The dying cluster's child rank tree goes with it.
@@ -644,7 +645,10 @@ func (e *engine) execDelete(c cref, s *wscratch) {
 	fp := hc.parent
 	if fp != nilRef {
 		e.detach(c, s)
-		hc.parent = fp // former-parent handle: lets edel entries ride upward
+		// Former-parent handle: lets edel entries ride upward. Mirrored
+		// into the packed column too (dead clusters are unreachable from
+		// queries, but the column stays an exact row mirror for Validate).
+		ar.setParent(hc, c, fp)
 	}
 	e.lockC(hc)
 	s.snap = s.snap[:0]
@@ -724,7 +728,7 @@ func (e *engine) detach(c cref, s *wscratch) {
 			q = hq.parent
 		}
 	}
-	hc.parent = nilRef
+	ar.setParent(hc, c, nilRef)
 	hc.childIdx = -1
 	e.markMaxDirty(p, s)
 	if emptied {

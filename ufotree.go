@@ -176,6 +176,80 @@ func fromUFOStats(s ufo.PhaseStats) PhaseStats {
 	return out
 }
 
+// QueryMode selects how a structure's batch queries walk its hierarchy
+// (the facade mirror of ufo.QueryMode).
+type QueryMode uint8
+
+// Batch-query walk modes.
+const (
+	// QueryAuto picks per batch between the independent fan-out and the
+	// shared traversal, from the batch size and the endpoint-duplication
+	// ratio. The default.
+	QueryAuto QueryMode = iota
+	// QueryIndependent forces every batch query to run its single-op walk
+	// on its own.
+	QueryIndependent
+	// QueryShared forces the cooperative shared-traversal walker: workers
+	// memoize leaf-to-root walks per distinct endpoint and reuse them
+	// across the queries of their range, so q skewed queries cost
+	// O(unique clusters touched) instead of O(q · height).
+	QueryShared
+)
+
+// QueryStats is cumulative batch-query telemetry (the facade mirror of
+// ufo.QueryStats): how many batches ran, which walk mode answered them,
+// and how much duplicate work the shared walker saved. Counters accumulate
+// since structure creation — snapshot twice and subtract to meter an
+// interval.
+type QueryStats struct {
+	// Batches counts batch entry-point calls; Queries the individual
+	// queries inside them.
+	Batches int64 `json:"batches"`
+	Queries int64 `json:"queries"`
+	// IndependentBatches and SharedBatches split Batches by walk mode.
+	IndependentBatches int64 `json:"independent_batches"`
+	SharedBatches      int64 `json:"shared_batches"`
+	// SharedQueries counts queries answered by shared traversal.
+	SharedQueries int64 `json:"shared_queries"`
+	// SharedEndpoints counts distinct endpoints resolved fresh by shared
+	// walks; SharedMemoHits counts lookups answered from an already-built
+	// walk (the deduplicated work).
+	SharedEndpoints int64 `json:"shared_endpoints"`
+	SharedMemoHits  int64 `json:"shared_memo_hits"`
+	// SharedClusterVisits counts cluster hops taken building shared walks.
+	SharedClusterVisits int64 `json:"shared_cluster_visits"`
+}
+
+// fromUFOQueryStats converts the internal query telemetry to the facade
+// type.
+func fromUFOQueryStats(s ufo.QueryStats) QueryStats {
+	return QueryStats{
+		Batches:             s.Batches,
+		Queries:             s.Queries,
+		IndependentBatches:  s.IndependentBatches,
+		SharedBatches:       s.SharedBatches,
+		SharedQueries:       s.SharedQueries,
+		SharedEndpoints:     s.SharedEndpoints,
+		SharedMemoHits:      s.SharedMemoHits,
+		SharedClusterVisits: s.SharedClusterVisits,
+	}
+}
+
+// QueryEngine is implemented by structures whose batch-query layer exposes
+// walk-mode selection and telemetry: the UFO adapter and the ternarized
+// adapters (whose batch queries run on the UFO engine underneath). Like
+// SetWorkers, SetQueryMode must not race with in-flight batch queries.
+type QueryEngine interface {
+	// SetQueryMode forces the batch-query walk mode; QueryAuto (the
+	// default) picks per batch.
+	SetQueryMode(QueryMode)
+	// QueryMode reports the configured walk mode.
+	QueryMode() QueryMode
+	// QueryStats reports the cumulative batch-query telemetry. Safe to
+	// call concurrently with batch queries.
+	QueryStats() QueryStats
+}
+
 // BatchForest is implemented by the parallel batch-dynamic structures
 // (UFO, topology, RC, ETT).
 type BatchForest interface {
@@ -311,6 +385,15 @@ func (a *ufoAdapter) SetWorkers(k int)               { a.f.SetWorkers(k) }
 func (a *ufoAdapter) Workers() int                   { return a.f.Workers() }
 func (a *ufoAdapter) PhaseStats() PhaseStats         { return fromUFOStats(a.f.PhaseStats()) }
 
+// SetQueryMode forces the batch-query walk mode (see QueryEngine).
+func (a *ufoAdapter) SetQueryMode(m QueryMode) { a.f.SetQueryMode(ufo.QueryMode(m)) }
+
+// QueryMode reports the configured batch-query walk mode.
+func (a *ufoAdapter) QueryMode() QueryMode { return QueryMode(a.f.QueryMode()) }
+
+// QueryStats reports the cumulative batch-query telemetry.
+func (a *ufoAdapter) QueryStats() QueryStats { return fromUFOQueryStats(a.f.QueryStats()) }
+
 // ComponentID implements ComponentIDer: the root cluster's uid, stable
 // between structural updates and never reused, in O(min{log n, D}).
 func (a *ufoAdapter) ComponentID(u int) uint64 { return a.f.ComponentID(u) }
@@ -381,6 +464,19 @@ func (a *ternAdapter) SetParallel(on bool)            { a.f.Underlying().SetPara
 func (a *ternAdapter) SetWorkers(k int)               { a.f.Underlying().SetWorkers(k) }
 func (a *ternAdapter) Workers() int                   { return a.f.Underlying().Workers() }
 func (a *ternAdapter) PhaseStats() PhaseStats         { return fromUFOStats(a.f.Underlying().PhaseStats()) }
+
+// SetQueryMode forces the walk mode of the UFO engine under the
+// ternarization (see QueryEngine).
+func (a *ternAdapter) SetQueryMode(m QueryMode) { a.f.Underlying().SetQueryMode(ufo.QueryMode(m)) }
+
+// QueryMode reports the configured batch-query walk mode.
+func (a *ternAdapter) QueryMode() QueryMode { return QueryMode(a.f.Underlying().QueryMode()) }
+
+// QueryStats reports the cumulative batch-query telemetry of the UFO
+// engine under the ternarization.
+func (a *ternAdapter) QueryStats() QueryStats {
+	return fromUFOQueryStats(a.f.Underlying().QueryStats())
+}
 
 func (a *ternAdapter) BatchConnected(pairs [][2]int) []bool   { return a.f.BatchConnected(pairs) }
 func (a *ternAdapter) BatchSubtreeSum(pairs [][2]int) []int64 { return a.f.BatchSubtreeSum(pairs) }
@@ -454,6 +550,8 @@ var (
 	_ PathQuerier              = (*ufoAdapter)(nil)
 	_ SubtreeQuerier           = (*ufoAdapter)(nil)
 	_ BatchQuerier             = (*ufoAdapter)(nil)
+	_ QueryEngine              = (*ufoAdapter)(nil)
+	_ QueryEngine              = (*ternAdapter)(nil)
 	_ Forest                   = (*lctAdapter)(nil)
 	_ PathQuerier              = (*lctAdapter)(nil)
 	_ BatchForest              = (*ternAdapter)(nil)
