@@ -10,15 +10,16 @@
 //	ufobench -experiment trackmax -n 50000 -k 5000 -q 20000 -json
 //	ufobench -experiment phases -n 50000 -k 5000 -json
 //	ufobench -experiment connectivity -n 50000 -k 5000 -q 20000 -json
+//	ufobench -experiment msf -n 50000 -k 5000 -json
 //	ufobench -experiment ingest -n 20000 -clients 256 -ops 200 -json
 //
 // Experiments: table1, table2, fig5, fig6, fig7, fig8, fig9, fig16,
-// scaling, queries, trackmax, phases, connectivity, ingest, ablation, all.
+// scaling, queries, trackmax, phases, connectivity, msf, ingest, ablation, all.
 // Sizes default to laptop scale; raise -n / -k to approach the paper's
 // configuration (n=10^7, k=10^6 on a 96-core machine).
 //
 // With -json, the experiments that produce machine-readable results
-// (scaling, queries, trackmax, phases, connectivity, ingest, ablation) additionally write
+// (scaling, queries, trackmax, phases, connectivity, msf, ingest, ablation) additionally write
 // BENCH_<experiment>.json into the working directory; CI uploads these as
 // artifacts and gates them against committed baselines with cmd/benchdiff,
 // so the performance trajectory accumulates across commits and regressions
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|trackmax|phases|connectivity|ingest|ablation|all")
+		exp      = flag.String("experiment", "all", "table1|table2|fig5|fig6|fig7|fig8|fig9|fig16|scaling|queries|trackmax|phases|connectivity|msf|ingest|ablation|all")
 		n        = flag.Int("n", 50000, "input tree size")
 		k        = flag.Int("k", 5000, "batch size for parallel experiments")
 		q        = flag.Int("q", 20000, "query count (diameter sweep, batch-query, and trackmax experiments)")
@@ -99,6 +100,9 @@ func main() {
 	run("connectivity", func() {
 		writeJSON("connectivity", bench.Connectivity(w, *n, *k, *q, nil, *seed))
 	})
+	run("msf", func() {
+		writeJSON("msf", bench.MSF(w, *n, *k, nil, *seed))
+	})
 	run("ingest", func() {
 		writeJSON("ingest", bench.Ingest(w, *n, *clients, *ops, nil, *seed))
 	})
@@ -112,12 +116,12 @@ func main() {
 	valid := map[string]bool{"all": true, "table1": true, "table2": true, "fig5": true,
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig16": true,
 		"scaling": true, "queries": true, "trackmax": true, "phases": true,
-		"connectivity": true, "ingest": true, "ablation": true}
+		"connectivity": true, "msf": true, "ingest": true, "ablation": true}
 	if !valid[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n", *exp,
 			strings.Join([]string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
 				"fig16", "scaling", "queries", "trackmax", "phases", "connectivity",
-				"ingest", "ablation", "all"}, "|"))
+				"msf", "ingest", "ablation", "all"}, "|"))
 		os.Exit(2)
 	}
 	os.Exit(exitCode)

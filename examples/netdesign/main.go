@@ -1,0 +1,105 @@
+// Network design under churn: maintain the minimum-cost backbone of a
+// datacenter interconnect as links are provisioned, re-priced, and
+// decommissioned — the classic minimum-spanning-forest workload the
+// paper's introduction motivates alongside connectivity and clustering.
+//
+// The DynamicMSF facade keeps the unique minimum spanning forest of the
+// live weighted graph at all times: a cheap new link evicts the costliest
+// link on the cycle it closes, and cutting a backbone link promotes the
+// cheapest standby crossing the split (not the first one found — the
+// replacement search selects by weight, where DynamicGraph selects any).
+// Invalid batches come back as typed errors before any mutation.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func main() {
+	const (
+		n = 4000 // routers
+		k = 500  // links per provisioning batch
+	)
+	// A road-network-shaped interconnect: sparse, high diameter — the
+	// regime where incremental MSF maintenance beats recomputation by the
+	// widest margin.
+	graph := gen.RoadGraph(n, 7)
+	r := rng.New(99)
+	links := make([]ufotree.Edge, 0, len(graph.Edges))
+	seen := map[[2]int]bool{}
+	for _, e := range graph.Edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		links = append(links, ufotree.Edge{U: u, V: v, W: 1 + r.Int63()%1000})
+	}
+
+	m := ufotree.NewDynamicMSF(graph.N, ufotree.WithWorkers(4)) // RoadGraph rounds n up to a full lattice
+
+	// Provision the interconnect in batches.
+	for lo := 0; lo < len(links); lo += k {
+		hi := lo + k
+		if hi > len(links) {
+			hi = len(links)
+		}
+		if err := m.AddEdges(links[lo:hi]); err != nil {
+			log.Fatalf("provisioning batch: %v", err)
+		}
+	}
+	fmt.Printf("provisioned %d links across %d routers\n", m.EdgeCount(), m.N())
+	fmt.Printf("backbone: %d links, total cost %d (%d components)\n\n",
+		len(m.TreeEdges()), m.TotalWeight(), m.ComponentCount())
+
+	// A vendor re-prices some standby capacity to nearly free: re-adding
+	// the links at the new price pulls the cheap ones into the backbone,
+	// evicting costlier links.
+	before := m.TotalWeight()
+	var reprice []ufotree.Edge
+	for _, e := range links[:200] {
+		if u, _ := ufotree.UnderlyingMSF(m); !u.IsTreeEdge(e.U, e.V) {
+			reprice = append(reprice, ufotree.Edge{U: e.U, V: e.V, W: 1})
+		}
+	}
+	if err := m.DeleteEdges(reprice); err != nil {
+		log.Fatalf("delete for re-price: %v", err)
+	}
+	if err := m.AddEdges(reprice); err != nil {
+		log.Fatalf("re-price: %v", err)
+	}
+	fmt.Printf("re-priced %d standby links to cost 1: backbone cost %d -> %d\n",
+		len(reprice), before, m.TotalWeight())
+	st := m.PhaseStats()
+	fmt.Printf("last batch: %d search rounds, %v total\n\n", st.SearchRounds, st.Total)
+
+	// Decommission a slice of the backbone itself: the replacement search
+	// promotes the cheapest standby across each severed cut.
+	var decomm []ufotree.Edge
+	for _, e := range m.TreeEdges()[:50] {
+		decomm = append(decomm, ufotree.Edge{U: e.U, V: e.V})
+	}
+	before = m.TotalWeight()
+	comps := m.ComponentCount()
+	if err := m.DeleteEdges(decomm); err != nil {
+		log.Fatalf("decommission: %v", err)
+	}
+	u, _ := ufotree.UnderlyingMSF(m)
+	fmt.Printf("decommissioned %d backbone links: cost %d -> %d, components %d -> %d (%d promotions)\n\n",
+		len(decomm), before, m.TotalWeight(), comps, m.ComponentCount(), u.PhaseStats().Promotions)
+
+	// Malformed input is rejected atomically with a typed error.
+	bad := []ufotree.Edge{{U: 12, V: 12, W: 3}}
+	if err := m.AddEdges(bad); errors.Is(err, ufotree.ErrSelfLoop) {
+		fmt.Printf("rejected malformed batch before mutation: %v\n", err)
+	}
+}

@@ -421,3 +421,74 @@ func TestWriteJSONRoundTripConnectivity(t *testing.T) {
 		t.Fatalf("round-tripped result lost fields: %+v", back[0])
 	}
 }
+
+// TestMSFSmoke drives the dynamic-MSF experiment end to end at tiny sizes:
+// every input graph must produce every throughput kind plus the verify
+// telemetry rows, the swap rounds and replacement search must actually
+// run, and the verify rows must agree across worker counts (the
+// determinism contract).
+func TestMSFSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	results := MSF(&buf, 300, 60, []int{1, 2}, 2)
+	out := buf.String()
+	for _, want := range []string{"usa-road", "enwiki-web", "twit-social", "add", "delete", "weight_churn", "# verify w=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("msf output missing %q:\n%s", want, out)
+		}
+	}
+	kindRows := 0
+	verify := map[string][]MSFResult{}
+	for _, r := range results {
+		if r.Kind == "verify" {
+			if r.Throughput != 0 {
+				t.Fatalf("verify row carries a throughput: %+v", r)
+			}
+			verify[r.Input] = append(verify[r.Input], r)
+			continue
+		}
+		kindRows++
+		if r.Ops <= 0 || r.Seconds <= 0 || r.Throughput <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+	}
+	if kindRows != 3*len(msfKinds)*2 {
+		t.Fatalf("got %d kind rows, want %d", kindRows, 3*len(msfKinds)*2)
+	}
+	for input, rows := range verify {
+		if len(rows) != 2 {
+			t.Fatalf("input %s has %d verify rows, want 2", input, len(rows))
+		}
+		a, b := rows[0], rows[1]
+		if a.Swaps != b.Swaps || a.Promotions != b.Promotions || a.Rounds != b.Rounds || a.TotalWeight != b.TotalWeight {
+			t.Fatalf("input %s verify rows diverge across worker counts: %+v vs %+v", input, a, b)
+		}
+		if a.Swaps == 0 || a.Promotions == 0 {
+			t.Fatalf("input %s recorded no swaps/promotions — workload not exercising the MSF paths: %+v", input, a)
+		}
+	}
+}
+
+// TestWriteJSONRoundTripMSF covers the MSF experiment's artifact emission
+// so benchdiff can gate BENCH_msf.json.
+func TestWriteJSONRoundTripMSF(t *testing.T) {
+	var buf bytes.Buffer
+	results := MSF(&buf, 300, 60, []int{1}, 2)
+	path := filepath.Join(t.TempDir(), "BENCH_msf.json")
+	if err := WriteJSON(path, results); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	var back []MSFResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(results) {
+		t.Fatalf("round trip lost results: %d != %d", len(back), len(results))
+	}
+	if back[0].Kind == "" || back[0].Input == "" || back[0].Workers == 0 || back[0].Throughput <= 0 {
+		t.Fatalf("round-tripped result lost fields: %+v", back[0])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/search"
 	"repro/internal/ufo"
 )
 
@@ -113,7 +114,7 @@ type BatchDynamicConnectivity struct {
 	// union-find over top-level component ids that guards deferred
 	// promotions against cycles. Both live only inside BatchDeleteEdges.
 	pend    [][]ufo.Edge
-	shadow0 *compUF
+	shadow0 *search.CompUF
 }
 
 // New returns an empty dynamic graph over n vertices (no edges, n
@@ -380,9 +381,9 @@ func (g *BatchDynamicConnectivity) BatchAddEdges(edges []Edge) {
 				ends[i] = [2]uint64{f.ComponentID(edges[i].U), f.ComponentID(edges[i].V)}
 			}
 		})
-		uf := newCompUF(len(edges))
+		uf := search.NewCompUF(len(edges))
 		for i, e := range edges {
-			if uf.union(ends[i][0], ends[i][1]) {
+			if uf.Union(ends[i][0], ends[i][1]) {
 				treeLinks = append(treeLinks, ufo.Edge{U: e.U, V: e.V, W: 1})
 			} else {
 				nonTree = append(nonTree, e)
@@ -451,61 +452,4 @@ func (g *BatchDynamicConnectivity) teInsert(i, u, v int) {
 func (g *BatchDynamicConnectivity) teRemove(i, u, v int) {
 	delete(g.lv[i].te[u], v)
 	delete(g.lv[i].te[v], u)
-}
-
-// compUF is a tiny union-find over component ids, used to build the
-// batch-internal spanning structure of an add batch and the per-sweep
-// promotion set of the replacement search. Ids are interned into dense
-// indices on first sight, so the arrays stay batch-sized.
-type compUF struct {
-	idx    map[uint64]int
-	parent []int
-}
-
-func newCompUF(capHint int) *compUF {
-	return &compUF{idx: make(map[uint64]int, 2*capHint)}
-}
-
-func (u *compUF) intern(id uint64) int {
-	if i, ok := u.idx[id]; ok {
-		return i
-	}
-	i := len(u.parent)
-	u.idx[id] = i
-	u.parent = append(u.parent, i)
-	return i
-}
-
-func (u *compUF) find(i int) int {
-	for u.parent[i] != i {
-		u.parent[i] = u.parent[u.parent[i]]
-		i = u.parent[i]
-	}
-	return i
-}
-
-// same reports whether a and b are in the same set.
-func (u *compUF) same(a, b uint64) bool {
-	return u.find(u.intern(a)) == u.find(u.intern(b))
-}
-
-// union merges the sets of a and b, reporting whether they were distinct.
-func (u *compUF) union(a, b uint64) bool {
-	ra, rb := u.find(u.intern(a)), u.find(u.intern(b))
-	if ra == rb {
-		return false
-	}
-	u.parent[rb] = ra
-	return true
-}
-
-// unionIdx merges two sets given by already-interned indices and returns
-// the surviving root (the search overlay keys its class table by root, so
-// the caller needs to know which one won).
-func (u *compUF) unionIdx(a, b int) int {
-	ra, rb := u.find(a), u.find(b)
-	if ra != rb {
-		u.parent[rb] = ra
-	}
-	return ra
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/search"
 	"repro/internal/ufo"
 )
 
@@ -143,7 +144,7 @@ func (g *BatchDynamicConnectivity) BatchDeleteEdges(edges []Edge) {
 	if g.pend == nil {
 		g.pend = make([][]ufo.Edge, len(g.lv))
 	}
-	g.shadow0 = newCompUF(16)
+	g.shadow0 = search.NewCompUF(16)
 	for i := maxCutLev; i >= 0; i-- {
 		g.flushPend(i)
 		g.searchLevel(i, wit[i])
@@ -190,99 +191,33 @@ func (g *BatchDynamicConnectivity) searchLevel(i int, ws []witness) {
 	}
 }
 
-// class is a live piece of a search group at one level: one or more
-// level-i forest components virtually merged by this batch's pending
-// promotions. members holds one representative vertex per constituent
-// component (deterministic first-seen order), size their total vertex
-// count, witness the smallest witness inside (the sort tie-break).
-type class struct {
-	root    int // overlay index; kept current on merge
-	members []int
-	size    int
-	witness int
-}
-
-// levelSearch is the per-group search state at one level: the union-find
-// overlay mapping the static level-i forest's component ids to live
-// classes, and the class table keyed by overlay root.
+// levelSearch is the per-group search state at one level: the shared
+// replacement-search core (internal/search: overlay union-find, class
+// table, skip-largest round loop) bound to the static level-i forest.
 type levelSearch struct {
-	g       *BatchDynamicConnectivity
-	i       int
-	f       *ufo.Forest
-	overlay *compUF
-	classes map[int]*class
-	maximal map[int]bool
-}
-
-// classOf returns the live class owning component id, creating a
-// singleton class on first sight (every piece of the group is reachable
-// through witnesses, but a freshly seen far endpoint is admitted
-// defensively).
-func (s *levelSearch) classOf(id uint64, rep int) *class {
-	r := s.overlay.find(s.overlay.intern(id))
-	if c, ok := s.classes[r]; ok {
-		return c
-	}
-	c := &class{root: r, members: []int{rep}, size: s.f.ComponentSize(rep), witness: rep}
-	s.classes[r] = c
-	return c
+	g   *BatchDynamicConnectivity
+	i   int
+	f   *ufo.Forest
+	grp *search.Group
 }
 
 // searchGroup restores maximality at level i among the current components
-// holding the group's witnesses. Each round sorts the live classes by
-// (size, witness), skips the largest, and sweeps the rest; a sweep either
-// consumes crossing edges (merging classes) or proves its class maximal at
-// this level. The round loop ends when at most one unmarked class remains.
+// holding the group's witnesses. The shared round loop sorts the live
+// classes by (size, witness), skips the largest, and sweeps the rest; a
+// sweep either consumes crossing edges (merging classes) or proves its
+// class maximal at this level. The loop ends when at most one unmarked
+// class remains.
 func (g *BatchDynamicConnectivity) searchGroup(i int, witnesses []int) {
+	f := g.lv[i].f
 	s := &levelSearch{
-		g:       g,
-		i:       i,
-		f:       g.lv[i].f,
-		overlay: newCompUF(len(witnesses)),
-		classes: make(map[int]*class, len(witnesses)),
-		maximal: make(map[int]bool),
+		g:   g,
+		i:   i,
+		f:   f,
+		grp: search.NewGroup(witnesses, f.ComponentID, f.ComponentSize),
 	}
-	for _, w := range witnesses {
-		id := s.f.ComponentID(w)
-		c := s.classOf(id, w)
-		if w < c.witness {
-			c.witness = w
-		}
-	}
-	for {
-		live := make([]*class, 0, len(s.classes))
-		for r, c := range s.classes {
-			if !s.maximal[r] {
-				live = append(live, c)
-			}
-		}
-		if len(live) <= 1 {
-			return
-		}
-		sort.Slice(live, func(a, b int) bool {
-			if live[a].size != live[b].size {
-				return live[a].size < live[b].size
-			}
-			return live[a].witness < live[b].witness
-		})
-		progressed := false
-		for _, c := range live[:len(live)-1] {
-			if s.classes[s.overlay.find(c.root)] != c {
-				continue // merged into another class this round
-			}
-			if s.maximal[c.root] {
-				continue
-			}
-			if g.sweepClass(s, c) > 0 {
-				progressed = true
-			} else {
-				s.maximal[c.root] = true
-			}
-		}
-		if !progressed {
-			return
-		}
-	}
+	s.grp.Run(func(c *search.Class) int {
+		return g.sweepClass(s, c)
+	})
 }
 
 // obs is one scanned incidence entry: the edge and the far endpoint's
@@ -313,12 +248,12 @@ type cand struct {
 // the sweep — in that fast path the sweep writes nothing but the
 // promotions. Returns the number of crossing candidates consumed
 // (promotions plus demotions; 0 means the class is maximal at level i).
-func (g *BatchDynamicConnectivity) sweepClass(s *levelSearch, c *class) int {
+func (g *BatchDynamicConnectivity) sweepClass(s *levelSearch, c *search.Class) int {
 	i := s.i
 	ls := g.perLevel(i)
 	ls.Sweeps++
 	g.stats.Rounds++
-	canPush := i+1 < len(g.lv) && c.size <= g.n>>uint(i+1)
+	canPush := i+1 < len(g.lv) && c.Size <= g.n>>uint(i+1)
 	treePushed := false
 	nt := g.lv[i].nt
 	nw := g.workers
@@ -327,8 +262,8 @@ func (g *BatchDynamicConnectivity) sweepClass(s *levelSearch, c *class) int {
 	}
 	chunk := sweepChunkBase
 	var verts []int
-	for mi := 0; mi < len(c.members); mi++ {
-		walker := s.f.ComponentWalk(c.members[mi])
+	for mi := 0; mi < len(c.Members); mi++ {
+		walker := s.f.ComponentWalk(c.Members[mi])
 		for {
 			verts = walker.Next(verts[:0], chunk)
 			if len(verts) == 0 {
@@ -338,7 +273,7 @@ func (g *BatchDynamicConnectivity) sweepClass(s *levelSearch, c *class) int {
 			var internals [][2]int
 			var cands []cand
 			scanned := 0
-			myRoot := s.overlay.find(c.root)
+			myRoot := s.grp.Overlay.Find(c.Root)
 			if nw == 1 || len(verts) < 2*classifyGrain {
 				// Serial fast path: classify each incidence entry as it is
 				// scanned, no intermediate buffer. Entry order is map
@@ -347,7 +282,7 @@ func (g *BatchDynamicConnectivity) sweepClass(s *levelSearch, c *class) int {
 				for _, vx := range verts {
 					for vy := range nt[vx] {
 						scanned++
-						far := s.overlay.find(s.overlay.intern(s.f.ComponentID(vy)))
+						far := s.grp.Overlay.Find(s.grp.Overlay.Intern(s.f.ComponentID(vy)))
 						if far == myRoot {
 							internals = append(internals, [2]int{vx, vy})
 						} else {
@@ -373,7 +308,7 @@ func (g *BatchDynamicConnectivity) sweepClass(s *levelSearch, c *class) int {
 				for wk := 0; wk < nw; wk++ {
 					scanned += len(perW[wk])
 					for _, o := range perW[wk] {
-						far := s.overlay.find(s.overlay.intern(o.id))
+						far := s.grp.Overlay.Find(s.grp.Overlay.Intern(o.id))
 						if far == myRoot {
 							internals = append(internals, [2]int{o.x, o.y})
 						} else {
@@ -409,10 +344,10 @@ func (g *BatchDynamicConnectivity) sweepClass(s *levelSearch, c *class) int {
 // spanning tree there (its level-≥(i+1) edges are already in that forest),
 // so the pending batch stays acyclic and the class becomes one
 // level-(i+1) component once flushed.
-func (g *BatchDynamicConnectivity) pushClassTree(s *levelSearch, c *class) int {
+func (g *BatchDynamicConnectivity) pushClassTree(s *levelSearch, c *search.Class) int {
 	i := s.i
 	var push [][2]int
-	for _, m := range c.members {
+	for _, m := range c.Members {
 		g.scratch = s.f.ComponentVertices(m, g.scratch[:0])
 		for _, vx := range g.scratch {
 			for vy := range g.lv[i].te[vx] {
@@ -485,26 +420,26 @@ func (g *BatchDynamicConnectivity) pushInternals(i int, internals [][2]int) int 
 // finest level where its endpoints are connected, which re-establishes its
 // non-tree invariant without touching any forest. At level 0 the overlay
 // itself is the top-level guard.
-func (g *BatchDynamicConnectivity) promoteCands(s *levelSearch, c *class, cands []cand) int {
+func (g *BatchDynamicConnectivity) promoteCands(s *levelSearch, c *search.Class, cands []cand) int {
 	tStart := time.Now()
 	sort.Slice(cands, func(a, b int) bool { return cands[a].k < cands[b].k })
 	i := s.i
 	ls := g.perLevel(i)
 	progress, promoted := 0, 0
 	for _, cd := range cands {
-		myRoot := s.overlay.find(c.root)
-		far := s.overlay.find(cd.far)
+		myRoot := s.grp.Overlay.Find(c.Root)
+		far := s.grp.Overlay.Find(cd.far)
 		if far == myRoot {
 			continue // another candidate already bridges to this class
 		}
 		if i > 0 {
 			id0x, id0y := g.f0().ComponentID(cd.x), g.f0().ComponentID(cd.y)
-			if id0x == id0y || g.shadow0.same(id0x, id0y) {
+			if id0x == id0y || g.shadow0.Same(id0x, id0y) {
 				g.demote(i, cd.x, cd.y)
 				progress++
 				continue
 			}
-			g.shadow0.union(id0x, id0y)
+			g.shadow0.Union(id0x, id0y)
 		}
 		g.ntRemove(i, cd.x, cd.y)
 		g.teInsert(i, cd.x, cd.y)
@@ -512,22 +447,7 @@ func (g *BatchDynamicConnectivity) promoteCands(s *levelSearch, c *class, cands 
 		for j := i; j >= 0; j-- {
 			g.pend[j] = append(g.pend[j], ufo.Edge{U: cd.x, V: cd.y, W: 1})
 		}
-		farClass := s.classes[far]
-		if farClass == nil {
-			farClass = s.classOf(s.f.ComponentID(cd.y), cd.y)
-		}
-		newRoot := s.overlay.unionIdx(myRoot, far)
-		delete(s.maximal, myRoot)
-		delete(s.maximal, far)
-		delete(s.classes, myRoot)
-		delete(s.classes, far)
-		c.members = append(c.members, farClass.members...)
-		c.size += farClass.size
-		if farClass.witness < c.witness {
-			c.witness = farClass.witness
-		}
-		c.root = newRoot
-		s.classes[newRoot] = c
+		s.grp.Absorb(c, far, cd.y)
 		ls.Promoted++
 		promoted++
 		progress++

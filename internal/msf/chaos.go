@@ -1,0 +1,15 @@
+package msf
+
+import "runtime"
+
+// parChaos, when set by tests, yields the processor at the entry of every
+// parallel worker body, shaking goroutine interleavings so the race
+// detector and the differential suites see more schedules. Never set
+// outside tests.
+var parChaos bool
+
+func chaos() {
+	if parChaos {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,43 @@
+// Package msf maintains a batch-dynamic minimum spanning forest of a
+// weighted undirected graph on top of a single ufo.Forest, the weighted
+// twin of internal/conn: where conn keeps any spanning forest, msf keeps
+// the one minimizing total edge weight, using the forest's weighted path
+// aggregates for the cycle checks connectivity never needs.
+//
+// Uniqueness contract: edges are ordered by (weight, normalized edge key),
+// a total order, so the minimum spanning forest is unique and every batch
+// leaves exactly that forest — the same answer a from-scratch Kruskal
+// recompute over the live edge set produces, at every worker count. Equal
+// weights break toward the smaller key for inclusion (equivalently: the
+// evicted maximum breaks toward the larger key), matching the engine's
+// PathMaxEdge/BatchPathMaxEdge tie rule.
+//
+// Adds classify against the forest in parallel (ComponentID reads plus the
+// batch-order union-find from internal/search): non-cycle-closing edges
+// link directly in one BatchLink. Cycle-closing candidates then run
+// batched cycle-max rounds: BatchPathMaxEdge answers, for every candidate
+// at once, the heaviest tree edge on its endpoint path; candidates that
+// beat it swap in (cut the evicted edge, link the candidate), the evicted
+// edge rejoins the candidate pool, and conflicting winners naming the same
+// evictee defer to the next round. The rounds end when a pass applies no
+// swap, at which point every remaining candidate has re-verified the cycle
+// property against the final forest and settles into the per-vertex
+// non-tree incidence set.
+//
+// Deletes drop non-tree edges with no structural work, cut tree edges in
+// one BatchCut, and repair with the shared replacement-search core
+// (internal/search): witnesses group by pre-cut component, each group runs
+// the skip-largest round loop, and each sweep scans its whole class —
+// unlike conn, no early exit at the first crossing chunk — to promote the
+// single minimum-(weight, key) crossing edge, the cut-property-safe
+// choice (Borůvka's rule, one promotion per sweep).
+//
+// Batch preconditions mirror conn: self loops, in-batch repeats in either
+// orientation, adds of present edges, and deletes of absent edges panic
+// deterministically before any mutation. The facade (ufotree.DynamicMSF)
+// converts the same checks into typed errors.
+//
+// Concurrency contract: batches must not run concurrently with each other
+// or with queries; read-only queries may run concurrently with each other
+// between batches. SetWorkers propagates to the underlying forest.
+package msf

@@ -1,0 +1,453 @@
+package msf
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/search"
+	"repro/internal/ufo"
+)
+
+// Edge is a weighted undirected graph edge in batch add/delete operations.
+// Deletes identify edges by endpoints only; the weight field is ignored
+// there.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// key normalizes an edge to an orientation-independent map key, so (u,v)
+// and (v,u) name the same edge everywhere in this package. The packing
+// matches the forest engine's edge keys, so PathMaxEdge answers compare
+// directly.
+func key(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// less reports whether edge (w1,k1) precedes (w2,k2) in the total order
+// the structure minimizes over: weight first, normalized edge key breaking
+// ties. The unique MSF is the Kruskal forest of this order.
+func less(w1 int64, k1 uint64, w2 int64, k2 uint64) bool {
+	return w1 < w2 || (w1 == w2 && k1 < k2)
+}
+
+// edgeRec is the central per-edge record: the live weight and whether the
+// edge is currently in the minimum spanning forest.
+type edgeRec struct {
+	w    int64
+	tree bool
+}
+
+// SimplifyEdges normalizes a raw weighted (possibly multi-)graph edge list
+// into the simple edge list the batch contract requires: self loops
+// dropped and both orientations of an edge deduplicated, keeping
+// first-seen order (and the first-seen weight).
+func SimplifyEdges(raw []Edge) []Edge {
+	seen := make(map[uint64]struct{}, len(raw))
+	out := make([]Edge, 0, len(raw))
+	for _, e := range raw {
+		if e.U == e.V {
+			continue
+		}
+		k := key(e.U, e.V)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}
+
+// BatchDynamicMSF maintains the unique minimum spanning forest (under the
+// (weight, key) total order) of a weighted undirected graph under batches
+// of edge insertions and deletions. The forest lives in a single
+// ufo.Forest whose link weights are the real edge weights, so the engine's
+// path aggregates answer the cycle-max question directly; every non-forest
+// edge is held in a per-vertex weighted incidence structure.
+//
+// The zero value is not usable; construct with New. Batches must not run
+// concurrently with each other or with queries; read-only queries may run
+// concurrently with each other between batches.
+type BatchDynamicMSF struct {
+	n       int
+	f       *ufo.Forest
+	rec     map[uint64]edgeRec // every live edge: weight + tree flag
+	nt      []map[int]int64    // nt[u]: non-tree neighbors of u with edge weights
+	ntCount int
+	total   int64 // sum of tree-edge weights
+	workers int
+	stats   PhaseStats
+	scratch []int // reused ComponentVertices buffer for the search sweeps
+}
+
+// New returns an empty minimum spanning forest over n vertices (no edges,
+// n components).
+func New(n int) *BatchDynamicMSF {
+	return &BatchDynamicMSF{
+		n:       n,
+		f:       ufo.New(n),
+		rec:     make(map[uint64]edgeRec),
+		nt:      make([]map[int]int64, n),
+		workers: 1,
+	}
+}
+
+// N returns the number of vertices.
+func (m *BatchDynamicMSF) N() int { return m.n }
+
+// SetWorkers fixes the worker count used by batch operations, with the
+// forest layer's clamp rules: k <= 0 defaults to GOMAXPROCS, k == 1 runs
+// fully sequentially, larger counts fan the classification, cycle-max
+// query, and search phases out over k goroutines.
+func (m *BatchDynamicMSF) SetWorkers(k int) {
+	if k <= 0 {
+		k = parallel.Procs()
+	}
+	m.workers = k
+	m.f.SetWorkers(k)
+}
+
+// Workers reports the configured worker count, after clamping.
+func (m *BatchDynamicMSF) Workers() int { return m.workers }
+
+// TotalWeight returns the sum of the forest's edge weights — the weight of
+// the minimum spanning forest of the live graph — in O(1).
+func (m *BatchDynamicMSF) TotalWeight() int64 { return m.total }
+
+// EdgeCount returns the number of live edges (forest and non-forest).
+func (m *BatchDynamicMSF) EdgeCount() int { return m.f.EdgeCount() + m.ntCount }
+
+// TreeEdgeCount returns the number of minimum-spanning-forest edges.
+func (m *BatchDynamicMSF) TreeEdgeCount() int { return m.f.EdgeCount() }
+
+// NonTreeEdgeCount returns the number of live edges outside the forest.
+func (m *BatchDynamicMSF) NonTreeEdgeCount() int { return m.ntCount }
+
+// ComponentCount returns the number of connected components, in O(1).
+func (m *BatchDynamicMSF) ComponentCount() int { return m.n - m.f.EdgeCount() }
+
+// HasEdge reports whether edge (u,v) is present, in O(1).
+func (m *BatchDynamicMSF) HasEdge(u, v int) bool {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		return false
+	}
+	_, ok := m.rec[key(u, v)]
+	return ok
+}
+
+// EdgeWeight returns the weight of edge (u,v) and whether it is present.
+func (m *BatchDynamicMSF) EdgeWeight(u, v int) (int64, bool) {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		return 0, false
+	}
+	r, ok := m.rec[key(u, v)]
+	return r.w, ok
+}
+
+// IsTreeEdge reports whether (u,v) is currently a minimum-spanning-forest
+// edge. Unlike conn's spanning forest, tree membership here is contractual:
+// the forest is the unique MSF under the (weight, key) order.
+func (m *BatchDynamicMSF) IsTreeEdge(u, v int) bool {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		return false
+	}
+	r, ok := m.rec[key(u, v)]
+	return ok && r.tree
+}
+
+// Connected reports whether u and v are in the same component, in
+// O(min{log n, D}).
+func (m *BatchDynamicMSF) Connected(u, v int) bool { return m.f.Connected(u, v) }
+
+// BatchConnected answers Connected for every (u,v) pair, fanned out over
+// the configured worker count.
+func (m *BatchDynamicMSF) BatchConnected(pairs [][2]int) []bool {
+	return m.f.BatchConnected(pairs)
+}
+
+// ComponentID returns an opaque identifier of u's component: equal for two
+// vertices exactly when they are connected, stable between batches, never
+// reused.
+func (m *BatchDynamicMSF) ComponentID(u int) uint64 { return m.f.ComponentID(u) }
+
+// TreeEdges returns the minimum spanning forest's edges sorted by
+// normalized key (deterministic at every worker count), freshly allocated.
+// O(E) over all live edges plus the sort.
+func (m *BatchDynamicMSF) TreeEdges() []Edge {
+	out := make([]Edge, 0, m.f.EdgeCount())
+	for k, r := range m.rec {
+		if r.tree {
+			out = append(out, Edge{U: int(int32(k >> 32)), V: int(int32(uint32(k))), W: r.w})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return key(out[a].U, out[a].V) < key(out[b].U, out[b].V)
+	})
+	return out
+}
+
+// Forest exposes the underlying ufo.Forest for read-only use between
+// batches (path aggregates over the MSF, e.g. bottleneck queries via
+// PathMax). Mutating it directly corrupts the structure.
+func (m *BatchDynamicMSF) Forest() *ufo.Forest { return m.f }
+
+// PhaseStats returns the per-phase telemetry of the most recent batch
+// (single-edge AddEdge/DeleteEdge included), reset at the start of each
+// batch; aggregate run-level views with PhaseStats.Accumulate. The zero
+// value is returned before the first batch.
+func (m *BatchDynamicMSF) PhaseStats() PhaseStats { return m.stats.snapshot() }
+
+// AddEdge inserts the single edge (u,v,w): a one-element BatchAddEdges.
+func (m *BatchDynamicMSF) AddEdge(u, v int, w int64) {
+	m.BatchAddEdges([]Edge{{U: u, V: v, W: w}})
+}
+
+// DeleteEdge removes the single edge (u,v): a one-element BatchDeleteEdges.
+func (m *BatchDynamicMSF) DeleteEdge(u, v int) {
+	m.BatchDeleteEdges([]Edge{{U: u, V: v}})
+}
+
+// checkVertex panics when v is out of range (part of the pre-mutation
+// validation pass, so the panic is deterministic and leaves the structure
+// untouched).
+func (m *BatchDynamicMSF) checkVertex(v int) {
+	if v < 0 || v >= m.n {
+		panic(fmt.Sprintf("msf: vertex %d out of range [0,%d)", v, m.n))
+	}
+}
+
+// validateAddBatch enforces the BatchAddEdges preconditions before any
+// mutation: vertices in range, no self loops, no edge repeated inside the
+// batch (in either orientation), and no edge already present. A recovered
+// panic leaves the structure exactly as it was.
+func (m *BatchDynamicMSF) validateAddBatch(edges []Edge) {
+	seen := make(map[uint64]struct{}, len(edges))
+	for _, e := range edges {
+		m.checkVertex(e.U)
+		m.checkVertex(e.V)
+		if e.U == e.V {
+			panic(fmt.Sprintf("msf: self loop %d in batch add", e.U))
+		}
+		k := key(e.U, e.V)
+		if _, dup := seen[k]; dup {
+			panic(fmt.Sprintf("msf: edge (%d,%d) repeated in batch add", e.U, e.V))
+		}
+		seen[k] = struct{}{}
+		if _, present := m.rec[k]; present {
+			panic(fmt.Sprintf("msf: duplicate edge (%d,%d)", e.U, e.V))
+		}
+	}
+}
+
+// validateDeleteBatch enforces the BatchDeleteEdges preconditions before
+// any mutation: vertices in range, no self loops, no edge repeated inside
+// the batch in either orientation, and every edge present.
+func (m *BatchDynamicMSF) validateDeleteBatch(edges []Edge) {
+	seen := make(map[uint64]struct{}, len(edges))
+	for _, e := range edges {
+		m.checkVertex(e.U)
+		m.checkVertex(e.V)
+		if e.U == e.V {
+			panic(fmt.Sprintf("msf: self loop %d in batch delete", e.U))
+		}
+		k := key(e.U, e.V)
+		if _, dup := seen[k]; dup {
+			panic(fmt.Sprintf("msf: edge (%d,%d) repeated in batch delete", e.U, e.V))
+		}
+		seen[k] = struct{}{}
+		if _, present := m.rec[k]; !present {
+			panic(fmt.Sprintf("msf: deleting absent edge (%d,%d)", e.U, e.V))
+		}
+	}
+}
+
+// classifyGrain is the smallest per-worker chunk of the classification
+// fan-outs; tests lower it (like the forest's parGrain) to drive the
+// parallel paths on tiny batches.
+var classifyGrain = 64
+
+// ntInsert records (u,v) as a non-tree edge with weight w in both
+// endpoints' incidence maps.
+func (m *BatchDynamicMSF) ntInsert(u, v int, w int64) {
+	if m.nt[u] == nil {
+		m.nt[u] = make(map[int]int64, 4)
+	}
+	if m.nt[v] == nil {
+		m.nt[v] = make(map[int]int64, 4)
+	}
+	m.nt[u][v] = w
+	m.nt[v][u] = w
+	m.ntCount++
+}
+
+// ntRemove drops the non-tree edge (u,v) from both incidence maps.
+func (m *BatchDynamicMSF) ntRemove(u, v int) {
+	delete(m.nt[u], v)
+	delete(m.nt[v], u)
+	m.ntCount--
+}
+
+// BatchAddEdges inserts a batch of weighted edges. Edges that merge two
+// components extend the forest directly (one parallel BatchLink); edges
+// that would close a cycle — against the current forest or against earlier
+// edges of the same batch — enter the candidate pool and run the cycle-max
+// swap rounds: a candidate joins the forest iff it precedes the heaviest
+// edge on its endpoint path in the (weight, key) order, evicting that edge
+// into the pool. Rounds repeat until a pass applies no swap, so every
+// settled non-tree edge has verified the cycle property against the final
+// forest; the result is the unique MSF of the live graph.
+//
+// Adversarial batches (self loops, in-batch repeats in either orientation,
+// edges already present) panic deterministically before any mutation; see
+// validateAddBatch.
+func (m *BatchDynamicMSF) BatchAddEdges(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	m.validateAddBatch(edges)
+	m.beginStats(len(edges), 0)
+	start := time.Now()
+
+	// Classify: compute every endpoint's component in parallel (read-only
+	// root walks), then build the batch-internal spanning structure with a
+	// sequential union-find over component ids, in batch order, so the
+	// tree/candidate split is deterministic at every worker count.
+	var treeLinks []ufo.Edge
+	var pool []Edge
+	m.timePhase(phClassify, func() int {
+		ends := make([][2]uint64, len(edges))
+		parallel.WorkersForRangeAuto(m.workers, len(edges), classifyGrain, func(_, lo, hi int) {
+			chaos()
+			for i := lo; i < hi; i++ {
+				ends[i] = [2]uint64{m.f.ComponentID(edges[i].U), m.f.ComponentID(edges[i].V)}
+			}
+		})
+		uf := search.NewCompUF(len(edges))
+		for i, e := range edges {
+			if uf.Union(ends[i][0], ends[i][1]) {
+				treeLinks = append(treeLinks, ufo.Edge{U: e.U, V: e.V, W: e.W})
+			} else {
+				pool = append(pool, e)
+			}
+		}
+		return len(edges)
+	})
+	m.timePhase(phForestLink, func() int {
+		if len(treeLinks) > 0 {
+			m.f.BatchLink(treeLinks)
+		}
+		for _, e := range treeLinks {
+			m.rec[key(e.U, e.V)] = edgeRec{w: e.W, tree: true}
+			m.total += e.W
+		}
+		return len(treeLinks)
+	})
+
+	// A directly linked batch edge is not necessarily an MSF edge (a
+	// lighter candidate may thread the same cut), but every improving swap
+	// the rounds below apply strictly decreases the forest's sorted weight
+	// multiset, and the loop only stops when no candidate improves — the
+	// local-optimality characterization of the unique MSF.
+	m.swapRounds(pool)
+	m.stats.Total = time.Since(start)
+}
+
+// swapRounds runs the cycle-max rounds over the candidate pool until
+// quiescence, then settles the surviving candidates as non-tree edges.
+// Every candidate's endpoints are connected in the forest throughout: a
+// candidate either closed a cycle at classification time or was evicted by
+// a swap whose replacement re-connected its endpoints.
+func (m *BatchDynamicMSF) swapRounds(pool []Edge) {
+	for len(pool) > 0 {
+		// One round: the forest is static, so the whole pool's cycle-max
+		// queries batch into one parallel BatchPathMaxEdge.
+		pairs := make([][2]int, len(pool))
+		for i, e := range pool {
+			pairs[i] = [2]int{e.U, e.V}
+		}
+		var mw []int64
+		var mx, my []int
+		var mok []bool
+		m.timePhase(phCycleMax, func() int {
+			mw, mx, my, mok = m.f.BatchPathMaxEdge(pairs)
+			return len(pairs)
+		})
+		m.stats.Rounds++
+
+		// Winners precede their path maximum in the (weight, key) order.
+		// Applying them in ascending candidate order with one eviction per
+		// tree edge keeps the swap set conflict-free; a winner whose
+		// evictee is already claimed defers to the next round.
+		winners := make([]int, 0, len(pool))
+		for i, e := range pool {
+			if !mok[i] {
+				panic(fmt.Sprintf("msf: candidate (%d,%d) lost forest connectivity", e.U, e.V))
+			}
+			if less(e.W, key(e.U, e.V), mw[i], key(mx[i], my[i])) {
+				winners = append(winners, i)
+			}
+		}
+		sort.Slice(winners, func(a, b int) bool {
+			ea, eb := pool[winners[a]], pool[winners[b]]
+			return less(ea.W, key(ea.U, ea.V), eb.W, key(eb.U, eb.V))
+		})
+
+		evicted := make(map[uint64]bool, len(winners))
+		applied := make(map[int]bool, len(winners))
+		var cuts [][2]int
+		var links []ufo.Edge
+		var evictees []Edge
+		tSwap := time.Now()
+		for _, i := range winners {
+			ek := key(mx[i], my[i])
+			if evicted[ek] {
+				continue // conflicting winner: re-queried next round
+			}
+			evicted[ek] = true
+			applied[i] = true
+			e := pool[i]
+			cuts = append(cuts, [2]int{mx[i], my[i]})
+			links = append(links, ufo.Edge{U: e.U, V: e.V, W: e.W})
+			evictees = append(evictees, Edge{U: mx[i], V: my[i], W: mw[i]})
+			m.rec[key(e.U, e.V)] = edgeRec{w: e.W, tree: true}
+			m.rec[ek] = edgeRec{w: mw[i], tree: false}
+			m.total += e.W - mw[i]
+			m.stats.Swaps++
+		}
+		if len(applied) == 0 {
+			break // quiescent: every survivor verified the cycle property
+		}
+		// Distinct evictees make the simultaneous swap set safe: each link
+		// reconnects exactly the cut of its own evictee, and no pending
+		// cycle can avoid its own maximum (see the oracle test for the
+		// differential witness).
+		m.f.BatchCut(cuts)
+		m.f.BatchLink(links)
+		m.addPhase(phSwap, time.Since(tSwap), len(cuts))
+
+		next := make([]Edge, 0, len(pool)-len(applied)+len(evictees))
+		for i, e := range pool {
+			if !applied[i] {
+				next = append(next, e)
+			}
+		}
+		pool = append(next, evictees...)
+	}
+
+	// Settle the survivors: their cycle property held against the final
+	// forest in the quiescent round (or the pool emptied).
+	m.timePhase(phNonTree, func() int {
+		for _, e := range pool {
+			k := key(e.U, e.V)
+			m.rec[k] = edgeRec{w: e.W, tree: false}
+			m.ntInsert(e.U, e.V, e.W)
+		}
+		return len(pool)
+	})
+}

@@ -1,0 +1,127 @@
+package msf
+
+import "time"
+
+// The MSF layer mirrors conn's telemetry idiom: a fixed phase table,
+// monotonic per-phase wall time, item counts, and calls, reset at the
+// start of every batch and aggregated across a run with Accumulate.
+
+// phaseID indexes the MSF pipeline's phases in PhaseStats order.
+type phaseID int
+
+// MSF pipeline phases, in PhaseStats reporting order. Execution order
+// depends on the batch kind: add batches run classify → forest_link →
+// interleaved cycle_max/swap rounds → nontree; delete batches run
+// classify → nontree → forest_cut → interleaved search/promote sweeps →
+// forest_link.
+const (
+	phClassify   phaseID = iota // partition the batch into tree / candidate edges
+	phCycleMax                  // batched path-max argmax queries over the candidate pool
+	phSwap                      // improving swaps applied (cut evictee + link candidate)
+	phForestCut                 // BatchCut of deleted tree edges
+	phSearch                    // replacement sweeps over the smaller severed pieces
+	phPromote                   // minimum-(weight, key) crossing promotions
+	phForestLink                // BatchLink of tree-forming additions
+	phNonTree                   // non-tree incidence bookkeeping
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"classify", "cycle_max", "swap", "forest_cut", "search", "promote", "forest_link", "nontree",
+}
+
+// PhaseStat is the accumulated cost of one MSF-pipeline phase over a
+// batch.
+type PhaseStat struct {
+	Name  string        `json:"name"`
+	Calls int           `json:"calls"` // invocations (one per cycle-max round or search sweep)
+	Items int64         `json:"items"` // work items processed (phase-specific unit)
+	Time  time.Duration `json:"time_ns"`
+}
+
+// PhaseStats is the per-phase telemetry of one MSF batch: how an add or
+// delete batch's time splits between classification, the cycle-max swap
+// rounds, the forest updates, and the replacement search. Rounds counts
+// cycle-max query rounds plus replacement sweeps; Swaps counts applied
+// improving swaps (each evicting one tree edge); Promotions counts
+// replacement edges promoted after deletes. The phase times are disjoint
+// sub-intervals of Total.
+type PhaseStats struct {
+	Batches    int           `json:"batches"` // batches aggregated (1 per snapshot)
+	Adds       int64         `json:"adds"`
+	Deletes    int64         `json:"deletes"`
+	Rounds     int           `json:"rounds"`
+	Swaps      int64         `json:"swaps,omitempty"`
+	Promotions int64         `json:"promotions,omitempty"`
+	Total      time.Duration `json:"total_ns"`
+	Phases     []PhaseStat   `json:"phases"`
+}
+
+// Accumulate merges o into s, phase by phase, for callers aggregating the
+// per-batch snapshots across a run of batches.
+func (s *PhaseStats) Accumulate(o PhaseStats) {
+	if len(s.Phases) < len(o.Phases) {
+		ph := make([]PhaseStat, len(o.Phases))
+		for i := range ph {
+			ph[i].Name = o.Phases[i].Name
+		}
+		copy(ph, s.Phases)
+		s.Phases = ph
+	}
+	s.Batches += o.Batches
+	s.Adds += o.Adds
+	s.Deletes += o.Deletes
+	s.Rounds += o.Rounds
+	s.Swaps += o.Swaps
+	s.Promotions += o.Promotions
+	s.Total += o.Total
+	for i := range o.Phases {
+		s.Phases[i].Calls += o.Phases[i].Calls
+		s.Phases[i].Items += o.Phases[i].Items
+		s.Phases[i].Time += o.Phases[i].Time
+	}
+}
+
+// snapshot deep-copies the stats so callers cannot alias the accumulation
+// buffers.
+func (s PhaseStats) snapshot() PhaseStats {
+	out := s
+	out.Phases = append([]PhaseStat(nil), s.Phases...)
+	return out
+}
+
+// beginStats resets the telemetry for a fresh batch, reusing the phase
+// buffer across runs.
+func (m *BatchDynamicMSF) beginStats(adds, deletes int) {
+	if m.stats.Phases == nil {
+		m.stats.Phases = make([]PhaseStat, numPhases)
+	}
+	for i := range m.stats.Phases {
+		m.stats.Phases[i] = PhaseStat{Name: phaseNames[i]}
+	}
+	ph := m.stats.Phases
+	m.stats = PhaseStats{
+		Batches: 1,
+		Adds:    int64(adds),
+		Deletes: int64(deletes),
+		Phases:  ph,
+	}
+}
+
+// timePhase runs fn as one call of phase id, charging its wall time and
+// the returned item count.
+func (m *BatchDynamicMSF) timePhase(id phaseID, fn func() int) {
+	start := time.Now()
+	items := fn()
+	m.addPhase(id, time.Since(start), items)
+}
+
+// addPhase charges one call of phase id with d wall time and items work
+// items (the fine-grained form used inside the swap rounds and search
+// sweeps, where one round interleaves phases).
+func (m *BatchDynamicMSF) addPhase(id phaseID, d time.Duration, items int) {
+	st := &m.stats.Phases[id]
+	st.Calls++
+	st.Items += int64(items)
+	st.Time += d
+}

@@ -1,0 +1,212 @@
+// Package search holds the replacement-search core shared by the
+// batch-dynamic graph layers: a union-find over forest component ids
+// (CompUF) and the skip-largest class round loop (Group) that restores
+// spanning maximality after a batch of cuts.
+//
+// internal/conn runs it per level with a first-crossing-chunk sweep and
+// min-key promotion; internal/msf runs it on its single forest with a
+// full-class sweep and min-(weight, key) promotion. Both sweeps plug into
+// Group.Run, which owns the deterministic round structure: sort the live
+// classes by (size, witness), skip the largest, sweep the rest, and stop
+// when at most one unmarked class remains or a round makes no progress.
+//
+// Everything here runs on the batch goroutine: the sweeps may fan their
+// scans out, but classification against the overlay mutates the union-find
+// and therefore stays sequential, exactly as in the original conn search.
+package search
+
+// CompUF is a tiny union-find over component ids, used to build the
+// batch-internal spanning structure of an add batch and the per-sweep
+// promotion set of the replacement search. Ids are interned into dense
+// indices on first sight, so the arrays stay batch-sized.
+type CompUF struct {
+	idx    map[uint64]int
+	parent []int
+}
+
+// NewCompUF returns an empty union-find sized for about capHint ids.
+func NewCompUF(capHint int) *CompUF {
+	return &CompUF{idx: make(map[uint64]int, 2*capHint)}
+}
+
+// Intern maps id to its dense index, assigning one on first sight.
+func (u *CompUF) Intern(id uint64) int {
+	if i, ok := u.idx[id]; ok {
+		return i
+	}
+	i := len(u.parent)
+	u.idx[id] = i
+	u.parent = append(u.parent, i)
+	return i
+}
+
+// Find returns the set root of interned index i, halving the path.
+func (u *CompUF) Find(i int) int {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return i
+}
+
+// Same reports whether a and b are in the same set.
+func (u *CompUF) Same(a, b uint64) bool {
+	return u.Find(u.Intern(a)) == u.Find(u.Intern(b))
+}
+
+// Union merges the sets of a and b, reporting whether they were distinct.
+func (u *CompUF) Union(a, b uint64) bool {
+	ra, rb := u.Find(u.Intern(a)), u.Find(u.Intern(b))
+	if ra == rb {
+		return false
+	}
+	u.parent[rb] = ra
+	return true
+}
+
+// UnionIdx merges two sets given by already-interned indices and returns
+// the surviving root (the search overlay keys its class table by root, so
+// the caller needs to know which one won).
+func (u *CompUF) UnionIdx(a, b int) int {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+	return ra
+}
+
+// Class is a live piece of a search group: one or more forest components
+// virtually merged by the running search's promotions. Members holds one
+// representative vertex per constituent component (deterministic
+// first-seen order), Size their total vertex count, Witness the smallest
+// witness inside (the sort tie-break).
+type Class struct {
+	// Root is the class's overlay index; kept current on Absorb.
+	Root    int
+	Members []int
+	Size    int
+	Witness int
+}
+
+// Group is the per-group search state: the union-find overlay mapping the
+// static forest's component ids to live classes, and the class table keyed
+// by overlay root. The forest the group searches must stay static for the
+// group's lifetime — promotions are overlaid, never applied.
+type Group struct {
+	// Overlay maps static component ids to live classes; sweeps classify
+	// far endpoints through Overlay.Find(Overlay.Intern(id)).
+	Overlay  *CompUF
+	compID   func(v int) uint64
+	compSize func(v int) int
+	classes  map[int]*Class
+	maximal  map[int]bool
+}
+
+// NewGroup builds the search state for one group of witnesses: every
+// witness is admitted to the class of its current component (compID) with
+// the component's vertex count (compSize) as the class size.
+func NewGroup(witnesses []int, compID func(v int) uint64, compSize func(v int) int) *Group {
+	s := &Group{
+		Overlay:  NewCompUF(len(witnesses)),
+		compID:   compID,
+		compSize: compSize,
+		classes:  make(map[int]*Class, len(witnesses)),
+		maximal:  make(map[int]bool),
+	}
+	for _, w := range witnesses {
+		c := s.ClassOf(compID(w), w)
+		if w < c.Witness {
+			c.Witness = w
+		}
+	}
+	return s
+}
+
+// ClassOf returns the live class owning component id, creating a singleton
+// class on first sight (every piece of the group is reachable through
+// witnesses, but a freshly seen far endpoint is admitted defensively).
+func (s *Group) ClassOf(id uint64, rep int) *Class {
+	r := s.Overlay.Find(s.Overlay.Intern(id))
+	if c, ok := s.classes[r]; ok {
+		return c
+	}
+	c := &Class{Root: r, Members: []int{rep}, Size: s.compSize(rep), Witness: rep}
+	s.classes[r] = c
+	return c
+}
+
+// Absorb merges the class rooted at far (an overlay root) into c after a
+// promotion bridged them: overlay union, class-table and maximal-mark
+// bookkeeping, and member/size/witness accumulation. farRep is a vertex
+// inside the far class, used to admit it if it was never swept.
+func (s *Group) Absorb(c *Class, far, farRep int) {
+	myRoot := s.Overlay.Find(c.Root)
+	farClass := s.classes[far]
+	if farClass == nil {
+		farClass = s.ClassOf(s.compID(farRep), farRep)
+	}
+	newRoot := s.Overlay.UnionIdx(myRoot, far)
+	delete(s.maximal, myRoot)
+	delete(s.maximal, far)
+	delete(s.classes, myRoot)
+	delete(s.classes, far)
+	c.Members = append(c.Members, farClass.Members...)
+	c.Size += farClass.Size
+	if farClass.Witness < c.Witness {
+		c.Witness = farClass.Witness
+	}
+	c.Root = newRoot
+	s.classes[newRoot] = c
+}
+
+// Run drives the skip-largest round loop: each round sorts the live
+// classes by (size, witness), skips the largest, and sweeps the rest. A
+// sweep returns the number of crossing candidates it consumed; zero marks
+// its class maximal. The loop ends when at most one unmarked class remains
+// or a full round makes no progress.
+func (s *Group) Run(sweep func(*Class) int) {
+	for {
+		live := make([]*Class, 0, len(s.classes))
+		for r, c := range s.classes {
+			if !s.maximal[r] {
+				live = append(live, c)
+			}
+		}
+		if len(live) <= 1 {
+			return
+		}
+		sortClasses(live)
+		progressed := false
+		for _, c := range live[:len(live)-1] {
+			if s.classes[s.Overlay.Find(c.Root)] != c {
+				continue // merged into another class this round
+			}
+			if s.maximal[c.Root] {
+				continue
+			}
+			if sweep(c) > 0 {
+				progressed = true
+			} else {
+				s.maximal[c.Root] = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// sortClasses orders classes by (size, witness) ascending — the
+// deterministic sweep order of a round. Insertion sort: groups hold a
+// handful of classes and the call sits on the batch goroutine.
+func sortClasses(cs []*Class) {
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && (cs[j].Size > c.Size || (cs[j].Size == c.Size && cs[j].Witness > c.Witness)) {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}

@@ -175,6 +175,7 @@ func (a *arena) release(r cref) {
 	h.subSum = 0
 	h.pathSum = 0
 	h.pathMax = 0
+	h.pathMaxKey = 0
 	h.subMax = 0
 	h.flags.Store(flagDead)
 	if a.trackMax {
@@ -264,7 +265,8 @@ func (a *arena) validateArena(reachable map[cref]bool) error {
 			return fmt.Errorf("arena: freed slot %d retains children/adjacency", r)
 		}
 		if h.uid != 0 || h.level != 0 || h.leafV != 0 || h.childIdx != 0 || h.pathCnt != 0 ||
-			h.vcnt != 0 || h.subSum != 0 || h.pathSum != 0 || h.pathMax != 0 || h.subMax != 0 {
+			h.vcnt != 0 || h.subSum != 0 || h.pathSum != 0 || h.pathMax != 0 ||
+			h.pathMaxKey != 0 || h.subMax != 0 {
 			return fmt.Errorf("arena: freed slot %d not zeroed", r)
 		}
 		if a.trackMax {

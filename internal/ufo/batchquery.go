@@ -190,7 +190,7 @@ func (f *Forest) BatchPathSum(pairs [][2]int) ([]int64, []bool) {
 	ok := make([]bool, len(pairs))
 	if f.choosePairsShared(pairs) {
 		f.noteBatch(len(pairs), true)
-		f.batchAggShared(pairs, func(i int, sum, _ int64, _ int32, okq bool) {
+		f.batchAggShared(pairs, func(i int, sum, _ int64, _ uint64, _ int32, okq bool) {
 			out[i], ok[i] = sum, okq
 		})
 		return out, ok
@@ -211,7 +211,7 @@ func (f *Forest) BatchPathMax(pairs [][2]int) ([]int64, []bool) {
 	ok := make([]bool, len(pairs))
 	if f.choosePairsShared(pairs) {
 		f.noteBatch(len(pairs), true)
-		f.batchAggShared(pairs, func(i int, _, mx int64, _ int32, okq bool) {
+		f.batchAggShared(pairs, func(i int, _, mx int64, _ uint64, _ int32, okq bool) {
 			// Mirror the single-op wrapper: u == v answers (0, false).
 			if pairs[i][0] == pairs[i][1] {
 				out[i], ok[i] = 0, false
@@ -230,13 +230,44 @@ func (f *Forest) BatchPathMax(pairs [][2]int) ([]int64, []bool) {
 	return out, ok
 }
 
+// BatchPathMaxEdge answers PathMaxEdge for every (u,v) pair in parallel:
+// w[i] is the weight of the maximum edge on the pairs[i] path and
+// (x[i], y[i]) its normalized endpoints, with equal weights broken toward
+// the larger edge key exactly like the single-op wrapper. ok[i] is false
+// when the pair is disconnected or u == v.
+func (f *Forest) BatchPathMaxEdge(pairs [][2]int) (w []int64, x, y []int, ok []bool) {
+	w = make([]int64, len(pairs))
+	x = make([]int, len(pairs))
+	y = make([]int, len(pairs))
+	ok = make([]bool, len(pairs))
+	if f.choosePairsShared(pairs) {
+		f.noteBatch(len(pairs), true)
+		f.batchAggShared(pairs, func(i int, _, mx int64, mxKey uint64, _ int32, okq bool) {
+			if pairs[i][0] == pairs[i][1] || !okq {
+				return
+			}
+			w[i] = mx
+			x[i], y[i] = decodeEdgeKey(mxKey)
+			ok[i] = true
+		})
+		return w, x, y, ok
+	}
+	f.noteBatch(len(pairs), false)
+	f.forQueries(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w[i], x[i], y[i], ok[i] = f.PathMaxEdge(pairs[i][0], pairs[i][1])
+		}
+	})
+	return w, x, y, ok
+}
+
 // BatchPathHops answers PathHops for every (u,v) pair in parallel.
 func (f *Forest) BatchPathHops(pairs [][2]int) ([]int, []bool) {
 	out := make([]int, len(pairs))
 	ok := make([]bool, len(pairs))
 	if f.choosePairsShared(pairs) {
 		f.noteBatch(len(pairs), true)
-		f.batchAggShared(pairs, func(i int, _, _ int64, cnt int32, okq bool) {
+		f.batchAggShared(pairs, func(i int, _, _ int64, _ uint64, cnt int32, okq bool) {
 			out[i], ok[i] = int(cnt), okq
 		})
 		return out, ok

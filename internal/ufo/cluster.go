@@ -370,6 +370,12 @@ type Cluster struct {
 	subSum  int64 // sum of contained vertex values (group-invertible)
 	pathSum int64 // sum of edge weights on the cluster path (binary only)
 	pathMax int64 // max edge weight on the cluster path (negInf identity)
+	// pathMaxKey is the normalized edge key (edgeKey) of the cluster-path
+	// edge realizing pathMax, with equal weights broken toward the larger
+	// key so the (pathMax, pathMaxKey) pair is a total order and argmax
+	// answers are unique at every worker count. 0 (no edge) when pathMax
+	// is the negInf identity.
+	pathMaxKey uint64
 	// subMax is the max vertex value in the cluster (EnableSubtreeMax
 	// only). It stays in the hot row because queries read it during every
 	// ascent; the rank-tree machinery that maintains it lives cold.

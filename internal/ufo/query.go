@@ -9,7 +9,11 @@ type repEntry struct {
 	v   int32
 	sum int64
 	max int64
-	cnt int32
+	// maxK is the normalized edge key realizing max under the (weight,
+	// key) total order — the same tie-break as Cluster.pathMaxKey, so
+	// argmax answers are unique. 0 while max is the negInf identity.
+	maxK uint64
+	cnt  int32
 }
 
 // rep carries the representative paths of the current cluster: one entry
@@ -97,15 +101,15 @@ func (a *arena) stepRep(c cref, r rep) rep {
 			panic("ufo: representative path missing the merge boundary")
 		}
 		sum := base.sum + g.w
-		mx := max64(base.max, g.w)
+		mx, mk := wkMax(base.max, base.maxK, g.w, g.key)
 		cnt := base.cnt + 1
 		if b != g.otherV {
 			// The path crosses the sibling's whole cluster path.
 			sum += hs.pathSum
-			mx = max64(mx, hs.pathMax)
+			mx, mk = wkMax(mx, mk, hs.pathMax, hs.pathMaxKey)
 			cnt += hs.pathCnt
 		}
-		out.set(repEntry{v: b, sum: sum, max: mx, cnt: cnt})
+		out.set(repEntry{v: b, sum: sum, max: mx, maxK: mk, cnt: cnt})
 	}
 	return out
 }
@@ -114,9 +118,9 @@ func (a *arena) stepRep(c cref, r rep) rep {
 // maintaining representative paths, and combines them through the
 // connecting edge (or through the superunary center when the two children
 // are both leaves of an unbounded-fanout merge).
-func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
+func (f *Forest) pathAgg(u, v int) (sum, mx int64, mxKey uint64, cnt int32, ok bool) {
 	if u == v {
-		return 0, negInf, 0, true
+		return 0, negInf, 0, 0, true
 	}
 	a := &f.a
 	cu, cv := f.leaf(u), f.leaf(v)
@@ -125,7 +129,7 @@ func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
 	for {
 		pu, pv := a.par[cu], a.par[cv]
 		if pu == nilRef || pv == nilRef {
-			return 0, 0, 0, false
+			return 0, 0, 0, 0, false
 		}
 		if pu == pv {
 			break
@@ -141,15 +145,16 @@ func (f *Forest) pathAgg(u, v int) (sum, mx int64, cnt int32, ok bool) {
 // cv are distinct siblings (children of the walks' first common ancestor)
 // carrying the reps of the two query endpoints. Shared verbatim by the
 // independent lockstep walk above and the shared-traversal batch walker.
-func (a *arena) combinePaths(cu, cv cref, ru, rv *rep) (sum, mx int64, cnt int32, ok bool) {
+func (a *arena) combinePaths(cu, cv cref, ru, rv *rep) (sum, mx int64, mxKey uint64, cnt int32, ok bool) {
 	if g, found := a.edgeBetween(cu, cv); found {
 		eu, okU := ru.get(g.myV)
 		ev, okV := rv.get(g.otherV)
 		if !okU || !okV {
 			panic("ufo: representative paths missing connecting boundaries")
 		}
-		return eu.sum + g.w + ev.sum, max64(max64(eu.max, g.w), ev.max),
-			eu.cnt + 1 + ev.cnt, true
+		m, mk := wkMax(eu.max, eu.maxK, g.w, g.key)
+		m, mk = wkMax(m, mk, ev.max, ev.maxK)
+		return eu.sum + g.w + ev.sum, m, mk, eu.cnt + 1 + ev.cnt, true
 	}
 	// Both are leaves of the same superunary merge: the path runs through
 	// the center. For UFO trees the center has a single boundary vertex and
@@ -167,21 +172,23 @@ func (a *arena) combinePaths(cu, cv cref, ru, rv *rep) (sum, mx int64, cnt int32
 		panic("ufo: representative paths missing leaf boundaries")
 	}
 	sum = entU.sum + eU.w + eV.w + entV.sum
-	mx = max64(max64(entU.max, eU.w), max64(entV.max, eV.w))
+	mx, mxKey = wkMax(entU.max, entU.maxK, eU.w, eU.key)
+	mx, mxKey = wkMax(mx, mxKey, eV.w, eV.key)
+	mx, mxKey = wkMax(mx, mxKey, entV.max, entV.maxK)
 	cnt = entU.cnt + 2 + entV.cnt
 	if eU.otherV != eV.otherV {
 		hcen := a.at(eU.to)
 		sum += hcen.pathSum
-		mx = max64(mx, hcen.pathMax)
+		mx, mxKey = wkMax(mx, mxKey, hcen.pathMax, hcen.pathMaxKey)
 		cnt += hcen.pathCnt
 	}
-	return sum, mx, cnt, true
+	return sum, mx, mxKey, cnt, true
 }
 
 // PathSum returns the sum of edge weights on the u..v path in
 // O(min{log n, D}) time; ok is false if u and v are disconnected.
 func (f *Forest) PathSum(u, v int) (int64, bool) {
-	s, _, _, ok := f.pathAgg(u, v)
+	s, _, _, _, ok := f.pathAgg(u, v)
 	return s, ok
 }
 
@@ -191,14 +198,36 @@ func (f *Forest) PathMax(u, v int) (int64, bool) {
 	if u == v {
 		return 0, false
 	}
-	_, m, _, ok := f.pathAgg(u, v)
+	_, m, _, _, ok := f.pathAgg(u, v)
 	return m, ok
+}
+
+// PathMaxEdge returns the maximum-weight edge on the u..v path together
+// with its endpoints (x < y, the normalized order). Equal weights break
+// toward the larger normalized edge key, so the answer is the unique
+// maximum under the (weight, key) total order — the argmax the MSF layer's
+// swap rule needs. ok is false if u and v are disconnected or u == v.
+func (f *Forest) PathMaxEdge(u, v int) (w int64, x, y int, ok bool) {
+	if u == v {
+		return 0, 0, 0, false
+	}
+	_, m, mk, _, ok := f.pathAgg(u, v)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	x, y = decodeEdgeKey(mk)
+	return m, x, y, true
+}
+
+// decodeEdgeKey unpacks a normalized edge key into its endpoints (x < y).
+func decodeEdgeKey(k uint64) (x, y int) {
+	return int(int32(k >> 32)), int(int32(uint32(k)))
 }
 
 // PathHops returns the number of edges on the u..v path; ok is false when
 // u and v are disconnected.
 func (f *Forest) PathHops(u, v int) (int, bool) {
-	_, _, c, ok := f.pathAgg(u, v)
+	_, _, _, c, ok := f.pathAgg(u, v)
 	return int(c), ok
 }
 

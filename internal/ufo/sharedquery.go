@@ -193,9 +193,9 @@ func (qs *qscratch) chainOf(f *Forest, v int) chainRange {
 // scan both chains upward for the first common cluster (the chains are
 // level-indexed, so entry l is the level-l ancestor) and combine the reps
 // one level below it — the same exit as the independent lockstep walk.
-func (f *Forest) sharedPathAgg(qs *qscratch, u, v int) (sum, mx int64, cnt int32, ok bool) {
+func (f *Forest) sharedPathAgg(qs *qscratch, u, v int) (sum, mx int64, mxKey uint64, cnt int32, ok bool) {
 	if u == v {
-		return 0, negInf, 0, true
+		return 0, negInf, 0, 0, true
 	}
 	cu := qs.chainOf(f, u)
 	cv := qs.chainOf(f, v)
@@ -203,7 +203,7 @@ func (f *Forest) sharedPathAgg(qs *qscratch, u, v int) (sum, mx int64, cnt int32
 	eu := qs.ents[cu.off : cu.off+cu.n]
 	ev := qs.ents[cv.off : cv.off+cv.n]
 	if cu.n != cv.n || eu[cu.n-1].c != ev[cv.n-1].c {
-		return 0, 0, 0, false // different roots: disconnected
+		return 0, 0, 0, 0, false // different roots: disconnected
 	}
 	l := 1 // distinct leaves can first coincide at level 1
 	for eu[l].c != ev[l].c {
@@ -230,13 +230,13 @@ func (f *Forest) batchConnectedShared(pairs [][2]int, out []bool) {
 
 // batchAggShared answers a path-aggregate batch through the per-endpoint
 // chain memo, handing each result to emit.
-func (f *Forest) batchAggShared(pairs [][2]int, emit func(i int, sum, mx int64, cnt int32, ok bool)) {
+func (f *Forest) batchAggShared(pairs [][2]int, emit func(i int, sum, mx int64, mxKey uint64, cnt int32, ok bool)) {
 	f.forQueriesShared(len(pairs), func(lo, hi int) {
 		qs := f.getQS()
 		qs.beginVerts(f.n)
 		for i := lo; i < hi; i++ {
-			s, m, c, ok := f.sharedPathAgg(qs, pairs[i][0], pairs[i][1])
-			emit(i, s, m, c, ok)
+			s, m, mk, c, ok := f.sharedPathAgg(qs, pairs[i][0], pairs[i][1])
+			emit(i, s, m, mk, c, ok)
 		}
 		f.putQS(qs)
 	})
@@ -250,9 +250,9 @@ func (f *Forest) batchLCAShared(triples [][3]int, out []int, ok []bool) {
 		qs.beginVerts(f.n)
 		for i := lo; i < hi; i++ {
 			u, v, r := triples[i][0], triples[i][1], triples[i][2]
-			_, _, duv, ok1 := f.sharedPathAgg(qs, u, v)
-			_, _, dur, ok2 := f.sharedPathAgg(qs, u, r)
-			_, _, dvr, ok3 := f.sharedPathAgg(qs, v, r)
+			_, _, _, duv, ok1 := f.sharedPathAgg(qs, u, v)
+			_, _, _, dur, ok2 := f.sharedPathAgg(qs, u, r)
+			_, _, _, dvr, ok3 := f.sharedPathAgg(qs, v, r)
 			if !ok1 || !ok2 || !ok3 {
 				out[i], ok[i] = 0, false
 				continue

@@ -151,6 +151,7 @@ func (e *engine) newCluster(level int) cref {
 	h.children = h.children[:0]
 	h.vcnt, h.subSum, h.pathSum = 0, 0, 0
 	h.pathMax = negInf
+	h.pathMaxKey = 0
 	if e.f.trackMax {
 		h.flags.Store(flagTrackMax)
 		h.subMax = negInf
@@ -1105,6 +1106,7 @@ func (e *engine) computePathAgg(p cref) {
 	hp := ar.at(p)
 	hp.pathSum = 0
 	hp.pathMax = negInf
+	hp.pathMaxKey = 0
 	hp.pathCnt = 0
 	if hp.adj.degree() != 2 {
 		return
@@ -1124,6 +1126,7 @@ func (e *engine) computePathAgg(p cref) {
 		hc := ar.at(hp.children[0])
 		hp.pathSum = hc.pathSum
 		hp.pathMax = hc.pathMax
+		hp.pathMaxKey = hc.pathMaxKey
 		hp.pathCnt = hc.pathCnt
 	case 2:
 		a, b := hp.children[0], hp.children[1]
@@ -1139,7 +1142,8 @@ func (e *engine) computePathAgg(p cref) {
 		}
 		ha, hb := ar.at(a), ar.at(b)
 		hp.pathSum = ha.pathSum + g.w + hb.pathSum
-		hp.pathMax = max64(max64(ha.pathMax, g.w), hb.pathMax)
+		mx, mk := wkMax(ha.pathMax, ha.pathMaxKey, g.w, g.key)
+		hp.pathMax, hp.pathMaxKey = wkMax(mx, mk, hb.pathMax, hb.pathMaxKey)
 		hp.pathCnt = ha.pathCnt + 1 + hb.pathCnt
 	default:
 		// UFO-mode superunary clusters have a single boundary vertex, so
@@ -1156,6 +1160,7 @@ func (e *engine) computePathAgg(p cref) {
 		}
 		hp.pathSum = hc.pathSum
 		hp.pathMax = hc.pathMax
+		hp.pathMaxKey = hc.pathMaxKey
 		hp.pathCnt = hc.pathCnt
 	}
 }
@@ -1165,4 +1170,15 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// wkMax returns the lexicographically larger of two (weight, edge-key)
+// pairs under the total edge order the argmax aggregates use: weight
+// first, the normalized edge key breaking ties toward the larger key.
+// (negInf, 0) is the identity.
+func wkMax(w1 int64, k1 uint64, w2 int64, k2 uint64) (int64, uint64) {
+	if w1 > w2 || (w1 == w2 && k1 > k2) {
+		return w1, k1
+	}
+	return w2, k2
 }

@@ -311,17 +311,20 @@ func (f *Forest) validatePathAgg(c cref) error {
 	hc := f.a.at(c)
 	b, n := hc.boundaries()
 	wantSum, wantMax, wantCnt := int64(0), int64(negInf), int32(0)
+	wantMaxKey := uint64(0)
 	if n == 2 {
 		// Walk the path b[0]..b[1] in the input forest (edges at level 0).
-		sum, mx, cnt, ok := f.refPath(b[0], b[1])
+		sum, mx, mxKey, cnt, ok := f.refPath(b[0], b[1])
 		if !ok {
 			return fmt.Errorf("level %d: boundary vertices disconnected", hc.level)
 		}
-		wantSum, wantMax, wantCnt = sum, mx, cnt
+		wantSum, wantMax, wantMaxKey, wantCnt = sum, mx, mxKey, cnt
 	}
-	if hc.pathSum != wantSum || hc.pathMax != wantMax || hc.pathCnt != wantCnt {
-		return fmt.Errorf("level %d: pathAgg (%d,%d,%d) != recomputed (%d,%d,%d) [slot=%d uid=%d deg=%d nb=%d bounds=%v nchild=%d children=%v flags=%#x]",
-			hc.level, hc.pathSum, hc.pathMax, hc.pathCnt, wantSum, wantMax, wantCnt,
+	if hc.pathSum != wantSum || hc.pathMax != wantMax || hc.pathCnt != wantCnt ||
+		hc.pathMaxKey != wantMaxKey {
+		return fmt.Errorf("level %d: pathAgg (%d,%d,%#x,%d) != recomputed (%d,%d,%#x,%d) [slot=%d uid=%d deg=%d nb=%d bounds=%v nchild=%d children=%v flags=%#x]",
+			hc.level, hc.pathSum, hc.pathMax, hc.pathMaxKey, hc.pathCnt,
+			wantSum, wantMax, wantMaxKey, wantCnt,
 			c, hc.uid, hc.adj.degree(), n, b, len(hc.children), hc.children, hc.flags.Load())
 	}
 	return nil
@@ -329,18 +332,19 @@ func (f *Forest) validatePathAgg(c cref) error {
 
 // refPath computes the path aggregate between two vertices by BFS over the
 // level-0 adjacency (test oracle inside the validator).
-func (f *Forest) refPath(a, b int32) (sum, mx int64, cnt int32, ok bool) {
+func (f *Forest) refPath(a, b int32) (sum, mx int64, mxKey uint64, cnt int32, ok bool) {
 	if a == b {
-		return 0, negInf, 0, true
+		return 0, negInf, 0, 0, true
 	}
 	type st struct {
 		v   int32
 		sum int64
 		mx  int64
+		mxK uint64
 		cnt int32
 	}
 	prev := map[int32]bool{a: true}
-	queue := []st{{a, 0, negInf, 0}}
+	queue := []st{{a, 0, negInf, 0, 0}}
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
@@ -352,7 +356,8 @@ func (f *Forest) refPath(a, b int32) (sum, mx int64, cnt int32, ok bool) {
 				return true
 			}
 			prev[y] = true
-			ns := st{y, x.sum + er.w, max64(x.mx, er.w), x.cnt + 1}
+			nm, nk := wkMax(x.mx, x.mxK, er.w, er.key)
+			ns := st{y, x.sum + er.w, nm, nk, x.cnt + 1}
 			if y == b {
 				found = ns
 				done = true
@@ -362,10 +367,10 @@ func (f *Forest) refPath(a, b int32) (sum, mx int64, cnt int32, ok bool) {
 			return true
 		})
 		if done {
-			return found.sum, found.mx, found.cnt, true
+			return found.sum, found.mx, found.mxK, found.cnt, true
 		}
 	}
-	return 0, 0, 0, false
+	return 0, 0, 0, 0, false
 }
 
 // validateQuotient checks that level l+1 edges are exactly the images of
